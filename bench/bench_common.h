@@ -1,0 +1,61 @@
+// Shared helpers for the paper-figure benchmark harnesses.
+#ifndef SGL_BENCH_BENCH_COMMON_H_
+#define SGL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "game/battle.h"
+#include "util/timer.h"
+
+namespace sgl {
+
+/// Ticks per measurement. The paper simulates 500 ticks per data point;
+/// that is minutes of naive-engine wall clock, so the default here is
+/// smaller and the harness reports per-tick numbers (which the paper's
+/// own "proportional to the number of ticks simulated, to within one
+/// percent" observation justifies). Set SGL_BENCH_TICKS=500 to reproduce
+/// the full-scale run.
+inline int64_t BenchTicks(int64_t fallback = 20) {
+  const char* env = std::getenv("SGL_BENCH_TICKS");
+  if (env != nullptr) {
+    int64_t v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Largest unit count the naive engine is asked to simulate (its O(n^2)
+/// tick cost makes the full 14000-unit sweep impractical by design —
+/// that asymmetry is the experiment). Override with SGL_BENCH_NAIVE_MAX.
+inline int32_t NaiveMaxUnits(int32_t fallback = 2000) {
+  const char* env = std::getenv("SGL_BENCH_NAIVE_MAX");
+  if (env != nullptr) {
+    int32_t v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Run one battle configuration and return seconds for `ticks` ticks.
+inline double TimeBattle(const ScenarioConfig& scenario, EvaluatorMode mode,
+                         int64_t ticks) {
+  auto setup = MakeBattle(scenario, mode);
+  if (!setup.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 setup.status().ToString().c_str());
+    std::exit(1);
+  }
+  Timer timer;
+  Status st = setup->engine->Run(ticks);
+  if (!st.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return timer.Seconds();
+}
+
+}  // namespace sgl
+
+#endif  // SGL_BENCH_BENCH_COMMON_H_

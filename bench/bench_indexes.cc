@@ -1,0 +1,154 @@
+// Ablation A1 (google-benchmark): divisible-aggregate probes.
+//
+// Compares, at several point-set sizes, the cost of answering a COUNT/SUM
+// box probe with (a) the paper's layered range tree with fractional
+// cascading and prefix aggregates, (b) a games-industry spatial hash
+// grid, and (c) a naive scan — plus the build costs that the paper's
+// "rebuild every tick" policy pays (Section 5.3).
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "geom/range_tree.h"
+#include "geom/spatial_hash.h"
+#include "util/rng.h"
+
+namespace sgl {
+namespace {
+
+struct PointWorld {
+  std::vector<PointRef> points;
+  std::vector<double> values;
+  int64_t grid;
+};
+
+PointWorld MakePoints(int64_t n) {
+  PointWorld w;
+  // 1% density, as in the engine benchmarks.
+  w.grid = static_cast<int64_t>(std::sqrt(static_cast<double>(n) / 0.01));
+  Xoshiro256 rng(99);
+  for (int64_t i = 0; i < n; ++i) {
+    w.points.push_back(PointRef{static_cast<double>(rng.NextBounded(w.grid)),
+                                static_cast<double>(rng.NextBounded(w.grid)),
+                                static_cast<int32_t>(i)});
+    w.values.push_back(static_cast<double>(rng.NextBounded(100)));
+  }
+  return w;
+}
+
+Rect RandomProbe(Xoshiro256* rng, int64_t grid, double extent) {
+  double cx = static_cast<double>(rng->NextBounded(grid));
+  double cy = static_cast<double>(rng->NextBounded(grid));
+  return Rect::Around(cx, cy, extent, extent);
+}
+
+void BM_RangeTreeBuild(benchmark::State& state) {
+  PointWorld w = MakePoints(state.range(0));
+  for (auto _ : state) {
+    LayeredRangeTree2D tree(w.points, {w.values});
+    benchmark::DoNotOptimize(tree.num_points());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RangeTreeBuild)->Arg(1000)->Arg(4000)->Arg(14000);
+
+void BM_RangeTreeProbe(benchmark::State& state) {
+  PointWorld w = MakePoints(state.range(0));
+  LayeredRangeTree2D tree(w.points, {w.values});
+  Xoshiro256 rng(7);
+  const double extent = 32;  // the battle script's SIGHT box
+  for (auto _ : state) {
+    AggResult r = tree.Aggregate(RandomProbe(&rng, w.grid, extent));
+    benchmark::DoNotOptimize(r.count);
+  }
+}
+BENCHMARK(BM_RangeTreeProbe)->Arg(1000)->Arg(4000)->Arg(14000);
+
+void BM_SpatialHashBuild(benchmark::State& state) {
+  PointWorld w = MakePoints(state.range(0));
+  for (auto _ : state) {
+    SpatialHashGrid grid(w.points, 16.0);
+    benchmark::DoNotOptimize(&grid);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpatialHashBuild)->Arg(1000)->Arg(4000)->Arg(14000);
+
+void BM_SpatialHashProbe(benchmark::State& state) {
+  PointWorld w = MakePoints(state.range(0));
+  SpatialHashGrid grid(w.points, 16.0);
+  Xoshiro256 rng(7);
+  const double extent = 32;
+  for (auto _ : state) {
+    // The grid enumerates candidates: probe cost grows with occupancy.
+    double sum = 0;
+    int64_t count = 0;
+    grid.ForEachInRect(RandomProbe(&rng, w.grid, extent),
+                       [&](const PointRef& p) {
+                         sum += w.values[p.id];
+                         ++count;
+                       });
+    benchmark::DoNotOptimize(sum + static_cast<double>(count));
+  }
+}
+BENCHMARK(BM_SpatialHashProbe)->Arg(1000)->Arg(4000)->Arg(14000);
+
+void BM_NaiveScanProbe(benchmark::State& state) {
+  PointWorld w = MakePoints(state.range(0));
+  Xoshiro256 rng(7);
+  const double extent = 32;
+  for (auto _ : state) {
+    Rect rect = RandomProbe(&rng, w.grid, extent);
+    double sum = 0;
+    int64_t count = 0;
+    for (const PointRef& p : w.points) {
+      if (rect.Contains(p.x, p.y)) {
+        sum += w.values[p.id];
+        ++count;
+      }
+    }
+    benchmark::DoNotOptimize(sum + static_cast<double>(count));
+  }
+}
+BENCHMARK(BM_NaiveScanProbe)->Arg(1000)->Arg(4000)->Arg(14000);
+
+// The per-tick amortized view the paper argues for: one build plus n
+// probes (every unit probes once per aggregate per tick).
+void BM_RangeTreeBuildPlusNProbes(benchmark::State& state) {
+  PointWorld w = MakePoints(state.range(0));
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    LayeredRangeTree2D tree(w.points, {w.values});
+    double acc = 0;
+    for (const PointRef& p : w.points) {
+      acc += static_cast<double>(
+          tree.Aggregate(Rect::Around(p.x, p.y, 32, 32)).count);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RangeTreeBuildPlusNProbes)->Arg(1000)->Arg(4000)->Arg(14000);
+
+void BM_NaiveNProbes(benchmark::State& state) {
+  PointWorld w = MakePoints(state.range(0));
+  for (auto _ : state) {
+    double acc = 0;
+    for (const PointRef& q : w.points) {
+      Rect rect = Rect::Around(q.x, q.y, 32, 32);
+      int64_t count = 0;
+      for (const PointRef& p : w.points) {
+        if (rect.Contains(p.x, p.y)) ++count;
+      }
+      acc += static_cast<double>(count);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NaiveNProbes)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace sgl
+
+BENCHMARK_MAIN();

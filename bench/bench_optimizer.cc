@@ -1,0 +1,62 @@
+// Ablation A3: what each optimization contributes.
+//
+// Four engine configurations over the same battle:
+//   naive            — reference scans for aggregates AND actions;
+//   +agg indexes     — Section 5.3 aggregate indexes, actions still scan;
+//   +action batching — Section 5.4 direct-key/AOE actions, aggregates scan;
+//   full             — both (the shipping configuration).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace sgl;
+
+namespace {
+
+double TimeConfig(const ScenarioConfig& scenario, bool agg, bool act,
+                  int64_t ticks) {
+  EngineConfig config;
+  config.mode =
+      (agg || act) ? EvaluatorMode::kIndexed : EvaluatorMode::kNaive;
+  config.index_aggregates = agg;
+  config.index_actions = act;
+  auto setup = MakeBattleWithConfig(scenario, config);
+  if (!setup.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 setup.status().ToString().c_str());
+    std::exit(1);
+  }
+  Timer timer;
+  Status st = setup->engine->Run(ticks);
+  if (!st.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return timer.Seconds() / static_cast<double>(ticks);
+}
+
+}  // namespace
+
+int main() {
+  const int64_t ticks = BenchTicks();
+  std::printf("=== Optimizer ablation: per-tick seconds by configuration "
+              "===\n\n");
+  std::printf("%8s %12s %14s %16s %12s\n", "units", "naive", "+agg-index",
+              "+action-batch", "full");
+  for (int32_t n : {500, 1000, 2000}) {
+    ScenarioConfig scenario;
+    scenario.num_units = n;
+    scenario.density = 0.01;
+    scenario.seed = 42;
+    double naive = TimeConfig(scenario, false, false, ticks);
+    double agg_only = TimeConfig(scenario, true, false, ticks);
+    double act_only = TimeConfig(scenario, false, true, ticks);
+    double full = TimeConfig(scenario, true, true, ticks);
+    std::printf("%8d %12.5f %14.5f %16.5f %12.5f\n", n, naive, agg_only,
+                act_only, full);
+  }
+  std::printf("\nAggregate indexing dominates (each unit evaluates ~8 "
+              "aggregates but performs one action per tick); action "
+              "batching removes the remaining O(n) scans per perform.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Coordination without central control (Section 3.2): archers keep the
+// knights between themselves and the enemy, each acting on its own
+// aggregate queries. We run the battle and report, per side, how often
+// the three centroids (enemy — knights — archers) are ordered with the
+// knights in the middle along the axis between the armies.
+#include <cstdio>
+
+#include "game/battle.h"
+
+using namespace sgl;
+
+namespace {
+
+struct Centroids {
+  double knights_x = 0, archers_x = 0, enemy_x = 0;
+  int32_t knights = 0, archers = 0, enemy = 0;
+};
+
+Centroids Measure(const EnvironmentTable& t, double player) {
+  const Schema& s = t.schema();
+  AttrId posx = s.Find("posx"), pl = s.Find("player"), ty = s.Find("unittype");
+  Centroids c;
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    double x = t.Get(r, posx);
+    if (t.Get(r, pl) != player) {
+      c.enemy_x += x;
+      ++c.enemy;
+      continue;
+    }
+    if (t.Get(r, ty) == 0.0) {
+      c.knights_x += x;
+      ++c.knights;
+    } else if (t.Get(r, ty) == 1.0) {
+      c.archers_x += x;
+      ++c.archers;
+    }
+  }
+  if (c.enemy > 0) c.enemy_x /= c.enemy;
+  if (c.knights > 0) c.knights_x /= c.knights;
+  if (c.archers > 0) c.archers_x /= c.archers;
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  ScenarioConfig scenario;
+  scenario.num_units = 400;
+  scenario.density = 0.015;
+  scenario.knight_fraction = 0.5;
+  scenario.archer_fraction = 0.4;
+  scenario.seed = 31;
+
+  auto setup = MakeBattle(scenario, EvaluatorMode::kIndexed);
+  if (!setup.ok()) {
+    std::fprintf(stderr, "%s\n", setup.status().ToString().c_str());
+    return 1;
+  }
+  Engine& engine = *setup->engine;
+
+  std::printf("Armies start in opposite halves; player 0 attacks east.\n");
+  std::printf("%5s %28s %28s\n", "", "player 0 (enemy|knight|archer)",
+              "player 1 (enemy|knight|archer)");
+  int32_t formed = 0, measured = 0;
+  for (int tick = 1; tick <= 48; ++tick) {
+    Status st = engine.Tick();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    Centroids c0 = Measure(engine.table(), 0);
+    Centroids c1 = Measure(engine.table(), 1);
+    // Player 0 fights toward +x: formation means enemy_x > knights_x >
+    // archers_x. Player 1 mirrors.
+    bool f0 = c0.enemy_x > c0.knights_x && c0.knights_x > c0.archers_x;
+    bool f1 = c1.enemy_x < c1.knights_x && c1.knights_x < c1.archers_x;
+    ++measured;
+    if (f0) ++formed;
+    ++measured;
+    if (f1) ++formed;
+    if (tick % 8 == 0) {
+      std::printf("t=%3d  %8.1f |%8.1f |%8.1f  %8.1f |%8.1f |%8.1f  %s%s\n",
+                  tick, c0.enemy_x, c0.knights_x, c0.archers_x, c1.enemy_x,
+                  c1.knights_x, c1.archers_x, f0 ? "[0 formed]" : "",
+                  f1 ? "[1 formed]" : "");
+    }
+  }
+  std::printf("\nknights-in-the-middle held in %d of %d side-ticks "
+              "(%.0f%%)\n",
+              formed, measured, 100.0 * formed / measured);
+  std::printf("No commander issued these orders: each archer independently "
+              "probed the knight and enemy centroids and moved toward the "
+              "reflected point (archer_reposition in the battle script).\n");
+  return 0;
+}

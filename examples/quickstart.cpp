@@ -1,0 +1,136 @@
+// Quickstart: define a schema, write an SGL script, run a few ticks.
+//
+// The world: wolves chase the nearest sheep; each wolf bite costs the
+// sheep 5 health. Sheep run from the nearest wolf. Everything here goes
+// through the public API: Schema, CompileScript, Engine, GameMechanics.
+#include <cstdio>
+#include <memory>
+
+#include "engine/engine.h"
+#include "sgl/analyzer.h"
+
+using namespace sgl;
+
+namespace {
+
+const char* kScript = R"SGL(
+  const WOLF = 0;
+  const SHEEP = 1;
+  const BITE_RANGE = 2;
+
+  aggregate NearestOfSpecies(u, species) {
+    select nearest(*) from E e
+    where e.species = species and e.key <> u.key;
+  }
+
+  action Bite(u, target) {
+    update e where e.key = target set damage += 5;
+  }
+  action Move(u, dx, dy) {
+    update e where e.key = u.key set movex += dx, movey += dy;
+  }
+
+  function wolf(u) {
+    let prey = NearestOfSpecies(u, SHEEP);
+    if prey.found = 1 and prey.dist2 <= BITE_RANGE * BITE_RANGE then
+      perform Bite(u, prey.key);
+    else if prey.found = 1 then
+      perform Move(u, prey.posx - u.posx, prey.posy - u.posy);
+  }
+
+  function sheep(u) {
+    let hunter = NearestOfSpecies(u, WOLF);
+    if hunter.found = 1 then {
+      let away = (u.posx, u.posy) - (hunter.posx, hunter.posy);
+      perform Move(u, away.x, away.y);
+    }
+  }
+
+  function main(u) {
+    if u.species = WOLF then perform wolf(u);
+    else perform sheep(u);
+  }
+)SGL";
+
+// Minimal mechanics: damage reduces health; the dead are removed.
+class Pasture : public GameMechanics {
+ public:
+  Status ApplyEffects(EnvironmentTable* table, const EffectBuffer&,
+                      const TickRandom&) override {
+    const Schema& s = table->schema();
+    AttrId health = s.Find("health"), damage = s.Find("damage");
+    for (RowId r = 0; r < table->NumRows(); ++r) {
+      table->Set(r, health, table->Get(r, health) - table->Get(r, damage));
+    }
+    return Status::OK();
+  }
+  Status EndTick(EnvironmentTable* table, const TickRandom&) override {
+    AttrId health = table->schema().Find("health");
+    table->RemoveIf([&](RowId r) { return table->Get(r, health) <= 0.0; });
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+int main() {
+  // 1. Schema: state attributes are const; effects carry combine tags.
+  Schema schema;
+  (void)schema.AddAttribute("species", CombineType::kConst);
+  (void)schema.AddAttribute("posx", CombineType::kConst);
+  (void)schema.AddAttribute("posy", CombineType::kConst);
+  (void)schema.AddAttribute("health", CombineType::kConst);
+  (void)schema.AddAttribute("damage", CombineType::kSum);
+  (void)schema.AddAttribute("movex", CombineType::kSum);
+  (void)schema.AddAttribute("movey", CombineType::kSum);
+
+  // 2. Populate the environment table E.
+  EnvironmentTable table(schema);
+  //                        species posx posy health dmg mx my
+  (void)table.AddRow({0, 0, 0, 99, 0, 0, 0});    // a wolf
+  (void)table.AddRow({0, 15, 15, 99, 0, 0, 0});  // another wolf
+  (void)table.AddRow({1, 5, 5, 10, 0, 0, 0});    // sheep
+  (void)table.AddRow({1, 6, 9, 10, 0, 0, 0});
+  (void)table.AddRow({1, 12, 4, 10, 0, 0, 0});
+
+  // 3. Compile the script against the schema.
+  auto script = CompileScript(kScript, schema);
+  if (!script.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 script.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Run the engine (indexed evaluator; try kNaive — same results).
+  Pasture mechanics;
+  EngineConfig config;
+  config.mode = EvaluatorMode::kIndexed;
+  config.grid_width = 20;
+  config.grid_height = 20;
+  config.step_per_tick = 2.0;
+  auto engine = Engine::Create(script.MoveValue(), std::move(table),
+                               &mechanics, config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine error: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("tick  sheep alive\n");
+  for (int tick = 0; tick < 30; ++tick) {
+    Status st = (*engine)->Tick();
+    if (!st.ok()) {
+      std::fprintf(stderr, "tick error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    int32_t sheep = 0;
+    const EnvironmentTable& t = (*engine)->table();
+    AttrId species = t.schema().Find("species");
+    for (RowId r = 0; r < t.NumRows(); ++r) {
+      if (t.Get(r, species) == 1.0) ++sheep;
+    }
+    if (tick % 5 == 4) std::printf("%4d  %d\n", tick + 1, sheep);
+  }
+  std::printf("\nfinal table:\n%s", (*engine)->table().ToString(10).c_str());
+  return 0;
+}

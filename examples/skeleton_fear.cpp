@@ -1,0 +1,138 @@
+// The paper's running example (Sections 1 and 3): a unit type that runs
+// in fear from a large number of marching skeletons.
+//
+// Villagers count the skeletons they can see; when the count exceeds
+// their morale they flee away from the skeleton centroid. The naive cost
+// of this single behaviour is O(n^2) per tick — the motivating example
+// for shared aggregate computation.
+#include <cstdio>
+#include <memory>
+
+#include "engine/engine.h"
+#include "sgl/analyzer.h"
+#include "util/rng.h"
+
+using namespace sgl;
+
+namespace {
+
+const char* kScript = R"SGL(
+  const SKELETON = 0;
+  const VILLAGER = 1;
+  const SIGHT = 40;
+
+  aggregate SkeletonsInSight(u) {
+    select count(*) from E e
+    where e.species = SKELETON
+      and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+      and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+  }
+  aggregate SkeletonCentroid(u) {
+    select avg(e.posx) as x, avg(e.posy) as y from E e
+    where e.species = SKELETON
+      and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+      and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+  }
+
+  action Move(u, dx, dy) {
+    update e where e.key = u.key set movex += dx, movey += dy;
+  }
+
+  function main(u) {
+    if u.species = SKELETON then
+      perform Move(u, 1, 0);  # the horde marches east
+    else {
+      let c = SkeletonsInSight(u);
+      if c > u.morale then {
+        let away = (u.posx, u.posy) - SkeletonCentroid(u);
+        perform Move(u, away.x, away.y);
+      }
+    }
+  }
+)SGL";
+
+class NoCombat : public GameMechanics {
+ public:
+  Status ApplyEffects(EnvironmentTable*, const EffectBuffer&,
+                      const TickRandom&) override {
+    return Status::OK();
+  }
+  Status EndTick(EnvironmentTable*, const TickRandom&) override {
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+int main() {
+  Schema schema;
+  (void)schema.AddAttribute("species", CombineType::kConst);
+  (void)schema.AddAttribute("posx", CombineType::kConst);
+  (void)schema.AddAttribute("posy", CombineType::kConst);
+  (void)schema.AddAttribute("morale", CombineType::kConst);
+  (void)schema.AddAttribute("movex", CombineType::kSum);
+  (void)schema.AddAttribute("movey", CombineType::kSum);
+
+  EnvironmentTable table(schema);
+  Xoshiro256 rng(11);
+  // A horde of 60 skeletons on the west edge; 40 villagers with mixed
+  // morale scattered mid-map.
+  for (int i = 0; i < 60; ++i) {
+    (void)table.AddRow({0, double(rng.NextBounded(10)),
+                        double(20 + rng.NextBounded(60)), 0, 0, 0});
+  }
+  for (int i = 0; i < 40; ++i) {
+    (void)table.AddRow({1, double(40 + rng.NextBounded(20)),
+                        double(20 + rng.NextBounded(60)),
+                        double(5 + rng.NextBounded(40)), 0, 0});
+  }
+
+  auto script = CompileScript(kScript, schema);
+  if (!script.ok()) {
+    std::fprintf(stderr, "%s\n", script.status().ToString().c_str());
+    return 1;
+  }
+  NoCombat mechanics;
+  EngineConfig config;
+  config.grid_width = 120;
+  config.grid_height = 100;
+  config.step_per_tick = 2.0;
+  auto engine =
+      Engine::Create(script.MoveValue(), std::move(table), &mechanics, config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  const Schema& s = (*engine)->table().schema();
+  AttrId species = s.Find("species"), posx = s.Find("posx");
+  auto mean_x = [&](double who) {
+    double sum = 0;
+    int n = 0;
+    const EnvironmentTable& t = (*engine)->table();
+    for (RowId r = 0; r < t.NumRows(); ++r) {
+      if (t.Get(r, species) == who) {
+        sum += t.Get(r, posx);
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+
+  std::printf("tick   horde mean x   villager mean x\n");
+  for (int tick = 0; tick <= 40; ++tick) {
+    if (tick % 8 == 0) {
+      std::printf("%4d %14.1f %17.1f\n", tick, mean_x(0), mean_x(1));
+    }
+    Status st = (*engine)->Tick();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("\nThe horde marches east; villagers with low morale break "
+              "and keep their distance. Each villager counted the horde "
+              "with one O(log n) index probe per tick instead of an O(n) "
+              "scan.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The bag algebra of Section 5.1 and the algebraic optimizer of 5.2.
+//
+// An SGL script translates into an expression over multiset operators:
+//
+//   [[f1; f2]]⊕(E)            = [[f1]]⊕(E) ⊕ [[f2]]⊕(E)
+//   [[if φ then f]]⊕(E)       = [[f]]⊕(σφ(E))
+//   [[(let A = a) f]]⊕(E)     = [[f]]⊕(π∗,a(∗) as A(E))
+//
+// yielding the Figure 6(a) shape: a ⊕ of action leaves, each at the end
+// of a chain of σ / π∗,agg(∗) operators rooted at the Scan of E. Chains
+// share their common prefixes (shared_ptr nodes), so the plan is a DAG.
+//
+// Rewrites (Figure 6 (a)→(d), Figure 7):
+//   * aggregate push-down / pruning — a π∗,agg(∗) moves below every σ
+//     that does not reference its column, and disappears from branches
+//     that never read it (6(a)→6(b); the lazy-aggregates optimization);
+//   * common-aggregate factoring — structurally identical π∗,agg(∗)
+//     operators across branches are assigned one shared signature id
+//     (the multi-query optimization the physical planner exploits);
+//   * total-action simplification — an action that updates exactly the
+//     rows it is applied to satisfies act⊕(R) ⊕ R = act⊕(R) (rule (10)
+//     collapses the final ⊕-with-E for that branch; 6(c)→6(d)).
+//
+// This module is the paper's *logical* layer: it exists to make the
+// rewrites explicit, printable (EXPLAIN) and testable. The physical
+// execution path — index families, probes, action batching — lives in
+// src/opt and is independently verified bit-exact against the reference
+// interpreter.
+#ifndef SGL_ALGEBRA_PLAN_H_
+#define SGL_ALGEBRA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sgl/analyzer.h"
+#include "util/status.h"
+
+namespace sgl {
+
+enum class PlanOp : uint8_t {
+  kScan,       // E
+  kSelect,     // σφ
+  kExtend,     // π∗,t(∗) as A  — scalar let
+  kExtendAgg,  // π∗,agg(∗) as A — aggregate let
+  kAction,     // act⊕ leaf
+  kCombine,    // ⊕ of the children (the root)
+};
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+struct PlanNode {
+  PlanOp op;
+  PlanPtr input;              // all but kScan/kCombine
+  std::vector<PlanPtr> children;  // kCombine
+
+  const Cond* cond = nullptr;     // kSelect
+  bool negated = false;           // kSelect: σ¬φ (else branch)
+  std::string column;             // kExtend / kExtendAgg output name
+  const Expr* expr = nullptr;     // kExtend term / kExtendAgg call
+  int32_t action_index = -1;      // kAction
+  std::vector<const Expr*> action_args;  // kAction argument terms
+  bool action_total = false;  // kAction: act⊕(R) ⊕ R = act⊕(R) applies
+
+  int32_t shared_signature = -1;  // kExtendAgg: factoring group id
+};
+
+/// A translated script plan: the Figure 6-style DAG plus bookkeeping.
+struct LogicalPlan {
+  PlanPtr root;  // kCombine
+  const Script* script = nullptr;
+
+  /// Operator count (DAG nodes counted once) — the rewrite tests measure
+  /// work saved structurally.
+  int32_t NumNodes() const;
+  /// Number of kExtendAgg nodes (after pruning) and of distinct shared
+  /// signatures (after factoring).
+  int32_t NumAggregateNodes() const;
+  int32_t NumSharedSignatures() const;
+
+  /// Multi-line tree rendering in the style of Figure 6.
+  std::string ToString() const;
+};
+
+/// Translate the (analyzed, normalized) script's main function into the
+/// Figure 6(a) logical plan. User functions are inlined; their scalar
+/// parameters become π∗,t(∗) extensions.
+Result<LogicalPlan> TranslateScript(const Script& script);
+
+/// Apply the rewrites described above, in order: prune/push-down, factor
+/// common aggregates, mark total actions. Returns a new plan.
+Result<LogicalPlan> OptimizePlan(const LogicalPlan& plan);
+
+}  // namespace sgl
+
+#endif  // SGL_ALGEBRA_PLAN_H_

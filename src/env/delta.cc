@@ -1,0 +1,173 @@
+#include "env/delta.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sgl {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+DeltaRelation::DeltaRelation(const Schema* schema) : schema_(schema) {
+  set_index_of_attr_.assign(schema->NumAttrs(), -1);
+  for (AttrId a = 1; a < schema->NumAttrs(); ++a) {
+    if (schema->attr(a).combine == CombineType::kSet) {
+      set_index_of_attr_[a] = num_set_attrs_++;
+    }
+  }
+}
+
+void DeltaRelation::Add(int64_t key, std::vector<double> values) {
+  assert(static_cast<int32_t>(values.size()) == schema_->NumAttrs() - 1);
+  DeltaRow row;
+  row.key = key;
+  row.values = std::move(values);
+  row.set_prios.assign(num_set_attrs_, -kInf);
+  rows_.push_back(std::move(row));
+}
+
+DeltaRelation DeltaRelation::UnionAll(const DeltaRelation& a,
+                                      const DeltaRelation& b) {
+  assert(&a.schema() == &b.schema() || a.schema() == b.schema());
+  DeltaRelation out(a.schema_);
+  out.rows_ = a.rows_;
+  out.rows_.insert(out.rows_.end(), b.rows_.begin(), b.rows_.end());
+  return out;
+}
+
+DeltaRelation DeltaRelation::Combine() const {
+  DeltaRelation out(schema_);
+  // Group rows by key. std::map gives the deterministic by-key ordering the
+  // interface promises.
+  std::map<int64_t, DeltaRow> groups;
+  for (const DeltaRow& row : rows_) {
+    auto [it, inserted] = groups.emplace(row.key, row);
+    if (inserted) continue;
+    DeltaRow& acc = it->second;
+    for (AttrId a = 1; a < schema_->NumAttrs(); ++a) {
+      int32_t i = a - 1;
+      CombineType t = schema_->attr(a).combine;
+      switch (t) {
+        case CombineType::kConst:
+          // Const attributes are functionally dependent on the key; rows in
+          // a group must agree (Section 4.2 groups by key AND const attrs).
+          assert(acc.values[i] == row.values[i] &&
+                 "const attribute mismatch within a ⊕ group");
+          break;
+        case CombineType::kSum:
+        case CombineType::kMax:
+        case CombineType::kMin:
+          acc.values[i] = CombineFold(t, acc.values[i], row.values[i]);
+          break;
+        case CombineType::kSet: {
+          int32_t si = set_index_of_attr_[a];
+          double p = row.set_prios[si];
+          double v = row.values[i];
+          if (p > acc.set_prios[si] ||
+              (p == acc.set_prios[si] && v > acc.values[i])) {
+            acc.set_prios[si] = p;
+            acc.values[i] = v;
+          }
+          break;
+        }
+      }
+    }
+  }
+  for (auto& [key, row] : groups) out.rows_.push_back(std::move(row));
+  return out;
+}
+
+DeltaRelation DeltaRelation::FromTable(const EnvironmentTable& table) {
+  DeltaRelation out(&table.schema());
+  out.rows_.reserve(table.NumRows());
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    DeltaRow row;
+    row.key = table.KeyAt(r);
+    row.values.resize(table.schema().NumAttrs() - 1);
+    for (AttrId a = 1; a < table.schema().NumAttrs(); ++a) {
+      row.values[a - 1] = table.Get(r, a);
+    }
+    row.set_prios.assign(out.num_set_attrs_, -kInf);
+    out.rows_.push_back(std::move(row));
+  }
+  return out;
+}
+
+void DeltaRelation::FoldInto(const EnvironmentTable& table,
+                             EffectBuffer* buffer) const {
+  for (const DeltaRow& row : rows_) {
+    RowId r = table.RowOf(row.key);
+    if (r < 0) continue;
+    for (AttrId a : schema_->EffectAttrs()) {
+      int32_t i = a - 1;
+      switch (schema_->attr(a).combine) {
+        case CombineType::kSet: {
+          int32_t si = set_index_of_attr_[a];
+          if (row.set_prios[si] > -kInf) {
+            buffer->AccumulateSet(r, a, row.values[i], row.set_prios[si]);
+          }
+          break;
+        }
+        case CombineType::kSum:
+          // The base contribution was already snapshotted by Begin(); a
+          // delta built FromTable would double it, so callers fold only
+          // script-produced deltas. Sum deltas add their raw value.
+          buffer->Accumulate(r, a, row.values[i]);
+          break;
+        default:
+          buffer->Accumulate(r, a, row.values[i]);
+          break;
+      }
+    }
+  }
+}
+
+bool DeltaRelation::EqualsUnordered(const DeltaRelation& other) const {
+  if (!(schema() == other.schema())) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  auto sorted_rows = [](const DeltaRelation& rel) {
+    std::vector<DeltaRow> rows = rel.rows_;
+    std::sort(rows.begin(), rows.end(),
+              [](const DeltaRow& a, const DeltaRow& b) {
+                if (a.key != b.key) return a.key < b.key;
+                if (a.values != b.values) return a.values < b.values;
+                return a.set_prios < b.set_prios;
+              });
+    return rows;
+  };
+  std::vector<DeltaRow> lhs = sorted_rows(*this);
+  std::vector<DeltaRow> rhs = sorted_rows(other);
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (lhs[i].key != rhs[i].key || lhs[i].values != rhs[i].values ||
+        lhs[i].set_prios != rhs[i].set_prios) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string DeltaRelation::ToString(int32_t max_rows) const {
+  std::ostringstream os;
+  os << "Delta over " << schema_->ToString() << ", " << rows_.size()
+     << " rows\n";
+  int64_t shown = std::min<int64_t>(max_rows, NumRows());
+  for (int64_t i = 0; i < shown; ++i) {
+    os << "  [" << rows_[i].key << "]";
+    for (AttrId a = 1; a < schema_->NumAttrs(); ++a) {
+      os << " " << schema_->attr(a).name << "="
+         << FormatDouble(rows_[i].values[a - 1], 2);
+    }
+    os << "\n";
+  }
+  if (shown < NumRows()) os << "  ...\n";
+  return os.str();
+}
+
+}  // namespace sgl

@@ -1,0 +1,80 @@
+// DeltaRelation: environment tables as values, and the relational ⊕.
+//
+// This is the literal Section 4.2 formalization: an SGL action function
+// returns an environment table E_u; tables are multisets (duplicate keys
+// allowed before combination); ⊕R groups by key (the const attributes are
+// functionally dependent on it) and folds every effect attribute with its
+// tagged aggregate. The simulation engine itself uses the incremental
+// EffectBuffer; this representation exists for the set-at-a-time algebra
+// executor and for property tests of the ⊕ laws (associativity,
+// commutativity, idempotence, Eq. (3)).
+#ifndef SGL_ENV_DELTA_H_
+#define SGL_ENV_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/effect_buffer.h"
+#include "env/table.h"
+
+namespace sgl {
+
+/// One tuple of a delta relation: a key plus all non-key attribute values.
+/// For kSet attributes, `set_prios` carries the effect priority parallel to
+/// the value (priority -inf encodes "no set effect in this tuple").
+struct DeltaRow {
+  int64_t key = 0;
+  std::vector<double> values;     // attrs 1..k in schema order
+  std::vector<double> set_prios;  // parallel to kSet attrs, in schema order
+};
+
+/// A multiset of environment tuples over a full schema.
+class DeltaRelation {
+ public:
+  explicit DeltaRelation(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+  int64_t NumRows() const { return static_cast<int64_t>(rows_.size()); }
+  const std::vector<DeltaRow>& rows() const { return rows_; }
+
+  /// Append a tuple. `values` has NumAttrs()-1 entries; set-effect
+  /// priorities default to -inf (no effect).
+  void Add(int64_t key, std::vector<double> values);
+  void Add(DeltaRow row) { rows_.push_back(std::move(row)); }
+
+  /// Number of kSet attributes in the schema (length of set_prios).
+  int32_t NumSetAttrs() const { return num_set_attrs_; }
+
+  /// Multiset union ⊎ (concatenation).
+  static DeltaRelation UnionAll(const DeltaRelation& a, const DeltaRelation& b);
+
+  /// The combination operator ⊕R of Section 4.2: group by key, assert the
+  /// const attributes agree within each group, fold effect attributes.
+  /// The result has one tuple per distinct key, ordered by key.
+  DeltaRelation Combine() const;
+
+  /// Lift a whole environment table into a delta relation (the `⊕ E` of
+  /// Eq. (6) combines the scripts' output with E itself).
+  static DeltaRelation FromTable(const EnvironmentTable& table);
+
+  /// Stream this relation's effect contributions into an EffectBuffer
+  /// (rows whose keys are missing from the table are ignored — they
+  /// belong to units that died in an earlier tick).
+  void FoldInto(const EnvironmentTable& table, EffectBuffer* buffer) const;
+
+  /// Multiset equality up to row order (used by tests). O(n log n).
+  bool EqualsUnordered(const DeltaRelation& other) const;
+
+  std::string ToString(int32_t max_rows = 10) const;
+
+ private:
+  const Schema* schema_;
+  std::vector<DeltaRow> rows_;
+  int32_t num_set_attrs_ = 0;
+  std::vector<int32_t> set_index_of_attr_;  // AttrId -> index into set_prios
+};
+
+}  // namespace sgl
+
+#endif  // SGL_ENV_DELTA_H_

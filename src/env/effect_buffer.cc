@@ -1,0 +1,34 @@
+#include "env/effect_buffer.h"
+
+namespace sgl {
+
+void EffectBuffer::Begin(const EnvironmentTable& table) {
+  const Schema& schema = table.schema();
+  num_rows_ = table.NumRows();
+  slots_.clear();
+  attr_slot_.assign(schema.NumAttrs(), -1);
+  for (AttrId a : schema.EffectAttrs()) {
+    Slot s;
+    s.attr = a;
+    s.type = schema.attr(a).combine;
+    s.acc = table.Column(a);  // base contribution of E's own rows
+    if (s.type == CombineType::kSet) {
+      // A set-effect has no base contribution; "no effect" is encoded as
+      // priority -inf, and ApplyTo materializes untouched slots as 0.
+      s.prio.assign(num_rows_, -kInf);
+      s.acc.assign(num_rows_, 0.0);
+    }
+    attr_slot_[a] = static_cast<int32_t>(slots_.size());
+    slots_.push_back(std::move(s));
+  }
+}
+
+void EffectBuffer::ApplyTo(EnvironmentTable* table) const {
+  for (const Slot& s : slots_) {
+    for (RowId r = 0; r < num_rows_; ++r) {
+      table->Set(r, s.attr, s.acc[r]);
+    }
+  }
+}
+
+}  // namespace sgl

@@ -1,0 +1,87 @@
+// EffectBuffer: the engine's incremental implementation of ⊕.
+//
+// Section 2.2 / 4.2: all actions in a tick act simultaneously; their
+// effects are combined per unit with sum (stackable), max/min
+// (nonstackable) or maximum-priority set. The formal model materializes an
+// environment table per action and folds them with ⊕; the engine instead
+// streams every effect contribution into this buffer, which is the same
+// fold computed incrementally (⊕ is associative and commutative, Eq. (3),
+// so the two are equivalent — a property the test suite checks against the
+// relational implementation in delta.h).
+//
+// The buffer is row-aligned with the table at Begin() time; the base
+// contribution of each unit's own row in E (the `⊕ E` of Eq. (6)) is the
+// snapshot taken by Begin().
+#ifndef SGL_ENV_EFFECT_BUFFER_H_
+#define SGL_ENV_EFFECT_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "env/table.h"
+
+namespace sgl {
+
+/// Accumulates per-unit effect values for one clock tick.
+class EffectBuffer {
+ public:
+  EffectBuffer() = default;
+
+  /// Snapshot the table's current effect columns as the base contribution
+  /// and reset all set-effect priorities.
+  void Begin(const EnvironmentTable& table);
+
+  /// Fold `value` into (row, attr) under the attribute's combine type.
+  /// `attr` must be a kSum/kMax/kMin effect attribute.
+  void Accumulate(RowId row, AttrId attr, double value) {
+    Slot& s = slots_[attr_slot_[attr]];
+    s.acc[row] = CombineFold(s.type, s.acc[row], value);
+  }
+
+  /// Fold a set-effect: highest priority wins; ties broken by larger value
+  /// so the result is independent of accumulation order.
+  void AccumulateSet(RowId row, AttrId attr, double value, double priority) {
+    Slot& s = slots_[attr_slot_[attr]];
+    double& p = s.prio[row];
+    double& v = s.acc[row];
+    if (priority > p || (priority == p && value > v)) {
+      p = priority;
+      v = value;
+    }
+  }
+
+  /// True if a set-effect was recorded for (row, attr).
+  bool HasSet(RowId row, AttrId attr) const {
+    const Slot& s = slots_[attr_slot_[attr]];
+    return s.prio[row] > -kInf;
+  }
+
+  /// Current accumulated value (after Begin and any Accumulate calls).
+  double Get(RowId row, AttrId attr) const {
+    return slots_[attr_slot_[attr]].acc[row];
+  }
+
+  /// Write the accumulated values back into the table's effect columns.
+  /// Set-effects with no contribution write 0 (their untouched encoding).
+  void ApplyTo(EnvironmentTable* table) const;
+
+  int32_t num_rows() const { return num_rows_; }
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  struct Slot {
+    AttrId attr = Schema::kInvalidAttr;
+    CombineType type = CombineType::kSum;
+    std::vector<double> acc;
+    std::vector<double> prio;  // kSet only
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<int32_t> attr_slot_;  // AttrId -> index into slots_, or -1
+  int32_t num_rows_ = 0;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_ENV_EFFECT_BUFFER_H_

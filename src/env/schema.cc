@@ -1,0 +1,116 @@
+#include "env/schema.h"
+
+#include <algorithm>
+
+namespace sgl {
+
+const char* CombineTypeName(CombineType type) {
+  switch (type) {
+    case CombineType::kConst:
+      return "const";
+    case CombineType::kSum:
+      return "sum";
+    case CombineType::kMax:
+      return "max";
+    case CombineType::kMin:
+      return "min";
+    case CombineType::kSet:
+      return "set";
+  }
+  return "?";
+}
+
+double CombineIdentity(CombineType type) {
+  switch (type) {
+    case CombineType::kSum:
+      return 0.0;
+    case CombineType::kMax:
+      return -std::numeric_limits<double>::infinity();
+    case CombineType::kMin:
+      return std::numeric_limits<double>::infinity();
+    case CombineType::kConst:
+    case CombineType::kSet:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double CombineFold(CombineType type, double acc, double next) {
+  switch (type) {
+    case CombineType::kSum:
+      return acc + next;
+    case CombineType::kMax:
+      return std::max(acc, next);
+    case CombineType::kMin:
+      return std::min(acc, next);
+    case CombineType::kConst:
+    case CombineType::kSet:
+      return next;  // not reachable through EffectBuffer; kSet folds pairs
+  }
+  return next;
+}
+
+Schema::Schema() {
+  attrs_.push_back(Attribute{"key", CombineType::kConst});
+  by_name_["key"] = kKeyAttrId;
+}
+
+Result<AttrId> Schema::AddAttribute(const std::string& name,
+                                    CombineType combine) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("attribute '", name,
+                                 "' already present in schema");
+  }
+  AttrId id = static_cast<AttrId>(attrs_.size());
+  attrs_.push_back(Attribute{name, combine});
+  by_name_[name] = id;
+  return id;
+}
+
+AttrId Schema::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidAttr : it->second;
+}
+
+std::vector<AttrId> Schema::EffectAttrs() const {
+  std::vector<AttrId> out;
+  for (AttrId i = 0; i < NumAttrs(); ++i) {
+    if (attrs_[i].combine != CombineType::kConst) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<AttrId> Schema::StateAttrs() const {
+  std::vector<AttrId> out;
+  for (AttrId i = 0; i < NumAttrs(); ++i) {
+    if (attrs_[i].combine == CombineType::kConst) out.push_back(i);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& o) const {
+  if (attrs_.size() != o.attrs_.size()) return false;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name != o.attrs_[i].name ||
+        attrs_[i].combine != o.attrs_[i].combine) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "E(";
+  for (AttrId i = 0; i < NumAttrs(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].name;
+    if (attrs_[i].combine != CombineType::kConst) {
+      out += ":";
+      out += CombineTypeName(attrs_[i].combine);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sgl

@@ -1,0 +1,88 @@
+// Environment-table schema with per-attribute combine-type tags.
+//
+// Section 4.2: the schema of E is split into *state* attributes (tagged
+// `const`; only the game-mechanics post-processing step may change them)
+// and *effect* attributes tagged `sum` (stackable), `max`/`min`
+// (nonstackable), or `set` (nonstackable "absolute value" effects resolved
+// by maximum priority, e.g. a freeze spell — Section 2.2).
+#ifndef SGL_ENV_SCHEMA_H_
+#define SGL_ENV_SCHEMA_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sgl {
+
+/// How ⊕ combines values of an attribute (Section 4.2's type tags).
+enum class CombineType : uint8_t {
+  kConst,  ///< state attribute; never the direct subject of an effect
+  kSum,    ///< stackable effect: combined by summation
+  kMax,    ///< nonstackable effect: combined by maximum
+  kMin,    ///< nonstackable effect: combined by minimum
+  kSet,    ///< absolute-value effect: combined by maximum priority
+};
+
+/// Printable name of a combine type ("const", "sum", ...).
+const char* CombineTypeName(CombineType type);
+
+/// Identity element of a combine type's aggregate (0 for sum, -inf for max,
+/// +inf for min). kConst and kSet have no scalar identity; kSet's identity
+/// is "no effect recorded" (priority = -inf).
+double CombineIdentity(CombineType type);
+
+/// Fold `next` into `acc` under the given combine type (kSum/kMax/kMin only).
+double CombineFold(CombineType type, double acc, double next);
+
+/// One attribute of the environment schema.
+struct Attribute {
+  std::string name;
+  CombineType combine = CombineType::kConst;
+};
+
+/// Attribute index within a Schema. Index 0 is always the key.
+using AttrId = int32_t;
+inline constexpr AttrId kKeyAttrId = 0;
+
+/// Schema of an environment table: `E(key, A1, ..., Ak)` with the key
+/// always first and always const (Section 4.2).
+class Schema {
+ public:
+  Schema();
+
+  /// Append an attribute; returns its AttrId or an error on duplicates.
+  Result<AttrId> AddAttribute(const std::string& name, CombineType combine);
+
+  /// Number of attributes including the key.
+  int32_t NumAttrs() const { return static_cast<int32_t>(attrs_.size()); }
+
+  const Attribute& attr(AttrId id) const { return attrs_[id]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  /// Find an attribute by name; kInvalidAttr if absent.
+  AttrId Find(const std::string& name) const;
+  bool Has(const std::string& name) const { return Find(name) >= 0; }
+
+  /// List of all non-const (effect) attribute ids.
+  std::vector<AttrId> EffectAttrs() const;
+  /// List of all const (state) attribute ids, including the key.
+  std::vector<AttrId> StateAttrs() const;
+
+  bool operator==(const Schema& o) const;
+
+  std::string ToString() const;
+
+  static constexpr AttrId kInvalidAttr = -1;
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::unordered_map<std::string, AttrId> by_name_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_ENV_SCHEMA_H_

@@ -1,0 +1,111 @@
+#include "env/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace sgl {
+
+EnvironmentTable::EnvironmentTable(Schema schema) : schema_(std::move(schema)) {
+  cols_.resize(schema_.NumAttrs() - 1);
+}
+
+Result<int64_t> EnvironmentTable::AddRow(const std::vector<double>& values) {
+  int64_t key = next_key_++;
+  SGL_RETURN_NOT_OK(AddRowWithKey(key, values));
+  return key;
+}
+
+Status EnvironmentTable::AddRowWithKey(int64_t key,
+                                       const std::vector<double>& values) {
+  if (static_cast<int32_t>(values.size()) != schema_.NumAttrs() - 1) {
+    return Status::Invalid("AddRow: expected ", schema_.NumAttrs() - 1,
+                           " values, got ", values.size());
+  }
+  if (key_to_row_.count(key) > 0) {
+    return Status::AlreadyExists("key ", key, " already present");
+  }
+  RowId row = NumRows();
+  keys_.push_back(key);
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(values[c]);
+  key_to_row_[key] = row;
+  next_key_ = std::max(next_key_, key + 1);
+  return Status::OK();
+}
+
+void EnvironmentTable::ResetEffects() {
+  // Example 4.1's post-processing re-initializes every auxiliary attribute
+  // to 0 (not to the aggregate identity): the unit's own row then
+  // contributes 0 to the `⊕ E` of Eq. (6), which is what makes an
+  // effect-free tick a no-op even for max/min-tagged attributes.
+  for (AttrId a : schema_.EffectAttrs()) {
+    std::fill(cols_[a - 1].begin(), cols_[a - 1].end(), 0.0);
+  }
+}
+
+int32_t EnvironmentTable::RemoveIf(const std::function<bool(RowId)>& pred) {
+  int32_t n = NumRows();
+  RowId out = 0;
+  for (RowId in = 0; in < n; ++in) {
+    if (pred(in)) {
+      key_to_row_.erase(keys_[in]);
+      continue;
+    }
+    if (out != in) {
+      keys_[out] = keys_[in];
+      for (auto& col : cols_) col[out] = col[in];
+      key_to_row_[keys_[out]] = out;
+    }
+    ++out;
+  }
+  keys_.resize(out);
+  for (auto& col : cols_) col.resize(out);
+  return n - out;
+}
+
+bool EnvironmentTable::Equals(const EnvironmentTable& other) const {
+  if (!(schema_ == other.schema_)) return false;
+  if (keys_ != other.keys_) return false;
+  return cols_ == other.cols_;
+}
+
+std::string EnvironmentTable::DiffString(const EnvironmentTable& other) const {
+  if (!(schema_ == other.schema_)) return "schemas differ";
+  if (NumRows() != other.NumRows()) {
+    return "row counts differ: " + std::to_string(NumRows()) + " vs " +
+           std::to_string(other.NumRows());
+  }
+  for (RowId r = 0; r < NumRows(); ++r) {
+    if (keys_[r] != other.keys_[r]) {
+      return "row " + std::to_string(r) + ": key " + std::to_string(keys_[r]) +
+             " vs " + std::to_string(other.keys_[r]);
+    }
+    for (AttrId a = 1; a < schema_.NumAttrs(); ++a) {
+      if (Get(r, a) != other.Get(r, a)) {
+        return "row " + std::to_string(r) + " (key " +
+               std::to_string(keys_[r]) + ") attr '" + schema_.attr(a).name +
+               "': " + FormatDouble(Get(r, a), 9) + " vs " +
+               FormatDouble(other.Get(r, a), 9);
+      }
+    }
+  }
+  return "";
+}
+
+std::string EnvironmentTable::ToString(int32_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << ", " << NumRows() << " rows\n";
+  int32_t shown = std::min(max_rows, NumRows());
+  for (RowId r = 0; r < shown; ++r) {
+    os << "  [" << keys_[r] << "]";
+    for (AttrId a = 1; a < schema_.NumAttrs(); ++a) {
+      os << " " << schema_.attr(a).name << "=" << FormatDouble(Get(r, a), 2);
+    }
+    os << "\n";
+  }
+  if (shown < NumRows()) os << "  ... (" << NumRows() - shown << " more)\n";
+  return os.str();
+}
+
+}  // namespace sgl

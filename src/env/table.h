@@ -1,0 +1,95 @@
+// The environment table E: one row per unit, columnar storage.
+//
+// The paper models game state as a single relation E (Section 4). We store
+// it column-wise: aggregate-index construction (Section 5.3) consumes whole
+// columns, and the decision phase touches only a few attributes per unit,
+// so a columnar layout is both the natural database choice and the faster
+// one. All attribute values are doubles; unit keys are int64 and unique.
+// Simulations that want bit-exact reproducibility across evaluators keep
+// aggregate inputs integer-valued (see DESIGN.md "Determinism").
+#ifndef SGL_ENV_TABLE_H_
+#define SGL_ENV_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "env/schema.h"
+#include "util/status.h"
+
+namespace sgl {
+
+/// Row index within an EnvironmentTable. Invalidated by RemoveIf.
+using RowId = int32_t;
+
+/// Columnar multiset of unit tuples with unique keys.
+class EnvironmentTable {
+ public:
+  explicit EnvironmentTable(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  int32_t NumRows() const { return static_cast<int32_t>(keys_.size()); }
+
+  /// Append a unit with an auto-assigned key. `values` holds attributes
+  /// 1..k (everything but the key), in schema order. Effect attributes are
+  /// normally passed as their combine identity. Returns the new key.
+  Result<int64_t> AddRow(const std::vector<double>& values);
+
+  /// Append a unit with an explicit key (must be unused).
+  Status AddRowWithKey(int64_t key, const std::vector<double>& values);
+
+  int64_t KeyAt(RowId row) const { return keys_[row]; }
+
+  /// Row holding `key`, or -1.
+  RowId RowOf(int64_t key) const {
+    auto it = key_to_row_.find(key);
+    return it == key_to_row_.end() ? -1 : it->second;
+  }
+  bool HasKey(int64_t key) const { return RowOf(key) >= 0; }
+
+  /// Read attribute `attr` of row `row`. Reading attr 0 returns the key.
+  double Get(RowId row, AttrId attr) const {
+    return attr == kKeyAttrId ? static_cast<double>(keys_[row])
+                              : cols_[attr - 1][row];
+  }
+
+  /// Write a non-key attribute.
+  void Set(RowId row, AttrId attr, double value) { cols_[attr - 1][row] = value; }
+
+  /// Column accessor for index builders (attr must not be the key).
+  const std::vector<double>& Column(AttrId attr) const { return cols_[attr - 1]; }
+  const std::vector<int64_t>& Keys() const { return keys_; }
+
+  /// Reset every effect attribute to its combine identity — the start-of-
+  /// tick initialization of the auxiliary attributes (Section 4.3).
+  void ResetEffects();
+
+  /// Remove all rows where `pred(row)` is true; compacts in place and
+  /// preserves the relative order of survivors. Returns removed count.
+  int32_t RemoveIf(const std::function<bool(RowId)>& pred);
+
+  /// Deep copy (used by the equivalence test harness).
+  EnvironmentTable Clone() const { return *this; }
+
+  /// Exact equality of schema, keys and every attribute value.
+  bool Equals(const EnvironmentTable& other) const;
+
+  /// First row (if any) where tables differ, for test diagnostics.
+  std::string DiffString(const EnvironmentTable& other) const;
+
+  /// Render up to `max_rows` rows for debugging.
+  std::string ToString(int32_t max_rows = 10) const;
+
+ private:
+  Schema schema_;
+  std::vector<int64_t> keys_;
+  std::vector<std::vector<double>> cols_;  // cols_[i] is attribute i+1
+  std::unordered_map<int64_t, RowId> key_to_row_;
+  int64_t next_key_ = 0;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_ENV_TABLE_H_

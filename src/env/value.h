@@ -1,0 +1,120 @@
+// Script-level values.
+//
+// SGL terms evaluate to either a scalar or a 2-vector (Section 3.2 uses
+// vector-valued terms such as `(u.posx, u.posy) - CentroidOfEnemyUnits(..)`).
+// Environment columns always store scalars; vectors exist only transiently
+// inside term evaluation and as the result of tuple-aggregates (e.g. the
+// centroid aggregate of Figure 4 returns `(avg(x), avg(y))`).
+#ifndef SGL_ENV_VALUE_H_
+#define SGL_ENV_VALUE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace sgl {
+
+/// A 2-D vector value.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2() = default;
+  Vec2(double xv, double yv) : x(xv), y(yv) {}
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+  Vec2 operator/(double s) const { return {x / s, y / s}; }
+  bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+
+  double Norm() const { return std::sqrt(x * x + y * y); }
+  double SquaredNorm() const { return x * x + y * y; }
+};
+
+/// Field names of a row value; shared by all rows an aggregate returns.
+struct RowLayout {
+  std::vector<std::string> fields;
+
+  int32_t Find(const std::string& name) const {
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i] == name) return static_cast<int32_t>(i);
+    }
+    return -1;
+  }
+};
+
+/// A named tuple of scalars — the result of a row-returning aggregate
+/// (argmin/argmax/nearest) or of a multi-item select list.
+struct RowValue {
+  std::shared_ptr<const RowLayout> layout;
+  std::vector<double> vals;
+};
+
+/// Tag for Value's active member.
+enum class ValueKind : uint8_t { kScalar, kVec2, kRow };
+
+/// A scalar, Vec2, or row value. Cheap to copy (rows are shared).
+class Value {
+ public:
+  Value() : kind_(ValueKind::kScalar), scalar_(0.0) {}
+  Value(double v) : kind_(ValueKind::kScalar), scalar_(v) {}  // NOLINT
+  Value(Vec2 v) : kind_(ValueKind::kVec2), vec_(v) {}         // NOLINT
+  Value(std::shared_ptr<const RowValue> row)                  // NOLINT
+      : kind_(ValueKind::kRow), row_(std::move(row)) {}
+
+  ValueKind kind() const { return kind_; }
+  bool is_scalar() const { return kind_ == ValueKind::kScalar; }
+  bool is_vec() const { return kind_ == ValueKind::kVec2; }
+  bool is_row() const { return kind_ == ValueKind::kRow; }
+
+  double scalar() const { return scalar_; }
+  const Vec2& vec() const { return vec_; }
+  const RowValue& row() const { return *row_; }
+
+  /// A two-field row behaves as a Vec2 in arithmetic (the centroid idiom:
+  /// `(u.posx, u.posy) - CentroidOfEnemyUnits(u, r)`).
+  bool ConvertibleToVec() const {
+    return is_vec() || (is_row() && row_->vals.size() == 2);
+  }
+  Vec2 AsVec() const {
+    if (is_vec()) return vec_;
+    return Vec2{row_->vals[0], row_->vals[1]};
+  }
+
+  /// Scalars compare equal iff equal; vectors componentwise; rows by value.
+  bool operator==(const Value& o) const {
+    if (kind_ != o.kind_) return false;
+    if (is_scalar()) return scalar_ == o.scalar_;
+    if (is_vec()) return vec_ == o.vec_;
+    return row_->vals == o.row_->vals;
+  }
+
+  std::string ToString() const {
+    if (is_scalar()) return FormatDouble(scalar_, 6);
+    if (is_vec()) {
+      return "(" + FormatDouble(vec_.x, 6) + ", " + FormatDouble(vec_.y, 6) +
+             ")";
+    }
+    std::string out = "{";
+    for (size_t i = 0; i < row_->vals.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += row_->layout->fields[i] + "=" + FormatDouble(row_->vals[i], 6);
+    }
+    return out + "}";
+  }
+
+ private:
+  ValueKind kind_;
+  double scalar_ = 0.0;
+  Vec2 vec_;
+  std::shared_ptr<const RowValue> row_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_ENV_VALUE_H_

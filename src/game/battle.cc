@@ -1,0 +1,435 @@
+#include "game/battle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "sgl/analyzer.h"
+
+namespace sgl {
+
+Schema BattleSchema() {
+  Schema s;
+  auto add = [&](const char* name, CombineType type) {
+    auto r = s.AddAttribute(name, type);
+    (void)r;
+  };
+  add("player", CombineType::kConst);
+  add("unittype", CombineType::kConst);
+  add("posx", CombineType::kConst);
+  add("posy", CombineType::kConst);
+  add("health", CombineType::kConst);
+  add("maxhealth", CombineType::kConst);
+  add("cooldown", CombineType::kConst);
+  add("armorclass", CombineType::kConst);
+  add("armorsoak", CombineType::kConst);
+  add("weaponused", CombineType::kSum);
+  add("movex", CombineType::kSum);
+  add("movey", CombineType::kSum);
+  add("damage", CombineType::kSum);
+  add("inaura", CombineType::kMax);
+  return s;
+}
+
+const std::string& BattleScriptSource() {
+  static const std::string* kSource = new std::string(R"SGL(
+# ============================================================ constants ===
+# d20-flavoured combat constants (see src/game/battle.h for the C++ mirror).
+const KNIGHT = 0;
+const ARCHER = 1;
+const HEALER = 2;
+const MELEE_RANGE = 2;
+const BOW_RANGE = 24;
+const SIGHT = 32;
+const HEAL_RANGE = 8;
+const HEAL_AMOUNT = 4;
+const MORALE_BREAK = 8;
+const KNIGHT_ATK = 5;
+const ARCHER_ATK = 4;
+const SWORD_DIE = 8;
+const SWORD_BONUS = 2;
+const BOW_DIE = 6;
+const CLOSE_RANKS_SPREAD = 24;
+
+# =========================================================== aggregates ===
+# Orthogonal-range counts over the enemy (partition player<>, box SIGHT).
+aggregate CountEnemiesInSight(u) {
+  select count(*) from E e
+  where e.player <> u.player
+    and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+    and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+}
+
+# Same box, restricted to archers — `e.unittype = ARCHER` is a pure-e
+# conjunct and is pushed into index construction (Section 5.3's
+# "moderately wounded" build-filter case).
+aggregate CountEnemyArchersInSight(u) {
+  select count(*) from E e
+  where e.player <> u.player and e.unittype = ARCHER
+    and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+    and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+}
+
+# Divisible tuple aggregates: centroids (Section 3.2's archer formation).
+aggregate EnemyCentroidInSight(u) {
+  select avg(e.posx) as x, avg(e.posy) as y from E e
+  where e.player <> u.player
+    and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+    and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+}
+
+aggregate AllyCentroid(u) {
+  select avg(e.posx) as x, avg(e.posy) as y, count(*) as n from E e
+  where e.player = u.player;
+}
+
+aggregate KnightCentroid(u) {
+  select avg(e.posx) as x, avg(e.posy) as y, count(*) as n from E e
+  where e.player = u.player and e.unittype = KNIGHT;
+}
+
+# Standard deviation of ally positions — the knights' close-ranks check
+# (Section 3.2). Moments are divisible (Definition 5.1).
+aggregate AllySpread(u) {
+  select stddev(e.posx) as sx, stddev(e.posy) as sy from E e
+  where e.player = u.player;
+}
+
+aggregate CountAlliesNear(u, r) {
+  select count(*) from E e
+  where e.player = u.player and e.key <> u.key
+    and e.posx >= u.posx - r and e.posx <= u.posx + r
+    and e.posy >= u.posy - r and e.posy <= u.posy + r;
+}
+
+# Army strengths: weighted sums shared by the morale rule.
+aggregate EnemyStrengthInSight(u) {
+  select sum(e.health) as total, count(*) as n from E e
+  where e.player <> u.player
+    and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+    and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+}
+
+aggregate AllyStrengthInSight(u) {
+  select sum(e.health) as total, count(*) as n from E e
+  where e.player = u.player
+    and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+    and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+}
+
+# Nearest-neighbour aggregates (Section 5.3.2, kD-tree).
+aggregate NearestEnemy(u) {
+  select nearest(*) from E e
+  where e.player <> u.player
+    and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+    and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+}
+
+aggregate NearestWoundedAlly(u) {
+  select nearest(*) from E e
+  where e.player = u.player and e.key <> u.key
+    and e.health < e.maxhealth;
+}
+
+# MIN aggregate: the weakest enemy in range ("find the weakest unit in
+# range" — answered by the extremum index).
+aggregate WeakestEnemyInRange(u, r) {
+  select argmin(e.health) from E e
+  where e.player <> u.player
+    and e.posx >= u.posx - r and e.posx <= u.posx + r
+    and e.posy >= u.posy - r and e.posy <= u.posy + r;
+}
+
+aggregate CountWoundedAlliesNear(u, r) {
+  select count(*) from E e
+  where e.player = u.player and e.health < e.maxhealth
+    and e.posx >= u.posx - r and e.posx <= u.posx + r
+    and e.posy >= u.posy - r and e.posy <= u.posy + r;
+}
+
+# ============================================================== actions ===
+action Strike(u, target, dmg) {
+  update e where e.key = target set damage += dmg;
+  update e where e.key = u.key set weaponused += 1;
+}
+
+action Fire(u, target, dmg) {
+  update e where e.key = target set damage += dmg;
+  update e where e.key = u.key set weaponused += 1;
+}
+
+action Move(u, dx, dy) {
+  update e where e.key = u.key set movex += dx, movey += dy;
+}
+
+# The nonstackable healing aura of Section 3.2 / Figure 5: every wounded
+# ally in the box is healed once per tick (max over overlapping auras).
+action CastHealingAura(u) {
+  update e where e.player = u.player
+    and e.posx >= u.posx - HEAL_RANGE and e.posx <= u.posx + HEAL_RANGE
+    and e.posy >= u.posy - HEAL_RANGE and e.posy <= u.posy + HEAL_RANGE
+    set inaura max= HEAL_AMOUNT;
+  update e where e.key = u.key set weaponused += 1;
+}
+
+# ======================================================== per-type AI ====
+function knight_attack(u, target, ac, soak) {
+  let roll = random(1) mod 20 + 1;
+  if roll + KNIGHT_ATK >= ac then
+    perform Strike(u, target,
+                   max(1, (random(2) mod SWORD_DIE) + 1 + SWORD_BONUS - soak));
+  else
+    perform Strike(u, target, 0);  # a miss still spends the attack
+}
+
+function knight_move(u) {
+  let spread = AllySpread(u);
+  let allies = CountAlliesNear(u, 6);
+  let enemy = NearestEnemy(u);
+  if spread.sx + spread.sy > CLOSE_RANKS_SPREAD and allies < 3 then {
+    # Close ranks: converge on the army's centroid (Section 3.2).
+    let c = AllyCentroid(u);
+    perform Move(u, c.x - u.posx, c.y - u.posy);
+  }
+  else if enemy.found = 1 then
+    perform Move(u, enemy.posx - u.posx, enemy.posy - u.posy);
+}
+
+function knight_ai(u) {
+  let archers = CountEnemyArchersInSight(u);
+  let melee = WeakestEnemyInRange(u, MELEE_RANGE);
+  if u.cooldown = 0 and melee.found = 1 then
+    perform knight_attack(u, melee.key, melee.armorclass, melee.armorsoak);
+  else
+    perform knight_move(u);
+}
+
+function archer_fire(u, target, ac, soak) {
+  let roll = random(3) mod 20 + 1;
+  if roll + ARCHER_ATK >= ac then
+    perform Fire(u, target, max(1, (random(4) mod BOW_DIE) + 1 - soak));
+  else
+    perform Fire(u, target, 0);
+}
+
+function archer_reposition(u) {
+  let kc = KnightCentroid(u);
+  let ec = EnemyCentroidInSight(u);
+  let enemies = CountEnemiesInSight(u);
+  if kc.n > 0 and enemies > 0 then {
+    # Keep the knights between us and the enemy: move toward the point
+    # reflecting the enemy centroid across the knight centroid, so the
+    # three centroids are collinear with the knights in the middle.
+    let tx = 2 * kc.x - ec.x;
+    let ty = 2 * kc.y - ec.y;
+    perform Move(u, tx - u.posx, ty - u.posy);
+  }
+  else {
+    let c = AllyCentroid(u);
+    perform Move(u, c.x - u.posx, c.y - u.posy);
+  }
+}
+
+function archer_ai(u) {
+  let enemies = CountEnemiesInSight(u);
+  let es = EnemyStrengthInSight(u);
+  let as_ = AllyStrengthInSight(u);
+  let target = WeakestEnemyInRange(u, BOW_RANGE);
+  if enemies > MORALE_BREAK and es.total > 2 * as_.total then {
+    # Morale break: flee the enemy centroid (the skeleton-fear rule).
+    let ec = EnemyCentroidInSight(u);
+    let away = (u.posx, u.posy) - ec;
+    perform Move(u, away.x, away.y);
+  }
+  else if u.cooldown = 0 and target.found = 1 then
+    perform archer_fire(u, target.key, target.armorclass, target.armorsoak);
+  else
+    perform archer_reposition(u);
+}
+
+function healer_move(u) {
+  let enemies = CountEnemiesInSight(u);
+  let w = NearestWoundedAlly(u);
+  if enemies > MORALE_BREAK / 2 then {
+    let ec = EnemyCentroidInSight(u);
+    let away = (u.posx, u.posy) - ec;
+    perform Move(u, away.x, away.y);
+  }
+  else if w.found = 1 then
+    perform Move(u, w.posx - u.posx, w.posy - u.posy);
+  else {
+    let c = AllyCentroid(u);
+    perform Move(u, c.x - u.posx, c.y - u.posy);
+  }
+}
+
+function healer_ai(u) {
+  let wounded = CountWoundedAlliesNear(u, HEAL_RANGE);
+  if u.cooldown = 0 and wounded > 0 then
+    perform CastHealingAura(u);
+  else
+    perform healer_move(u);
+}
+
+function main(u) {
+  if u.unittype = KNIGHT then perform knight_ai(u);
+  else if u.unittype = ARCHER then perform archer_ai(u);
+  else perform healer_ai(u);
+}
+)SGL");
+  return *kSource;
+}
+
+BattleMechanics::BattleMechanics(int64_t grid_width, int64_t grid_height,
+                                 bool resurrect)
+    : grid_width_(grid_width),
+      grid_height_(grid_height),
+      resurrect_(resurrect) {}
+
+Status BattleMechanics::ApplyEffects(EnvironmentTable* table,
+                                     const EffectBuffer& buffer,
+                                     const TickRandom& rnd) {
+  (void)buffer;
+  (void)rnd;
+  const Schema& s = table->schema();
+  const AttrId health = s.Find("health");
+  const AttrId maxhealth = s.Find("maxhealth");
+  const AttrId cooldown = s.Find("cooldown");
+  const AttrId damage = s.Find("damage");
+  const AttrId inaura = s.Find("inaura");
+  const AttrId weaponused = s.Find("weaponused");
+  // The Example 4.1 post-processing query, row by row.
+  for (RowId r = 0; r < table->NumRows(); ++r) {
+    double h = table->Get(r, health) - table->Get(r, damage) +
+               table->Get(r, inaura);
+    h = std::min(h, table->Get(r, maxhealth));
+    table->Set(r, health, h);
+    double cd = table->Get(r, cooldown) - 1.0 +
+                table->Get(r, weaponused) * D20::kReloadTicks;
+    table->Set(r, cooldown, std::max(0.0, cd));
+  }
+  return Status::OK();
+}
+
+Status BattleMechanics::EndTick(EnvironmentTable* table,
+                                const TickRandom& rnd) {
+  const Schema& s = table->schema();
+  const AttrId health = s.Find("health");
+  const AttrId maxhealth = s.Find("maxhealth");
+  const AttrId posx = s.Find("posx");
+  const AttrId posy = s.Find("posy");
+  const AttrId cooldown = s.Find("cooldown");
+  if (resurrect_) {
+    // Section 6's rule: the dead reappear at a position chosen uniformly
+    // at random, keeping the benchmark population constant. Position
+    // draws key on the unit so both evaluators resurrect identically.
+    for (RowId r = 0; r < table->NumRows(); ++r) {
+      if (table->Get(r, health) > 0.0) continue;
+      ++deaths_;
+      int64_t key = table->KeyAt(r);
+      table->Set(r, posx,
+                 static_cast<double>(rnd.DrawBounded(key, 1001, grid_width_)));
+      table->Set(r, posy,
+                 static_cast<double>(rnd.DrawBounded(key, 1002, grid_height_)));
+      table->Set(r, health, table->Get(r, maxhealth));
+      table->Set(r, cooldown, 0.0);
+    }
+    return Status::OK();
+  }
+  int32_t removed = table->RemoveIf(
+      [&](RowId r) { return table->Get(r, health) <= 0.0; });
+  deaths_ += removed;
+  return Status::OK();
+}
+
+int64_t ScenarioConfig::GridSide() const {
+  double cells = static_cast<double>(num_units) / density;
+  return std::max<int64_t>(8, static_cast<int64_t>(std::ceil(std::sqrt(cells))));
+}
+
+Result<EnvironmentTable> BuildScenario(const ScenarioConfig& config) {
+  EnvironmentTable table(BattleSchema());
+  Xoshiro256 rng(config.seed);
+  const int64_t side = config.GridSide();
+
+  // Distinct random cells; each army spawns in its own half of the grid.
+  std::set<std::pair<int64_t, int64_t>> used;
+  auto place = [&](int64_t player) -> std::pair<int64_t, int64_t> {
+    const int64_t half = side / 2;
+    const int64_t x0 = player == 0 ? 0 : side - half;
+    while (true) {
+      int64_t x = x0 + rng.NextBounded(half);
+      int64_t y = rng.NextBounded(side);
+      if (used.insert({x, y}).second) return {x, y};
+    }
+  };
+
+  for (int32_t i = 0; i < config.num_units; ++i) {
+    int64_t player = i % 2;
+    double mix = rng.NextDouble();
+    UnitType type;
+    if (mix < config.knight_fraction) {
+      type = UnitType::kKnight;
+    } else if (mix < config.knight_fraction + config.archer_fraction) {
+      type = UnitType::kArcher;
+    } else {
+      type = UnitType::kHealer;
+    }
+    auto [x, y] = place(player);
+    double hp, ac, soak;
+    switch (type) {
+      case UnitType::kKnight:
+        hp = D20::kKnightHealth;
+        ac = D20::kKnightArmorClass;
+        soak = D20::kKnightArmorSoak;
+        break;
+      case UnitType::kArcher:
+        hp = D20::kArcherHealth;
+        ac = D20::kArcherArmorClass;
+        soak = D20::kArcherArmorSoak;
+        break;
+      case UnitType::kHealer:
+        hp = D20::kHealerHealth;
+        ac = D20::kHealerArmorClass;
+        soak = D20::kHealerArmorSoak;
+        break;
+    }
+    SGL_RETURN_NOT_OK(
+        table
+            .AddRow({static_cast<double>(player),
+                     static_cast<double>(static_cast<int32_t>(type)),
+                     static_cast<double>(x), static_cast<double>(y), hp, hp,
+                     0.0, ac, soak, 0.0, 0.0, 0.0, 0.0, 0.0})
+            .status());
+  }
+  return table;
+}
+
+Result<BattleSetup> MakeBattle(const ScenarioConfig& scenario,
+                               EvaluatorMode mode, bool resurrect) {
+  EngineConfig config;
+  config.mode = mode;
+  return MakeBattleWithConfig(scenario, config, resurrect);
+}
+
+Result<BattleSetup> MakeBattleWithConfig(const ScenarioConfig& scenario,
+                                         EngineConfig config, bool resurrect) {
+  SGL_ASSIGN_OR_RETURN(EnvironmentTable table, BuildScenario(scenario));
+  Schema schema = BattleSchema();
+  SGL_ASSIGN_OR_RETURN(Script script,
+                       CompileScript(BattleScriptSource(), schema));
+  BattleSetup setup;
+  const int64_t side = scenario.GridSide();
+  setup.mechanics = std::make_unique<BattleMechanics>(side, side, resurrect);
+  config.seed = scenario.seed;
+  config.grid_width = side;
+  config.grid_height = side;
+  config.step_per_tick = D20::kWalkPerTick;
+  SGL_ASSIGN_OR_RETURN(
+      setup.engine, Engine::Create(std::move(script), std::move(table),
+                                   setup.mechanics.get(), config));
+  return setup;
+}
+
+}  // namespace sgl

@@ -1,0 +1,129 @@
+// The RTS battle simulation of Section 3.2.
+//
+// Two armies of knights, archers and healers on an integer grid:
+//
+//   * knights — melee range, armored (damage soak), strongest attacks;
+//   * archers — long range, unarmored, weaker attacks;
+//   * healers — cast a nonstackable healing aura over nearby allies.
+//
+// Combat constants follow the d20 System Reference Document in spirit:
+// an attack rolls d20 + attack bonus against the target's armor class,
+// damage rolls a die and is soaked by armor. All arithmetic is integral,
+// which keeps every aggregate exactly representable and lets the test
+// suite demand bit-identical naive and indexed simulations.
+//
+// Each unit's per-tick script evaluates about ten aggregate queries
+// (counts, centroids, a stddev spread, nearest-neighbour and weakest-in-
+// range probes) — the workload profile the paper describes in Section 6.
+#ifndef SGL_GAME_BATTLE_H_
+#define SGL_GAME_BATTLE_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "env/schema.h"
+#include "env/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sgl {
+
+/// Unit type codes used in the `unittype` attribute.
+enum class UnitType : int32_t { kKnight = 0, kArcher = 1, kHealer = 2 };
+
+/// d20-flavoured combat constants (mirrored as `const` declarations in
+/// the SGL battle script).
+struct D20 {
+  static constexpr int kKnightHealth = 60;
+  static constexpr int kArcherHealth = 30;
+  static constexpr int kHealerHealth = 24;
+  static constexpr int kKnightArmorClass = 17;  // plate
+  static constexpr int kArcherArmorClass = 12;  // leather
+  static constexpr int kHealerArmorClass = 11;
+  static constexpr int kKnightArmorSoak = 3;    // damage reduction
+  static constexpr int kArcherArmorSoak = 0;
+  static constexpr int kHealerArmorSoak = 0;
+  static constexpr int kKnightAttackBonus = 5;
+  static constexpr int kArcherAttackBonus = 4;
+  static constexpr int kSwordDie = 8;   // 1d8 + 2
+  static constexpr int kSwordBonus = 2;
+  static constexpr int kBowDie = 6;     // 1d6
+  static constexpr int kBowBonus = 0;
+  static constexpr int kMeleeRange = 2;
+  static constexpr int kBowRange = 24;
+  static constexpr int kSightRange = 32;
+  static constexpr int kHealRange = 8;
+  static constexpr int kHealAmount = 4;
+  static constexpr int kReloadTicks = 2;
+  static constexpr int kMoraleBreak = 8;  // flee when this outnumbered
+  static constexpr int kWalkPerTick = 3;
+};
+
+/// The battle schema — Eq. (1) extended with the unit-type attributes the
+/// case study needs. Attribute order:
+///   key, player, unittype, posx, posy, health, maxhealth, cooldown,
+///   range, armorclass, armorsoak | weaponused:sum, movex:sum, movey:sum,
+///   damage:sum, inaura:max
+Schema BattleSchema();
+
+/// The full SGL battle script (aggregates, actions, per-type AI).
+const std::string& BattleScriptSource();
+
+/// Game mechanics: Example 4.1's post-processing plus death handling.
+class BattleMechanics : public GameMechanics {
+ public:
+  /// If `resurrect` is true, dead units reappear at a deterministic
+  /// pseudo-random grid position with full health — the paper's rule for
+  /// keeping benchmark population constant. Otherwise they are removed.
+  BattleMechanics(int64_t grid_width, int64_t grid_height, bool resurrect);
+
+  Status ApplyEffects(EnvironmentTable* table, const EffectBuffer& buffer,
+                      const TickRandom& rnd) override;
+  Status EndTick(EnvironmentTable* table, const TickRandom& rnd) override;
+
+  int64_t deaths() const { return deaths_; }
+
+ private:
+  int64_t grid_width_;
+  int64_t grid_height_;
+  bool resurrect_;
+  int64_t deaths_ = 0;
+};
+
+/// Workload generator parameters (Section 6's experimental setup).
+struct ScenarioConfig {
+  int32_t num_units = 500;
+  /// Fraction of grid cells occupied; the paper fixes 1% and scales the
+  /// grid with the number of units.
+  double density = 0.01;
+  /// Unit mix within each army.
+  double knight_fraction = 0.4;
+  double archer_fraction = 0.4;  // remainder are healers
+  uint64_t seed = 7;
+
+  /// Grid side length for the requested density (square grid).
+  int64_t GridSide() const;
+};
+
+/// Populate a battle table: two equal armies placed uniformly at random
+/// on distinct cells of the grid.
+Result<EnvironmentTable> BuildScenario(const ScenarioConfig& config);
+
+/// Convenience: scenario + script + engine in one call.
+struct BattleSetup {
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<BattleMechanics> mechanics;
+};
+Result<BattleSetup> MakeBattle(const ScenarioConfig& scenario,
+                               EvaluatorMode mode, bool resurrect = true);
+
+/// As MakeBattle, but with full control of the engine configuration
+/// (grid size, seed and step are still derived from the scenario).
+Result<BattleSetup> MakeBattleWithConfig(const ScenarioConfig& scenario,
+                                         EngineConfig config,
+                                         bool resurrect = true);
+
+}  // namespace sgl
+
+#endif  // SGL_GAME_BATTLE_H_

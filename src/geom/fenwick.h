@@ -1,0 +1,43 @@
+// Fenwick (binary indexed) tree: 1-D prefix sums with point updates.
+//
+// Used for the degenerate 1-D cases of divisible aggregates and as a
+// self-check structure in the property tests. Divisible aggregates
+// (Definition 5.1) recover any range as prefix(hi) - prefix(lo).
+#ifndef SGL_GEOM_FENWICK_H_
+#define SGL_GEOM_FENWICK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sgl {
+
+class Fenwick {
+ public:
+  explicit Fenwick(int32_t n) : tree_(n + 1, 0.0) {}
+
+  int32_t size() const { return static_cast<int32_t>(tree_.size()) - 1; }
+
+  /// Add `delta` at position i (0-based).
+  void Add(int32_t i, double delta) {
+    for (int32_t p = i + 1; p <= size(); p += p & -p) tree_[p] += delta;
+  }
+
+  /// Sum of positions [0, i) (exclusive upper bound).
+  double PrefixSum(int32_t i) const {
+    double s = 0.0;
+    for (int32_t p = i; p > 0; p -= p & -p) s += tree_[p];
+    return s;
+  }
+
+  /// Sum of positions [lo, hi).
+  double RangeSum(int32_t lo, int32_t hi) const {
+    return PrefixSum(hi) - PrefixSum(lo);
+  }
+
+ private:
+  std::vector<double> tree_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_GEOM_FENWICK_H_

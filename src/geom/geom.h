@@ -1,0 +1,68 @@
+// Common geometric types shared by the index structures of Section 5.3.
+#ifndef SGL_GEOM_GEOM_H_
+#define SGL_GEOM_GEOM_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sgl {
+
+/// Closed axis-aligned rectangle [xlo, xhi] x [ylo, yhi]. Game scripts
+/// probe rectangles because (Section 5.3.1) games use boxes — or L1 circles,
+/// which are rotated boxes — for range and area-of-effect tests.
+struct Rect {
+  double xlo = 0.0;
+  double xhi = 0.0;
+  double ylo = 0.0;
+  double yhi = 0.0;
+
+  bool Contains(double x, double y) const {
+    return x >= xlo && x <= xhi && y >= ylo && y <= yhi;
+  }
+
+  /// The box of half-extents (rx, ry) centred on (cx, cy).
+  static Rect Around(double cx, double cy, double rx, double ry) {
+    return Rect{cx - rx, cx + rx, cy - ry, cy + ry};
+  }
+};
+
+/// A point with an application payload index. All index structures refer
+/// to input points by their position `id` in the build arrays, so callers
+/// can attach arbitrary per-point data (unit rows, aggregate terms).
+struct PointRef {
+  double x = 0.0;
+  double y = 0.0;
+  int32_t id = 0;
+};
+
+/// An (ordering value, tie-break key) pair for extremum indexes. Ordering
+/// is lexicographic so results never depend on scan or sweep order.
+struct Extremum {
+  double value = std::numeric_limits<double>::infinity();
+  int64_t key = std::numeric_limits<int64_t>::max();
+
+  bool operator<(const Extremum& o) const {
+    if (value != o.value) return value < o.value;
+    return key < o.key;
+  }
+  bool valid() const {
+    return value != std::numeric_limits<double>::infinity() ||
+           key != std::numeric_limits<int64_t>::max();
+  }
+  static Extremum None() { return Extremum{}; }
+  static Extremum Min(const Extremum& a, const Extremum& b) {
+    return a < b ? a : b;
+  }
+};
+
+/// Squared Euclidean distance (exact for integer-valued coordinates).
+inline double SquaredDistance(double ax, double ay, double bx, double by) {
+  double dx = ax - bx;
+  double dy = ay - by;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace sgl
+
+#endif  // SGL_GEOM_GEOM_H_

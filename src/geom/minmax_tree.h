@@ -1,0 +1,63 @@
+// Range-extremum tree: MIN/MAX aggregates over orthogonal ranges.
+//
+// min and max are not divisible (Definition 5.1) — prefix differences do
+// not apply — but they are *decomposable*: an orthogonal range splits into
+// O(log n) canonical nodes, and each node answers a contiguous y-slice
+// with a per-node segment tree over its y-sorted entries. A probe costs
+// O(log^2 n); build is O(n log n) time and space. This is the natural
+// alternative the paper weighs against the Figure 9 sweep-line (which
+// achieves O(log n) per probe but requires constant range extents);
+// bench_minmax compares the two.
+//
+// Entries carry (value, key); ties are broken by smaller key so results
+// are order-independent. MAX is served by negating values internally.
+#ifndef SGL_GEOM_MINMAX_TREE_H_
+#define SGL_GEOM_MINMAX_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.h"
+
+namespace sgl {
+
+class MinMaxRangeTree2D {
+ public:
+  enum class Mode { kMin, kMax };
+
+  /// Build over `points`; `values[p.id]` is the ordering value and
+  /// `keys[p.id]` the tie-break/identity key of each point.
+  MinMaxRangeTree2D(const std::vector<PointRef>& points,
+                    const std::vector<double>& values,
+                    const std::vector<int64_t>& keys, Mode mode);
+
+  /// Extremum over `rect`; `Extremum::valid()` is false if the range is
+  /// empty. For kMax the returned `value` is the true (un-negated) max.
+  Extremum Query(const Rect& rect) const;
+
+  int32_t num_points() const { return n_; }
+
+ private:
+  struct Node {
+    int32_t lo = 0, hi = 0;
+    int32_t left = -1, right = -1;
+    std::vector<double> ys;     // subtree entries sorted by y
+    std::vector<Extremum> seg;  // segment tree over the y-sorted entries
+  };
+
+  int32_t Build(int32_t lo, int32_t hi);
+  void QueryRec(int32_t node_id, const Rect& rect, Extremum* best) const;
+  static Extremum SegQuery(const Node& node, int32_t lo, int32_t hi);
+
+  Mode mode_;
+  int32_t n_ = 0;
+  std::vector<double> xs_sorted_;
+  std::vector<double> ys_of_;
+  std::vector<Extremum> entry_of_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_GEOM_MINMAX_TREE_H_

@@ -1,0 +1,87 @@
+// Categorical partition layer for aggregate indexes.
+//
+// Section 5.3.1: degenerate (categorical) range components — player id,
+// unit type — are replaced by a hash layer with O(1) look-up instead of a
+// tree level. The experiments in Section 6 build "6 range trees, one per
+// player / unit-type combination". PartitionedIndex is that layer: it maps
+// a composite categorical value to the index built over that partition's
+// points. Probes with an equality predicate touch one partition; probes
+// with an inequality (player <> u.player) visit every other partition and
+// combine the per-partition answers (all supported aggregates are
+// decomposable across disjoint sets).
+#ifndef SGL_GEOM_PARTITION_H_
+#define SGL_GEOM_PARTITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "geom/geom.h"
+
+namespace sgl {
+
+/// Groups point ids by a categorical value. Deterministic iteration order
+/// (std::map) keeps downstream combination order-independent anyway.
+class Partitioner {
+ public:
+  /// `part_of[i]` is the partition value of point i (i in [0, n)).
+  explicit Partitioner(const std::vector<int64_t>& part_of) {
+    for (size_t i = 0; i < part_of.size(); ++i) {
+      groups_[part_of[i]].push_back(static_cast<int32_t>(i));
+    }
+  }
+
+  const std::vector<int32_t>* PointsIn(int64_t part) const {
+    auto it = groups_.find(part);
+    return it == groups_.end() ? nullptr : &it->second;
+  }
+
+  /// Invoke fn(partition_value, point_ids) for every partition.
+  void ForEach(const std::function<void(int64_t, const std::vector<int32_t>&)>&
+                   fn) const {
+    for (const auto& [part, ids] : groups_) fn(part, ids);
+  }
+
+  size_t NumPartitions() const { return groups_.size(); }
+
+ private:
+  std::map<int64_t, std::vector<int32_t>> groups_;
+};
+
+/// Owns one index per partition value.
+template <typename Index>
+class PartitionedIndex {
+ public:
+  void Add(int64_t part, Index index) {
+    indexes_.emplace(part, std::move(index));
+  }
+
+  const Index* Get(int64_t part) const {
+    auto it = indexes_.find(part);
+    return it == indexes_.end() ? nullptr : &it->second;
+  }
+
+  /// Invoke fn(partition_value, index) for every partition except `skip`
+  /// (pass INT64_MIN to visit all) — the `player <> u.player` probe shape.
+  template <typename Fn>
+  void ForEachExcept(int64_t skip, Fn&& fn) const {
+    for (const auto& [part, index] : indexes_) {
+      if (part != skip) fn(part, index);
+    }
+  }
+
+  size_t NumPartitions() const { return indexes_.size(); }
+
+ private:
+  std::map<int64_t, Index> indexes_;
+};
+
+/// Encode up to three small categorical values into one partition key.
+inline int64_t EncodePartition(int64_t a, int64_t b = 0, int64_t c = 0) {
+  return ((a & 0xffff) << 32) | ((b & 0xffff) << 16) | (c & 0xffff);
+}
+
+}  // namespace sgl
+
+#endif  // SGL_GEOM_PARTITION_H_

@@ -1,0 +1,102 @@
+// Uniform-grid spatial hash: the games-industry baseline index.
+//
+// Not from the paper's toolbox — included as the ablation comparator for
+// what commercial engines of the era actually used (Tozour's spatial
+// database, Section 7). Build is O(n); a rectangle probe enumerates the
+// candidate points of every overlapping cell, so probe cost degrades to
+// O(k) in the result size where the paper's divisible-aggregate range tree
+// stays polylogarithmic (bench/bench_indexes compares them).
+#ifndef SGL_GEOM_SPATIAL_HASH_H_
+#define SGL_GEOM_SPATIAL_HASH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "geom/geom.h"
+
+namespace sgl {
+
+class SpatialHashGrid {
+ public:
+  /// Build over `points` with square cells of side `cell_size` (> 0).
+  SpatialHashGrid(const std::vector<PointRef>& points, double cell_size)
+      : cell_(cell_size) {
+    if (points.empty()) {
+      nx_ = ny_ = 1;
+      starts_.assign(2, 0);
+      return;
+    }
+    minx_ = maxx_ = points[0].x;
+    miny_ = maxy_ = points[0].y;
+    for (const PointRef& p : points) {
+      minx_ = std::min(minx_, p.x);
+      maxx_ = std::max(maxx_, p.x);
+      miny_ = std::min(miny_, p.y);
+      maxy_ = std::max(maxy_, p.y);
+    }
+    nx_ = CellIndex(maxx_, minx_) + 1;
+    ny_ = CellIndex(maxy_, miny_) + 1;
+    // Counting sort of points into row-major cell buckets.
+    int64_t cells = static_cast<int64_t>(nx_) * ny_;
+    starts_.assign(cells + 1, 0);
+    std::vector<int32_t> cell_of(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      cell_of[i] = CellOf(points[i].x, points[i].y);
+      ++starts_[cell_of[i] + 1];
+    }
+    for (int64_t c = 0; c < cells; ++c) starts_[c + 1] += starts_[c];
+    entries_.resize(points.size());
+    std::vector<int64_t> cursor(starts_.begin(), starts_.end() - 1);
+    for (size_t i = 0; i < points.size(); ++i) {
+      entries_[cursor[cell_of[i]]++] = points[i];
+    }
+  }
+
+  /// Invoke `fn(point)` for every point inside `rect`.
+  template <typename Fn>
+  void ForEachInRect(const Rect& rect, Fn&& fn) const {
+    if (entries_.empty()) return;
+    int32_t cx0 = ClampX(CellIndex(rect.xlo, minx_));
+    int32_t cx1 = ClampX(CellIndex(rect.xhi, minx_));
+    int32_t cy0 = ClampY(CellIndex(rect.ylo, miny_));
+    int32_t cy1 = ClampY(CellIndex(rect.yhi, miny_));
+    for (int32_t cy = cy0; cy <= cy1; ++cy) {
+      for (int32_t cx = cx0; cx <= cx1; ++cx) {
+        int64_t c = static_cast<int64_t>(cy) * nx_ + cx;
+        for (int64_t i = starts_[c]; i < starts_[c + 1]; ++i) {
+          const PointRef& p = entries_[i];
+          if (rect.Contains(p.x, p.y)) fn(p);
+        }
+      }
+    }
+  }
+
+  /// Count of points inside `rect`.
+  int64_t CountInRect(const Rect& rect) const {
+    int64_t n = 0;
+    ForEachInRect(rect, [&](const PointRef&) { ++n; });
+    return n;
+  }
+
+ private:
+  int32_t CellIndex(double v, double origin) const {
+    return static_cast<int32_t>(std::floor((v - origin) / cell_));
+  }
+  int32_t CellOf(double x, double y) const {
+    return CellIndex(y, miny_) * nx_ + CellIndex(x, minx_);
+  }
+  int32_t ClampX(int32_t c) const { return std::clamp(c, 0, nx_ - 1); }
+  int32_t ClampY(int32_t c) const { return std::clamp(c, 0, ny_ - 1); }
+
+  double cell_;
+  double minx_ = 0.0, maxx_ = 0.0, miny_ = 0.0, maxy_ = 0.0;
+  int32_t nx_ = 0, ny_ = 0;
+  std::vector<int64_t> starts_;     // cell -> first entry index
+  std::vector<PointRef> entries_;   // bucket-sorted points
+};
+
+}  // namespace sgl
+
+#endif  // SGL_GEOM_SPATIAL_HASH_H_

@@ -1,0 +1,110 @@
+#include "geom/sweepline.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace sgl {
+
+SweepLineExtremum::SweepLineExtremum(const std::vector<PointRef>& points,
+                                     const std::vector<double>& values,
+                                     const std::vector<int64_t>& keys,
+                                     Mode mode)
+    : mode_(mode) {
+  n_ = static_cast<int32_t>(points.size());
+  if (n_ == 0) return;
+  std::vector<int32_t> order(n_);
+  std::iota(order.begin(), order.end(), 0);
+  // Leaves are units ordered by (x, key): each unit owns one leaf, so
+  // activation and deactivation are single leaf writes even when several
+  // units share an x coordinate.
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    if (points[a].x != points[b].x) return points[a].x < points[b].x;
+    return keys[points[a].id] < keys[points[b].id];
+  });
+  xs_.resize(n_);
+  ys_.resize(n_);
+  entries_.resize(n_);
+  const double sign = mode_ == Mode::kMin ? 1.0 : -1.0;
+  for (int32_t i = 0; i < n_; ++i) {
+    const PointRef& p = points[order[i]];
+    xs_[i] = p.x;
+    ys_[i] = p.y;
+    entries_[i] = Extremum{sign * values[p.id], keys[p.id]};
+  }
+  by_y_.resize(n_);
+  std::iota(by_y_.begin(), by_y_.end(), 0);
+  std::sort(by_y_.begin(), by_y_.end(), [&](int32_t a, int32_t b) {
+    if (ys_[a] != ys_[b]) return ys_[a] < ys_[b];
+    return entries_[a].key < entries_[b].key;
+  });
+}
+
+Extremum SweepLineExtremum::SegQuery(std::vector<Extremum>& seg, int32_t lo,
+                                     int32_t hi) const {
+  Extremum best = Extremum::None();
+  for (int32_t l = lo + n_, r = hi + n_; l < r; l >>= 1, r >>= 1) {
+    if (l & 1) best = Extremum::Min(best, seg[l++]);
+    if (r & 1) best = Extremum::Min(best, seg[--r]);
+  }
+  return best;
+}
+
+void SweepLineExtremum::Run(std::vector<SweepProbe> probes, double ry,
+                            std::vector<Extremum>* out) const {
+  if (n_ == 0) {
+    for (const SweepProbe& p : probes) (*out)[p.id] = Extremum::None();
+    return;
+  }
+  // Sort probes by sweep position (cy), breaking ties by id so the order
+  // of segment-tree reads (which do not mutate state) is immaterial but
+  // reproducible.
+  std::sort(probes.begin(), probes.end(),
+            [](const SweepProbe& a, const SweepProbe& b) {
+              if (a.cy != b.cy) return a.cy < b.cy;
+              return a.id < b.id;
+            });
+
+  // Segment tree over unit leaves, all initially inactive (Figure 9's
+  // "default value": the identity of MIN).
+  std::vector<Extremum> seg(static_cast<size_t>(2 * n_), Extremum::None());
+  auto set_leaf = [&](int32_t slot, const Extremum& e) {
+    int32_t p = slot + n_;
+    seg[p] = e;
+    for (p >>= 1; p >= 1; p >>= 1) {
+      seg[p] = Extremum::Min(seg[2 * p], seg[2 * p + 1]);
+    }
+  };
+
+  // A unit at y is active for probe centres cy in [y - ry, y + ry].
+  size_t act = 0;    // next unit to activate, in by_y_ order
+  size_t deact = 0;  // next unit to deactivate, in by_y_ order
+  for (const SweepProbe& probe : probes) {
+    while (act < by_y_.size() && ys_[by_y_[act]] - ry <= probe.cy) {
+      set_leaf(by_y_[act], entries_[by_y_[act]]);
+      ++act;
+    }
+    while (deact < by_y_.size() && ys_[by_y_[deact]] + ry < probe.cy) {
+      set_leaf(by_y_[deact], Extremum::None());
+      ++deact;
+    }
+    int32_t lo = static_cast<int32_t>(
+        std::lower_bound(xs_.begin(), xs_.end(), probe.cx - probe.rx) -
+        xs_.begin());
+    int32_t hi = static_cast<int32_t>(
+        std::upper_bound(xs_.begin(), xs_.end(), probe.cx + probe.rx) -
+        xs_.begin());
+    Extremum best = lo < hi ? SegQuery(seg, lo, hi) : Extremum::None();
+    if (best.valid() && mode_ == Mode::kMax) best.value = -best.value;
+    (*out)[probe.id] = best;
+  }
+}
+
+void SweepBatch::Run(std::vector<Extremum>* out) {
+  for (auto& [ry, probes] : grouped_) {
+    sweep_.Run(std::move(probes), ry, out);
+  }
+  grouped_.clear();
+}
+
+}  // namespace sgl

@@ -1,0 +1,430 @@
+#include "opt/indexed_provider.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgl {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr int64_t kNoExclude = std::numeric_limits<int64_t>::min();
+
+/// Tighten a strict bound by one ulp: no double lies strictly between v
+/// and nextafter(v, dir), so closed-interval indexes serve < and > too.
+double TightenLo(double v, bool strict) {
+  return strict ? std::nextafter(v, kInf) : v;
+}
+double TightenHi(double v, bool strict) {
+  return strict ? std::nextafter(v, -kInf) : v;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<IndexedAggregateProvider>>
+IndexedAggregateProvider::Create(const Script& script,
+                                 const Interpreter& interp) {
+  std::unique_ptr<IndexedAggregateProvider> provider(
+      new IndexedAggregateProvider(script, interp));
+  provider->posx_attr_ = script.schema.Find("posx");
+  provider->posy_attr_ = script.schema.Find("posy");
+
+  const int32_t num_aggs =
+      static_cast<int32_t>(script.program.aggregates.size());
+  provider->signatures_.reserve(num_aggs);
+  provider->family_of_agg_.assign(num_aggs, -1);
+
+  // Group aggregates with identical physical signatures into families —
+  // the multi-query optimization of Section 3.1 applied across every
+  // script in the program. Extremum signatures also key on the aggregate
+  // function (a MIN and a MAX over the same term need different trees).
+  std::map<std::string, int32_t> family_by_fingerprint;
+  for (int32_t a = 0; a < num_aggs; ++a) {
+    SGL_ASSIGN_OR_RETURN(AggregateSignature sig, ExtractSignature(script, a));
+    std::string fp = sig.Fingerprint();
+    if (sig.kind == IndexKind::kMinMaxTree) {
+      fp += "#";
+      fp += AggFuncName(script.program.aggregates[a].items[0].func);
+    }
+    if (sig.kind == IndexKind::kNaive) {
+      fp += "#naive" + std::to_string(a);  // naive signatures never share
+    }
+    provider->signatures_.push_back(std::move(sig));
+    auto [it, inserted] = family_by_fingerprint.emplace(
+        fp, static_cast<int32_t>(provider->families_.size()));
+    if (inserted) {
+      provider->families_.emplace_back();
+      provider->families_.back().sig = &provider->signatures_[a];
+    }
+    provider->families_[it->second].member_aggs.push_back(a);
+    provider->family_of_agg_[a] = it->second;
+  }
+  // signatures_ vector finished growing; re-point representatives (the
+  // vector may have reallocated while we were inserting).
+  for (Family& family : provider->families_) {
+    family.sig = &provider->signatures_[family.member_aggs[0]];
+  }
+  return provider;
+}
+
+Status IndexedAggregateProvider::BuildIndexes(const EnvironmentTable& table,
+                                              const TickRandom& rnd) {
+  for (Family& family : families_) {
+    if (family.sig->kind == IndexKind::kNaive) continue;
+    SGL_RETURN_NOT_OK(BuildFamily(&family, table, rnd));
+  }
+  return Status::OK();
+}
+
+Status IndexedAggregateProvider::BuildFamily(Family* family,
+                                             const EnvironmentTable& table,
+                                             const TickRandom& rnd) {
+  const AggregateSignature& sig = *family->sig;
+  const AggregateDecl& decl = script_->program.aggregates[sig.agg_index];
+  const int32_t n = table.NumRows();
+  const std::string* e_name = &decl.row_var;
+
+  // Pass 1: build filters (pure-e conjuncts pushed into construction).
+  family->row_passes.assign(n, 1);
+  LocalStack no_params;
+  for (const Cond* filter : sig.build_filters) {
+    for (RowId r = 0; r < n; ++r) {
+      if (!family->row_passes[r]) continue;
+      SGL_ASSIGN_OR_RETURN(
+          bool pass,
+          interp_->EvalCondIn(*filter, table, nullptr, -1, e_name, r,
+                              &no_params, rnd, table.KeyAt(r)));
+      if (!pass) family->row_passes[r] = 0;
+    }
+  }
+
+  // Pass 2: term columns (and their squares, for stddev probes).
+  const int32_t m = static_cast<int32_t>(sig.terms.size());
+  family->term_cols.assign(2 * m, std::vector<double>(n, 0.0));
+  for (int32_t t = 0; t < m; ++t) {
+    for (RowId r = 0; r < n; ++r) {
+      if (!family->row_passes[r]) continue;
+      SGL_ASSIGN_OR_RETURN(
+          Value v, interp_->EvalExprIn(*sig.terms[t], table, nullptr, -1,
+                                       e_name, r, &no_params, rnd,
+                                       table.KeyAt(r)));
+      if (!v.is_scalar()) {
+        return Status::ExecutionError("aggregate term must be scalar");
+      }
+      family->term_cols[t][r] = v.scalar();
+      family->term_cols[m + t][r] = v.scalar() * v.scalar();
+    }
+  }
+
+  // Pass 3: group passing rows by their partition components.
+  std::map<std::vector<double>, std::vector<RowId>> groups;
+  for (RowId r = 0; r < n; ++r) {
+    if (!family->row_passes[r]) continue;
+    std::vector<double> comps;
+    comps.reserve(sig.partitions.size());
+    for (const PartitionDim& p : sig.partitions) {
+      comps.push_back(table.Get(r, p.attr));
+    }
+    groups[std::move(comps)].push_back(r);
+  }
+
+  // Pass 4: build one structure per partition.
+  family->div_trees.clear();
+  family->mm_trees.clear();
+  family->kd_trees.clear();
+  family->parts.clear();
+  const std::vector<int64_t>& keys = table.Keys();
+  int64_t part_id = 0;
+  for (auto& [comps, rows] : groups) {
+    std::vector<PointRef> points;
+    points.reserve(rows.size());
+    for (RowId r : rows) {
+      PointRef p;
+      p.id = r;
+      if (sig.kind == IndexKind::kKdNearest) {
+        p.x = table.Get(r, posx_attr_);
+        p.y = table.Get(r, posy_attr_);
+      } else {
+        p.x = sig.ranges.size() > 0 ? table.Get(r, sig.ranges[0].attr) : 0.0;
+        p.y = sig.ranges.size() > 1 ? table.Get(r, sig.ranges[1].attr) : 0.0;
+      }
+      points.push_back(p);
+    }
+    switch (sig.kind) {
+      case IndexKind::kDivisibleRangeTree: {
+        std::vector<std::vector<double>> terms(family->term_cols.begin(),
+                                               family->term_cols.end());
+        family->div_trees.emplace(part_id,
+                                  LayeredRangeTree2D(points, terms));
+        break;
+      }
+      case IndexKind::kMinMaxTree: {
+        const AggItem& item = decl.items[0];
+        auto mode = (item.func == AggFunc::kMax ||
+                     item.func == AggFunc::kArgmax)
+                        ? MinMaxRangeTree2D::Mode::kMax
+                        : MinMaxRangeTree2D::Mode::kMin;
+        family->mm_trees.emplace(
+            part_id,
+            MinMaxRangeTree2D(points, family->term_cols[0], keys, mode));
+        break;
+      }
+      case IndexKind::kKdNearest:
+        family->kd_trees.emplace(part_id, KdTree2D(points, keys));
+        break;
+      case IndexKind::kNaive:
+        break;
+    }
+    family->parts.push_back(PartitionEntry{comps, part_id});
+    ++part_id;
+  }
+  return Status::OK();
+}
+
+Result<Rect> IndexedAggregateProvider::ProbeRect(
+    const AggregateSignature& sig, RowId u_row, const EnvironmentTable& table,
+    LocalStack* params, const TickRandom& rnd) const {
+  const AggregateDecl& decl = script_->program.aggregates[sig.agg_index];
+  const std::string* u_name = &decl.params[0];
+  Rect rect{-kInf, kInf, -kInf, kInf};
+  auto eval_bound = [&](const Expr* expr) -> Result<double> {
+    SGL_ASSIGN_OR_RETURN(
+        Value v, interp_->EvalExprIn(*expr, table, u_name, u_row, nullptr, -1,
+                                     params, rnd, table.KeyAt(u_row)));
+    if (!v.is_scalar()) {
+      return Status::ExecutionError("range bound must be scalar");
+    }
+    return v.scalar();
+  };
+  for (size_t d = 0; d < sig.ranges.size(); ++d) {
+    const RangeDim& r = sig.ranges[d];
+    // Tree-based kinds put range dim 0 on the x axis and dim 1 on y; the
+    // kD-tree is built over (posx, posy), so bounds map to the axis of
+    // the attribute itself.
+    bool on_x = sig.kind == IndexKind::kKdNearest ? r.attr == posx_attr_
+                                                  : d == 0;
+    double* lo = on_x ? &rect.xlo : &rect.ylo;
+    double* hi = on_x ? &rect.xhi : &rect.yhi;
+    if (r.lo != nullptr) {
+      SGL_ASSIGN_OR_RETURN(double v, eval_bound(r.lo));
+      *lo = TightenLo(v, r.lo_strict);
+    }
+    if (r.hi != nullptr) {
+      SGL_ASSIGN_OR_RETURN(double v, eval_bound(r.hi));
+      *hi = TightenHi(v, r.hi_strict);
+    }
+  }
+  return rect;
+}
+
+Result<Value> IndexedAggregateProvider::MakeUnitRow(
+    const EnvironmentTable& table, RowId row, double dist2,
+    int32_t agg_index) const {
+  auto out = std::make_shared<RowValue>();
+  out->layout = script_->agg_layouts[agg_index];
+  out->vals.assign(out->layout->fields.size(), 0.0);
+  out->vals[0] = 1.0;
+  out->vals[1] = dist2;
+  for (AttrId a = 0; a < table.schema().NumAttrs(); ++a) {
+    out->vals[2 + a] = table.Get(row, a);
+  }
+  return Value(std::shared_ptr<const RowValue>(std::move(out)));
+}
+
+Result<Value> IndexedAggregateProvider::EmptyRow(int32_t agg_index) const {
+  auto out = std::make_shared<RowValue>();
+  out->layout = script_->agg_layouts[agg_index];
+  out->vals.assign(out->layout->fields.size(), 0.0);
+  return Value(std::shared_ptr<const RowValue>(std::move(out)));
+}
+
+Result<Value> IndexedAggregateProvider::Eval(
+    int32_t agg_index, const std::vector<Value>& scalar_args, RowId u_row,
+    const EnvironmentTable& table, const TickRandom& rnd) {
+  const AggregateSignature& sig = signatures_[agg_index];
+  if (sig.kind == IndexKind::kNaive) {
+    return interp_->EvalAggregate(agg_index, scalar_args, u_row, table, rnd);
+  }
+  const AggregateDecl& decl = script_->program.aggregates[agg_index];
+  const Family& family = families_[family_of_agg_[agg_index]];
+  const std::string* u_name = &decl.params[0];
+  const int64_t u_key = table.KeyAt(u_row);
+
+  LocalStack params;
+  for (size_t i = 1; i < decl.params.size(); ++i) {
+    params.Push(decl.params[i], scalar_args[i - 1]);
+  }
+
+  // Probe filters (u-only conjuncts): false => aggregate of the empty set.
+  bool probe_ok = true;
+  for (const Cond* filter : sig.probe_filters) {
+    SGL_ASSIGN_OR_RETURN(
+        bool pass, interp_->EvalCondIn(*filter, table, u_name, u_row, nullptr,
+                                       -1, &params, rnd, u_key));
+    if (!pass) {
+      probe_ok = false;
+      break;
+    }
+  }
+
+  // Partition probe values.
+  std::vector<double> part_values(sig.partitions.size(), 0.0);
+  for (size_t i = 0; i < sig.partitions.size(); ++i) {
+    SGL_ASSIGN_OR_RETURN(
+        Value v,
+        interp_->EvalExprIn(*sig.partitions[i].value, table, u_name, u_row,
+                            nullptr, -1, &params, rnd, u_key));
+    if (!v.is_scalar()) {
+      return Status::ExecutionError("partition value must be scalar");
+    }
+    part_values[i] = v.scalar();
+  }
+  auto partition_matches = [&](const std::vector<double>& comps) {
+    for (size_t i = 0; i < sig.partitions.size(); ++i) {
+      bool equal = comps[i] == part_values[i];
+      if (sig.partitions[i].negated ? equal : !equal) return false;
+    }
+    return true;
+  };
+
+  SGL_ASSIGN_OR_RETURN(Rect rect, ProbeRect(sig, u_row, table, &params, rnd));
+
+  switch (sig.kind) {
+    case IndexKind::kDivisibleRangeTree: {
+      const int32_t m = static_cast<int32_t>(sig.terms.size());
+      int64_t count = 0;
+      std::vector<double> sums(2 * m, 0.0);
+      if (probe_ok) {
+        for (const PartitionEntry& part : family.parts) {
+          if (!partition_matches(part.comps)) continue;
+          const LayeredRangeTree2D& tree = family.div_trees.at(part.id);
+          AggResult res = tree.Aggregate(rect);
+          count += res.count;
+          for (int32_t t = 0; t < 2 * m; ++t) sums[t] += res.sums[t];
+        }
+        if (sig.exclude_self && family.row_passes[u_row]) {
+          // Divisibility (Definition 5.1): subtract the probing unit's own
+          // contribution if it falls inside its own probe.
+          std::vector<double> own_comps;
+          for (const PartitionDim& p : sig.partitions) {
+            own_comps.push_back(table.Get(u_row, p.attr));
+          }
+          double ox =
+              sig.ranges.size() > 0 ? table.Get(u_row, sig.ranges[0].attr) : 0;
+          double oy =
+              sig.ranges.size() > 1 ? table.Get(u_row, sig.ranges[1].attr) : 0;
+          if (partition_matches(own_comps) && rect.Contains(ox, oy)) {
+            count -= 1;
+            for (int32_t t = 0; t < 2 * m; ++t) {
+              sums[t] -= family.term_cols[t][u_row];
+            }
+          }
+        }
+      }
+      auto item_value = [&](size_t i) -> double {
+        const AggItem& item = decl.items[i];
+        int32_t t = sig.term_of_item[i];
+        switch (item.func) {
+          case AggFunc::kCount:
+            return static_cast<double>(count);
+          case AggFunc::kSum:
+            return sums[t];
+          case AggFunc::kAvg:
+            return count == 0 ? 0.0 : sums[t] / static_cast<double>(count);
+          case AggFunc::kStddev: {
+            if (count == 0) return 0.0;
+            double n = static_cast<double>(count);
+            double mean = sums[t] / n;
+            double var = sums[m + t] / n - mean * mean;
+            return var <= 0.0 ? 0.0 : std::sqrt(var);
+          }
+          default:
+            return 0.0;
+        }
+      };
+      if (decl.items.size() == 1) return Value(item_value(0));
+      auto row = std::make_shared<RowValue>();
+      row->layout = script_->agg_layouts[agg_index];
+      row->vals.resize(decl.items.size());
+      for (size_t i = 0; i < decl.items.size(); ++i) {
+        row->vals[i] = item_value(i);
+      }
+      return Value(std::shared_ptr<const RowValue>(std::move(row)));
+    }
+
+    case IndexKind::kMinMaxTree: {
+      Extremum best = Extremum::None();
+      const AggItem& item = decl.items[0];
+      const bool is_max =
+          item.func == AggFunc::kMax || item.func == AggFunc::kArgmax;
+      if (probe_ok) {
+        for (const PartitionEntry& part : family.parts) {
+          if (!partition_matches(part.comps)) continue;
+          Extremum cand = family.mm_trees.at(part.id).Query(rect);
+          if (!cand.valid()) continue;
+          // Compare in internal (sign-adjusted) space for MAX trees.
+          Extremum adj = cand;
+          if (is_max) adj.value = -adj.value;
+          Extremum best_adj = best;
+          if (is_max && best.valid()) best_adj.value = -best_adj.value;
+          if (!best.valid() || adj < best_adj) best = cand;
+        }
+      }
+      if (AggFuncReturnsRow(item.func)) {
+        if (!best.valid()) return EmptyRow(agg_index);
+        return MakeUnitRow(table, table.RowOf(best.key), 0.0, agg_index);
+      }
+      return Value(best.valid() ? best.value : 0.0);
+    }
+
+    case IndexKind::kKdNearest: {
+      Neighbor best;
+      const int64_t exclude = sig.exclude_self ? u_key : kNoExclude;
+      const double qx = table.Get(u_row, posx_attr_);
+      const double qy = table.Get(u_row, posy_attr_);
+      const bool bounded = !sig.ranges.empty();
+      if (probe_ok) {
+        for (const PartitionEntry& part : family.parts) {
+          if (!partition_matches(part.comps)) continue;
+          const KdTree2D& tree = family.kd_trees.at(part.id);
+          Neighbor cand = bounded
+                              ? tree.NearestInRect(qx, qy, exclude, rect)
+                              : tree.Nearest(qx, qy, exclude);
+          if (!cand.found()) continue;
+          if (!best.found() || cand.dist2 < best.dist2 ||
+              (cand.dist2 == best.dist2 && cand.key < best.key)) {
+            best = cand;
+          }
+        }
+      }
+      if (!best.found()) return EmptyRow(agg_index);
+      return MakeUnitRow(table, table.RowOf(best.key), best.dist2, agg_index);
+    }
+
+    case IndexKind::kNaive:
+      break;
+  }
+  return Status::Internal("unreachable index kind");
+}
+
+std::string IndexedAggregateProvider::DescribePlan() const {
+  std::ostringstream os;
+  os << "Aggregate plan (" << signatures_.size() << " aggregates, "
+     << families_.size() << " physical index families):\n";
+  for (size_t f = 0; f < families_.size(); ++f) {
+    const Family& family = families_[f];
+    os << "  family " << f << ": "
+       << DescribeSignature(*script_, *family.sig);
+    if (family.member_aggs.size() > 1) {
+      os << "  [shared by";
+      for (int32_t a : family.member_aggs) {
+        os << " " << script_->program.aggregates[a].name;
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sgl

@@ -1,0 +1,112 @@
+// The indexed aggregate evaluator (Sections 5.3 and 6).
+//
+// At construction the provider extracts a signature for every aggregate
+// declaration the script uses and deduplicates structurally identical
+// signatures (the cross-script multi-query optimization: thousands of
+// units probing the same aggregate share one index family). Each tick,
+// BuildIndexes() rebuilds the per-partition index structures from scratch
+// — the paper's choice for volatile data — and Eval() answers each
+// aggregate call as an index probe:
+//
+//   divisible aggregates  -> layered range tree with prefix aggregates
+//                            (Figure 8), O(log n) per probe;
+//   min/max/argmin/argmax -> canonical range-extremum tree, O(log^2 n);
+//   nearest               -> kD-tree per partition;
+//   everything else       -> reference scan fallback (kNaive).
+//
+// Probes yield bit-identical results to the reference interpreter; the
+// engine test suite enforces this.
+#ifndef SGL_OPT_INDEXED_PROVIDER_H_
+#define SGL_OPT_INDEXED_PROVIDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/kd_tree.h"
+#include "geom/minmax_tree.h"
+#include "geom/range_tree.h"
+#include "opt/signature.h"
+#include "sgl/interpreter.h"
+#include "util/timer.h"
+
+namespace sgl {
+
+class IndexedAggregateProvider : public AggregateProvider {
+ public:
+  /// `script` and `interp` must outlive the provider; `interp` supplies
+  /// expression evaluation and the naive fallback.
+  static Result<std::unique_ptr<IndexedAggregateProvider>> Create(
+      const Script& script, const Interpreter& interp);
+
+  /// Rebuild all index families for the tick (phase 1 of Section 6).
+  Status BuildIndexes(const EnvironmentTable& table, const TickRandom& rnd);
+
+  /// Answer an aggregate call with an index probe.
+  Result<Value> Eval(int32_t agg_index, const std::vector<Value>& scalar_args,
+                     RowId u_row, const EnvironmentTable& table,
+                     const TickRandom& rnd) override;
+
+  /// EXPLAIN: one line per aggregate, plus sharing information.
+  std::string DescribePlan() const;
+
+  /// Number of distinct physical index families (after sharing).
+  int32_t NumIndexFamilies() const {
+    return static_cast<int32_t>(families_.size());
+  }
+
+  const AggregateSignature& signature(int32_t agg_index) const {
+    return signatures_[agg_index];
+  }
+
+ private:
+  IndexedAggregateProvider(const Script& script, const Interpreter& interp)
+      : script_(&script), interp_(&interp) {}
+
+  /// One categorical partition (the hash layer of Section 5.3.1): the
+  /// tuple of partition-attribute values and the id of its index.
+  struct PartitionEntry {
+    std::vector<double> comps;
+    int64_t id = 0;
+  };
+
+  /// One physical index family: the per-partition structures built for a
+  /// group of structurally identical signatures.
+  struct Family {
+    const AggregateSignature* sig = nullptr;  // representative
+    std::vector<int32_t> member_aggs;         // aggregate indices served
+
+    // Build products (per tick).
+    std::vector<char> row_passes;  // build-filter result per row
+    std::vector<std::vector<double>> term_cols;  // terms then squares, by row
+    std::vector<PartitionEntry> parts;
+    std::map<int64_t, LayeredRangeTree2D> div_trees;
+    std::map<int64_t, MinMaxRangeTree2D> mm_trees;
+    std::map<int64_t, KdTree2D> kd_trees;
+  };
+
+  Status BuildFamily(Family* family, const EnvironmentTable& table,
+                     const TickRandom& rnd);
+
+  /// Evaluate probe-side bounds/partition values for unit `u_row`.
+  Result<Rect> ProbeRect(const AggregateSignature& sig, RowId u_row,
+                         const EnvironmentTable& table, LocalStack* params,
+                         const TickRandom& rnd) const;
+
+  Result<Value> MakeUnitRow(const EnvironmentTable& table, RowId row,
+                            double dist2, int32_t agg_index) const;
+  Result<Value> EmptyRow(int32_t agg_index) const;
+
+  const Script* script_;
+  const Interpreter* interp_;
+  std::vector<AggregateSignature> signatures_;   // one per aggregate decl
+  std::vector<int32_t> family_of_agg_;           // aggregate -> family
+  std::vector<Family> families_;
+  AttrId posx_attr_ = Schema::kInvalidAttr;
+  AttrId posy_attr_ = Schema::kInvalidAttr;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_OPT_INDEXED_PROVIDER_H_

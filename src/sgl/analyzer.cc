@@ -1,0 +1,694 @@
+#include "sgl/analyzer.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sgl/builtins.h"
+#include "sgl/parser.h"
+
+namespace sgl {
+
+namespace {
+
+/// What a name in scope refers to inside a function body.
+struct Binding {
+  enum class Kind {
+    kTuple,   // the unit tuple parameter (u)
+    kValue,   // scalar/vec local or parameter
+    kRowAgg,  // let bound to a row-returning or multi-item aggregate
+  };
+  Kind kind = Binding::Kind::kValue;
+  int32_t agg_index = -1;
+};
+
+struct ExprCtx {
+  const Schema* schema = nullptr;
+  std::string u_name;            // probing/performing unit tuple name
+  std::string e_name;            // scanned/affected row name ("" if none)
+  const std::unordered_map<std::string, double>* consts = nullptr;
+  std::unordered_map<std::string, Binding>* locals = nullptr;  // functions
+  const std::vector<std::string>* scalar_params = nullptr;     // decls
+  bool allow_aggregates = false;
+  bool allow_random = true;
+};
+
+class AnalyzerImpl {
+ public:
+  AnalyzerImpl(Program* program, const Schema* schema)
+      : program_(program), schema_(schema) {}
+
+  Status Run(Script* out);
+
+ private:
+  Status FoldConsts();
+  Result<double> FoldConstExpr(const Expr& e);
+
+  Status AnalyzeAggregates();
+  Status AnalyzeActions();
+  Status AnalyzeFunctions();
+  Status CheckNoRecursion();
+
+  Status AnalyzeExpr(Expr* e, ExprCtx* ctx);
+  Status AnalyzeCond(Cond* c, ExprCtx* ctx);
+  Status AnalyzeStmt(Stmt* s, std::unordered_map<std::string, Binding>* locals,
+                     const std::string& u_name);
+
+  Status NormalizeFunction(FunctionDecl* fn);
+  StmtPtr NormalizeStmt(StmtPtr stmt);
+  void NormalizeInto(StmtPtr stmt, std::vector<StmtPtr>* out);
+  void HoistAggregates(Expr* e, std::vector<StmtPtr>* hoisted);
+
+  bool IsTupleRef(const Expr& e, const ExprCtx& ctx) const {
+    if (e.kind != ExprKind::kVarRef) return false;
+    if (e.name == ctx.u_name) return true;
+    if (ctx.locals != nullptr) {
+      auto it = ctx.locals->find(e.name);
+      return it != ctx.locals->end() &&
+             it->second.kind == Binding::Kind::kTuple;
+    }
+    return false;
+  }
+
+  static bool ContainsAggregate(const Expr& e) {
+    if (e.kind == ExprKind::kCall && e.is_aggregate) return true;
+    for (const ExprPtr& a : e.args) {
+      if (a && ContainsAggregate(*a)) return true;
+    }
+    return false;
+  }
+
+  Program* program_;
+  const Schema* schema_;
+  std::unordered_map<std::string, double> consts_;
+  std::vector<std::shared_ptr<const RowLayout>> agg_layouts_;
+  int32_t fresh_counter_ = 0;
+};
+
+Status AnalyzerImpl::Run(Script* out) {
+  SGL_RETURN_NOT_OK(FoldConsts());
+  SGL_RETURN_NOT_OK(AnalyzeAggregates());
+  SGL_RETURN_NOT_OK(AnalyzeActions());
+  SGL_RETURN_NOT_OK(AnalyzeFunctions());
+  SGL_RETURN_NOT_OK(CheckNoRecursion());
+  for (FunctionDecl& fn : program_->functions) {
+    SGL_RETURN_NOT_OK(NormalizeFunction(&fn));
+  }
+  out->schema = *schema_;
+  out->agg_layouts = std::move(agg_layouts_);
+  out->main_index = program_->FunctionIndex("main");
+  return Status::OK();
+}
+
+Status AnalyzerImpl::FoldConsts() {
+  for (ConstDecl& decl : program_->consts) {
+    if (consts_.count(decl.name) > 0) {
+      return Status::AnalysisError("duplicate const '", decl.name,
+                                   "' at line ", decl.line);
+    }
+    SGL_ASSIGN_OR_RETURN(decl.folded, FoldConstExpr(*decl.value));
+    consts_[decl.name] = decl.folded;
+  }
+  return Status::OK();
+}
+
+Result<double> AnalyzerImpl::FoldConstExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      return e.number;
+    case ExprKind::kVarRef: {
+      auto it = consts_.find(e.name);
+      if (it == consts_.end()) {
+        return Status::AnalysisError("const expression references unknown "
+                                     "constant '",
+                                     e.name, "' at line ", e.line);
+      }
+      return it->second;
+    }
+    case ExprKind::kUnaryMinus: {
+      SGL_ASSIGN_OR_RETURN(double v, FoldConstExpr(*e.args[0]));
+      return -v;
+    }
+    case ExprKind::kBinary: {
+      SGL_ASSIGN_OR_RETURN(double l, FoldConstExpr(*e.args[0]));
+      SGL_ASSIGN_OR_RETURN(double r, FoldConstExpr(*e.args[1]));
+      switch (e.op) {
+        case BinaryOp::kAdd: return l + r;
+        case BinaryOp::kSub: return l - r;
+        case BinaryOp::kMul: return l * r;
+        case BinaryOp::kDiv:
+          if (r == 0.0) {
+            return Status::AnalysisError("division by zero in const "
+                                         "expression at line ",
+                                         e.line);
+          }
+          return l / r;
+        case BinaryOp::kMod:
+          if (r == 0.0) {
+            return Status::AnalysisError("mod by zero in const expression "
+                                         "at line ",
+                                         e.line);
+          }
+          return std::fmod(l, r);
+      }
+      return Status::Internal("unreachable");
+    }
+    default:
+      return Status::AnalysisError(
+          "const expressions may only use numbers, earlier constants and "
+          "arithmetic (line ",
+          e.line, ")");
+  }
+}
+
+Status AnalyzerImpl::AnalyzeExpr(Expr* e, ExprCtx* ctx) {
+  switch (e->kind) {
+    case ExprKind::kNumber:
+      return Status::OK();
+    case ExprKind::kVarRef: {
+      // Constant?
+      auto cit = ctx->consts->find(e->name);
+      if (cit != ctx->consts->end()) {
+        e->kind = ExprKind::kNumber;
+        e->number = cit->second;
+        return Status::OK();
+      }
+      if (e->name == ctx->u_name || e->name == ctx->e_name) {
+        return Status::AnalysisError("unit tuple '", e->name,
+                                     "' cannot be used as a value (line ",
+                                     e->line, ")");
+      }
+      if (ctx->locals != nullptr) {
+        auto it = ctx->locals->find(e->name);
+        if (it != ctx->locals->end()) return Status::OK();
+      }
+      if (ctx->scalar_params != nullptr) {
+        for (const std::string& p : *ctx->scalar_params) {
+          if (p == e->name) return Status::OK();
+        }
+      }
+      return Status::AnalysisError("unknown name '", e->name, "' at line ",
+                                   e->line);
+    }
+    case ExprKind::kAttrRef: {
+      if (e->tuple_var == ctx->u_name ||
+          (!ctx->e_name.empty() && e->tuple_var == ctx->e_name)) {
+        AttrId id = ctx->schema->Find(e->attr);
+        if (id == Schema::kInvalidAttr) {
+          return Status::AnalysisError("unknown attribute '", e->attr,
+                                       "' of tuple '", e->tuple_var,
+                                       "' at line ", e->line,
+                                       " (schema is ", ctx->schema->ToString(),
+                                       ")");
+        }
+        e->attr_id = id;
+        return Status::OK();
+      }
+      // Not a tuple: re-interpret as a field access on a local binding.
+      if (ctx->locals != nullptr && ctx->locals->count(e->tuple_var) > 0) {
+        auto base = std::make_unique<Expr>();
+        base->kind = ExprKind::kVarRef;
+        base->name = e->tuple_var;
+        base->line = e->line;
+        e->kind = ExprKind::kFieldAccess;
+        e->args.clear();
+        e->args.push_back(std::move(base));
+        // e->attr already holds the field name.
+        return Status::OK();
+      }
+      return Status::AnalysisError("unknown tuple or binding '", e->tuple_var,
+                                   "' at line ", e->line);
+    }
+    case ExprKind::kFieldAccess:
+      return AnalyzeExpr(e->args[0].get(), ctx);
+    case ExprKind::kUnaryMinus:
+      return AnalyzeExpr(e->args[0].get(), ctx);
+    case ExprKind::kBinary: {
+      SGL_RETURN_NOT_OK(AnalyzeExpr(e->args[0].get(), ctx));
+      return AnalyzeExpr(e->args[1].get(), ctx);
+    }
+    case ExprKind::kTuple: {
+      SGL_RETURN_NOT_OK(AnalyzeExpr(e->args[0].get(), ctx));
+      return AnalyzeExpr(e->args[1].get(), ctx);
+    }
+    case ExprKind::kCall: {
+      // Aggregate?
+      int32_t agg = program_->AggregateIndex(e->name);
+      if (agg >= 0) {
+        if (!ctx->allow_aggregates) {
+          return Status::AnalysisError(
+              "aggregate '", e->name,
+              "' may not be called here (only function bodies may call "
+              "aggregates) at line ",
+              e->line);
+        }
+        const AggregateDecl& decl = program_->aggregates[agg];
+        if (e->args.size() != decl.params.size()) {
+          return Status::AnalysisError(
+              "aggregate '", e->name, "' expects ", decl.params.size(),
+              " arguments, got ", e->args.size(), " at line ", e->line);
+        }
+        if (!IsTupleRef(*e->args[0], *ctx)) {
+          return Status::AnalysisError(
+              "first argument of aggregate '", e->name,
+              "' must be the unit tuple (line ", e->line, ")");
+        }
+        for (size_t i = 1; i < e->args.size(); ++i) {
+          SGL_RETURN_NOT_OK(AnalyzeExpr(e->args[i].get(), ctx));
+          if (ContainsAggregate(*e->args[i])) {
+            return Status::AnalysisError(
+                "aggregate arguments may not contain aggregate calls (line ",
+                e->line, ")");
+          }
+        }
+        e->is_aggregate = true;
+        e->call_id = agg;
+        return Status::OK();
+      }
+      // Scalar builtin?
+      BuiltinFn fn;
+      if (LookupBuiltin(e->name, &fn)) {
+        if (fn == BuiltinFn::kRandom && !ctx->allow_random) {
+          return Status::AnalysisError(
+              "random() is not allowed inside aggregate declarations: "
+              "aggregate results are shared across units via indexes and "
+              "must be functions of the environment alone (line ",
+              e->line, ")");
+        }
+        if (static_cast<int32_t>(e->args.size()) != BuiltinArity(fn)) {
+          return Status::AnalysisError(
+              BuiltinName(fn), "() expects ", BuiltinArity(fn),
+              " arguments, got ", e->args.size(), " at line ", e->line);
+        }
+        for (ExprPtr& a : e->args) {
+          SGL_RETURN_NOT_OK(AnalyzeExpr(a.get(), ctx));
+        }
+        e->is_aggregate = false;
+        e->call_id = static_cast<int32_t>(fn);
+        return Status::OK();
+      }
+      return Status::AnalysisError("unknown function '", e->name,
+                                   "' at line ", e->line);
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+Status AnalyzerImpl::AnalyzeCond(Cond* c, ExprCtx* ctx) {
+  switch (c->kind) {
+    case CondKind::kTrue:
+      return Status::OK();
+    case CondKind::kCompare:
+      SGL_RETURN_NOT_OK(AnalyzeExpr(c->lhs.get(), ctx));
+      return AnalyzeExpr(c->rhs.get(), ctx);
+    case CondKind::kNot:
+      return AnalyzeCond(c->left.get(), ctx);
+    case CondKind::kAnd:
+    case CondKind::kOr:
+      SGL_RETURN_NOT_OK(AnalyzeCond(c->left.get(), ctx));
+      return AnalyzeCond(c->right.get(), ctx);
+  }
+  return Status::Internal("unreachable cond kind");
+}
+
+Status AnalyzerImpl::AnalyzeAggregates() {
+  std::unordered_set<std::string> names;
+  for (AggregateDecl& decl : program_->aggregates) {
+    if (!names.insert(decl.name).second) {
+      return Status::AnalysisError("duplicate aggregate '", decl.name, "'");
+    }
+    ExprCtx ctx;
+    ctx.schema = schema_;
+    ctx.u_name = decl.params[0];
+    ctx.e_name = decl.row_var;
+    ctx.consts = &consts_;
+    std::vector<std::string> scalar_params(decl.params.begin() + 1,
+                                           decl.params.end());
+    ctx.scalar_params = &scalar_params;
+    ctx.allow_aggregates = false;
+    ctx.allow_random = false;
+
+    if (decl.row_var == decl.params[0]) {
+      return Status::AnalysisError("aggregate '", decl.name,
+                                   "': row alias shadows the unit parameter");
+    }
+    bool has_row_func = false;
+    for (AggItem& item : decl.items) {
+      if (AggFuncReturnsRow(item.func)) has_row_func = true;
+      if (item.term != nullptr) {
+        SGL_RETURN_NOT_OK(AnalyzeExpr(item.term.get(), &ctx));
+      } else if (item.func != AggFunc::kCount &&
+                 item.func != AggFunc::kNearest) {
+        return Status::AnalysisError("aggregate '", decl.name, "': ",
+                                     AggFuncName(item.func),
+                                     " requires a term argument");
+      }
+    }
+    if (has_row_func && decl.items.size() != 1) {
+      return Status::AnalysisError(
+          "aggregate '", decl.name,
+          "': argmin/argmax/nearest must be the only select item");
+    }
+    SGL_RETURN_NOT_OK(AnalyzeCond(decl.where.get(), &ctx));
+
+    // Result layout.
+    auto layout = std::make_shared<RowLayout>();
+    if (decl.ReturnsRow()) {
+      layout->fields.push_back("found");
+      layout->fields.push_back("dist2");
+      for (AttrId a = 0; a < schema_->NumAttrs(); ++a) {
+        layout->fields.push_back(schema_->attr(a).name);
+      }
+    } else {
+      std::unordered_set<std::string> aliases;
+      for (const AggItem& item : decl.items) {
+        if (!aliases.insert(item.alias).second) {
+          return Status::AnalysisError("aggregate '", decl.name,
+                                       "': duplicate alias '", item.alias,
+                                       "' (use 'as' to disambiguate)");
+        }
+        layout->fields.push_back(item.alias);
+      }
+    }
+    agg_layouts_.push_back(std::move(layout));
+  }
+  return Status::OK();
+}
+
+Status AnalyzerImpl::AnalyzeActions() {
+  std::unordered_set<std::string> names;
+  for (ActionDecl& decl : program_->actions) {
+    if (!names.insert(decl.name).second) {
+      return Status::AnalysisError("duplicate action '", decl.name, "'");
+    }
+    std::vector<std::string> scalar_params(decl.params.begin() + 1,
+                                           decl.params.end());
+    for (UpdateStmt& update : decl.updates) {
+      if (update.row_var == decl.params[0]) {
+        return Status::AnalysisError("action '", decl.name,
+                                     "': row alias shadows the unit "
+                                     "parameter");
+      }
+      ExprCtx ctx;
+      ctx.schema = schema_;
+      ctx.u_name = decl.params[0];
+      ctx.e_name = update.row_var;
+      ctx.consts = &consts_;
+      ctx.scalar_params = &scalar_params;
+      ctx.allow_aggregates = false;
+      ctx.allow_random = true;
+      SGL_RETURN_NOT_OK(AnalyzeCond(update.where.get(), &ctx));
+      for (SetItem& item : update.sets) {
+        AttrId id = schema_->Find(item.attr);
+        if (id == Schema::kInvalidAttr) {
+          return Status::AnalysisError("action '", decl.name,
+                                       "': unknown attribute '", item.attr,
+                                       "'");
+        }
+        CombineType tag = schema_->attr(id).combine;
+        auto tag_matches = [&]() {
+          switch (item.op) {
+            case SetOp::kAdd: return tag == CombineType::kSum;
+            case SetOp::kMaxOf: return tag == CombineType::kMax;
+            case SetOp::kMinOf: return tag == CombineType::kMin;
+            case SetOp::kSetPriority: return tag == CombineType::kSet;
+          }
+          return false;
+        };
+        if (tag == CombineType::kConst) {
+          return Status::AnalysisError(
+              "action '", decl.name, "': attribute '", item.attr,
+              "' is const state and cannot be the subject of an effect "
+              "(Section 4.2); effects may only touch sum/max/min/set "
+              "attributes");
+        }
+        if (!tag_matches()) {
+          return Status::AnalysisError(
+              "action '", decl.name, "': operator on '", item.attr,
+              "' does not match its combine tag '", CombineTypeName(tag),
+              "' (use += for sum, max= for max, min= for min, '=v priority "
+              "p' for set)");
+        }
+        item.attr_id = id;
+        SGL_RETURN_NOT_OK(AnalyzeExpr(item.value.get(), &ctx));
+        if (item.priority != nullptr) {
+          SGL_RETURN_NOT_OK(AnalyzeExpr(item.priority.get(), &ctx));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status AnalyzerImpl::AnalyzeStmt(
+    Stmt* s, std::unordered_map<std::string, Binding>* locals,
+    const std::string& u_name) {
+  ExprCtx ctx;
+  ctx.schema = schema_;
+  ctx.u_name = u_name;
+  ctx.consts = &consts_;
+  ctx.locals = locals;
+  ctx.allow_aggregates = true;
+  ctx.allow_random = true;
+
+  switch (s->kind) {
+    case StmtKind::kLet: {
+      if (locals->count(s->let_name) > 0 || s->let_name == u_name) {
+        return Status::AnalysisError("'", s->let_name,
+                                     "' is already bound (line ", s->line,
+                                     "); SGL does not allow shadowing");
+      }
+      if (consts_.count(s->let_name) > 0) {
+        return Status::AnalysisError("'", s->let_name,
+                                     "' shadows a constant (line ", s->line,
+                                     ")");
+      }
+      SGL_RETURN_NOT_OK(AnalyzeExpr(s->let_value.get(), &ctx));
+      Binding b;
+      b.kind = Binding::Kind::kValue;
+      if (s->let_value->kind == ExprKind::kCall && s->let_value->is_aggregate) {
+        const AggregateDecl& decl =
+            program_->aggregates[s->let_value->call_id];
+        if (decl.ReturnsRow() || decl.items.size() > 1) {
+          b.kind = Binding::Kind::kRowAgg;
+          b.agg_index = s->let_value->call_id;
+        }
+      }
+      (*locals)[s->let_name] = b;
+      return Status::OK();
+    }
+    case StmtKind::kIf: {
+      SGL_RETURN_NOT_OK(AnalyzeCond(s->cond.get(), &ctx));
+      SGL_RETURN_NOT_OK(AnalyzeStmt(s->then_branch.get(), locals, u_name));
+      if (s->else_branch != nullptr) {
+        SGL_RETURN_NOT_OK(AnalyzeStmt(s->else_branch.get(), locals, u_name));
+      }
+      return Status::OK();
+    }
+    case StmtKind::kPerform: {
+      int32_t action = program_->ActionIndex(s->target);
+      int32_t function = program_->FunctionIndex(s->target);
+      if (action < 0 && function < 0) {
+        return Status::AnalysisError("perform target '", s->target,
+                                     "' is not a declared action or function "
+                                     "(line ",
+                                     s->line, ")");
+      }
+      size_t want_arity = action >= 0
+                              ? program_->actions[action].params.size()
+                              : program_->functions[function].params.size();
+      if (s->args.size() != want_arity) {
+        return Status::AnalysisError("perform '", s->target, "' expects ",
+                                     want_arity, " arguments, got ",
+                                     s->args.size(), " (line ", s->line, ")");
+      }
+      if (s->args.empty() || !IsTupleRef(*s->args[0], ctx)) {
+        return Status::AnalysisError(
+            "first argument of perform '", s->target,
+            "' must be the unit tuple (line ", s->line, ")");
+      }
+      for (size_t i = 1; i < s->args.size(); ++i) {
+        SGL_RETURN_NOT_OK(AnalyzeExpr(s->args[i].get(), &ctx));
+      }
+      s->target_action = action;
+      s->target_function = action >= 0 ? -1 : function;
+      return Status::OK();
+    }
+    case StmtKind::kBlock: {
+      // Lets scope to the remainder of the block: analyze in order with a
+      // copy of the outer locals, discarding additions at block exit.
+      std::unordered_map<std::string, Binding> inner = *locals;
+      for (StmtPtr& child : s->body) {
+        SGL_RETURN_NOT_OK(AnalyzeStmt(child.get(), &inner, u_name));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable stmt kind");
+}
+
+Status AnalyzerImpl::AnalyzeFunctions() {
+  std::unordered_set<std::string> names;
+  for (FunctionDecl& fn : program_->functions) {
+    if (!names.insert(fn.name).second) {
+      return Status::AnalysisError("duplicate function '", fn.name, "'");
+    }
+    if (program_->ActionIndex(fn.name) >= 0 ||
+        program_->AggregateIndex(fn.name) >= 0) {
+      return Status::AnalysisError("'", fn.name,
+                                   "' is declared as both a function and an "
+                                   "action/aggregate");
+    }
+  }
+  for (FunctionDecl& fn : program_->functions) {
+    std::unordered_map<std::string, Binding> locals;
+    for (size_t i = 1; i < fn.params.size(); ++i) {
+      locals[fn.params[i]] = Binding{Binding::Kind::kValue, -1};
+    }
+    SGL_RETURN_NOT_OK(AnalyzeStmt(fn.body.get(), &locals, fn.params[0]));
+  }
+  const FunctionDecl* main = program_->FindFunction("main");
+  if (main != nullptr && main->params.size() != 1) {
+    return Status::AnalysisError(
+        "main must take exactly one parameter (the unit tuple)");
+  }
+  return Status::OK();
+}
+
+Status AnalyzerImpl::CheckNoRecursion() {
+  // DFS over the function -> function perform graph.
+  enum class Mark { kWhite, kGray, kBlack };
+  std::vector<Mark> marks(program_->functions.size(), Mark::kWhite);
+  std::function<Status(int32_t)> visit = [&](int32_t f) -> Status {
+    if (marks[f] == Mark::kGray) {
+      return Status::AnalysisError("recursive perform cycle through "
+                                   "function '",
+                                   program_->functions[f].name, "'");
+    }
+    if (marks[f] == Mark::kBlack) return Status::OK();
+    marks[f] = Mark::kGray;
+    std::function<Status(const Stmt&)> walk = [&](const Stmt& s) -> Status {
+      if (s.kind == StmtKind::kPerform && s.target_function >= 0) {
+        SGL_RETURN_NOT_OK(visit(s.target_function));
+      }
+      if (s.then_branch) SGL_RETURN_NOT_OK(walk(*s.then_branch));
+      if (s.else_branch) SGL_RETURN_NOT_OK(walk(*s.else_branch));
+      for (const StmtPtr& child : s.body) SGL_RETURN_NOT_OK(walk(*child));
+      return Status::OK();
+    };
+    SGL_RETURN_NOT_OK(walk(*program_->functions[f].body));
+    marks[f] = Mark::kBlack;
+    return Status::OK();
+  };
+  for (size_t f = 0; f < program_->functions.size(); ++f) {
+    SGL_RETURN_NOT_OK(visit(static_cast<int32_t>(f)));
+  }
+  return Status::OK();
+}
+
+// --------------------------------------------------- aggregate normal form
+
+void AnalyzerImpl::HoistAggregates(Expr* e, std::vector<StmtPtr>* hoisted) {
+  // Post-order: hoist nested aggregates first (none exist by the analyzer's
+  // "no aggregates in aggregate args" rule, but arithmetic nests freely).
+  for (ExprPtr& a : e->args) {
+    if (a) HoistAggregates(a.get(), hoisted);
+  }
+  if (e->kind == ExprKind::kCall && e->is_aggregate) {
+    std::string fresh = "_agg" + std::to_string(fresh_counter_++);
+    auto let = std::make_unique<Stmt>();
+    let->kind = StmtKind::kLet;
+    let->line = e->line;
+    let->let_name = fresh;
+    // Move the call into the let; leave a VarRef behind.
+    auto call = std::make_unique<Expr>();
+    *call = std::move(*e);
+    let->let_value = std::move(call);
+    hoisted->push_back(std::move(let));
+    e->kind = ExprKind::kVarRef;
+    e->name = fresh;
+    e->args.clear();
+    e->is_aggregate = false;
+    e->call_id = -1;
+  }
+}
+
+StmtPtr AnalyzerImpl::NormalizeStmt(StmtPtr stmt) {
+  // Normalizing a statement may hoist fresh lets that must be visible to
+  // the statement itself but not restrict any *original* let's scope; so
+  // hoisted lets are spliced into the enclosing block right before the
+  // statement. NormalizeInto does the splicing; non-block positions (if
+  // branches) wrap the result in a block, which is safe because a bare
+  // let in branch position scopes over nothing anyway.
+  std::vector<StmtPtr> out;
+  NormalizeInto(std::move(stmt), &out);
+  if (out.size() == 1) return std::move(out[0]);
+  auto block = std::make_unique<Stmt>();
+  block->kind = StmtKind::kBlock;
+  for (StmtPtr& s : out) block->body.push_back(std::move(s));
+  return block;
+}
+
+void AnalyzerImpl::NormalizeInto(StmtPtr stmt, std::vector<StmtPtr>* out) {
+  std::vector<StmtPtr> hoisted;
+  switch (stmt->kind) {
+    case StmtKind::kLet:
+      // `let v = Agg(...)` with the call as the whole RHS is already in
+      // normal form; anything else hoists its aggregate subterms.
+      if (!(stmt->let_value->kind == ExprKind::kCall &&
+            stmt->let_value->is_aggregate)) {
+        HoistAggregates(stmt->let_value.get(), &hoisted);
+      }
+      break;
+    case StmtKind::kIf: {
+      std::function<void(Cond*)> walk = [&](Cond* c) {
+        if (c->lhs) HoistAggregates(c->lhs.get(), &hoisted);
+        if (c->rhs) HoistAggregates(c->rhs.get(), &hoisted);
+        if (c->left) walk(c->left.get());
+        if (c->right) walk(c->right.get());
+      };
+      walk(stmt->cond.get());
+      stmt->then_branch = NormalizeStmt(std::move(stmt->then_branch));
+      if (stmt->else_branch) {
+        stmt->else_branch = NormalizeStmt(std::move(stmt->else_branch));
+      }
+      break;
+    }
+    case StmtKind::kPerform:
+      for (ExprPtr& a : stmt->args) HoistAggregates(a.get(), &hoisted);
+      break;
+    case StmtKind::kBlock: {
+      std::vector<StmtPtr> new_body;
+      for (StmtPtr& child : stmt->body) {
+        NormalizeInto(std::move(child), &new_body);
+      }
+      stmt->body = std::move(new_body);
+      out->push_back(std::move(stmt));
+      return;
+    }
+  }
+  for (StmtPtr& let : hoisted) out->push_back(std::move(let));
+  out->push_back(std::move(stmt));
+}
+
+Status AnalyzerImpl::NormalizeFunction(FunctionDecl* fn) {
+  fn->body = NormalizeStmt(std::move(fn->body));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Script> Analyze(Program program, const Schema& schema) {
+  Script script;
+  script.program = std::move(program);
+  AnalyzerImpl impl(&script.program, &schema);
+  SGL_RETURN_NOT_OK(impl.Run(&script));
+  return script;
+}
+
+Result<Script> CompileScript(const std::string& source, const Schema& schema) {
+  SGL_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
+  return Analyze(std::move(program), schema);
+}
+
+}  // namespace sgl

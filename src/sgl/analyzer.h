@@ -1,0 +1,60 @@
+// Semantic analysis for SGL programs.
+//
+// The analyzer performs, in order:
+//   1. constant folding of `const` declarations;
+//   2. name resolution: attribute references against the environment
+//      schema, locals/parameters, calls to aggregates / actions /
+//      functions / scalar builtins;
+//   3. combine-tag discipline: `set` clauses in actions must use the
+//      operator matching the attribute's tag (+= on sum, max= on max,
+//      min= on min, `= v priority p` on set) — the Section 4.2 typing rule
+//      that makes ⊕ well-defined;
+//   4. structural rules: aggregates may not call aggregates, `random` is
+//      banned inside aggregate declarations (their results are shared
+//      across probing units via indexes, so they must be functions of the
+//      environment alone), row-returning aggregate functions must be the
+//      only select item, `perform` targets must exist with matching arity,
+//      and the user-function call graph must be acyclic;
+//   5. rewriting into *aggregate normal form* (Section 5.1): every
+//      aggregate call becomes the entire right-hand side of its own
+//      let-binding, hoisted immediately before the statement that used it.
+//
+// Analysis mutates the Program in place and returns it bundled with the
+// schema as a Script, the unit of execution for the interpreter, the
+// algebra translator, and the engine.
+#ifndef SGL_SGL_ANALYZER_H_
+#define SGL_SGL_ANALYZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/schema.h"
+#include "env/value.h"
+#include "sgl/ast.h"
+#include "util/status.h"
+
+namespace sgl {
+
+/// An analyzed, normalized SGL program bound to a schema. The Script owns
+/// a copy of the schema, so it has no lifetime ties to the caller.
+struct Script {
+  Program program;
+  Schema schema;
+  /// Result layouts, one per aggregate declaration (field names exposed to
+  /// field accesses on aggregate results).
+  std::vector<std::shared_ptr<const RowLayout>> agg_layouts;
+  /// Index of the entry function `main` in program.functions.
+  int32_t main_index = -1;
+};
+
+/// Analyze `program` against `schema`. On success the returned Script owns
+/// the (mutated, normalized) program.
+Result<Script> Analyze(Program program, const Schema& schema);
+
+/// Convenience: parse + analyze.
+Result<Script> CompileScript(const std::string& source, const Schema& schema);
+
+}  // namespace sgl
+
+#endif  // SGL_SGL_ANALYZER_H_

@@ -1,0 +1,146 @@
+#include "sgl/ast.h"
+
+namespace sgl {
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->line = line;
+  out->number = number;
+  out->name = name;
+  out->tuple_var = tuple_var;
+  out->attr = attr;
+  out->op = op;
+  out->attr_id = attr_id;
+  out->field_index = field_index;
+  out->call_id = call_id;
+  out->is_aggregate = is_aggregate;
+  out->args.reserve(args.size());
+  for (const ExprPtr& a : args) out->args.push_back(a->Clone());
+  return out;
+}
+
+ExprPtr MakeNumber(double v, int32_t line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNumber;
+  e->number = v;
+  e->line = line;
+  return e;
+}
+
+CondPtr Cond::Clone() const {
+  auto out = std::make_unique<Cond>();
+  out->kind = kind;
+  out->line = line;
+  out->op = op;
+  if (lhs) out->lhs = lhs->Clone();
+  if (rhs) out->rhs = rhs->Clone();
+  if (left) out->left = left->Clone();
+  if (right) out->right = right->Clone();
+  return out;
+}
+
+CondPtr MakeTrue() {
+  auto c = std::make_unique<Cond>();
+  c->kind = CondKind::kTrue;
+  return c;
+}
+
+CondPtr MakeNot(CondPtr c) {
+  auto out = std::make_unique<Cond>();
+  out->kind = CondKind::kNot;
+  out->left = std::move(c);
+  return out;
+}
+
+CondPtr MakeAnd(CondPtr a, CondPtr b) {
+  auto out = std::make_unique<Cond>();
+  out->kind = CondKind::kAnd;
+  out->left = std::move(a);
+  out->right = std::move(b);
+  return out;
+}
+
+StmtPtr Stmt::Clone() const {
+  auto out = std::make_unique<Stmt>();
+  out->kind = kind;
+  out->line = line;
+  out->let_name = let_name;
+  if (let_value) out->let_value = let_value->Clone();
+  if (cond) out->cond = cond->Clone();
+  if (then_branch) out->then_branch = then_branch->Clone();
+  if (else_branch) out->else_branch = else_branch->Clone();
+  out->target = target;
+  out->target_action = target_action;
+  out->target_function = target_function;
+  out->args.reserve(args.size());
+  for (const ExprPtr& a : args) out->args.push_back(a->Clone());
+  out->body.reserve(body.size());
+  for (const StmtPtr& s : body) out->body.push_back(s->Clone());
+  return out;
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+    case AggFunc::kStddev: return "stddev";
+    case AggFunc::kArgmin: return "argmin";
+    case AggFunc::kArgmax: return "argmax";
+    case AggFunc::kNearest: return "nearest";
+  }
+  return "?";
+}
+
+bool AggFuncIsDivisible(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+    case AggFunc::kStddev:
+      return true;  // expressible in sums of moments (Definition 5.1)
+    default:
+      return false;
+  }
+}
+
+bool AggFuncReturnsRow(AggFunc f) {
+  return f == AggFunc::kArgmin || f == AggFunc::kArgmax ||
+         f == AggFunc::kNearest;
+}
+
+const FunctionDecl* Program::FindFunction(const std::string& name) const {
+  int32_t i = FunctionIndex(name);
+  return i < 0 ? nullptr : &functions[i];
+}
+const AggregateDecl* Program::FindAggregate(const std::string& name) const {
+  int32_t i = AggregateIndex(name);
+  return i < 0 ? nullptr : &aggregates[i];
+}
+const ActionDecl* Program::FindAction(const std::string& name) const {
+  int32_t i = ActionIndex(name);
+  return i < 0 ? nullptr : &actions[i];
+}
+int32_t Program::FunctionIndex(const std::string& name) const {
+  for (size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+int32_t Program::AggregateIndex(const std::string& name) const {
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (aggregates[i].name == name) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+int32_t Program::ActionIndex(const std::string& name) const {
+  for (size_t i = 0; i < actions.size(); ++i) {
+    if (actions[i].name == name) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace sgl

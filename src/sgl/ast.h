@@ -1,0 +1,213 @@
+// Abstract syntax tree for SGL (Section 4.1).
+//
+// Terms, conditions, and action statements mirror the paper's grammar:
+//
+//   action ::= (let a = term) action | action ; action
+//            | if cond then action [else action] | perform f(args)
+//
+// plus the SQL-like declaration forms of Figures 4 and 5:
+//
+//   aggregate Name(u, p...) { select agg(term) as alias, ... from E e
+//                             [where cond]; }
+//   action Name(u, p...)    { update e [where cond] set attr += term, ...; }
+//
+// The analyzer (analyzer.h) resolves names, checks combine-tag discipline,
+// folds constants, and rewrites scripts into aggregate normal form.
+#ifndef SGL_SGL_AST_H_
+#define SGL_SGL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/schema.h"
+
+namespace sgl {
+
+// ------------------------------------------------------------------ Terms
+
+enum class ExprKind : uint8_t {
+  kNumber,      // literal
+  kVarRef,      // let-binding / scalar parameter reference
+  kAttrRef,     // tuple.attr (u.posx, e.player)
+  kFieldAccess, // row-valued expression .field (resolved by analyzer)
+  kUnaryMinus,
+  kBinary,      // + - * / mod
+  kCall,        // aggregate call, scalar builtin, or random()
+  kTuple,       // (x, y) vector literal
+};
+
+enum class BinaryOp : uint8_t { kAdd, kSub, kMul, kDiv, kMod };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int32_t line = 0;
+
+  double number = 0.0;           // kNumber
+  std::string name;              // kVarRef / kCall (function name)
+  std::string tuple_var;         // kAttrRef: "u" or "e" (or alias)
+  std::string attr;              // kAttrRef / kFieldAccess: member name
+  BinaryOp op = BinaryOp::kAdd;  // kBinary
+  std::vector<ExprPtr> args;     // kBinary (2), kUnaryMinus (1), kCall,
+                                 // kTuple (2), kFieldAccess (1: base)
+
+  // ---- analysis results ----
+  AttrId attr_id = Schema::kInvalidAttr;  // kAttrRef
+  int32_t field_index = -1;               // kFieldAccess
+  int32_t call_id = -1;   // kCall: builtin id or aggregate decl index
+  bool is_aggregate = false;  // kCall resolved to an aggregate declaration
+
+  ExprPtr Clone() const;
+};
+
+ExprPtr MakeNumber(double v, int32_t line = 0);
+
+// ------------------------------------------------------------- Conditions
+
+enum class CondKind : uint8_t { kCompare, kAnd, kOr, kNot, kTrue };
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Cond;
+using CondPtr = std::unique_ptr<Cond>;
+
+struct Cond {
+  CondKind kind;
+  int32_t line = 0;
+  CompareOp op = CompareOp::kEq;   // kCompare
+  ExprPtr lhs, rhs;                // kCompare
+  CondPtr left, right;             // kAnd / kOr (left only for kNot)
+
+  CondPtr Clone() const;
+};
+
+CondPtr MakeTrue();
+CondPtr MakeNot(CondPtr c);
+CondPtr MakeAnd(CondPtr a, CondPtr b);
+
+// ------------------------------------------------------------- Statements
+
+enum class StmtKind : uint8_t { kLet, kIf, kPerform, kBlock };
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind;
+  int32_t line = 0;
+
+  // kLet
+  std::string let_name;
+  ExprPtr let_value;
+  // kIf
+  CondPtr cond;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  // may be null
+  // kPerform
+  std::string target;            // action or function name
+  std::vector<ExprPtr> args;
+  int32_t target_action = -1;    // analysis: index into Program::actions
+  int32_t target_function = -1;  // analysis: index into Program::functions
+  // kBlock
+  std::vector<StmtPtr> body;
+
+  StmtPtr Clone() const;
+};
+
+// ----------------------------------------------------------- Declarations
+
+struct ConstDecl {
+  std::string name;
+  ExprPtr value;        // must fold to a scalar constant
+  double folded = 0.0;  // analysis result
+  int32_t line = 0;
+};
+
+/// Names an aggregate function applied in a select item.
+enum class AggFunc : uint8_t {
+  kCount,   // count(*)
+  kSum,
+  kAvg,
+  kMin,     // scalar minimum of the term
+  kMax,
+  kStddev,  // population standard deviation (via moments — divisible)
+  kArgmin,  // the unit row minimizing the term
+  kArgmax,
+  kNearest, // the unit row nearest to (u.posx, u.posy); term unused
+};
+
+const char* AggFuncName(AggFunc f);
+bool AggFuncIsDivisible(AggFunc f);
+bool AggFuncReturnsRow(AggFunc f);
+
+struct AggItem {
+  AggFunc func = AggFunc::kCount;
+  ExprPtr term;       // null for count(*) / nearest
+  std::string alias;  // result field name (defaulted by parser if omitted)
+};
+
+struct AggregateDecl {
+  std::string name;
+  std::vector<std::string> params;  // params[0] is the probing unit tuple
+  std::string row_var;              // the FROM alias (the scanned unit, "e")
+  std::vector<AggItem> items;
+  CondPtr where;  // never null after parsing (kTrue if omitted)
+  int32_t line = 0;
+
+  /// True if any item returns a unit row (then it must be the only item).
+  bool ReturnsRow() const {
+    return !items.empty() && AggFuncReturnsRow(items[0].func);
+  }
+};
+
+enum class SetOp : uint8_t { kAdd, kMaxOf, kMinOf, kSetPriority };
+
+struct SetItem {
+  std::string attr;
+  SetOp op = SetOp::kAdd;
+  ExprPtr value;
+  ExprPtr priority;  // kSetPriority only
+  AttrId attr_id = Schema::kInvalidAttr;  // analysis
+};
+
+struct UpdateStmt {
+  std::string row_var;  // the updated tuple alias ("e")
+  CondPtr where;        // selects affected units; kTrue = all units
+  std::vector<SetItem> sets;
+  int32_t line = 0;
+};
+
+struct ActionDecl {
+  std::string name;
+  std::vector<std::string> params;  // params[0] is the performing unit tuple
+  std::vector<UpdateStmt> updates;
+  int32_t line = 0;
+};
+
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;  // params[0] is the unit tuple
+  StmtPtr body;
+  int32_t line = 0;
+};
+
+/// A parsed SGL program (compilation unit).
+struct Program {
+  std::vector<ConstDecl> consts;
+  std::vector<AggregateDecl> aggregates;
+  std::vector<ActionDecl> actions;
+  std::vector<FunctionDecl> functions;
+
+  const FunctionDecl* FindFunction(const std::string& name) const;
+  const AggregateDecl* FindAggregate(const std::string& name) const;
+  const ActionDecl* FindAction(const std::string& name) const;
+  int32_t FunctionIndex(const std::string& name) const;
+  int32_t AggregateIndex(const std::string& name) const;
+  int32_t ActionIndex(const std::string& name) const;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_SGL_AST_H_

@@ -1,0 +1,53 @@
+#include "sgl/builtins.h"
+
+#include <cctype>
+
+namespace sgl {
+
+bool LookupBuiltin(const std::string& name, BuiltinFn* out) {
+  std::string lower = name;
+  for (char& c : lower) c = static_cast<char>(std::tolower(c));
+  if (lower == "abs") *out = BuiltinFn::kAbs;
+  else if (lower == "min") *out = BuiltinFn::kMin;
+  else if (lower == "max") *out = BuiltinFn::kMax;
+  else if (lower == "sqrt") *out = BuiltinFn::kSqrt;
+  else if (lower == "floor") *out = BuiltinFn::kFloor;
+  else if (lower == "ceil") *out = BuiltinFn::kCeil;
+  else if (lower == "clamp") *out = BuiltinFn::kClamp;
+  else if (lower == "random") *out = BuiltinFn::kRandom;
+  else return false;
+  return true;
+}
+
+int32_t BuiltinArity(BuiltinFn fn) {
+  switch (fn) {
+    case BuiltinFn::kAbs:
+    case BuiltinFn::kSqrt:
+    case BuiltinFn::kFloor:
+    case BuiltinFn::kCeil:
+    case BuiltinFn::kRandom:
+      return 1;
+    case BuiltinFn::kMin:
+    case BuiltinFn::kMax:
+      return 2;
+    case BuiltinFn::kClamp:
+      return 3;
+  }
+  return 0;
+}
+
+const char* BuiltinName(BuiltinFn fn) {
+  switch (fn) {
+    case BuiltinFn::kAbs: return "abs";
+    case BuiltinFn::kMin: return "min";
+    case BuiltinFn::kMax: return "max";
+    case BuiltinFn::kSqrt: return "sqrt";
+    case BuiltinFn::kFloor: return "floor";
+    case BuiltinFn::kCeil: return "ceil";
+    case BuiltinFn::kClamp: return "clamp";
+    case BuiltinFn::kRandom: return "random";
+  }
+  return "?";
+}
+
+}  // namespace sgl

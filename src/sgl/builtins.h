@@ -1,0 +1,41 @@
+// Scalar built-in functions available in SGL terms.
+#ifndef SGL_SGL_BUILTINS_H_
+#define SGL_SGL_BUILTINS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sgl {
+
+/// Built-in scalar functions. `random(i)` is the paper's Random: within a
+/// clock tick it is a pure function of (context unit key, i) — see
+/// util/rng.h. Inside a `function` body the context unit is the scripted
+/// unit u; inside an `action` update expression it is the affected row e
+/// (matching Figure 5's `Random(e, 1)`).
+enum class BuiltinFn : uint8_t {
+  kAbs,
+  kMin,
+  kMax,
+  kSqrt,
+  kFloor,
+  kCeil,
+  kClamp,   // clamp(v, lo, hi)
+  kRandom,  // random(i): uniform integer in [0, 2^31)
+};
+
+/// Resolve a builtin by (case-insensitive) name; returns false if unknown.
+bool LookupBuiltin(const std::string& name, BuiltinFn* out);
+
+/// Number of arguments the builtin expects.
+int32_t BuiltinArity(BuiltinFn fn);
+
+const char* BuiltinName(BuiltinFn fn);
+
+/// Range of SGL's random(): draws are uniform in [0, kRandomRange). The
+/// bound is 2^31 so draws and their arithmetic stay exactly representable
+/// in doubles.
+inline constexpr int64_t kRandomRange = int64_t{1} << 31;
+
+}  // namespace sgl
+
+#endif  // SGL_SGL_BUILTINS_H_

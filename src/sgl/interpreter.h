@@ -1,0 +1,160 @@
+// Reference interpreter: the denotational semantics of Section 4.3.
+//
+// Scripts are evaluated tuple-at-a-time: for each unit u, [[main]](u) runs
+// against the immutable tick-start environment and streams its effects
+// into an EffectBuffer (the incremental ⊕). Aggregate calls scan E
+// linearly and built-in actions scan E to find affected rows — the
+// faithful O(n^2)-per-tick baseline the paper's Figure 10 calls the
+// "naive algorithm". The optimized engine (src/engine) must match this
+// interpreter's output bit for bit.
+#ifndef SGL_SGL_INTERPRETER_H_
+#define SGL_SGL_INTERPRETER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "env/effect_buffer.h"
+#include "env/table.h"
+#include "env/value.h"
+#include "sgl/analyzer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sgl {
+
+/// Bindings visible while evaluating a term: a flat stack of named values
+/// (scopes push and pop ranges; lookups scan from the innermost end).
+class LocalStack {
+ public:
+  void Push(const std::string& name, Value v) {
+    entries_.emplace_back(name, std::move(v));
+  }
+  size_t Mark() const { return entries_.size(); }
+  void PopTo(size_t mark) { entries_.resize(mark); }
+
+  const Value* Find(const std::string& name) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->first == name) return &it->second;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;
+};
+
+/// Pluggable aggregate evaluation — the seam between the naive and the
+/// indexed engines (Section 6's two "pluggable versions of the aggregate
+/// query evaluator"). The interpreter calls Eval for every aggregate;
+/// the naive evaluator scans E, the indexed one probes the per-tick index
+/// structures of Section 5.3.
+class AggregateProvider {
+ public:
+  virtual ~AggregateProvider() = default;
+  virtual Result<Value> Eval(int32_t agg_index,
+                             const std::vector<Value>& scalar_args,
+                             RowId u_row, const EnvironmentTable& table,
+                             const TickRandom& rnd) = 0;
+};
+
+/// Pluggable action application. The naive engine scans E per update
+/// statement (the literal Eq. (4) semantics); the indexed engine resolves
+/// key-equality updates in O(1) and batches area-of-effect actions through
+/// the ⊕ indexes of Section 5.4. Return true if the perform was handled;
+/// false falls back to the interpreter's naive scan.
+class ActionSink {
+ public:
+  virtual ~ActionSink() = default;
+  virtual Result<bool> Perform(int32_t action_index,
+                               const std::vector<Value>& scalar_args,
+                               RowId u_row, const EnvironmentTable& table,
+                               const TickRandom& rnd,
+                               EffectBuffer* buffer) = 0;
+};
+
+class Interpreter {
+ public:
+  /// `script` must outlive the interpreter.
+  explicit Interpreter(const Script& script);
+
+  /// Redirect aggregate calls / performs. Pass nullptr to restore the
+  /// naive built-in evaluation. The pointers are not owned.
+  void set_aggregate_provider(AggregateProvider* provider) {
+    provider_ = provider;
+  }
+  void set_action_sink(ActionSink* sink) { sink_ = sink; }
+
+  /// Evaluate main for every unit of `table`, folding all effects into
+  /// `buffer` (caller calls buffer->Begin(table) first). This is
+  /// tick() = main⊕(E) ⊕ E of Eq. (6) without the post-processing step.
+  Status Tick(const EnvironmentTable& table, const TickRandom& rnd,
+              EffectBuffer* buffer) const;
+
+  /// Evaluate main for a single unit row.
+  Status RunUnit(const EnvironmentTable& table, RowId u_row,
+                 const TickRandom& rnd, EffectBuffer* buffer) const;
+
+  /// Naive evaluation of aggregate `agg_index` probed by unit `u_row` with
+  /// the given scalar arguments (decl params after the unit tuple).
+  /// Exposed for tests and as the fallback path of the indexed engine.
+  Result<Value> EvalAggregate(int32_t agg_index,
+                              const std::vector<Value>& scalar_args,
+                              RowId u_row, const EnvironmentTable& table,
+                              const TickRandom& rnd) const;
+
+  /// Execute one declared action performed by `u_row` with the given
+  /// scalar arguments (naive: scans E per update statement).
+  Status ExecAction(int32_t action_index,
+                    const std::vector<Value>& scalar_args, RowId u_row,
+                    const EnvironmentTable& table, const TickRandom& rnd,
+                    EffectBuffer* buffer) const;
+
+  /// Evaluate an analyzed expression in an explicit binding environment.
+  /// Used by the physical planner and the plan executor, which evaluate
+  /// declaration sub-expressions outside a script run: `u_name`/`u_row`
+  /// bind the probing unit (pass nullptr/-1 for none), `e_name`/`e_row`
+  /// the scanned row, `locals` any parameter/let bindings, and
+  /// `random_key` the key seeding random(i).
+  Result<Value> EvalExprIn(const Expr& e, const EnvironmentTable& table,
+                           const std::string* u_name, RowId u_row,
+                           const std::string* e_name, RowId e_row,
+                           LocalStack* locals, const TickRandom& rnd,
+                           int64_t random_key) const;
+
+  /// Condition analogue of EvalExprIn.
+  Result<bool> EvalCondIn(const Cond& c, const EnvironmentTable& table,
+                          const std::string* u_name, RowId u_row,
+                          const std::string* e_name, RowId e_row,
+                          LocalStack* locals, const TickRandom& rnd,
+                          int64_t random_key) const;
+
+  const Script& script() const { return *script_; }
+
+ private:
+  struct EvalCtx {
+    const EnvironmentTable* table = nullptr;
+    RowId u_row = -1;
+    RowId e_row = -1;
+    const std::string* u_name = nullptr;
+    const std::string* e_name = nullptr;
+    LocalStack* locals = nullptr;
+    const TickRandom* rnd = nullptr;
+    int64_t random_key = 0;  // unit key seeding random(i)
+  };
+
+  Result<Value> EvalExpr(const Expr& e, EvalCtx* ctx) const;
+  Result<bool> EvalCond(const Cond& c, EvalCtx* ctx) const;
+  Status ExecStmt(const Stmt& s, EvalCtx* ctx, EffectBuffer* buffer) const;
+  Result<Value> EvalBuiltin(const Expr& e, EvalCtx* ctx) const;
+
+  const Script* script_;
+  AggregateProvider* provider_ = nullptr;
+  ActionSink* sink_ = nullptr;
+  AttrId posx_attr_ = Schema::kInvalidAttr;
+  AttrId posy_attr_ = Schema::kInvalidAttr;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_SGL_INTERPRETER_H_

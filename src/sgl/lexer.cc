@@ -1,0 +1,259 @@
+#include "sgl/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace sgl {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMaxAssign: return "'max='";
+    case TokenKind::kMinAssign: return "'min='";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kNotEq: return "'<>'";
+    case TokenKind::kKwConst: return "'const'";
+    case TokenKind::kKwAggregate: return "'aggregate'";
+    case TokenKind::kKwAction: return "'action'";
+    case TokenKind::kKwFunction: return "'function'";
+    case TokenKind::kKwLet: return "'let'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwThen: return "'then'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwPerform: return "'perform'";
+    case TokenKind::kKwSelect: return "'select'";
+    case TokenKind::kKwFrom: return "'from'";
+    case TokenKind::kKwWhere: return "'where'";
+    case TokenKind::kKwUpdate: return "'update'";
+    case TokenKind::kKwSet: return "'set'";
+    case TokenKind::kKwAs: return "'as'";
+    case TokenKind::kKwAnd: return "'and'";
+    case TokenKind::kKwOr: return "'or'";
+    case TokenKind::kKwNot: return "'not'";
+    case TokenKind::kKwMod: return "'mod'";
+    case TokenKind::kKwPriority: return "'priority'";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  if (kind == TokenKind::kIdent) return "identifier '" + text + "'";
+  if (kind == TokenKind::kNumber) return "number";
+  return TokenKindName(kind);
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenKind>{
+      {"const", TokenKind::kKwConst},
+      {"aggregate", TokenKind::kKwAggregate},
+      {"action", TokenKind::kKwAction},
+      {"function", TokenKind::kKwFunction},
+      {"let", TokenKind::kKwLet},
+      {"if", TokenKind::kKwIf},
+      {"then", TokenKind::kKwThen},
+      {"else", TokenKind::kKwElse},
+      {"perform", TokenKind::kKwPerform},
+      {"select", TokenKind::kKwSelect},
+      {"from", TokenKind::kKwFrom},
+      {"where", TokenKind::kKwWhere},
+      {"update", TokenKind::kKwUpdate},
+      {"set", TokenKind::kKwSet},
+      {"as", TokenKind::kKwAs},
+      {"and", TokenKind::kKwAnd},
+      {"or", TokenKind::kKwOr},
+      {"not", TokenKind::kKwNot},
+      {"mod", TokenKind::kKwMod},
+      {"priority", TokenKind::kKwPriority},
+  };
+  return *kMap;
+}
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(c));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int32_t line = 1;
+  int32_t col = 1;
+  const size_t n = source.size();
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < n ? source[i + off] : '\0';
+  };
+  auto push = [&](TokenKind kind, std::string text = "", double num = 0.0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.number = num;
+    t.line = line;
+    t.column = col;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments: '#' or '//' to end of line.
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < n && peek() != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      int32_t tline = line, tcol = col;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+        advance(1);
+      }
+      std::string word = source.substr(start, i - start);
+      auto it = Keywords().find(ToLower(word));
+      Token t;
+      t.kind = it == Keywords().end() ? TokenKind::kIdent : it->second;
+      t.text = word;
+      t.line = tline;
+      t.column = tcol;
+      // `max=` / `min=` compound assignment (whitespace-free).
+      if (t.kind == TokenKind::kIdent &&
+          (ToLower(word) == "max" || ToLower(word) == "min") && peek() == '=' &&
+          peek(1) != '=') {
+        t.kind = ToLower(word) == "max" ? TokenKind::kMaxAssign
+                                        : TokenKind::kMinAssign;
+        advance(1);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      int32_t tline = line, tcol = col;
+      bool seen_dot = false;
+      while (i < n) {
+        char d = peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          advance(1);
+        } else if (d == '.' && !seen_dot &&
+                   std::isdigit(static_cast<unsigned char>(peek(1)))) {
+          seen_dot = true;
+          advance(1);
+        } else {
+          break;
+        }
+      }
+      std::string num = source.substr(start, i - start);
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.number = std::stod(num);
+      t.text = num;
+      t.line = tline;
+      t.column = tcol;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    switch (c) {
+      case '(': push(TokenKind::kLParen); advance(1); break;
+      case ')': push(TokenKind::kRParen); advance(1); break;
+      case '{': push(TokenKind::kLBrace); advance(1); break;
+      case '}': push(TokenKind::kRBrace); advance(1); break;
+      case ',': push(TokenKind::kComma); advance(1); break;
+      case ';': push(TokenKind::kSemicolon); advance(1); break;
+      case '.': push(TokenKind::kDot); advance(1); break;
+      case '*': push(TokenKind::kStar); advance(1); break;
+      case '/': push(TokenKind::kSlash); advance(1); break;
+      case '+':
+        if (peek(1) == '=') {
+          push(TokenKind::kPlusAssign);
+          advance(2);
+        } else {
+          push(TokenKind::kPlus);
+          advance(1);
+        }
+        break;
+      case '-': push(TokenKind::kMinus); advance(1); break;
+      case '=':
+        if (peek(1) == '=') {
+          push(TokenKind::kAssign);  // tolerate '==' as equality
+          advance(2);
+        } else {
+          push(TokenKind::kAssign);
+          advance(1);
+        }
+        break;
+      case '<':
+        if (peek(1) == '=') {
+          push(TokenKind::kLessEq);
+          advance(2);
+        } else if (peek(1) == '>') {
+          push(TokenKind::kNotEq);
+          advance(2);
+        } else {
+          push(TokenKind::kLess);
+          advance(1);
+        }
+        break;
+      case '>':
+        if (peek(1) == '=') {
+          push(TokenKind::kGreaterEq);
+          advance(2);
+        } else {
+          push(TokenKind::kGreater);
+          advance(1);
+        }
+        break;
+      case '!':
+        if (peek(1) == '=') {
+          push(TokenKind::kNotEq);
+          advance(2);
+          break;
+        }
+        [[fallthrough]];
+      default:
+        return Status::ParseError("unexpected character '", std::string(1, c),
+                                  "' at line ", line, ", column ", col);
+    }
+  }
+  push(TokenKind::kEnd);
+  return tokens;
+}
+
+}  // namespace sgl

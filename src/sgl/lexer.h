@@ -1,0 +1,20 @@
+// Lexer for SGL source text.
+#ifndef SGL_SGL_LEXER_H_
+#define SGL_SGL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sgl/token.h"
+#include "util/status.h"
+
+namespace sgl {
+
+/// Tokenize `source`. Identifiers are case-sensitive; keywords are
+/// case-insensitive (SQL heritage: `SELECT` and `select` both work).
+/// Comments run from `#` or `//` to end of line.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace sgl
+
+#endif  // SGL_SGL_LEXER_H_

@@ -1,0 +1,605 @@
+#include "sgl/parser.h"
+
+#include <unordered_map>
+
+#include "sgl/lexer.h"
+
+namespace sgl {
+
+namespace {
+
+/// Parser state: a token cursor with one-token lookahead.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Parse();
+
+ private:
+  const Token& Peek(size_t off = 0) const {
+    size_t i = pos_ + off;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Expect(TokenKind kind, const char* context) {
+    if (Check(kind)) {
+      ++pos_;
+      return Status::OK();
+    }
+    return Status::ParseError("expected ", TokenKindName(kind), " ", context,
+                              ", found ", Peek().Describe(), " at line ",
+                              Peek().line);
+  }
+
+  Status ParseConstDecl(Program* program);
+  Status ParseAggregateDecl(Program* program);
+  Status ParseActionDecl(Program* program);
+  Status ParseFunctionDecl(Program* program);
+  Result<std::vector<std::string>> ParseParamList();
+
+  Result<StmtPtr> ParseStmt();
+  Result<StmtPtr> ParseBlock();
+  Result<CondPtr> ParseCond();
+  Result<CondPtr> ParseAndCond();
+  Result<CondPtr> ParseNotCond();
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseMulExpr();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePostfix();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<Program> Parser::Parse() {
+  Program program;
+  while (!Check(TokenKind::kEnd)) {
+    switch (Peek().kind) {
+      case TokenKind::kKwConst:
+        SGL_RETURN_NOT_OK(ParseConstDecl(&program));
+        break;
+      case TokenKind::kKwAggregate:
+        SGL_RETURN_NOT_OK(ParseAggregateDecl(&program));
+        break;
+      case TokenKind::kKwAction:
+        SGL_RETURN_NOT_OK(ParseActionDecl(&program));
+        break;
+      case TokenKind::kKwFunction:
+        SGL_RETURN_NOT_OK(ParseFunctionDecl(&program));
+        break;
+      default:
+        return Status::ParseError(
+            "expected a declaration (const/aggregate/action/function), "
+            "found ",
+            Peek().Describe(), " at line ", Peek().line);
+    }
+  }
+  return program;
+}
+
+Status Parser::ParseConstDecl(Program* program) {
+  Advance();  // const
+  ConstDecl decl;
+  decl.line = Peek().line;
+  if (!Check(TokenKind::kIdent)) {
+    return Status::ParseError("expected constant name at line ", Peek().line);
+  }
+  decl.name = Advance().text;
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kAssign, "in const declaration"));
+  SGL_ASSIGN_OR_RETURN(decl.value, ParseExpr());
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "after const declaration"));
+  program->consts.push_back(std::move(decl));
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> Parser::ParseParamList() {
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kLParen, "before parameter list"));
+  std::vector<std::string> params;
+  if (!Check(TokenKind::kRParen)) {
+    do {
+      if (!Check(TokenKind::kIdent)) {
+        return Status::ParseError("expected parameter name at line ",
+                                  Peek().line);
+      }
+      params.push_back(Advance().text);
+    } while (Match(TokenKind::kComma));
+  }
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kRParen, "after parameter list"));
+  return params;
+}
+
+Status Parser::ParseAggregateDecl(Program* program) {
+  Advance();  // aggregate
+  AggregateDecl decl;
+  decl.line = Peek().line;
+  if (!Check(TokenKind::kIdent)) {
+    return Status::ParseError("expected aggregate name at line ", Peek().line);
+  }
+  decl.name = Advance().text;
+  SGL_ASSIGN_OR_RETURN(decl.params, ParseParamList());
+  if (decl.params.empty()) {
+    return Status::ParseError("aggregate '", decl.name,
+                              "' needs at least the probing unit parameter");
+  }
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kLBrace, "to open aggregate body"));
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kKwSelect, "in aggregate body"));
+
+  do {
+    AggItem item;
+    if (!Check(TokenKind::kIdent)) {
+      return Status::ParseError("expected aggregate function at line ",
+                                Peek().line);
+    }
+    std::string fname = Advance().text;
+    for (char& ch : fname) ch = static_cast<char>(std::tolower(ch));
+    static const std::unordered_map<std::string, AggFunc> kFuncs = {
+        {"count", AggFunc::kCount},   {"sum", AggFunc::kSum},
+        {"avg", AggFunc::kAvg},       {"min", AggFunc::kMin},
+        {"max", AggFunc::kMax},       {"stddev", AggFunc::kStddev},
+        {"argmin", AggFunc::kArgmin}, {"argmax", AggFunc::kArgmax},
+        {"nearest", AggFunc::kNearest}};
+    auto it = kFuncs.find(fname);
+    if (it == kFuncs.end()) {
+      return Status::ParseError("unknown aggregate function '", fname,
+                                "' at line ", Peek().line);
+    }
+    item.func = it->second;
+    SGL_RETURN_NOT_OK(Expect(TokenKind::kLParen, "after aggregate function"));
+    if (item.func == AggFunc::kCount || item.func == AggFunc::kNearest) {
+      Match(TokenKind::kStar);  // count(*) — the '*' is optional sugar
+    } else {
+      SGL_ASSIGN_OR_RETURN(item.term, ParseExpr());
+    }
+    SGL_RETURN_NOT_OK(Expect(TokenKind::kRParen, "after aggregate argument"));
+    if (Match(TokenKind::kKwAs)) {
+      if (!Check(TokenKind::kIdent)) {
+        return Status::ParseError("expected alias after 'as' at line ",
+                                  Peek().line);
+      }
+      item.alias = Advance().text;
+    } else {
+      item.alias = fname;  // default alias: the function name
+    }
+    decl.items.push_back(std::move(item));
+  } while (Match(TokenKind::kComma));
+
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kKwFrom, "in aggregate body"));
+  // FROM E e — the table name is fixed (the environment); the alias names
+  // the scanned tuple.
+  if (!Check(TokenKind::kIdent)) {
+    return Status::ParseError("expected table name after 'from' at line ",
+                              Peek().line);
+  }
+  Advance();  // table name (conventionally "E"); single-table model
+  if (Check(TokenKind::kIdent)) {
+    decl.row_var = Advance().text;
+  } else {
+    decl.row_var = "e";
+  }
+  if (Match(TokenKind::kKwWhere)) {
+    SGL_ASSIGN_OR_RETURN(decl.where, ParseCond());
+  } else {
+    decl.where = MakeTrue();
+  }
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "after select statement"));
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "to close aggregate body"));
+  program->aggregates.push_back(std::move(decl));
+  return Status::OK();
+}
+
+Status Parser::ParseActionDecl(Program* program) {
+  Advance();  // action
+  ActionDecl decl;
+  decl.line = Peek().line;
+  if (!Check(TokenKind::kIdent)) {
+    return Status::ParseError("expected action name at line ", Peek().line);
+  }
+  decl.name = Advance().text;
+  SGL_ASSIGN_OR_RETURN(decl.params, ParseParamList());
+  if (decl.params.empty()) {
+    return Status::ParseError("action '", decl.name,
+                              "' needs at least the performing unit parameter");
+  }
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kLBrace, "to open action body"));
+  while (!Check(TokenKind::kRBrace)) {
+    UpdateStmt update;
+    update.line = Peek().line;
+    SGL_RETURN_NOT_OK(Expect(TokenKind::kKwUpdate, "in action body"));
+    if (!Check(TokenKind::kIdent)) {
+      return Status::ParseError("expected row alias after 'update' at line ",
+                                Peek().line);
+    }
+    update.row_var = Advance().text;
+    if (Match(TokenKind::kKwWhere)) {
+      SGL_ASSIGN_OR_RETURN(update.where, ParseCond());
+    } else {
+      update.where = MakeTrue();
+    }
+    SGL_RETURN_NOT_OK(Expect(TokenKind::kKwSet, "in update statement"));
+    do {
+      SetItem item;
+      if (!Check(TokenKind::kIdent)) {
+        return Status::ParseError("expected attribute name at line ",
+                                  Peek().line);
+      }
+      item.attr = Advance().text;
+      switch (Peek().kind) {
+        case TokenKind::kPlusAssign:
+          item.op = SetOp::kAdd;
+          Advance();
+          break;
+        case TokenKind::kMaxAssign:
+          item.op = SetOp::kMaxOf;
+          Advance();
+          break;
+        case TokenKind::kMinAssign:
+          item.op = SetOp::kMinOf;
+          Advance();
+          break;
+        case TokenKind::kAssign:
+          item.op = SetOp::kSetPriority;
+          Advance();
+          break;
+        default:
+          return Status::ParseError("expected '+=', 'max=', 'min=' or '=' in "
+                                    "set clause at line ",
+                                    Peek().line);
+      }
+      SGL_ASSIGN_OR_RETURN(item.value, ParseExpr());
+      if (item.op == SetOp::kSetPriority) {
+        SGL_RETURN_NOT_OK(
+            Expect(TokenKind::kKwPriority, "after absolute set value"));
+        SGL_ASSIGN_OR_RETURN(item.priority, ParseExpr());
+      }
+      update.sets.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+    SGL_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "after update statement"));
+    decl.updates.push_back(std::move(update));
+  }
+  Advance();  // }
+  if (decl.updates.empty()) {
+    return Status::ParseError("action '", decl.name,
+                              "' has no update statements");
+  }
+  program->actions.push_back(std::move(decl));
+  return Status::OK();
+}
+
+Status Parser::ParseFunctionDecl(Program* program) {
+  Advance();  // function
+  FunctionDecl decl;
+  decl.line = Peek().line;
+  if (!Check(TokenKind::kIdent)) {
+    return Status::ParseError("expected function name at line ", Peek().line);
+  }
+  decl.name = Advance().text;
+  SGL_ASSIGN_OR_RETURN(decl.params, ParseParamList());
+  if (decl.params.empty()) {
+    return Status::ParseError("function '", decl.name,
+                              "' needs at least the unit tuple parameter");
+  }
+  SGL_ASSIGN_OR_RETURN(decl.body, ParseBlock());
+  program->functions.push_back(std::move(decl));
+  return Status::OK();
+}
+
+Result<StmtPtr> Parser::ParseBlock() {
+  auto block = std::make_unique<Stmt>();
+  block->kind = StmtKind::kBlock;
+  block->line = Peek().line;
+  SGL_RETURN_NOT_OK(Expect(TokenKind::kLBrace, "to open block"));
+  while (!Check(TokenKind::kRBrace)) {
+    if (Match(TokenKind::kSemicolon)) continue;  // empty statement
+    SGL_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStmt());
+    block->body.push_back(std::move(stmt));
+  }
+  Advance();  // }
+  return StmtPtr(std::move(block));
+}
+
+Result<StmtPtr> Parser::ParseStmt() {
+  switch (Peek().kind) {
+    case TokenKind::kLBrace:
+      return ParseBlock();
+    case TokenKind::kKwLet: {
+      // Both `let x = t;` and the paper's `(let x = t)` prefix form reach
+      // here (the latter via ParsePrimary-like parenthesized handling below).
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kLet;
+      stmt->line = Peek().line;
+      Advance();  // let
+      if (!Check(TokenKind::kIdent)) {
+        return Status::ParseError("expected name after 'let' at line ",
+                                  Peek().line);
+      }
+      stmt->let_name = Advance().text;
+      SGL_RETURN_NOT_OK(Expect(TokenKind::kAssign, "in let statement"));
+      SGL_ASSIGN_OR_RETURN(stmt->let_value, ParseExpr());
+      SGL_RETURN_NOT_OK(Expect(TokenKind::kSemicolon, "after let statement"));
+      return StmtPtr(std::move(stmt));
+    }
+    case TokenKind::kLParen: {
+      // Paper-style `(let x = t) stmt`: the let scopes over the following
+      // statement; we desugar to a block.
+      if (Peek(1).kind != TokenKind::kKwLet) break;
+      Advance();  // (
+      auto let = std::make_unique<Stmt>();
+      let->kind = StmtKind::kLet;
+      let->line = Peek().line;
+      Advance();  // let
+      if (!Check(TokenKind::kIdent)) {
+        return Status::ParseError("expected name after 'let' at line ",
+                                  Peek().line);
+      }
+      let->let_name = Advance().text;
+      SGL_RETURN_NOT_OK(Expect(TokenKind::kAssign, "in let binding"));
+      SGL_ASSIGN_OR_RETURN(let->let_value, ParseExpr());
+      SGL_RETURN_NOT_OK(Expect(TokenKind::kRParen, "after let binding"));
+      SGL_ASSIGN_OR_RETURN(StmtPtr scope, ParseStmt());
+      auto block = std::make_unique<Stmt>();
+      block->kind = StmtKind::kBlock;
+      block->line = let->line;
+      block->body.push_back(std::move(let));
+      block->body.push_back(std::move(scope));
+      return StmtPtr(std::move(block));
+    }
+    case TokenKind::kKwIf: {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kIf;
+      stmt->line = Peek().line;
+      Advance();  // if
+      SGL_ASSIGN_OR_RETURN(stmt->cond, ParseCond());
+      SGL_RETURN_NOT_OK(Expect(TokenKind::kKwThen, "after if condition"));
+      SGL_ASSIGN_OR_RETURN(stmt->then_branch, ParseStmt());
+      if (Match(TokenKind::kKwElse)) {
+        SGL_ASSIGN_OR_RETURN(stmt->else_branch, ParseStmt());
+      }
+      return StmtPtr(std::move(stmt));
+    }
+    case TokenKind::kKwPerform: {
+      auto stmt = std::make_unique<Stmt>();
+      stmt->kind = StmtKind::kPerform;
+      stmt->line = Peek().line;
+      Advance();  // perform
+      if (!Check(TokenKind::kIdent)) {
+        return Status::ParseError("expected action name after 'perform' at "
+                                  "line ",
+                                  Peek().line);
+      }
+      stmt->target = Advance().text;
+      SGL_RETURN_NOT_OK(Expect(TokenKind::kLParen, "after action name"));
+      if (!Check(TokenKind::kRParen)) {
+        do {
+          SGL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          stmt->args.push_back(std::move(arg));
+        } while (Match(TokenKind::kComma));
+      }
+      SGL_RETURN_NOT_OK(Expect(TokenKind::kRParen, "after action arguments"));
+      SGL_RETURN_NOT_OK(
+          Expect(TokenKind::kSemicolon, "after perform statement"));
+      return StmtPtr(std::move(stmt));
+    }
+    default:
+      break;
+  }
+  return Status::ParseError("expected a statement, found ", Peek().Describe(),
+                            " at line ", Peek().line);
+}
+
+Result<CondPtr> Parser::ParseCond() {
+  SGL_ASSIGN_OR_RETURN(CondPtr left, ParseAndCond());
+  while (Match(TokenKind::kKwOr)) {
+    SGL_ASSIGN_OR_RETURN(CondPtr right, ParseAndCond());
+    auto node = std::make_unique<Cond>();
+    node->kind = CondKind::kOr;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    left = std::move(node);
+  }
+  return left;
+}
+
+Result<CondPtr> Parser::ParseAndCond() {
+  SGL_ASSIGN_OR_RETURN(CondPtr left, ParseNotCond());
+  while (Match(TokenKind::kKwAnd)) {
+    SGL_ASSIGN_OR_RETURN(CondPtr right, ParseNotCond());
+    left = MakeAnd(std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<CondPtr> Parser::ParseNotCond() {
+  if (Match(TokenKind::kKwNot)) {
+    SGL_ASSIGN_OR_RETURN(CondPtr inner, ParseNotCond());
+    return MakeNot(std::move(inner));
+  }
+  // A parenthesis can open a nested condition or a parenthesized term;
+  // resolve by scanning for a comparison operator at depth 0. Simpler and
+  // robust: try a term first, expect a comparison operator after it —
+  // except when the parenthesis directly nests a condition, which we
+  // detect by attempting the condition parse and backtracking on failure.
+  if (Check(TokenKind::kLParen)) {
+    size_t saved = pos_;
+    Advance();
+    auto nested = ParseCond();
+    if (nested.ok() && Check(TokenKind::kRParen)) {
+      Advance();
+      return nested.MoveValue();
+    }
+    pos_ = saved;  // fall through to comparison
+  }
+  auto node = std::make_unique<Cond>();
+  node->kind = CondKind::kCompare;
+  node->line = Peek().line;
+  SGL_ASSIGN_OR_RETURN(node->lhs, ParseExpr());
+  switch (Peek().kind) {
+    case TokenKind::kAssign: node->op = CompareOp::kEq; break;
+    case TokenKind::kNotEq: node->op = CompareOp::kNe; break;
+    case TokenKind::kLess: node->op = CompareOp::kLt; break;
+    case TokenKind::kLessEq: node->op = CompareOp::kLe; break;
+    case TokenKind::kGreater: node->op = CompareOp::kGt; break;
+    case TokenKind::kGreaterEq: node->op = CompareOp::kGe; break;
+    default:
+      return Status::ParseError("expected comparison operator, found ",
+                                Peek().Describe(), " at line ", Peek().line);
+  }
+  Advance();
+  SGL_ASSIGN_OR_RETURN(node->rhs, ParseExpr());
+  return CondPtr(std::move(node));
+}
+
+Result<ExprPtr> Parser::ParseExpr() {
+  SGL_ASSIGN_OR_RETURN(ExprPtr left, ParseMulExpr());
+  while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+    BinaryOp op =
+        Peek().kind == TokenKind::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+    int32_t line = Peek().line;
+    Advance();
+    SGL_ASSIGN_OR_RETURN(ExprPtr right, ParseMulExpr());
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kBinary;
+    node->op = op;
+    node->line = line;
+    node->args.push_back(std::move(left));
+    node->args.push_back(std::move(right));
+    left = std::move(node);
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMulExpr() {
+  SGL_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (Check(TokenKind::kStar) || Check(TokenKind::kSlash) ||
+         Check(TokenKind::kKwMod)) {
+    BinaryOp op = Peek().kind == TokenKind::kStar    ? BinaryOp::kMul
+                  : Peek().kind == TokenKind::kSlash ? BinaryOp::kDiv
+                                                     : BinaryOp::kMod;
+    int32_t line = Peek().line;
+    Advance();
+    SGL_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kBinary;
+    node->op = op;
+    node->line = line;
+    node->args.push_back(std::move(left));
+    node->args.push_back(std::move(right));
+    left = std::move(node);
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Check(TokenKind::kMinus)) {
+    int32_t line = Peek().line;
+    Advance();
+    SGL_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kUnaryMinus;
+    node->line = line;
+    node->args.push_back(std::move(inner));
+    return ExprPtr(std::move(node));
+  }
+  return ParsePostfix();
+}
+
+Result<ExprPtr> Parser::ParsePostfix() {
+  SGL_ASSIGN_OR_RETURN(ExprPtr base, ParsePrimary());
+  while (Check(TokenKind::kDot)) {
+    int32_t line = Peek().line;
+    Advance();
+    if (!Check(TokenKind::kIdent)) {
+      return Status::ParseError("expected member name after '.' at line ",
+                                Peek().line);
+    }
+    std::string member = Advance().text;
+    if (base->kind == ExprKind::kVarRef) {
+      // u.posx — possibly a tuple attribute access; the analyzer decides
+      // whether `base` names a tuple or a row-valued let-binding.
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kAttrRef;
+      node->line = line;
+      node->tuple_var = base->name;
+      node->attr = member;
+      base = std::move(node);
+    } else {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kFieldAccess;
+      node->line = line;
+      node->attr = member;
+      node->args.push_back(std::move(base));
+      base = std::move(node);
+    }
+  }
+  return base;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.kind) {
+    case TokenKind::kNumber: {
+      ExprPtr node = MakeNumber(tok.number, tok.line);
+      Advance();
+      return node;
+    }
+    case TokenKind::kIdent: {
+      std::string name = Advance().text;
+      if (Match(TokenKind::kLParen)) {
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kCall;
+        node->name = name;
+        node->line = tok.line;
+        if (!Check(TokenKind::kRParen)) {
+          do {
+            SGL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            node->args.push_back(std::move(arg));
+          } while (Match(TokenKind::kComma));
+        }
+        SGL_RETURN_NOT_OK(Expect(TokenKind::kRParen, "after call arguments"));
+        return ExprPtr(std::move(node));
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kVarRef;
+      node->name = name;
+      node->line = tok.line;
+      return ExprPtr(std::move(node));
+    }
+    case TokenKind::kLParen: {
+      Advance();
+      SGL_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+      if (Match(TokenKind::kComma)) {
+        // Tuple literal (x, y) — a Vec2.
+        SGL_ASSIGN_OR_RETURN(ExprPtr second, ParseExpr());
+        SGL_RETURN_NOT_OK(Expect(TokenKind::kRParen, "after tuple literal"));
+        auto node = std::make_unique<Expr>();
+        node->kind = ExprKind::kTuple;
+        node->line = tok.line;
+        node->args.push_back(std::move(first));
+        node->args.push_back(std::move(second));
+        return ExprPtr(std::move(node));
+      }
+      SGL_RETURN_NOT_OK(
+          Expect(TokenKind::kRParen, "after parenthesized expression"));
+      return first;
+    }
+    default:
+      return Status::ParseError("expected an expression, found ",
+                                tok.Describe(), " at line ", tok.line);
+  }
+}
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& source) {
+  SGL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace sgl

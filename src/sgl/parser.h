@@ -1,0 +1,17 @@
+// Recursive-descent parser for SGL.
+#ifndef SGL_SGL_PARSER_H_
+#define SGL_SGL_PARSER_H_
+
+#include <string>
+
+#include "sgl/ast.h"
+#include "util/status.h"
+
+namespace sgl {
+
+/// Parse a full SGL compilation unit (declarations and functions).
+Result<Program> ParseProgram(const std::string& source);
+
+}  // namespace sgl
+
+#endif  // SGL_SGL_PARSER_H_

@@ -1,0 +1,78 @@
+// Token definitions for the SGL lexer.
+//
+// SGL's surface syntax (Section 4.1) is an imperative-looking functional
+// language: let-bindings, conditionals, `perform`, plus SQL-like
+// `aggregate` and `action` declaration forms mirroring Figures 4 and 5.
+#ifndef SGL_SGL_TOKEN_H_
+#define SGL_SGL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sgl {
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdent,
+  kNumber,
+  // Punctuation.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kDot,
+  // Operators.
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kAssign,      // =   (also the equality comparison)
+  kPlusAssign,  // +=
+  kMaxAssign,   // max=
+  kMinAssign,   // min=
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kNotEq,  // <> or !=
+  // Keywords.
+  kKwConst,
+  kKwAggregate,
+  kKwAction,
+  kKwFunction,
+  kKwLet,
+  kKwIf,
+  kKwThen,
+  kKwElse,
+  kKwPerform,
+  kKwSelect,
+  kKwFrom,
+  kKwWhere,
+  kKwUpdate,
+  kKwSet,
+  kKwAs,
+  kKwAnd,
+  kKwOr,
+  kKwNot,
+  kKwMod,
+  kKwPriority,
+};
+
+/// Printable token-kind name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // identifier spelling (original case)
+  double number = 0.0; // numeric literal value
+  int32_t line = 1;
+  int32_t column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_SGL_TOKEN_H_

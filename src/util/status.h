@@ -1,0 +1,160 @@
+// Status / Result error handling, in the style of Arrow and RocksDB.
+//
+// SGL is a library embedded in a game loop; failures (bad scripts, schema
+// mismatches) are reported as values, never as exceptions, so the engine
+// can surface them to the game designer without unwinding the simulation.
+#ifndef SGL_UTIL_STATUS_H_
+#define SGL_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace sgl {
+
+/// Category of failure carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something structurally wrong
+  kParseError,        ///< SGL source did not lex/parse
+  kAnalysisError,     ///< script failed semantic analysis (names, types, tags)
+  kPlanError,         ///< optimizer / physical planner failure
+  kExecutionError,    ///< runtime failure while evaluating a plan or script
+  kNotFound,          ///< lookup missed (attribute, function, index)
+  kAlreadyExists,     ///< duplicate registration
+  kUnimplemented,     ///< feature intentionally not supported
+  kInternal,          ///< invariant violation; indicates a library bug
+};
+
+/// Human-readable name of a StatusCode ("Invalid argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: a code plus a message. `Status::OK()` is cheap
+/// (no allocation). Modeled on arrow::Status.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+
+  template <typename... Args>
+  static Status Invalid(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ParseError(Args&&... args) {
+    return Make(StatusCode::kParseError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AnalysisError(Args&&... args) {
+    return Make(StatusCode::kAnalysisError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status PlanError(Args&&... args) {
+    return Make(StatusCode::kPlanError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ExecutionError(Args&&... args) {
+    return Make(StatusCode::kExecutionError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unimplemented(Args&&... args) {
+    return Make(StatusCode::kUnimplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "Parse error: unexpected token ';' at line 3"
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args) {
+    std::ostringstream os;
+    (os << ... << args);
+    return Status(code, os.str());
+  }
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// A value-or-Status, in the style of arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK Status from an expression.
+#define SGL_RETURN_NOT_OK(expr)              \
+  do {                                       \
+    ::sgl::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluate a Result-returning expression; bind the value or propagate.
+#define SGL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = tmp.MoveValue()
+
+#define SGL_CONCAT_INNER(a, b) a##b
+#define SGL_CONCAT(a, b) SGL_CONCAT_INNER(a, b)
+
+#define SGL_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SGL_ASSIGN_OR_RETURN_IMPL(SGL_CONCAT(_sgl_res_, __COUNTER__), lhs, rexpr)
+
+}  // namespace sgl
+
+#endif  // SGL_UTIL_STATUS_H_

@@ -1,0 +1,47 @@
+// Small string helpers shared by the lexer, plan printer, and benches.
+#ifndef SGL_UTIL_STRING_UTIL_H_
+#define SGL_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sgl {
+
+/// Join `parts` with `sep`.
+inline std::string Join(const std::vector<std::string>& parts,
+                        const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+/// Printf-free formatting of doubles with fixed precision.
+inline std::string FormatDouble(double v, int precision = 3) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+/// True if `s` starts with `prefix`.
+inline bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Repeat a string n times ("  " * depth for plan indentation).
+inline std::string Repeat(const std::string& s, int n) {
+  std::string out;
+  out.reserve(s.size() * static_cast<size_t>(n > 0 ? n : 0));
+  for (int i = 0; i < n; ++i) out += s;
+  return out;
+}
+
+}  // namespace sgl
+
+#endif  // SGL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,82 @@
+// Lightweight wall-clock timing for the benchmark harnesses and the
+// engine's per-phase instrumentation (Section 6 measures per-tick cost).
+#ifndef SGL_UTIL_TIMER_H_
+#define SGL_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sgl {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named durations, e.g. per engine phase across many ticks.
+class PhaseTimes {
+ public:
+  void Add(const std::string& phase, double seconds) {
+    totals_[phase] += seconds;
+    counts_[phase] += 1;
+  }
+
+  double Total(const std::string& phase) const {
+    auto it = totals_.find(phase);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  int64_t Count(const std::string& phase) const {
+    auto it = counts_.find(phase);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, double>& totals() const { return totals_; }
+
+  void Clear() {
+    totals_.clear();
+    counts_.clear();
+  }
+
+ private:
+  std::map<std::string, double> totals_;
+  std::map<std::string, int64_t> counts_;
+};
+
+/// RAII helper: adds elapsed time to a PhaseTimes slot on destruction.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseTimes* sink, std::string phase)
+      : sink_(sink), phase_(std::move(phase)) {}
+  ~ScopedPhaseTimer() {
+    if (sink_ != nullptr) sink_->Add(phase_, timer_.Seconds());
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  PhaseTimes* sink_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_UTIL_TIMER_H_

@@ -1,0 +1,205 @@
+// Logical-plan tests: translation (Figure 6(a)), the push-down/pruning
+// rewrite (6(a) -> 6(b)), common-aggregate factoring and the total-action
+// rule (6(c) -> 6(d)).
+#include <gtest/gtest.h>
+
+#include "algebra/plan.h"
+#include "game/battle.h"
+
+namespace sgl {
+namespace {
+
+Script Compile(const std::string& src) {
+  auto script = CompileScript(src, BattleSchema());
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  return script.MoveValue();
+}
+
+// The Figure 3 script, which Example 5.1 walks through Figure 6.
+const char* kFigure3 = R"(
+  aggregate CountEnemiesInRange(u, range) {
+    select count(*) from E e
+    where e.posx >= u.posx - range and e.posx <= u.posx + range
+      and e.posy >= u.posy - range and e.posy <= u.posy + range
+      and e.player <> u.player;
+  }
+  aggregate CentroidOfEnemyUnits(u, range) {
+    select avg(e.posx) as x, avg(e.posy) as y from E e
+    where e.posx >= u.posx - range and e.posx <= u.posx + range
+      and e.posy >= u.posy - range and e.posy <= u.posy + range
+      and e.player <> u.player;
+  }
+  aggregate getNearestEnemy(u) {
+    select nearest(*) from E e where e.player <> u.player;
+  }
+  action MoveInDirection(u, dx, dy) {
+    update e where e.key = u.key set movex += dx, movey += dy;
+  }
+  action FireAt(u, target) {
+    update e where e.key = target set damage += 1;
+    update e where e.key = u.key set weaponused += 1;
+  }
+  function main(u) {
+    (let c = CountEnemiesInRange(u, 10))
+    (let away = (u.posx, u.posy) - CentroidOfEnemyUnits(u, 10)) {
+      if c > 5 then
+        perform MoveInDirection(u, away.x, away.y);
+      else if c > 0 and u.cooldown = 0 then {
+        let target = getNearestEnemy(u);
+        perform FireAt(u, target.key);
+      }
+    }
+  }
+)";
+
+TEST(Translate, Figure3ProducesFigure6a) {
+  Script script = Compile(kFigure3);
+  auto plan = TranslateScript(script);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Two action branches under the root ⊕.
+  ASSERT_EQ(2u, plan->root->children.size());
+  // Both aggregate extensions are above the branch point (Figure 6(a)):
+  // the count and the centroid are evaluated before any selection.
+  EXPECT_EQ(3, plan->NumAggregateNodes());  // count, centroid, nearest
+  std::string rendered = plan->ToString();
+  EXPECT_NE(std::string::npos, rendered.find("Scan(E)"));
+  EXPECT_NE(std::string::npos, rendered.find("act⊕ MoveInDirection"));
+  EXPECT_NE(std::string::npos, rendered.find("act⊕ FireAt"));
+  EXPECT_NE(std::string::npos, rendered.find("shared prefix"));
+}
+
+TEST(Optimize, PushesCentroidOutOfFireBranch) {
+  // Example 5.1's first optimization: in the FireAt branch the centroid
+  // (away vector) is unused, so after the rewrite that branch must not
+  // contain the centroid aggregate; the Move branch must still have it.
+  Script script = Compile(kFigure3);
+  auto plan = TranslateScript(script);
+  ASSERT_TRUE(plan.ok());
+  auto opt = OptimizePlan(*plan);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  // Identify branches by action.
+  const PlanPtr* move_leaf = nullptr;
+  const PlanPtr* fire_leaf = nullptr;
+  for (const PlanPtr& leaf : opt->root->children) {
+    const std::string& name =
+        script.program.actions[leaf->action_index].name;
+    if (name == "MoveInDirection") move_leaf = &leaf;
+    if (name == "FireAt") fire_leaf = &leaf;
+  }
+  ASSERT_NE(nullptr, move_leaf);
+  ASSERT_NE(nullptr, fire_leaf);
+
+  auto chain_aggs = [&](const PlanPtr& leaf) {
+    std::vector<std::string> cols;
+    for (const PlanNode* n = leaf.get(); n != nullptr; n = n->input.get()) {
+      if (n->op == PlanOp::kExtendAgg) cols.push_back(n->column);
+    }
+    return cols;
+  };
+  std::vector<std::string> move_aggs = chain_aggs(*move_leaf);
+  std::vector<std::string> fire_aggs = chain_aggs(*fire_leaf);
+  // Move branch: count (gates the σ) + centroid (hoisted as _agg0).
+  EXPECT_EQ(2u, move_aggs.size());
+  // Fire branch: count + nearest — the centroid is gone (Figure 6(b)).
+  EXPECT_EQ(2u, fire_aggs.size());
+  for (const std::string& col : fire_aggs) {
+    EXPECT_EQ(std::string::npos, col.find("_agg0"))
+        << "centroid survived in the FireAt branch";
+  }
+}
+
+TEST(Optimize, MarksSelfMoveTotalButNotFireAt) {
+  Script script = Compile(kFigure3);
+  auto plan = TranslateScript(script);
+  ASSERT_TRUE(plan.ok());
+  auto opt = OptimizePlan(*plan);
+  ASSERT_TRUE(opt.ok());
+  for (const PlanPtr& leaf : opt->root->children) {
+    const std::string& name =
+        script.program.actions[leaf->action_index].name;
+    if (name == "MoveInDirection") {
+      EXPECT_TRUE(leaf->action_total) << "rule (10) should apply to Move";
+    } else {
+      EXPECT_FALSE(leaf->action_total) << "FireAt touches other units";
+    }
+  }
+  EXPECT_NE(std::string::npos, opt->ToString().find("rule (10)"));
+}
+
+TEST(Optimize, FactorsCommonAggregates) {
+  // Two branches calling the same aggregate with the same arguments must
+  // share one signature id even when the calls are textually separate.
+  Script script = Compile(R"(
+    aggregate N(u, r) {
+      select count(*) from E e
+      where e.posx >= u.posx - r and e.posx <= u.posx + r;
+    }
+    action A(u) { update e where e.key = u.key set damage += 1; }
+    action B(u) { update e where e.key = u.key set movex += 1; }
+    function f(u) { if N(u, 5) > 2 then perform A(u); }
+    function g(u) { if N(u, 5) > 7 then perform B(u); }
+    function main(u) {
+      if u.player = 0 then perform f(u);
+      else perform g(u);
+    }
+  )");
+  auto plan = TranslateScript(script);
+  ASSERT_TRUE(plan.ok());
+  auto opt = OptimizePlan(*plan);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(2, opt->NumAggregateNodes());      // one per branch
+  EXPECT_EQ(1, opt->NumSharedSignatures());    // but a single signature
+}
+
+TEST(Optimize, DropsEntirelyUnusedAggregate) {
+  Script script = Compile(R"(
+    aggregate N(u) { select count(*) from E e; }
+    action A(u) { update e where e.key = u.key set damage += 1; }
+    function main(u) {
+      let unused = N(u);
+      perform A(u);
+    }
+  )");
+  auto plan = TranslateScript(script);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(1, plan->NumAggregateNodes());
+  auto opt = OptimizePlan(*plan);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(0, opt->NumAggregateNodes());
+}
+
+TEST(Optimize, BattleScriptShrinksAndShares) {
+  Script script = Compile(BattleScriptSource());
+  auto plan = TranslateScript(script);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto opt = OptimizePlan(*plan);
+  ASSERT_TRUE(opt.ok());
+  // The battle main fans out into the three per-type AIs; pruning must
+  // not grow the plan, and factoring must find shared signatures.
+  EXPECT_LE(opt->NumNodes(), plan->NumNodes());
+  EXPECT_GT(opt->NumAggregateNodes(), 0);
+  EXPECT_LE(opt->NumSharedSignatures(), opt->NumAggregateNodes());
+  std::string rendered = opt->ToString();
+  EXPECT_NE(std::string::npos, rendered.find("{sig #"));
+}
+
+TEST(Translate, InliningBindsParameters) {
+  Script script = Compile(R"(
+    action A(u, v) { update e where e.key = u.key set damage += v; }
+    function helper(me, amount) { perform A(me, amount + 1); }
+    function main(u) { perform helper(u, 41); }
+  )");
+  auto plan = TranslateScript(script);
+  ASSERT_TRUE(plan.ok());
+  // The helper's `amount` parameter appears as a π extension.
+  bool found_bind = false;
+  for (const PlanNode* n = plan->root->children[0].get(); n != nullptr;
+       n = n->input.get()) {
+    if (n->op == PlanOp::kExtend && n->column == "amount") found_bind = true;
+  }
+  EXPECT_TRUE(found_bind);
+}
+
+}  // namespace
+}  // namespace sgl

@@ -1,0 +1,231 @@
+// Behavioural tests for the battle case study: the Section 3.2 behaviours
+// (healing auras, morale flight, close ranks, cooldown discipline) must
+// actually emerge from the scripts.
+#include <gtest/gtest.h>
+
+#include "game/battle.h"
+
+namespace sgl {
+namespace {
+
+// A hand-built world: helpers to place specific units.
+class World {
+ public:
+  World() : table_(BattleSchema()) {}
+
+  int64_t Add(UnitType type, int64_t player, int64_t x, int64_t y,
+              double health = -1, double cooldown = 0) {
+    double hp, ac, soak;
+    switch (type) {
+      case UnitType::kKnight:
+        hp = D20::kKnightHealth;
+        ac = D20::kKnightArmorClass;
+        soak = D20::kKnightArmorSoak;
+        break;
+      case UnitType::kArcher:
+        hp = D20::kArcherHealth;
+        ac = D20::kArcherArmorClass;
+        soak = D20::kArcherArmorSoak;
+        break;
+      case UnitType::kHealer:
+        hp = D20::kHealerHealth;
+        ac = D20::kHealerArmorClass;
+        soak = D20::kHealerArmorSoak;
+        break;
+    }
+    double start_hp = health < 0 ? hp : health;
+    auto key = table_.AddRow({double(player),
+                              double(static_cast<int32_t>(type)), double(x),
+                              double(y), start_hp, hp, cooldown, ac, soak, 0,
+                              0, 0, 0, 0});
+    EXPECT_TRUE(key.ok());
+    return *key;
+  }
+
+  std::unique_ptr<Engine> MakeEngine(EvaluatorMode mode, int64_t side = 96) {
+    auto script = CompileScript(BattleScriptSource(), BattleSchema());
+    EXPECT_TRUE(script.ok()) << script.status().ToString();
+    mechanics_ = std::make_unique<BattleMechanics>(side, side,
+                                                   /*resurrect=*/false);
+    EngineConfig config;
+    config.mode = mode;
+    config.seed = 77;
+    config.grid_width = side;
+    config.grid_height = side;
+    config.step_per_tick = D20::kWalkPerTick;
+    auto engine = Engine::Create(script.MoveValue(), std::move(table_),
+                                 mechanics_.get(), config);
+    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+    return engine.MoveValue();
+  }
+
+  EnvironmentTable table_;
+  std::unique_ptr<BattleMechanics> mechanics_;
+};
+
+double Attr(const Engine& e, int64_t key, const char* name) {
+  const EnvironmentTable& t = e.table();
+  return t.Get(t.RowOf(key), t.schema().Find(name));
+}
+
+class Modes : public ::testing::TestWithParam<EvaluatorMode> {};
+INSTANTIATE_TEST_SUITE_P(Both, Modes,
+                         ::testing::Values(EvaluatorMode::kNaive,
+                                           EvaluatorMode::kIndexed));
+
+TEST_P(Modes, KnightKillsAdjacentWoundedArcher) {
+  World w;
+  int64_t knight = w.Add(UnitType::kKnight, 0, 10, 10);
+  int64_t archer = w.Add(UnitType::kArcher, 1, 11, 10, /*health=*/2);
+  auto engine = w.MakeEngine(GetParam());
+  // Within a few attack attempts (reload 2, ~70% hit chance) the archer,
+  // at 2 hp and 0 soak, must die and be removed (no resurrection).
+  for (int tick = 0; tick < 12 && engine->table().HasKey(archer); ++tick) {
+    ASSERT_TRUE(engine->Tick().ok());
+  }
+  EXPECT_FALSE(engine->table().HasKey(archer));
+  EXPECT_TRUE(engine->table().HasKey(knight));
+}
+
+TEST_P(Modes, HealerAuraHealsWoundedNeighborsOnce) {
+  World w;
+  // Two healers in range of the same wounded knight: the aura is
+  // nonstackable, so exactly one HEAL_AMOUNT applies per tick.
+  w.Add(UnitType::kHealer, 0, 10, 10);
+  w.Add(UnitType::kHealer, 0, 12, 10);
+  int64_t hurt = w.Add(UnitType::kKnight, 0, 11, 10,
+                       /*health=*/D20::kKnightHealth - 20);
+  auto engine = w.MakeEngine(GetParam());
+  ASSERT_TRUE(engine->Tick().ok());
+  EXPECT_EQ(D20::kKnightHealth - 20 + D20::kHealAmount,
+            Attr(*engine, hurt, "health"));
+}
+
+TEST_P(Modes, HealingNeverExceedsMaxHealth) {
+  World w;
+  w.Add(UnitType::kHealer, 0, 10, 10);
+  int64_t barely = w.Add(UnitType::kKnight, 0, 11, 10,
+                         /*health=*/D20::kKnightHealth - 1);
+  auto engine = w.MakeEngine(GetParam());
+  ASSERT_TRUE(engine->Tick().ok());
+  EXPECT_EQ(D20::kKnightHealth, Attr(*engine, barely, "health"));
+  ASSERT_TRUE(engine->Tick().ok());
+  EXPECT_EQ(D20::kKnightHealth, Attr(*engine, barely, "health"));
+}
+
+TEST_P(Modes, CooldownPreventsConsecutiveAttacks) {
+  World w;
+  int64_t knight = w.Add(UnitType::kKnight, 0, 10, 10);
+  w.Add(UnitType::kKnight, 1, 11, 10);  // sturdy target stays alive
+  auto engine = w.MakeEngine(GetParam());
+  ASSERT_TRUE(engine->Tick().ok());
+  // The knight attacked on tick 1: Example 4.1's post-processing yields
+  // cooldown = 0 - 1 + weaponused * RELOAD = RELOAD - 1.
+  EXPECT_EQ(D20::kReloadTicks - 1, Attr(*engine, knight, "cooldown"));
+  ASSERT_TRUE(engine->Tick().ok());
+  // Next tick it may not attack (cooldown > 0); the cooldown decays.
+  EXPECT_EQ(D20::kReloadTicks - 2, Attr(*engine, knight, "cooldown"));
+}
+
+TEST_P(Modes, OutnumberedArchersFleeEastward) {
+  World w;
+  // One archer facing a horde: morale (8) broken, enemy strength dwarfs
+  // its own; it must run away from the horde centroid, i.e. eastward.
+  int64_t archer = w.Add(UnitType::kArcher, 0, 50, 40);
+  for (int i = 0; i < 12; ++i) {
+    w.Add(UnitType::kKnight, 1, 30 + (i % 4), 38 + (i / 4));
+  }
+  auto engine = w.MakeEngine(GetParam());
+  double x0 = Attr(*engine, archer, "posx");
+  for (int tick = 0; tick < 4 && engine->table().HasKey(archer); ++tick) {
+    ASSERT_TRUE(engine->Tick().ok());
+  }
+  ASSERT_TRUE(engine->table().HasKey(archer));
+  EXPECT_GT(Attr(*engine, archer, "posx"), x0);
+}
+
+TEST_P(Modes, SpreadKnightsCloseRanks) {
+  World w;
+  // Knights of one army scattered over a wide area, no enemies at all:
+  // the close-ranks rule must pull them toward their centroid.
+  std::vector<int64_t> keys;
+  keys.push_back(w.Add(UnitType::kKnight, 0, 4, 4));
+  keys.push_back(w.Add(UnitType::kKnight, 0, 90, 4));
+  keys.push_back(w.Add(UnitType::kKnight, 0, 4, 90));
+  keys.push_back(w.Add(UnitType::kKnight, 0, 90, 90));
+  auto engine = w.MakeEngine(GetParam());
+  auto spread = [&]() {
+    double cx = 0, cy = 0;
+    for (int64_t k : keys) {
+      cx += Attr(*engine, k, "posx");
+      cy += Attr(*engine, k, "posy");
+    }
+    cx /= keys.size();
+    cy /= keys.size();
+    double s = 0;
+    for (int64_t k : keys) {
+      s += std::abs(Attr(*engine, k, "posx") - cx) +
+           std::abs(Attr(*engine, k, "posy") - cy);
+    }
+    return s;
+  };
+  double before = spread();
+  for (int tick = 0; tick < 8; ++tick) ASSERT_TRUE(engine->Tick().ok());
+  EXPECT_LT(spread(), before);
+}
+
+TEST_P(Modes, IdleBattlefieldIsStable) {
+  World w;
+  // A lone full-health knight with no enemies: nothing should change
+  // except nothing — no movement intent, no damage, no healing.
+  int64_t knight = w.Add(UnitType::kKnight, 0, 20, 20);
+  auto engine = w.MakeEngine(GetParam());
+  for (int tick = 0; tick < 5; ++tick) ASSERT_TRUE(engine->Tick().ok());
+  EXPECT_EQ(20.0, Attr(*engine, knight, "posx"));
+  EXPECT_EQ(20.0, Attr(*engine, knight, "posy"));
+  EXPECT_EQ(double(D20::kKnightHealth), Attr(*engine, knight, "health"));
+}
+
+TEST_P(Modes, CollisionsKeepCellsExclusive) {
+  World w;
+  // A wall of knights marching toward one enemy: no two units may ever
+  // occupy the same cell.
+  for (int i = 0; i < 20; ++i) {
+    w.Add(UnitType::kKnight, 0, 5 + (i % 5), 5 + (i / 5));
+  }
+  w.Add(UnitType::kKnight, 1, 40, 7);
+  auto engine = w.MakeEngine(GetParam());
+  for (int tick = 0; tick < 15; ++tick) {
+    ASSERT_TRUE(engine->Tick().ok());
+    std::set<std::pair<int64_t, int64_t>> cells;
+    const EnvironmentTable& t = engine->table();
+    AttrId px = t.schema().Find("posx"), py = t.schema().Find("posy");
+    for (RowId r = 0; r < t.NumRows(); ++r) {
+      bool fresh = cells
+                       .insert({static_cast<int64_t>(t.Get(r, px)),
+                                static_cast<int64_t>(t.Get(r, py))})
+                       .second;
+      ASSERT_TRUE(fresh) << "two units share a cell at tick " << tick;
+    }
+  }
+}
+
+TEST_P(Modes, EmptyBattlefieldTicksFine) {
+  World w;
+  auto engine = w.MakeEngine(GetParam());
+  ASSERT_TRUE(engine->Run(3).ok());
+  EXPECT_EQ(0, engine->table().NumRows());
+}
+
+TEST_P(Modes, SingleHealerAloneDoesNotHealItself) {
+  World w;
+  // A healer at full health with no wounded allies must not cast (the
+  // wounded-allies count gates the aura), so cooldown stays 0.
+  int64_t healer = w.Add(UnitType::kHealer, 0, 10, 10);
+  auto engine = w.MakeEngine(GetParam());
+  ASSERT_TRUE(engine->Tick().ok());
+  EXPECT_EQ(0.0, Attr(*engine, healer, "cooldown"));
+}
+
+}  // namespace
+}  // namespace sgl

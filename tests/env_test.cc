@@ -1,0 +1,358 @@
+// Environment substrate tests: schema tags, table operations, and the
+// algebraic laws of the combination operator ⊕ (Section 4.2, Eq. (3)).
+#include <gtest/gtest.h>
+
+#include "env/delta.h"
+#include "env/effect_buffer.h"
+#include "env/schema.h"
+#include "env/table.h"
+#include "env/value.h"
+#include "util/rng.h"
+
+namespace sgl {
+namespace {
+
+Schema BattleSchema() {
+  // The schema of Eq. (1), abridged.
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("player", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("posx", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("posy", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("health", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("damage", CombineType::kSum).ok());
+  EXPECT_TRUE(s.AddAttribute("inaura", CombineType::kMax).ok());
+  EXPECT_TRUE(s.AddAttribute("setspeed", CombineType::kSet).ok());
+  return s;
+}
+
+TEST(Schema, KeyIsAlwaysFirstAndConst) {
+  Schema s;
+  EXPECT_EQ(1, s.NumAttrs());
+  EXPECT_EQ("key", s.attr(kKeyAttrId).name);
+  EXPECT_EQ(CombineType::kConst, s.attr(kKeyAttrId).combine);
+}
+
+TEST(Schema, FindAndDuplicates) {
+  Schema s = BattleSchema();
+  EXPECT_EQ(5, s.Find("damage"));
+  EXPECT_EQ(Schema::kInvalidAttr, s.Find("missing"));
+  EXPECT_TRUE(s.Has("inaura"));
+  auto dup = s.AddAttribute("damage", CombineType::kSum);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(StatusCode::kAlreadyExists, dup.status().code());
+}
+
+TEST(Schema, EffectAndStatePartition) {
+  Schema s = BattleSchema();
+  std::vector<AttrId> effects = s.EffectAttrs();
+  std::vector<AttrId> state = s.StateAttrs();
+  EXPECT_EQ(3u, effects.size());
+  EXPECT_EQ(5u, state.size());  // key, player, posx, posy, health
+  EXPECT_EQ(static_cast<size_t>(s.NumAttrs()), effects.size() + state.size());
+}
+
+TEST(Schema, CombineIdentityAndFold) {
+  EXPECT_EQ(0.0, CombineIdentity(CombineType::kSum));
+  EXPECT_EQ(-std::numeric_limits<double>::infinity(),
+            CombineIdentity(CombineType::kMax));
+  EXPECT_EQ(std::numeric_limits<double>::infinity(),
+            CombineIdentity(CombineType::kMin));
+  EXPECT_EQ(7.0, CombineFold(CombineType::kSum, 3.0, 4.0));
+  EXPECT_EQ(4.0, CombineFold(CombineType::kMax, 3.0, 4.0));
+  EXPECT_EQ(3.0, CombineFold(CombineType::kMin, 3.0, 4.0));
+}
+
+TEST(Schema, ToStringShowsTags) {
+  Schema s = BattleSchema();
+  std::string str = s.ToString();
+  EXPECT_NE(std::string::npos, str.find("damage:sum"));
+  EXPECT_NE(std::string::npos, str.find("inaura:max"));
+  EXPECT_EQ(std::string::npos, str.find("player:"));  // const untagged
+}
+
+TEST(Value, ScalarAndVec) {
+  Value s(3.5);
+  EXPECT_TRUE(s.is_scalar());
+  EXPECT_EQ(3.5, s.scalar());
+  Value v(Vec2{1, 2});
+  EXPECT_TRUE(v.is_vec());
+  EXPECT_EQ(1.0, v.vec().x);
+  EXPECT_FALSE(s == v);
+  EXPECT_TRUE(Value(3.5) == s);
+  Vec2 sum = Vec2{1, 2} + Vec2{3, 4};
+  EXPECT_EQ(Vec2(4, 6), sum);
+  EXPECT_EQ(5.0, Vec2(3, 4).Norm());
+  EXPECT_EQ(25.0, Vec2(3, 4).SquaredNorm());
+}
+
+TEST(Table, AddGetSetRemove) {
+  EnvironmentTable t(BattleSchema());
+  auto k0 = t.AddRow({0, 10, 20, 100, 0, 0, 0});
+  auto k1 = t.AddRow({1, 30, 40, 80, 0, 0, 0});
+  ASSERT_TRUE(k0.ok() && k1.ok());
+  EXPECT_EQ(2, t.NumRows());
+  EXPECT_EQ(0, *k0);
+  EXPECT_EQ(1, *k1);
+  EXPECT_EQ(10.0, t.Get(t.RowOf(*k0), t.schema().Find("posx")));
+  t.Set(t.RowOf(*k1), t.schema().Find("health"), 0.0);
+  int32_t removed = t.RemoveIf([&](RowId r) {
+    return t.Get(r, t.schema().Find("health")) <= 0.0;
+  });
+  EXPECT_EQ(1, removed);
+  EXPECT_EQ(1, t.NumRows());
+  EXPECT_FALSE(t.HasKey(*k1));
+  EXPECT_TRUE(t.HasKey(*k0));
+  // Keys are never reused after removal.
+  auto k2 = t.AddRow({0, 1, 1, 1, 0, 0, 0});
+  ASSERT_TRUE(k2.ok());
+  EXPECT_EQ(2, *k2);
+}
+
+TEST(Table, ExplicitKeyAndErrors) {
+  EnvironmentTable t(BattleSchema());
+  EXPECT_TRUE(t.AddRowWithKey(42, {0, 1, 2, 3, 0, 0, 0}).ok());
+  EXPECT_EQ(StatusCode::kAlreadyExists,
+            t.AddRowWithKey(42, {0, 1, 2, 3, 0, 0, 0}).code());
+  EXPECT_EQ(StatusCode::kInvalidArgument, t.AddRowWithKey(43, {1, 2}).code());
+  // Auto keys continue above explicit ones.
+  auto k = t.AddRow({0, 1, 1, 1, 0, 0, 0});
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(43, *k);
+}
+
+TEST(Table, RemoveCompactsAndRemapsRows) {
+  EnvironmentTable t(BattleSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AddRow({0, double(i), 0, 100, 0, 0, 0}).ok());
+  }
+  t.RemoveIf([&](RowId r) { return t.KeyAt(r) % 2 == 0; });
+  EXPECT_EQ(5, t.NumRows());
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    EXPECT_EQ(t.KeyAt(r) % 2, 1);
+    EXPECT_EQ(r, t.RowOf(t.KeyAt(r)));
+  }
+}
+
+TEST(Table, CloneEqualsAndDiff) {
+  EnvironmentTable t(BattleSchema());
+  ASSERT_TRUE(t.AddRow({0, 1, 2, 100, 0, 0, 0}).ok());
+  EnvironmentTable u = t.Clone();
+  EXPECT_TRUE(t.Equals(u));
+  EXPECT_EQ("", t.DiffString(u));
+  u.Set(0, u.schema().Find("health"), 99);
+  EXPECT_FALSE(t.Equals(u));
+  EXPECT_NE("", t.DiffString(u));
+}
+
+TEST(Table, ResetEffectsZeroesEffectColumns) {
+  EnvironmentTable t(BattleSchema());
+  ASSERT_TRUE(t.AddRow({0, 1, 2, 100, 5, 3, 2}).ok());
+  t.ResetEffects();
+  EXPECT_EQ(0.0, t.Get(0, t.schema().Find("damage")));
+  EXPECT_EQ(0.0, t.Get(0, t.schema().Find("inaura")));
+  EXPECT_EQ(0.0, t.Get(0, t.schema().Find("setspeed")));
+  EXPECT_EQ(100.0, t.Get(0, t.schema().Find("health")));  // state untouched
+}
+
+// ----------------------------------------------------------- EffectBuffer
+
+TEST(EffectBuffer, SumMaxMinSemantics) {
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("dmg", CombineType::kSum).ok());
+  ASSERT_TRUE(s.AddAttribute("aura", CombineType::kMax).ok());
+  ASSERT_TRUE(s.AddAttribute("slow", CombineType::kMin).ok());
+  EnvironmentTable t(s);
+  ASSERT_TRUE(t.AddRow({0, 0, std::numeric_limits<double>::infinity()}).ok());
+  EffectBuffer buf;
+  buf.Begin(t);
+  AttrId dmg = s.Find("dmg"), aura = s.Find("aura"), slow = s.Find("slow");
+  buf.Accumulate(0, dmg, 5);
+  buf.Accumulate(0, dmg, 7);
+  buf.Accumulate(0, aura, 3);
+  buf.Accumulate(0, aura, 9);
+  buf.Accumulate(0, aura, 6);
+  buf.Accumulate(0, slow, 4);
+  buf.Accumulate(0, slow, 2);
+  buf.ApplyTo(&t);
+  EXPECT_EQ(12.0, t.Get(0, dmg));
+  EXPECT_EQ(9.0, t.Get(0, aura));
+  EXPECT_EQ(2.0, t.Get(0, slow));
+}
+
+TEST(EffectBuffer, BaseContributionIsTableValue) {
+  // tick(E) = main⊕(E) ⊕ E: the unit's own row participates in ⊕, so a
+  // max-effect never drops below its initialized value.
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("aura", CombineType::kMax).ok());
+  EnvironmentTable t(s);
+  ASSERT_TRUE(t.AddRow({0}).ok());
+  EffectBuffer buf;
+  buf.Begin(t);
+  buf.Accumulate(0, s.Find("aura"), -5);
+  buf.ApplyTo(&t);
+  EXPECT_EQ(0.0, t.Get(0, s.Find("aura")));
+}
+
+TEST(EffectBuffer, SetEffectPriorityWins) {
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("setspeed", CombineType::kSet).ok());
+  EnvironmentTable t(s);
+  ASSERT_TRUE(t.AddRow({0}).ok());
+  AttrId a = s.Find("setspeed");
+  EffectBuffer buf;
+  buf.Begin(t);
+  EXPECT_FALSE(buf.HasSet(0, a));
+  buf.AccumulateSet(0, a, 10.0, 1.0);
+  buf.AccumulateSet(0, a, 0.0, 5.0);   // higher priority freeze wins
+  buf.AccumulateSet(0, a, 99.0, 2.0);  // lower priority ignored
+  EXPECT_TRUE(buf.HasSet(0, a));
+  EXPECT_EQ(0.0, buf.Get(0, a));
+  buf.ApplyTo(&t);
+  EXPECT_EQ(0.0, t.Get(0, a));
+}
+
+TEST(EffectBuffer, SetEffectTieBreaksByValue) {
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("sv", CombineType::kSet).ok());
+  EnvironmentTable t(s);
+  ASSERT_TRUE(t.AddRow({0}).ok());
+  EffectBuffer a, b;
+  a.Begin(t);
+  b.Begin(t);
+  AttrId attr = s.Find("sv");
+  // Same contributions in opposite order must agree.
+  a.AccumulateSet(0, attr, 3.0, 1.0);
+  a.AccumulateSet(0, attr, 7.0, 1.0);
+  b.AccumulateSet(0, attr, 7.0, 1.0);
+  b.AccumulateSet(0, attr, 3.0, 1.0);
+  EXPECT_EQ(a.Get(0, attr), b.Get(0, attr));
+  EXPECT_EQ(7.0, a.Get(0, attr));
+}
+
+// ----------------------------------------------------- DeltaRelation and ⊕
+
+DeltaRelation RandomDelta(const Schema* s, int32_t rows, int32_t key_space,
+                          uint64_t seed,
+                          const EnvironmentTable& consts_from) {
+  // Const attrs must agree per key, so copy them from a reference table.
+  Xoshiro256 rng(seed);
+  DeltaRelation d(s);
+  for (int32_t i = 0; i < rows; ++i) {
+    int64_t key = rng.NextBounded(key_space);
+    RowId row = consts_from.RowOf(key);
+    std::vector<double> vals(s->NumAttrs() - 1);
+    for (AttrId a = 1; a < s->NumAttrs(); ++a) {
+      if (s->attr(a).combine == CombineType::kConst) {
+        vals[a - 1] = consts_from.Get(row, a);
+      } else {
+        vals[a - 1] = static_cast<double>(rng.NextBounded(100) - 50);
+      }
+    }
+    d.Add(key, std::move(vals));
+  }
+  return d;
+}
+
+class CombineLaws : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    schema_ = BattleSchema();
+    table_ = std::make_unique<EnvironmentTable>(schema_);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(
+          table_->AddRow({double(i % 2), double(i), double(i), 100, 0, 0, 0})
+              .ok());
+    }
+  }
+  Schema schema_;
+  std::unique_ptr<EnvironmentTable> table_;
+};
+
+TEST_P(CombineLaws, Idempotence) {
+  // ⊕(⊕(R)) = ⊕(R) — Eq. (3) with E2 = ∅.
+  DeltaRelation r = RandomDelta(&schema_, 30, 8, GetParam(), *table_);
+  DeltaRelation once = r.Combine();
+  DeltaRelation twice = once.Combine();
+  EXPECT_TRUE(once.EqualsUnordered(twice));
+}
+
+TEST_P(CombineLaws, CommutativityOfUnion) {
+  DeltaRelation r1 = RandomDelta(&schema_, 20, 8, GetParam() * 3 + 1, *table_);
+  DeltaRelation r2 = RandomDelta(&schema_, 20, 8, GetParam() * 5 + 2, *table_);
+  DeltaRelation ab = DeltaRelation::UnionAll(r1, r2).Combine();
+  DeltaRelation ba = DeltaRelation::UnionAll(r2, r1).Combine();
+  EXPECT_TRUE(ab.EqualsUnordered(ba));
+}
+
+TEST_P(CombineLaws, Equation3) {
+  // ⊕(E1 ⊎ E2) = ⊕(⊕(E1) ⊎ E2).
+  DeltaRelation e1 = RandomDelta(&schema_, 25, 8, GetParam() * 7 + 3, *table_);
+  DeltaRelation e2 = RandomDelta(&schema_, 25, 8, GetParam() * 11 + 4, *table_);
+  DeltaRelation lhs = DeltaRelation::UnionAll(e1, e2).Combine();
+  DeltaRelation rhs = DeltaRelation::UnionAll(e1.Combine(), e2).Combine();
+  EXPECT_TRUE(lhs.EqualsUnordered(rhs));
+}
+
+TEST_P(CombineLaws, FullDistribution) {
+  // ⊕(E1 ⊎ E2) = ⊕(⊕(E1) ⊎ ⊕(E2)) — applying Eq. (3) twice.
+  DeltaRelation e1 = RandomDelta(&schema_, 25, 8, GetParam() * 13 + 5, *table_);
+  DeltaRelation e2 = RandomDelta(&schema_, 25, 8, GetParam() * 17 + 6, *table_);
+  DeltaRelation lhs = DeltaRelation::UnionAll(e1, e2).Combine();
+  DeltaRelation rhs =
+      DeltaRelation::UnionAll(e1.Combine(), e2.Combine()).Combine();
+  EXPECT_TRUE(lhs.EqualsUnordered(rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombineLaws,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(DeltaRelation, CombineAggregatesPerTag) {
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute("p", CombineType::kConst).ok());
+  ASSERT_TRUE(s.AddAttribute("dmg", CombineType::kSum).ok());
+  ASSERT_TRUE(s.AddAttribute("aura", CombineType::kMax).ok());
+  DeltaRelation d(&s);
+  d.Add(1, {7, 10, 3});
+  d.Add(1, {7, 5, 9});
+  d.Add(2, {8, 1, 1});
+  DeltaRelation c = d.Combine();
+  ASSERT_EQ(2, c.NumRows());
+  EXPECT_EQ(1, c.rows()[0].key);
+  EXPECT_EQ(15.0, c.rows()[0].values[1]);  // sum
+  EXPECT_EQ(9.0, c.rows()[0].values[2]);   // max
+  EXPECT_EQ(2, c.rows()[1].key);
+}
+
+TEST(DeltaRelation, FoldIntoMatchesManualAccumulation) {
+  Schema s = BattleSchema();
+  EnvironmentTable t(s);
+  ASSERT_TRUE(t.AddRow({0, 1, 1, 100, 0, 0, 0}).ok());
+  ASSERT_TRUE(t.AddRow({1, 2, 2, 100, 0, 0, 0}).ok());
+  DeltaRelation d(&s);
+  d.Add(0, {0, 1, 1, 100, 12, 4, 0});
+  d.Add(0, {0, 1, 1, 100, 3, 8, 0});
+  d.Add(1, {1, 2, 2, 100, 1, 0, 0});
+  d.Add(99, {0, 0, 0, 0, 5, 0, 0});  // dead unit: ignored
+  EffectBuffer buf;
+  buf.Begin(t);
+  d.FoldInto(t, &buf);
+  buf.ApplyTo(&t);
+  EXPECT_EQ(15.0, t.Get(0, s.Find("damage")));
+  EXPECT_EQ(8.0, t.Get(0, s.Find("inaura")));
+  EXPECT_EQ(1.0, t.Get(1, s.Find("damage")));
+}
+
+TEST(DeltaRelation, FromTableRoundTrip) {
+  Schema s = BattleSchema();
+  EnvironmentTable t(s);
+  ASSERT_TRUE(t.AddRow({0, 5, 6, 90, 0, 0, 0}).ok());
+  DeltaRelation d = DeltaRelation::FromTable(t);
+  ASSERT_EQ(1, d.NumRows());
+  EXPECT_EQ(0, d.rows()[0].key);
+  EXPECT_EQ(5.0, d.rows()[0].values[1]);  // posx
+  // ⊕ of a keyed relation is itself (R⊕ = R when K is a key).
+  EXPECT_TRUE(d.Combine().EqualsUnordered(d));
+}
+
+}  // namespace
+}  // namespace sgl

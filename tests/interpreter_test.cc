@@ -1,0 +1,354 @@
+// Reference-interpreter tests: the denotational semantics of Section 4.3
+// evaluated against hand-computed worlds.
+#include <gtest/gtest.h>
+
+#include "env/effect_buffer.h"
+#include "sgl/analyzer.h"
+#include "sgl/builtins.h"
+#include "sgl/interpreter.h"
+
+namespace sgl {
+namespace {
+
+Schema TestSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("player", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("posx", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("posy", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("health", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("damage", CombineType::kSum).ok());
+  EXPECT_TRUE(s.AddAttribute("movex", CombineType::kSum).ok());
+  EXPECT_TRUE(s.AddAttribute("movey", CombineType::kSum).ok());
+  EXPECT_TRUE(s.AddAttribute("inaura", CombineType::kMax).ok());
+  EXPECT_TRUE(s.AddAttribute("setspeed", CombineType::kSet).ok());
+  return s;
+}
+
+// World: 2 players; p0 units at (0,0),(2,0); p1 units at (1,1),(10,10).
+// Values: (player, posx, posy, health, effects...).
+EnvironmentTable TestWorld(const Schema& s) {
+  EnvironmentTable t(s);
+  EXPECT_TRUE(t.AddRow({0, 0, 0, 100, 0, 0, 0, 0, 0}).ok());   // key 0
+  EXPECT_TRUE(t.AddRow({0, 2, 0, 50, 0, 0, 0, 0, 0}).ok());    // key 1
+  EXPECT_TRUE(t.AddRow({1, 1, 1, 80, 0, 0, 0, 0, 0}).ok());    // key 2
+  EXPECT_TRUE(t.AddRow({1, 10, 10, 30, 0, 0, 0, 0, 0}).ok());  // key 3
+  return t;
+}
+
+struct Harness {
+  Schema schema = TestSchema();
+  EnvironmentTable table;
+  Script script;
+  std::unique_ptr<Interpreter> interp;
+  EffectBuffer buffer;
+  TickRandom rnd{12345, 0};
+
+  explicit Harness(const char* src) : table(TestWorld(schema)) {
+    auto compiled = CompileScript(src, schema);
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    script = compiled.MoveValue();
+    interp = std::make_unique<Interpreter>(script);
+    buffer.Begin(table);
+  }
+
+  Status Run() { return interp->Tick(table, rnd, &buffer); }
+  double Effect(int64_t key, const char* attr) {
+    return buffer.Get(table.RowOf(key), schema.Find(attr));
+  }
+};
+
+TEST(Interpreter, CountAggregateAndConditional) {
+  // Units with at least 2 enemies within distance 3 damage themselves by 1.
+  Harness h(R"(
+    aggregate Enemies(u, r) {
+      select count(*) from E e
+      where e.player <> u.player
+        and e.posx >= u.posx - r and e.posx <= u.posx + r
+        and e.posy >= u.posy - r and e.posy <= u.posy + r;
+    }
+    action Mark(u) { update e where e.key = u.key set damage += 1; }
+    function main(u) {
+      let c = Enemies(u, 3);
+      if c >= 1 then perform Mark(u);
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  // key0 at (0,0): enemy at (1,1) in range -> marked.
+  EXPECT_EQ(1.0, h.Effect(0, "damage"));
+  EXPECT_EQ(1.0, h.Effect(1, "damage"));
+  EXPECT_EQ(1.0, h.Effect(2, "damage"));  // sees both p0 units
+  EXPECT_EQ(0.0, h.Effect(3, "damage"));  // isolated at (10,10)
+}
+
+TEST(Interpreter, SumAvgStddevAggregates) {
+  Harness h(R"(
+    aggregate Stats(u) {
+      select sum(e.health) as total, avg(e.health) as mean,
+             stddev(e.health) as sd, count(*) as n
+      from E e where e.player = u.player;
+    }
+    action Store(u, v) { update e where e.key = u.key set damage += v; }
+    function main(u) {
+      let s = Stats(u);
+      if u.key = 0 then perform Store(u, s.total);
+      if u.key = 1 then perform Store(u, s.mean);
+      if u.key = 2 then perform Store(u, s.n);
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  EXPECT_EQ(150.0, h.Effect(0, "damage"));  // 100 + 50
+  EXPECT_EQ(75.0, h.Effect(1, "damage"));   // mean of p0
+  EXPECT_EQ(2.0, h.Effect(2, "damage"));    // two p1 units
+}
+
+TEST(Interpreter, StddevMatchesClosedForm) {
+  Harness h(R"(
+    aggregate SD(u) { select stddev(e.health) as sd from E e; }
+    action Store(u, v) { update e where e.key = u.key set damage += v; }
+    function main(u) { if u.key = 0 then perform Store(u, SD(u)); }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  // healths {100, 50, 80, 30}: mean 65, var = (35^2+15^2+15^2+35^2)/4.
+  double var = (1225.0 + 225 + 225 + 1225) / 4.0;
+  EXPECT_NEAR(std::sqrt(var), h.Effect(0, "damage"), 1e-12);
+}
+
+TEST(Interpreter, NearestAggregateReturnsRow) {
+  Harness h(R"(
+    aggregate NearestEnemy(u) {
+      select nearest(*) from E e where e.player <> u.player;
+    }
+    action Hit(u, k) { update e where e.key = k set damage += 7; }
+    function main(u) {
+      let t = NearestEnemy(u);
+      if t.found = 1 then perform Hit(u, t.key);
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  // key0 (0,0) and key1 (2,0) both nearest-enemy key2 (1,1);
+  // key2 (1,1) nearest p0 unit is key0 (dist2=2) vs key1 (dist2=2): tie ->
+  // smaller key wins -> key0; key3 nearest is key1? (10,10)->(0,0)=200,
+  // ->(2,0)=164 -> key1.
+  EXPECT_EQ(7.0, h.Effect(0, "damage"));   // hit by key2
+  EXPECT_EQ(7.0, h.Effect(1, "damage"));   // hit by key3
+  EXPECT_EQ(14.0, h.Effect(2, "damage"));  // hit by key0 and key1
+  EXPECT_EQ(0.0, h.Effect(3, "damage"));
+}
+
+TEST(Interpreter, ArgminRowExposesAttributes) {
+  Harness h(R"(
+    aggregate Weakest(u) {
+      select argmin(e.health) from E e where e.player <> u.player;
+    }
+    action Store(u, v) { update e where e.key = u.key set damage += v; }
+    function main(u) {
+      let w = Weakest(u);
+      if w.found = 1 then perform Store(u, w.health);
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  EXPECT_EQ(30.0, h.Effect(0, "damage"));  // weakest enemy of p0 is key3
+  EXPECT_EQ(50.0, h.Effect(2, "damage"));  // weakest enemy of p1 is key1
+}
+
+TEST(Interpreter, CentroidVectorArithmetic) {
+  Harness h(R"(
+    aggregate Centroid(u) {
+      select avg(e.posx) as x, avg(e.posy) as y from E e
+      where e.player <> u.player;
+    }
+    action Move(u, dx, dy) {
+      update e where e.key = u.key set movex += dx, movey += dy;
+    }
+    function main(u) {
+      let away = (u.posx, u.posy) - Centroid(u);
+      if u.key = 0 then perform Move(u, away.x, away.y);
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  // Enemy centroid of p0: ((1+10)/2, (1+10)/2) = (5.5, 5.5); away from
+  // (0,0) is (-5.5, -5.5).
+  EXPECT_DOUBLE_EQ(-5.5, h.Effect(0, "movex"));
+  EXPECT_DOUBLE_EQ(-5.5, h.Effect(0, "movey"));
+}
+
+TEST(Interpreter, MaxEffectIsNonstackable) {
+  // Two healers cast auras 5 and 9 on everyone; max wins (Section 2.2's
+  // healing-ward rule).
+  Harness h(R"(
+    action Aura(u, amount) { update e set inaura max= amount; }
+    function main(u) {
+      if u.key = 0 then perform Aura(u, 5);
+      if u.key = 1 then perform Aura(u, 9);
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  for (int64_t k : {0, 1, 2, 3}) {
+    EXPECT_EQ(9.0, h.Effect(k, "inaura")) << "key " << k;
+  }
+}
+
+TEST(Interpreter, SumEffectsStack) {
+  // Everyone hits unit 2.
+  Harness h(R"(
+    action Hit(u) { update e where e.key = 2 set damage += 3; }
+    function main(u) { perform Hit(u); }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  EXPECT_EQ(12.0, h.Effect(2, "damage"));  // 4 units x 3
+}
+
+TEST(Interpreter, SetEffectHighestPriorityWins) {
+  Harness h(R"(
+    action Slow(u) { update e where e.key = 2 set setspeed = 5 priority 1; }
+    action Freeze(u) { update e where e.key = 2 set setspeed = 0 priority 9; }
+    function main(u) {
+      if u.key = 0 then perform Slow(u);
+      if u.key = 1 then perform Freeze(u);
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  EXPECT_EQ(0.0, h.Effect(2, "setspeed"));
+  EXPECT_TRUE(h.buffer.HasSet(h.table.RowOf(2), h.schema.Find("setspeed")));
+  EXPECT_FALSE(h.buffer.HasSet(h.table.RowOf(0), h.schema.Find("setspeed")));
+}
+
+TEST(Interpreter, UserFunctionCallAndParams) {
+  Harness h(R"(
+    action Store(u, v) { update e where e.key = u.key set damage += v; }
+    function helper(me, bonus) {
+      perform Store(me, me.health + bonus);
+    }
+    function main(u) {
+      if u.key = 0 then perform helper(u, 11);
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  EXPECT_EQ(111.0, h.Effect(0, "damage"));
+}
+
+TEST(Interpreter, RandomIsDeterministicWithinTick) {
+  Harness h(R"(
+    action Store(u, v) { update e where e.key = u.key set damage += v; }
+    function main(u) {
+      let a = random(1) mod 100;
+      let b = random(1) mod 100;
+      perform Store(u, a - b);  # always 0: same draw
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  for (int64_t k : {0, 1, 2, 3}) EXPECT_EQ(0.0, h.Effect(k, "damage"));
+}
+
+TEST(Interpreter, RandomVariesAcrossUnits) {
+  Harness h(R"(
+    action Store(u, v) { update e where e.key = u.key set damage += v; }
+    function main(u) { perform Store(u, random(7) mod 1000); }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  // Not all four draws should coincide (astronomically unlikely).
+  double v0 = h.Effect(0, "damage");
+  bool all_same = true;
+  for (int64_t k : {1, 2, 3}) all_same = all_same && h.Effect(k, "damage") == v0;
+  EXPECT_FALSE(all_same);
+}
+
+TEST(Interpreter, BuiltinFunctions) {
+  Harness h(R"(
+    action Store(u, v) { update e where e.key = u.key set damage += v; }
+    function main(u) {
+      if u.key = 0 then perform Store(u, abs(0 - 4) + min(2, 5) + max(2, 5)
+                                         + sqrt(16) + floor(2.7) + ceil(2.2)
+                                         + clamp(10, 0, 6));
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  EXPECT_EQ(4 + 2 + 5 + 4 + 2 + 3 + 6, h.Effect(0, "damage"));
+}
+
+TEST(Interpreter, ActionRandomKeyedByAffectedRow) {
+  // Figure 5's FireAt uses Random(e, 1): two different performers hitting
+  // the same target must see the same draw for that target.
+  Harness h(R"(
+    action Hit(u) { update e where e.key = 3 set damage += random(1) mod 2; }
+    function main(u) { if u.key <= 1 then perform Hit(u); }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  double d = h.Effect(3, "damage");
+  EXPECT_TRUE(d == 0.0 || d == 2.0) << d;  // 2x the same draw, never 1
+}
+
+TEST(Interpreter, EmptyAggregateDefaults) {
+  Harness h(R"(
+    aggregate NoneSuch(u) {
+      select count(*) as n, sum(e.health) as s, avg(e.health) as a
+      from E e where e.player = 99;
+    }
+    aggregate NoRow(u) {
+      select argmin(e.health) from E e where e.player = 99;
+    }
+    action Store(u, v) { update e where e.key = u.key set damage += v; }
+    function main(u) {
+      let s = NoneSuch(u);
+      let w = NoRow(u);
+      if u.key = 0 then perform Store(u, s.n + s.s + s.a + w.found);
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  EXPECT_EQ(0.0, h.Effect(0, "damage"));
+}
+
+TEST(Interpreter, DivisionByZeroIsExecutionError) {
+  Harness h(R"(
+    action Store(u, v) { update e where e.key = u.key set damage += v; }
+    function main(u) { perform Store(u, 1 / (u.posx - u.posx)); }
+  )");
+  Status st = h.Run();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(StatusCode::kExecutionError, st.code());
+}
+
+TEST(Interpreter, ModArithmetic) {
+  Harness h(R"(
+    action Store(u, v) { update e where e.key = u.key set damage += v; }
+    function main(u) { if u.key = 0 then perform Store(u, 17 mod 5); }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  EXPECT_EQ(2.0, h.Effect(0, "damage"));
+}
+
+TEST(Interpreter, SkeletonFearScenario) {
+  // The paper's running example: units flee when outnumbered (morale).
+  Harness h(R"(
+    aggregate Skeletons(u, r) {
+      select count(*) from E e
+      where e.player <> u.player
+        and e.posx >= u.posx - r and e.posx <= u.posx + r
+        and e.posy >= u.posy - r and e.posy <= u.posy + r;
+    }
+    aggregate EnemyCentroid(u, r) {
+      select avg(e.posx) as x, avg(e.posy) as y from E e
+      where e.player <> u.player
+        and e.posx >= u.posx - r and e.posx <= u.posx + r
+        and e.posy >= u.posy - r and e.posy <= u.posy + r;
+    }
+    action Move(u, dx, dy) {
+      update e where e.key = u.key set movex += dx, movey += dy;
+    }
+    function main(u) {
+      let c = Skeletons(u, 20);
+      let away = (u.posx, u.posy) - EnemyCentroid(u, 20);
+      if c > 1 then perform Move(u, away.x, away.y);
+    }
+  )");
+  ASSERT_TRUE(h.Run().ok());
+  // p0 units see 2 enemies within 20 -> flee; p1 units see 2 enemies too.
+  // key0 at (0,0), enemy centroid (5.5,5.5): away = (-5.5,-5.5).
+  EXPECT_DOUBLE_EQ(-5.5, h.Effect(0, "movex"));
+  // key3 at (10,10), enemy centroid (1,0): away=(9,10).
+  EXPECT_DOUBLE_EQ(9.0, h.Effect(3, "movex"));
+  EXPECT_DOUBLE_EQ(10.0, h.Effect(3, "movey"));
+}
+
+}  // namespace
+}  // namespace sgl

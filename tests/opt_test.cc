@@ -1,0 +1,258 @@
+// Optimizer tests: signature extraction (Section 5.3's conjunct
+// classification), index-family sharing, and indexed-vs-naive agreement
+// at the provider level.
+#include <gtest/gtest.h>
+
+#include "game/battle.h"
+#include "opt/action_sink.h"
+#include "opt/indexed_provider.h"
+#include "opt/signature.h"
+
+namespace sgl {
+namespace {
+
+Schema TestSchema() { return BattleSchema(); }
+
+Script Compile(const std::string& src) {
+  auto script = CompileScript(src, TestSchema());
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  return script.MoveValue();
+}
+
+TEST(Signature, ClassifiesRangePartitionAndFilters) {
+  Script script = Compile(R"(
+    aggregate A(u, r) {
+      select count(*) from E e
+      where e.player <> u.player          # partition, negated
+        and e.unittype = 1                # pure-e: build filter
+        and e.posx >= u.posx - r and e.posx <= u.posx + r   # range x
+        and e.posy >= u.posy - r and e.posy <= u.posy + r   # range y
+        and u.health > 10;                # pure-u: probe filter
+    }
+    function main(u) { let x = A(u, 5); }
+  )");
+  auto sig = ExtractSignature(script, 0);
+  ASSERT_TRUE(sig.ok()) << sig.status().ToString();
+  EXPECT_EQ(IndexKind::kDivisibleRangeTree, sig->kind);
+  ASSERT_EQ(2u, sig->ranges.size());
+  EXPECT_EQ(script.schema.Find("posx"), sig->ranges[0].attr);
+  EXPECT_EQ(script.schema.Find("posy"), sig->ranges[1].attr);
+  ASSERT_EQ(1u, sig->partitions.size());
+  EXPECT_TRUE(sig->partitions[0].negated);
+  EXPECT_EQ(1u, sig->build_filters.size());
+  EXPECT_EQ(1u, sig->probe_filters.size());
+  EXPECT_FALSE(sig->exclude_self);
+}
+
+TEST(Signature, DetectsSelfExclusion) {
+  Script script = Compile(R"(
+    aggregate A(u) {
+      select count(*) from E e where e.key <> u.key and e.player = u.player;
+    }
+    function main(u) { let x = A(u); }
+  )");
+  auto sig = ExtractSignature(script, 0);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(sig->exclude_self);
+  EXPECT_EQ(IndexKind::kDivisibleRangeTree, sig->kind);
+}
+
+TEST(Signature, StrictBoundsAreRanges) {
+  Script script = Compile(R"(
+    aggregate A(u) {
+      select count(*) from E e where e.health < u.health;
+    }
+    function main(u) { let x = A(u); }
+  )");
+  auto sig = ExtractSignature(script, 0);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(IndexKind::kDivisibleRangeTree, sig->kind);
+  ASSERT_EQ(1u, sig->ranges.size());
+  EXPECT_EQ(script.schema.Find("health"), sig->ranges[0].attr);
+  EXPECT_TRUE(sig->ranges[0].hi_strict);
+  EXPECT_EQ(nullptr, sig->ranges[0].lo);
+}
+
+TEST(Signature, MinMaxAndArgmin) {
+  Script script = Compile(R"(
+    aggregate Weakest(u, r) {
+      select argmin(e.health) from E e
+      where e.player <> u.player
+        and e.posx >= u.posx - r and e.posx <= u.posx + r;
+    }
+    aggregate MaxHp(u) { select max(e.health) from E e; }
+    function main(u) { let a = Weakest(u, 3); let b = MaxHp(u); }
+  )");
+  auto s0 = ExtractSignature(script, 0);
+  auto s1 = ExtractSignature(script, 1);
+  ASSERT_TRUE(s0.ok() && s1.ok());
+  EXPECT_EQ(IndexKind::kMinMaxTree, s0->kind);
+  EXPECT_EQ(IndexKind::kMinMaxTree, s1->kind);
+}
+
+TEST(Signature, NearestUsesKdTree) {
+  Script script = Compile(R"(
+    aggregate N(u) {
+      select nearest(*) from E e where e.player <> u.player and e.key <> u.key;
+    }
+    function main(u) { let a = N(u); }
+  )");
+  auto sig = ExtractSignature(script, 0);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(IndexKind::kKdNearest, sig->kind);
+  EXPECT_TRUE(sig->exclude_self);
+}
+
+TEST(Signature, FallbacksAreExplained) {
+  Script script = Compile(R"(
+    # e.health compared against an expression mixing e and u nonlinearly.
+    aggregate Bad1(u) {
+      select count(*) from E e where e.health + e.posx > u.health;
+    }
+    # min with self-exclusion cannot subtract (not divisible).
+    aggregate Bad2(u) {
+      select min(e.health) from E e where e.key <> u.key;
+    }
+    # three probe-dependent range attributes exceed the 2-D structures.
+    aggregate Bad3(u) {
+      select count(*) from E e
+      where e.posx <= u.posx and e.posy <= u.posy and e.health <= u.health;
+    }
+    function main(u) {
+      let a = Bad1(u); let b = Bad2(u); let c = Bad3(u);
+    }
+  )");
+  for (int32_t i = 0; i < 3; ++i) {
+    auto sig = ExtractSignature(script, i);
+    ASSERT_TRUE(sig.ok());
+    EXPECT_EQ(IndexKind::kNaive, sig->kind) << "aggregate " << i;
+    EXPECT_FALSE(sig->reason.empty());
+  }
+}
+
+TEST(Signature, FingerprintSharesIdenticalShapes) {
+  Script script = Compile(R"(
+    aggregate A(u) {
+      select count(*) from E e
+      where e.player <> u.player and e.posx >= u.posx - 32
+        and e.posx <= u.posx + 32;
+    }
+    aggregate B(u) {
+      select count(*) from E e
+      where e.player <> u.player and e.posx >= u.posx - 32
+        and e.posx <= u.posx + 32;
+    }
+    aggregate C(u) {
+      select count(*) from E e
+      where e.player = u.player and e.posx >= u.posx - 32
+        and e.posx <= u.posx + 32;
+    }
+    function main(u) { let a = A(u); let b = B(u); let c = C(u); }
+  )");
+  auto sa = ExtractSignature(script, 0);
+  auto sb = ExtractSignature(script, 1);
+  auto sc = ExtractSignature(script, 2);
+  ASSERT_TRUE(sa.ok() && sb.ok() && sc.ok());
+  EXPECT_EQ(sa->Fingerprint(), sb->Fingerprint());
+  EXPECT_NE(sa->Fingerprint(), sc->Fingerprint());  // =/<> differ
+}
+
+TEST(Provider, SharesFamiliesAcrossAggregates) {
+  Script script = Compile(BattleScriptSource());
+  Interpreter interp(script);
+  auto provider = IndexedAggregateProvider::Create(script, interp);
+  ASSERT_TRUE(provider.ok()) << provider.status().ToString();
+  // The battle script's enemy-strength and enemy-count aggregates share a
+  // box; there must be strictly fewer families than aggregates.
+  EXPECT_LT((*provider)->NumIndexFamilies(),
+            static_cast<int32_t>(script.program.aggregates.size()));
+}
+
+// Property test: for random worlds and every battle aggregate, the
+// indexed provider and the reference scan agree exactly.
+class ProviderAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProviderAgreement, AllBattleAggregatesMatchNaive) {
+  ScenarioConfig config;
+  config.num_units = 150;
+  config.density = 0.03;
+  config.seed = GetParam();
+  auto table = BuildScenario(config);
+  ASSERT_TRUE(table.ok());
+  Script script = Compile(BattleScriptSource());
+  Interpreter interp(script);
+  auto provider = IndexedAggregateProvider::Create(script, interp);
+  ASSERT_TRUE(provider.ok());
+  TickRandom rnd(GetParam(), 0);
+  ASSERT_TRUE((*provider)->BuildIndexes(*table, rnd).ok());
+
+  for (int32_t agg = 0;
+       agg < static_cast<int32_t>(script.program.aggregates.size()); ++agg) {
+    const AggregateDecl& decl = script.program.aggregates[agg];
+    // Bind any extra scalar parameter to a plausible radius.
+    std::vector<Value> args;
+    for (size_t p = 1; p < decl.params.size(); ++p) args.push_back(Value(8.0));
+    for (RowId u = 0; u < table->NumRows(); u += 7) {
+      auto want = interp.EvalAggregate(agg, args, u, *table, rnd);
+      auto got = (*provider)->Eval(agg, args, u, *table, rnd);
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_TRUE(*want == *got)
+          << decl.name << " unit row " << u << ": naive=" << want->ToString()
+          << " indexed=" << got->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProviderAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ActionSink, ClassifiesBattleActions) {
+  Script script = Compile(BattleScriptSource());
+  Interpreter interp(script);
+  auto sink = IndexedActionSink::Create(script, interp);
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+  std::string plan = (*sink)->DescribePlan();
+  // Strike/Fire/Move resolve by key; the healing aura defers to the ⊕
+  // index; nothing in the battle script needs the scan fallback.
+  EXPECT_NE(std::string::npos, plan.find("direct-key"));
+  EXPECT_NE(std::string::npos, plan.find("area-of-effect"));
+  EXPECT_EQ(std::string::npos, plan.find("scan("));
+}
+
+TEST(ActionSink, VariableExtentAuraFallsBack) {
+  Script script = Compile(R"(
+    action VariableAura(u, r) {
+      update e where e.player = u.player
+        and e.posx >= u.posx - r and e.posx <= u.posx + r
+        and e.posy >= u.posy - r and e.posy <= u.posy + r
+        set inaura max= 3;
+    }
+    function main(u) { perform VariableAura(u, 4); }
+  )");
+  Interpreter interp(script);
+  auto sink = IndexedActionSink::Create(script, interp);
+  ASSERT_TRUE(sink.ok());
+  // Per-performer extents break the probe inversion; the sink must refuse.
+  EXPECT_NE(std::string::npos, (*sink)->DescribePlan().find("scan("));
+}
+
+TEST(ActionSink, EffectValueDependingOnTargetFallsBack) {
+  Script script = Compile(R"(
+    action Drain(u) {
+      update e where e.player = u.player
+        and e.posx >= u.posx - 4 and e.posx <= u.posx + 4
+        and e.posy >= u.posy - 4 and e.posy <= u.posy + 4
+        set damage += e.health / 10;
+    }
+    function main(u) { perform Drain(u); }
+  )");
+  Interpreter interp(script);
+  auto sink = IndexedActionSink::Create(script, interp);
+  ASSERT_TRUE(sink.ok());
+  EXPECT_NE(std::string::npos,
+            (*sink)->DescribePlan().find("depends on the affected unit"));
+}
+
+}  // namespace
+}  // namespace sgl

@@ -1,0 +1,395 @@
+// Lexer / parser / analyzer tests for the SGL front-end.
+#include <gtest/gtest.h>
+
+#include "sgl/analyzer.h"
+#include "sgl/lexer.h"
+#include "sgl/parser.h"
+
+namespace sgl {
+namespace {
+
+Schema TestSchema() {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute("player", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("unittype", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("posx", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("posy", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("health", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("cooldown", CombineType::kConst).ok());
+  EXPECT_TRUE(s.AddAttribute("damage", CombineType::kSum).ok());
+  EXPECT_TRUE(s.AddAttribute("movex", CombineType::kSum).ok());
+  EXPECT_TRUE(s.AddAttribute("inaura", CombineType::kMax).ok());
+  EXPECT_TRUE(s.AddAttribute("setspeed", CombineType::kSet).ok());
+  return s;
+}
+
+// ------------------------------------------------------------------ Lexer
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  auto toks = Lex("if x <= 3 and y <> 4 then perform F(u); // comment\n"
+                  "let z = a mod 2;");
+  ASSERT_TRUE(toks.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  EXPECT_EQ(TokenKind::kKwIf, kinds[0]);
+  EXPECT_EQ(TokenKind::kIdent, kinds[1]);
+  EXPECT_EQ(TokenKind::kLessEq, kinds[2]);
+  EXPECT_EQ(TokenKind::kNumber, kinds[3]);
+  EXPECT_EQ(TokenKind::kKwAnd, kinds[4]);
+  EXPECT_EQ(TokenKind::kNotEq, kinds[6]);
+  EXPECT_EQ(TokenKind::kKwMod, kinds[kinds.size() - 4]);
+  EXPECT_EQ(TokenKind::kEnd, kinds.back());
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto toks = Lex("SELECT Count(*) FROM E e WHERE e.x >= 1;");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(TokenKind::kKwSelect, (*toks)[0].kind);
+  EXPECT_EQ(TokenKind::kKwFrom, (*toks)[5].kind);
+  EXPECT_EQ(TokenKind::kKwWhere, (*toks)[8].kind);
+}
+
+TEST(Lexer, CompoundAssignments) {
+  auto toks = Lex("damage += 1, aura max= 2, slow min= 3");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(TokenKind::kPlusAssign, (*toks)[1].kind);
+  EXPECT_EQ(TokenKind::kMaxAssign, (*toks)[5].kind);
+  EXPECT_EQ(TokenKind::kMinAssign, (*toks)[9].kind);
+}
+
+TEST(Lexer, NumbersAndLineTracking) {
+  auto toks = Lex("1 2.5 0.125\nx");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_DOUBLE_EQ(1.0, (*toks)[0].number);
+  EXPECT_DOUBLE_EQ(2.5, (*toks)[1].number);
+  EXPECT_DOUBLE_EQ(0.125, (*toks)[2].number);
+  EXPECT_EQ(2, (*toks)[3].line);
+}
+
+TEST(Lexer, RejectsUnknownCharacter) {
+  auto toks = Lex("let x = @;");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_EQ(StatusCode::kParseError, toks.status().code());
+}
+
+TEST(Lexer, HashAndSlashComments) {
+  auto toks = Lex("# full line\n1 # trailing\n// other style\n2");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(3u, toks->size());  // 1, 2, EOF
+  EXPECT_DOUBLE_EQ(1.0, (*toks)[0].number);
+  EXPECT_DOUBLE_EQ(2.0, (*toks)[1].number);
+}
+
+// ----------------------------------------------------------------- Parser
+
+TEST(Parser, ParsesPaperStyleScript) {
+  // Figure 3, adapted to this repo's declaration syntax.
+  const char* src = R"(
+    aggregate CountEnemiesInRange(u, range) {
+      select count(*) from E e
+      where e.posx >= u.posx - range and e.posx <= u.posx + range
+        and e.posy >= u.posy - range and e.posy <= u.posy + range
+        and e.player <> u.player;
+    }
+    action MoveInDirection(u, x, y) {
+      update e where e.key = u.key set movex += x - e.posx;
+    }
+    function main(u) {
+      (let c = CountEnemiesInRange(u, 5))
+      if c > 3 then
+        perform MoveInDirection(u, u.posx - 1, u.posy);
+    }
+  )";
+  auto prog = ParseProgram(src);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_EQ(1u, prog->aggregates.size());
+  EXPECT_EQ(1u, prog->actions.size());
+  EXPECT_EQ(1u, prog->functions.size());
+  EXPECT_EQ("e", prog->aggregates[0].row_var);
+  EXPECT_EQ(2u, prog->aggregates[0].params.size());
+}
+
+TEST(Parser, LetStatementAndPrefixFormEquivalent) {
+  const char* stmt_form = "function main(u) { let x = 1; perform F(u, x); }";
+  const char* prefix_form = "function main(u) { (let x = 1) perform F(u, x); }";
+  auto a = ParseProgram(stmt_form);
+  auto b = ParseProgram(prefix_form);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+}
+
+TEST(Parser, IfElseChain) {
+  const char* src = R"(
+    function main(u) {
+      if u.health > 50 then perform A(u);
+      else if u.health > 20 then perform B(u);
+      else perform C(u);
+    }
+  )";
+  auto prog = ParseProgram(src);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  const Stmt& body = *prog->functions[0].body;
+  ASSERT_EQ(1u, body.body.size());
+  const Stmt& outer_if = *body.body[0];
+  EXPECT_EQ(StmtKind::kIf, outer_if.kind);
+  ASSERT_NE(nullptr, outer_if.else_branch);
+  EXPECT_EQ(StmtKind::kIf, outer_if.else_branch->kind);
+}
+
+TEST(Parser, MultipleSelectItemsWithAliases) {
+  const char* src = R"(
+    aggregate Centroid(u, range) {
+      select avg(e.posx) as x, avg(e.posy) as y from E e
+      where e.player <> u.player;
+    }
+  )";
+  auto prog = ParseProgram(src);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_EQ(2u, prog->aggregates[0].items.size());
+  EXPECT_EQ("x", prog->aggregates[0].items[0].alias);
+  EXPECT_EQ(AggFunc::kAvg, prog->aggregates[0].items[0].func);
+}
+
+TEST(Parser, ActionWithMultipleUpdatesAndSetPriority) {
+  const char* src = R"(
+    action Freeze(u, target) {
+      update e where e.key = target set setspeed = 0 priority 10;
+      update e where e.key = u.key set movex += 0;
+    }
+  )";
+  auto prog = ParseProgram(src);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_EQ(2u, prog->actions[0].updates.size());
+  EXPECT_EQ(SetOp::kSetPriority, prog->actions[0].updates[0].sets[0].op);
+  ASSERT_NE(nullptr, prog->actions[0].updates[0].sets[0].priority);
+}
+
+TEST(Parser, TupleLiteralAndVectorArithmetic) {
+  const char* src = R"(
+    function main(u) {
+      let away = (u.posx, u.posy) - (0, 0);
+      perform F(u, away.x, away.y);
+    }
+  )";
+  auto prog = ParseProgram(src);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  auto prog = ParseProgram("function main(u) {\n  let = 3;\n}");
+  ASSERT_FALSE(prog.ok());
+  EXPECT_NE(std::string::npos, prog.status().message().find("line 2"));
+}
+
+TEST(Parser, RejectsTopLevelGarbage) {
+  auto prog = ParseProgram("banana");
+  ASSERT_FALSE(prog.ok());
+  EXPECT_EQ(StatusCode::kParseError, prog.status().code());
+}
+
+TEST(Parser, RejectsEmptyAction) {
+  auto prog = ParseProgram("action A(u) { }");
+  ASSERT_FALSE(prog.ok());
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  auto prog = ParseProgram("const C = 1 + 2 * 3;");
+  ASSERT_TRUE(prog.ok());
+  const Expr& e = *prog->consts[0].value;
+  ASSERT_EQ(ExprKind::kBinary, e.kind);
+  EXPECT_EQ(BinaryOp::kAdd, e.op);
+  EXPECT_EQ(BinaryOp::kMul, e.args[1]->op);
+}
+
+// --------------------------------------------------------------- Analyzer
+
+TEST(Analyzer, FoldsConstants) {
+  const char* src = R"(
+    const BASE = 10;
+    const DOUBLE = BASE * 2;
+    function main(u) { perform Nop(u, DOUBLE); }
+    action Nop(u, v) { update e where e.key = u.key set damage += v - v; }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_DOUBLE_EQ(20.0, script->program.consts[1].folded);
+}
+
+TEST(Analyzer, RejectsUnknownAttribute) {
+  const char* src = R"(
+    function main(u) { if u.mana > 3 then perform A(u); }
+    action A(u) { update e where e.key = u.key set damage += 1; }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_FALSE(script.ok());
+  EXPECT_EQ(StatusCode::kAnalysisError, script.status().code());
+  EXPECT_NE(std::string::npos, script.status().message().find("mana"));
+}
+
+TEST(Analyzer, RejectsEffectOnConstAttribute) {
+  const char* src = R"(
+    action Hack(u) { update e where e.key = u.key set health += 10; }
+    function main(u) { perform Hack(u); }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(std::string::npos, script.status().message().find("const state"));
+}
+
+TEST(Analyzer, RejectsTagMismatch) {
+  const char* src = R"(
+    action Bad(u) { update e where e.key = u.key set inaura += 1; }
+    function main(u) { perform Bad(u); }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(std::string::npos, script.status().message().find("combine tag"));
+}
+
+TEST(Analyzer, RejectsRandomInAggregate) {
+  const char* src = R"(
+    aggregate Bad(u) { select sum(random(1)) from E e; }
+    function main(u) { let x = Bad(u); }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(std::string::npos, script.status().message().find("random"));
+}
+
+TEST(Analyzer, RejectsRecursion) {
+  const char* src = R"(
+    function f(u) { perform g(u); }
+    function g(u) { perform f(u); }
+    function main(u) { perform f(u); }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(std::string::npos, script.status().message().find("recursive"));
+}
+
+TEST(Analyzer, RejectsUnknownPerformTarget) {
+  auto script =
+      CompileScript("function main(u) { perform Nothing(u); }", TestSchema());
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(std::string::npos, script.status().message().find("Nothing"));
+}
+
+TEST(Analyzer, RejectsArityMismatch) {
+  const char* src = R"(
+    action A(u, x) { update e where e.key = u.key set damage += x; }
+    function main(u) { perform A(u); }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(std::string::npos, script.status().message().find("expects"));
+}
+
+TEST(Analyzer, RejectsShadowing) {
+  const char* src = R"(
+    function main(u) { let x = 1; let x = 2; perform A(u); }
+    action A(u) { update e where e.key = u.key set damage += 1; }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(std::string::npos, script.status().message().find("shadow"));
+}
+
+TEST(Analyzer, RejectsRowFuncMixedWithOthers) {
+  const char* src = R"(
+    aggregate Bad(u) { select argmin(e.health), count(*) from E e; }
+    function main(u) { let x = Bad(u); }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_FALSE(script.ok());
+  EXPECT_NE(std::string::npos, script.status().message().find("only select"));
+}
+
+TEST(Analyzer, RejectsAggregateOutsideFunctions) {
+  const char* src = R"(
+    aggregate N(u) { select count(*) from E e; }
+    aggregate Bad(u) { select sum(N(u)) from E e; }
+    function main(u) { let x = Bad(u); }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_FALSE(script.ok());
+}
+
+TEST(Analyzer, NormalizesAggregatesIntoLets) {
+  const char* src = R"(
+    aggregate N(u, r) {
+      select count(*) from E e
+      where e.posx >= u.posx - r and e.posx <= u.posx + r;
+    }
+    action A(u) { update e where e.key = u.key set damage += 1; }
+    function main(u) {
+      if N(u, 3) > 2 and N(u, 5) > 4 then perform A(u);
+    }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  // The condition's two aggregate calls must have been hoisted into lets;
+  // after normalization no aggregate call appears outside a let RHS.
+  std::function<void(const Stmt&, bool*)> check_no_agg_outside_lets;
+  std::function<bool(const Expr&)> has_agg = [&](const Expr& e) {
+    if (e.kind == ExprKind::kCall && e.is_aggregate) return true;
+    for (const ExprPtr& a : e.args) {
+      if (a && has_agg(*a)) return true;
+    }
+    return false;
+  };
+  int lets_with_aggs = 0;
+  std::function<void(const Stmt&)> walk = [&](const Stmt& s) {
+    if (s.kind == StmtKind::kLet) {
+      if (s.let_value->kind == ExprKind::kCall && s.let_value->is_aggregate) {
+        ++lets_with_aggs;
+      } else {
+        EXPECT_FALSE(has_agg(*s.let_value));
+      }
+    }
+    if (s.cond) {
+      std::function<void(const Cond&)> cw = [&](const Cond& c) {
+        if (c.lhs) {
+          EXPECT_FALSE(has_agg(*c.lhs));
+        }
+        if (c.rhs) {
+          EXPECT_FALSE(has_agg(*c.rhs));
+        }
+        if (c.left) cw(*c.left);
+        if (c.right) cw(*c.right);
+      };
+      cw(*s.cond);
+    }
+    for (const ExprPtr& a : s.args) EXPECT_FALSE(has_agg(*a));
+    if (s.then_branch) walk(*s.then_branch);
+    if (s.else_branch) walk(*s.else_branch);
+    for (const StmtPtr& c : s.body) walk(*c);
+  };
+  walk(*script->program.functions[0].body);
+  EXPECT_EQ(2, lets_with_aggs);
+}
+
+TEST(Analyzer, MainMustTakeOneParam) {
+  auto script = CompileScript(
+      "function main(u, x) { perform main(u, x); }", TestSchema());
+  ASSERT_FALSE(script.ok());
+}
+
+TEST(Analyzer, AggregateLayoutsExposed) {
+  const char* src = R"(
+    aggregate C(u) { select avg(e.posx) as x, avg(e.posy) as y from E e; }
+    aggregate W(u) { select argmin(e.health) from E e; }
+    function main(u) { let a = C(u); let b = W(u); }
+  )";
+  auto script = CompileScript(src, TestSchema());
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(2u, script->agg_layouts.size());
+  EXPECT_EQ((std::vector<std::string>{"x", "y"}),
+            script->agg_layouts[0]->fields);
+  EXPECT_EQ("found", script->agg_layouts[1]->fields[0]);
+  EXPECT_EQ("dist2", script->agg_layouts[1]->fields[1]);
+  EXPECT_EQ("key", script->agg_layouts[1]->fields[2]);
+}
+
+}  // namespace
+}  // namespace sgl
