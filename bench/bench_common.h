@@ -41,14 +41,14 @@ inline int32_t NaiveMaxUnits(int32_t fallback = 2000) {
 /// Run one battle configuration and return seconds for `ticks` ticks.
 inline double TimeBattle(const ScenarioConfig& scenario, EvaluatorMode mode,
                          int64_t ticks) {
-  auto setup = MakeBattle(scenario, mode);
+  auto setup = MakeBattleSim(scenario, mode);
   if (!setup.ok()) {
     std::fprintf(stderr, "setup failed: %s\n",
                  setup.status().ToString().c_str());
     std::exit(1);
   }
   Timer timer;
-  Status st = setup->engine->Run(ticks);
+  Status st = setup->sim->Run(ticks);
   if (!st.ok()) {
     std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
     std::exit(1);

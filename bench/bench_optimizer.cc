@@ -15,19 +15,19 @@ namespace {
 
 double TimeConfig(const ScenarioConfig& scenario, bool agg, bool act,
                   int64_t ticks) {
-  EngineConfig config;
+  SimulationConfig config;
   config.mode =
       (agg || act) ? EvaluatorMode::kIndexed : EvaluatorMode::kNaive;
   config.index_aggregates = agg;
   config.index_actions = act;
-  auto setup = MakeBattleWithConfig(scenario, config);
+  auto setup = MakeBattleSimWithConfig(scenario, config);
   if (!setup.ok()) {
     std::fprintf(stderr, "setup failed: %s\n",
                  setup.status().ToString().c_str());
     std::exit(1);
   }
   Timer timer;
-  Status st = setup->engine->Run(ticks);
+  Status st = setup->sim->Run(ticks);
   if (!st.ok()) {
     std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
     std::exit(1);

@@ -44,12 +44,12 @@ int main(int argc, char** argv) {
                            ? EvaluatorMode::kNaive
                            : EvaluatorMode::kIndexed;
 
-  auto setup = MakeBattle(scenario, mode, /*resurrect=*/false);
+  auto setup = MakeBattleSim(scenario, mode, /*resurrect=*/false);
   if (!setup.ok()) {
     std::fprintf(stderr, "%s\n", setup.status().ToString().c_str());
     return 1;
   }
-  Engine& engine = *setup->engine;
+  Simulation& sim = *setup->sim;
   const int64_t side = scenario.GridSide();
 
   std::printf("battle: %d units on a %lldx%lld grid, %s evaluator\n\n",
@@ -58,24 +58,21 @@ int main(int argc, char** argv) {
               mode == EvaluatorMode::kNaive ? "naive" : "indexed");
 
   for (int64_t t = 0; t < ticks; ++t) {
-    Status st = engine.Tick();
+    Status st = sim.Tick();
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
     if (t % (ticks / 3 + 1) == 0 || t == ticks - 1) {
       std::printf("--- tick %lld: %d units alive, %lld deaths so far ---\n",
-                  static_cast<long long>(t + 1), engine.table().NumRows(),
+                  static_cast<long long>(t + 1), sim.table().NumRows(),
                   static_cast<long long>(setup->mechanics->deaths()));
-      Render(engine.table(), side);
+      Render(sim.table(), side);
       std::printf("\n");
     }
   }
 
-  std::printf("phase times (total seconds across %lld ticks):\n",
-              static_cast<long long>(ticks));
-  for (const auto& [phase, seconds] : engine.phase_times().totals()) {
-    std::printf("  %-18s %8.3f\n", phase.c_str(), seconds);
-  }
+  std::printf("per-phase statistics across %lld ticks:\n%s",
+              static_cast<long long>(ticks), sim.stats().ToString().c_str());
   return 0;
 }

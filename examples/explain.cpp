@@ -1,58 +1,37 @@
 // EXPLAIN: show what the optimizer does to the battle script.
 //
-// Prints, for every aggregate declaration, the physical strategy chosen
-// by signature extraction (Section 5.3's conjunct classification), the
+// Prints the combined Simulation::Explain() — per registered script, the
+// Figure 6 logical plan before/after rewrites, the physical strategy
+// chosen for every aggregate (Section 5.3's conjunct classification), the
 // multi-query index-family sharing, and the per-action update strategies
 // (direct-key vs deferred area-of-effect vs scan fallback, Section 5.4).
 #include <cstdio>
 
-#include "algebra/plan.h"
 #include "game/battle.h"
-#include "opt/action_sink.h"
-#include "opt/indexed_provider.h"
+#include "opt/signature.h"
 
 using namespace sgl;
 
 int main() {
-  auto script = CompileScript(BattleScriptSource(), BattleSchema());
-  if (!script.ok()) {
-    std::fprintf(stderr, "%s\n", script.status().ToString().c_str());
+  ScenarioConfig scenario;
+  scenario.num_units = 100;
+  auto setup = MakeBattleSim(scenario, EvaluatorMode::kIndexed);
+  if (!setup.ok()) {
+    std::fprintf(stderr, "%s\n", setup.status().ToString().c_str());
     return 1;
   }
-  Interpreter interp(*script);
+  const Simulation& sim = *setup->sim;
 
-  std::printf("schema: %s\n\n", script->schema.ToString().c_str());
+  std::printf("schema: %s\n\n", sim.table().schema().ToString().c_str());
+  std::printf("%s", sim.Explain().c_str());
 
-  // The logical layer: Figure 6(a) translation and the rewritten plan.
-  auto logical = TranslateScript(*script);
-  if (logical.ok()) {
-    auto optimized = OptimizePlan(*logical);
-    if (optimized.ok()) {
-      std::printf("--- logical plan (Figure 6(a) translation) ---\n");
-      std::printf("operators: %d, aggregate extensions: %d\n\n",
-                  logical->NumNodes(), logical->NumAggregateNodes());
-      std::printf("--- after rewrites (6(a) -> 6(d)) ---\n");
-      std::printf("operators: %d, aggregate extensions: %d, "
-                  "shared signatures: %d\n\n",
-                  optimized->NumNodes(), optimized->NumAggregateNodes(),
-                  optimized->NumSharedSignatures());
-      std::printf("%s\n", optimized->ToString().c_str());
-    }
-  }
-
-  auto provider = IndexedAggregateProvider::Create(*script, interp);
-  auto sink = IndexedActionSink::Create(*script, interp);
-  if (!provider.ok() || !sink.ok()) {
-    std::fprintf(stderr, "planning failed\n");
-    return 1;
-  }
-  std::printf("%s\n", (*provider)->DescribePlan().c_str());
-  std::printf("%s\n", (*sink)->DescribePlan().c_str());
-
+  const ScriptSession& session = sim.session(0);
   std::printf("Per-aggregate detail:\n");
-  for (size_t a = 0; a < script->program.aggregates.size(); ++a) {
+  for (size_t a = 0; a < session.script.program.aggregates.size(); ++a) {
     std::printf("  %s\n",
-                DescribeSignature(*script, (*provider)->signature(a)).c_str());
+                DescribeSignature(session.script,
+                                  session.provider->signature(a))
+                    .c_str());
   }
 
   std::printf(

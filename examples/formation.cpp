@@ -51,25 +51,25 @@ int main() {
   scenario.archer_fraction = 0.4;
   scenario.seed = 31;
 
-  auto setup = MakeBattle(scenario, EvaluatorMode::kIndexed);
+  auto setup = MakeBattleSim(scenario, EvaluatorMode::kIndexed);
   if (!setup.ok()) {
     std::fprintf(stderr, "%s\n", setup.status().ToString().c_str());
     return 1;
   }
-  Engine& engine = *setup->engine;
+  Simulation& sim = *setup->sim;
 
   std::printf("Armies start in opposite halves; player 0 attacks east.\n");
   std::printf("%5s %28s %28s\n", "", "player 0 (enemy|knight|archer)",
               "player 1 (enemy|knight|archer)");
   int32_t formed = 0, measured = 0;
   for (int tick = 1; tick <= 48; ++tick) {
-    Status st = engine.Tick();
+    Status st = sim.Tick();
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
-    Centroids c0 = Measure(engine.table(), 0);
-    Centroids c1 = Measure(engine.table(), 1);
+    Centroids c0 = Measure(sim.table(), 0);
+    Centroids c1 = Measure(sim.table(), 1);
     // Player 0 fights toward +x: formation means enemy_x > knights_x >
     // archers_x. Player 1 mirrors.
     bool f0 = c0.enemy_x > c0.knights_x && c0.knights_x > c0.archers_x;

@@ -2,11 +2,12 @@
 //
 // The world: wolves chase the nearest sheep; each wolf bite costs the
 // sheep 5 health. Sheep run from the nearest wolf. Everything here goes
-// through the public API: Schema, CompileScript, Engine, GameMechanics.
+// through the public API: Schema -> CompileScript -> SimulationBuilder
+// -> Tick.
 #include <cstdio>
 #include <memory>
 
-#include "engine/engine.h"
+#include "engine/simulation.h"
 #include "sgl/analyzer.h"
 
 using namespace sgl;
@@ -52,20 +53,24 @@ const char* kScript = R"SGL(
   }
 )SGL";
 
-// Minimal mechanics: damage reduces health; the dead are removed.
+// Minimal mechanics: damage reduces health; the dead are removed. The
+// simulation owns this object (SetMechanics takes a unique_ptr). Schema
+// lookups use Require, so a misconfigured schema fails loudly instead of
+// corrupting the table.
 class Pasture : public GameMechanics {
  public:
   Status ApplyEffects(EnvironmentTable* table, const EffectBuffer&,
                       const TickRandom&) override {
     const Schema& s = table->schema();
-    AttrId health = s.Find("health"), damage = s.Find("damage");
+    SGL_ASSIGN_OR_RETURN(AttrId health, s.Require("health"));
+    SGL_ASSIGN_OR_RETURN(AttrId damage, s.Require("damage"));
     for (RowId r = 0; r < table->NumRows(); ++r) {
       table->Set(r, health, table->Get(r, health) - table->Get(r, damage));
     }
     return Status::OK();
   }
   Status EndTick(EnvironmentTable* table, const TickRandom&) override {
-    AttrId health = table->schema().Find("health");
+    SGL_ASSIGN_OR_RETURN(AttrId health, table->schema().Require("health"));
     table->RemoveIf([&](RowId r) { return table->Get(r, health) <= 0.0; });
     return Status::OK();
   }
@@ -101,36 +106,42 @@ int main() {
     return 1;
   }
 
-  // 4. Run the engine (indexed evaluator; try kNaive — same results).
-  Pasture mechanics;
-  EngineConfig config;
+  // 4. Assemble the simulation (indexed evaluator; try kNaive — same
+  // results, bit for bit).
+  SimulationConfig config;
   config.mode = EvaluatorMode::kIndexed;
   config.grid_width = 20;
   config.grid_height = 20;
   config.step_per_tick = 2.0;
-  auto engine = Engine::Create(script.MoveValue(), std::move(table),
-                               &mechanics, config);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "engine error: %s\n",
-                 engine.status().ToString().c_str());
+
+  SimulationBuilder builder;
+  builder.SetTable(std::move(table))
+      .SetConfig(config)
+      .AddScript("pasture", script.MoveValue())
+      .SetMechanics(std::make_unique<Pasture>());
+  auto sim = builder.Build();
+  if (!sim.ok()) {
+    std::fprintf(stderr, "simulation error: %s\n",
+                 sim.status().ToString().c_str());
     return 1;
   }
 
   std::printf("tick  sheep alive\n");
   for (int tick = 0; tick < 30; ++tick) {
-    Status st = (*engine)->Tick();
+    Status st = (*sim)->Tick();
     if (!st.ok()) {
       std::fprintf(stderr, "tick error: %s\n", st.ToString().c_str());
       return 1;
     }
     int32_t sheep = 0;
-    const EnvironmentTable& t = (*engine)->table();
+    const EnvironmentTable& t = (*sim)->table();
     AttrId species = t.schema().Find("species");
     for (RowId r = 0; r < t.NumRows(); ++r) {
       if (t.Get(r, species) == 1.0) ++sheep;
     }
     if (tick % 5 == 4) std::printf("%4d  %d\n", tick + 1, sheep);
   }
-  std::printf("\nfinal table:\n%s", (*engine)->table().ToString(10).c_str());
+  std::printf("\nfinal table:\n%s", (*sim)->table().ToString(10).c_str());
+  std::printf("\nper-phase statistics:\n%s", (*sim)->stats().ToString().c_str());
   return 0;
 }

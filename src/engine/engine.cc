@@ -1,205 +1,55 @@
 #include "engine/engine.h"
 
-#include <algorithm>
-#include <cmath>
-#include <unordered_set>
-
 namespace sgl {
 
 namespace {
 
-/// Occupancy key for integer grid cells.
-int64_t CellKey(int64_t x, int64_t y) { return (x << 32) ^ (y & 0xffffffff); }
+/// Historical Engine phase keys for the built-in pipeline names.
+const char* LegacyPhaseName(const std::string& phase) {
+  if (phase == phase_names::kIndexBuild) return "1:index-build";
+  if (phase == phase_names::kDecisionAction) return "2:decision";
+  if (phase == phase_names::kDeferredIndex) return "3:index-build-2";
+  if (phase == phase_names::kApply) return "4:apply";
+  if (phase == phase_names::kMovement) return "5:movement";
+  if (phase == phase_names::kMechanics) return "6:end-of-tick";
+  return nullptr;
+}
 
 }  // namespace
-
-Engine::Engine(Script script, EnvironmentTable table, GameMechanics* mechanics,
-               EngineConfig config)
-    : script_(std::move(script)),
-      table_(std::move(table)),
-      mechanics_(mechanics),
-      config_(std::move(config)) {}
 
 Result<std::unique_ptr<Engine>> Engine::Create(Script script,
                                                EnvironmentTable table,
                                                GameMechanics* mechanics,
                                                EngineConfig config) {
-  if (script.main_index < 0) {
-    return Status::PlanError("engine requires a script with a main function");
+  SimulationBuilder builder;
+  builder.SetTable(std::move(table))
+      .SetConfig(std::move(config))
+      .AddScript("main", std::move(script));
+  if (mechanics != nullptr) {
+    // The shim keeps the borrowed-pointer contract: the caller owns the
+    // mechanics and must outlive the engine.
+    builder
+        .OnApplyEffects([mechanics](EnvironmentTable* t,
+                                    const EffectBuffer& buffer,
+                                    const TickRandom& rnd) {
+          return mechanics->ApplyEffects(t, buffer, rnd);
+        })
+        .OnEndTick([mechanics](EnvironmentTable* t, const TickRandom& rnd) {
+          return mechanics->EndTick(t, rnd);
+        });
   }
-  std::unique_ptr<Engine> engine(
-      new Engine(std::move(script), std::move(table), mechanics, config));
-  engine->interp_ = std::make_unique<Interpreter>(engine->script_);
-  if (config.mode == EvaluatorMode::kIndexed) {
-    if (config.index_aggregates) {
-      SGL_ASSIGN_OR_RETURN(engine->provider_,
-                           IndexedAggregateProvider::Create(engine->script_,
-                                                            *engine->interp_));
-      engine->interp_->set_aggregate_provider(engine->provider_.get());
-    }
-    if (config.index_actions) {
-      SGL_ASSIGN_OR_RETURN(
-          engine->sink_,
-          IndexedActionSink::Create(engine->script_, *engine->interp_));
-      engine->interp_->set_action_sink(engine->sink_.get());
-    }
-  }
-  const Schema& schema = engine->table_.schema();
-  if (!config.move_x_attr.empty()) {
-    engine->move_x_ = schema.Find(config.move_x_attr);
-    engine->move_y_ = schema.Find(config.move_y_attr);
-    if (engine->move_x_ == Schema::kInvalidAttr ||
-        engine->move_y_ == Schema::kInvalidAttr) {
-      return Status::PlanError("movement attributes '", config.move_x_attr,
-                               "'/'", config.move_y_attr,
-                               "' not found in schema");
-    }
-  }
-  engine->posx_ = schema.Find("posx");
-  engine->posy_ = schema.Find("posy");
-  return engine;
+  SGL_ASSIGN_OR_RETURN(std::unique_ptr<Simulation> sim, builder.Build());
+  return std::unique_ptr<Engine>(new Engine(std::move(sim)));
 }
 
-Status Engine::Tick() {
-  TickRandom rnd(config_.seed, static_cast<uint64_t>(tick_count_));
-
-  // Initialize the auxiliary (effect) attributes for this tick.
-  table_.ResetEffects();
-
-  {
-    ScopedPhaseTimer t(&phase_times_, "1:index-build");
-    if (provider_ != nullptr) {
-      SGL_RETURN_NOT_OK(provider_->BuildIndexes(table_, rnd));
-    }
+const PhaseTimes& Engine::phase_times() const {
+  legacy_times_.Clear();
+  for (const auto& [name, stats] : sim_->stats().stats()) {
+    const char* legacy = LegacyPhaseName(name);
+    legacy_times_.Add(legacy != nullptr ? legacy : name.c_str(), stats.seconds,
+                      stats.invocations);
   }
-  {
-    ScopedPhaseTimer t(&phase_times_, "2:decision");
-    buffer_.Begin(table_);
-    SGL_RETURN_NOT_OK(interp_->Tick(table_, rnd, &buffer_));
-  }
-  {
-    ScopedPhaseTimer t(&phase_times_, "3:index-build-2");
-    if (sink_ != nullptr) {
-      SGL_RETURN_NOT_OK(sink_->FlushDeferred(table_, rnd, &buffer_));
-    }
-  }
-  {
-    ScopedPhaseTimer t(&phase_times_, "4:apply");
-    buffer_.ApplyTo(&table_);
-    SGL_RETURN_NOT_OK(mechanics_->ApplyEffects(&table_, buffer_, rnd));
-  }
-  {
-    ScopedPhaseTimer t(&phase_times_, "5:movement");
-    if (move_x_ != Schema::kInvalidAttr) {
-      SGL_RETURN_NOT_OK(MovementPhase(rnd));
-    }
-  }
-  {
-    ScopedPhaseTimer t(&phase_times_, "6:end-of-tick");
-    SGL_RETURN_NOT_OK(mechanics_->EndTick(&table_, rnd));
-  }
-  ++tick_count_;
-  return Status::OK();
-}
-
-Status Engine::Run(int64_t ticks) {
-  for (int64_t i = 0; i < ticks; ++i) {
-    SGL_RETURN_NOT_OK(Tick());
-  }
-  return Status::OK();
-}
-
-Status Engine::MovementPhase(const TickRandom& rnd) {
-  const int32_t n = table_.NumRows();
-
-  // Occupancy of every unit's current cell.
-  std::unordered_set<int64_t> occupied;
-  if (config_.collisions) {
-    occupied.reserve(static_cast<size_t>(n) * 2);
-    for (RowId r = 0; r < n; ++r) {
-      occupied.insert(CellKey(static_cast<int64_t>(table_.Get(r, posx_)),
-                              static_cast<int64_t>(table_.Get(r, posy_))));
-    }
-  }
-
-  // Units move in random order (deterministic Fisher–Yates from the tick
-  // randomness, so the naive and indexed engines shuffle identically).
-  std::vector<RowId> order(n);
-  for (RowId r = 0; r < n; ++r) order[r] = r;
-  for (int32_t i = n - 1; i > 0; --i) {
-    int64_t j = rnd.DrawBounded(-1, i, i + 1);
-    std::swap(order[i], order[j]);
-  }
-
-  const double step = config_.step_per_tick;
-  for (RowId r : order) {
-    double mx = table_.Get(r, move_x_);
-    double my = table_.Get(r, move_y_);
-    if (mx == 0.0 && my == 0.0) continue;
-    // Example 4.1's norm: advance a full step in the intent direction
-    // (shorter intents move at most their own length).
-    double len = std::sqrt(mx * mx + my * my);
-    double scale = std::min(1.0, step / len);
-    int64_t cx = static_cast<int64_t>(table_.Get(r, posx_));
-    int64_t cy = static_cast<int64_t>(table_.Get(r, posy_));
-    int64_t tx = cx + static_cast<int64_t>(std::llround(mx * scale));
-    int64_t ty = cy + static_cast<int64_t>(std::llround(my * scale));
-    tx = std::clamp<int64_t>(tx, 0, config_.grid_width - 1);
-    ty = std::clamp<int64_t>(ty, 0, config_.grid_height - 1);
-    if (tx == cx && ty == cy) continue;
-
-    auto try_move = [&](int64_t nx, int64_t ny) {
-      if (nx < 0 || nx >= config_.grid_width || ny < 0 ||
-          ny >= config_.grid_height) {
-        return false;
-      }
-      if (nx == cx && ny == cy) return false;
-      if (config_.collisions && occupied.count(CellKey(nx, ny)) > 0) {
-        return false;
-      }
-      if (config_.collisions) {
-        occupied.erase(CellKey(cx, cy));
-        occupied.insert(CellKey(nx, ny));
-      }
-      table_.Set(r, posx_, static_cast<double>(nx));
-      table_.Set(r, posy_, static_cast<double>(ny));
-      return true;
-    };
-
-    if (try_move(tx, ty)) continue;
-    // Very simple pathfinding: try the 8 neighbours of the blocked target,
-    // closest to the current position first (deterministic ordering).
-    struct Alt {
-      int64_t x, y;
-      int64_t d2;
-    };
-    std::vector<Alt> alts;
-    alts.reserve(8);
-    for (int64_t dx = -1; dx <= 1; ++dx) {
-      for (int64_t dy = -1; dy <= 1; ++dy) {
-        if (dx == 0 && dy == 0) continue;
-        int64_t ax = tx + dx, ay = ty + dy;
-        int64_t ddx = ax - cx, ddy = ay - cy;
-        alts.push_back(Alt{ax, ay, ddx * ddx + ddy * ddy});
-      }
-    }
-    std::sort(alts.begin(), alts.end(), [](const Alt& a, const Alt& b) {
-      if (a.d2 != b.d2) return a.d2 < b.d2;
-      if (a.x != b.x) return a.x < b.x;
-      return a.y < b.y;
-    });
-    for (const Alt& alt : alts) {
-      if (try_move(alt.x, alt.y)) break;
-    }
-  }
-  return Status::OK();
-}
-
-std::string Engine::DescribePlan() const {
-  if (provider_ == nullptr) {
-    return "Naive evaluator: every aggregate and action scans E.\n";
-  }
-  return provider_->DescribePlan() + sink_->DescribePlan();
+  return legacy_times_;
 }
 
 }  // namespace sgl

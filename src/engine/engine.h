@@ -1,85 +1,26 @@
-// The discrete simulation engine (Sections 2.2 and 6).
+// Engine — the original single-script engine API, now a thin compatibility
+// shim over sgl::Simulation (see simulation.h, the current public facade).
 //
-// Each clock tick runs the phases of the paper's experimental engine:
-//
-//   1. index build      — rebuild the aggregate index families (indexed
-//                         mode only; a no-op for the naive evaluator);
-//   2. decision+action  — every unit evaluates main against the immutable
-//                         tick-start environment; effects stream into the
-//                         EffectBuffer (the incremental ⊕). Because no
-//                         effect is visible until the buffer is applied,
-//                         folding the paper's separate decision and action
-//                         phases into one pass is semantics-preserving;
-//   3. index build 2    — value-dependent indexes: the deferred
-//                         area-of-effect actions of Section 5.4 are built
-//                         and folded here (e.g. "max healing in range");
-//   4. apply            — combined effects are written back and the
-//                         game-mechanics post-processing step (the
-//                         Example 4.1 query) updates unit state;
-//   5. movement         — units move in random order with grid collision
-//                         detection and very simple pathfinding.
-//
-// The evaluator is pluggable (Section 6: "two pluggable versions of our
-// aggregate query evaluator"): kNaive scans E per aggregate and per
-// action; kIndexed probes the Section 5.3 index structures. Both modes
-// produce bit-identical simulations.
+// Engine::Create wires one script, a borrowed GameMechanics* and an
+// EngineConfig into a SimulationBuilder with the default phase pipeline;
+// every member defers to the owned Simulation. New code should use
+// SimulationBuilder directly: it supports multiple named scripts per
+// session, owned mechanics registration, custom phases and
+// Snapshot()/Restore(). Engine remains so existing callers and tests keep
+// working unchanged.
 #ifndef SGL_ENGINE_ENGINE_H_
 #define SGL_ENGINE_ENGINE_H_
 
 #include <memory>
 #include <string>
 
-#include "env/effect_buffer.h"
-#include "env/table.h"
-#include "opt/action_sink.h"
-#include "opt/indexed_provider.h"
-#include "sgl/analyzer.h"
-#include "sgl/interpreter.h"
-#include "util/rng.h"
+#include "engine/simulation.h"
 #include "util/timer.h"
 
 namespace sgl {
 
-enum class EvaluatorMode { kNaive, kIndexed };
-
-/// Game-specific rules the engine delegates to: how combined effects
-/// change unit state (Example 4.1) and what happens at end of tick
-/// (death, resurrection, spawning).
-class GameMechanics {
- public:
-  virtual ~GameMechanics() = default;
-
-  /// Called after ⊕: the table's effect columns hold the combined effects
-  /// of the tick; update the const state columns accordingly. `buffer`
-  /// additionally answers HasSet() for set-priority effects.
-  virtual Status ApplyEffects(EnvironmentTable* table,
-                              const EffectBuffer& buffer,
-                              const TickRandom& rnd) = 0;
-
-  /// Called after the movement phase; remove/resurrect/spawn units here.
-  virtual Status EndTick(EnvironmentTable* table, const TickRandom& rnd) = 0;
-};
-
-struct EngineConfig {
-  EvaluatorMode mode = EvaluatorMode::kIndexed;
-  uint64_t seed = 1;
-
-  /// Ablation switches for kIndexed mode: disable the Section 5.3
-  /// aggregate indexes or the Section 5.4 action batching independently
-  /// (bench_optimizer measures each contribution).
-  bool index_aggregates = true;
-  bool index_actions = true;
-
-  /// Movement phase configuration. Attribute names for the per-tick
-  /// movement intent; empty names disable the phase. Positions are kept
-  /// on the integer grid [0, grid_width) x [0, grid_height).
-  std::string move_x_attr = "movex";
-  std::string move_y_attr = "movey";
-  int64_t grid_width = 256;
-  int64_t grid_height = 256;
-  double step_per_tick = 3.0;  // the paper's _WALK_DIST_PER_TICK
-  bool collisions = true;
-};
+/// Engine-era alias; the configuration moved to the Simulation facade.
+using EngineConfig = SimulationConfig;
 
 class Engine {
  public:
@@ -90,40 +31,33 @@ class Engine {
                                                 EngineConfig config);
 
   /// Advance the simulation one clock tick.
-  Status Tick();
+  Status Tick() { return sim_->Tick(); }
 
   /// Run `ticks` clock ticks.
-  Status Run(int64_t ticks);
+  Status Run(int64_t ticks) { return sim_->Run(ticks); }
 
-  const EnvironmentTable& table() const { return table_; }
-  EnvironmentTable* mutable_table() { return &table_; }
-  int64_t tick_count() const { return tick_count_; }
-  const PhaseTimes& phase_times() const { return phase_times_; }
-  const Script& script() const { return script_; }
+  const EnvironmentTable& table() const { return sim_->table(); }
+  EnvironmentTable* mutable_table() { return sim_->mutable_table(); }
+  int64_t tick_count() const { return sim_->tick_count(); }
+  const Script& script() const { return sim_->session(0).script; }
+
+  /// Legacy per-phase timings, re-keyed to the historical phase names
+  /// ("1:index-build", ..., "6:end-of-tick"). Rebuilt from the
+  /// simulation's PhaseStatsRegistry on every call.
+  const PhaseTimes& phase_times() const;
 
   /// EXPLAIN: the physical plan chosen by the optimizer (indexed mode).
-  std::string DescribePlan() const;
+  std::string DescribePlan() const { return sim_->DescribePlan(); }
+
+  /// The underlying facade, for callers migrating incrementally.
+  Simulation& simulation() { return *sim_; }
+  const Simulation& simulation() const { return *sim_; }
 
  private:
-  Engine(Script script, EnvironmentTable table, GameMechanics* mechanics,
-         EngineConfig config);
+  explicit Engine(std::unique_ptr<Simulation> sim) : sim_(std::move(sim)) {}
 
-  Status MovementPhase(const TickRandom& rnd);
-
-  Script script_;
-  EnvironmentTable table_;
-  GameMechanics* mechanics_;
-  EngineConfig config_;
-  std::unique_ptr<Interpreter> interp_;
-  std::unique_ptr<IndexedAggregateProvider> provider_;  // indexed mode
-  std::unique_ptr<IndexedActionSink> sink_;             // indexed mode
-  EffectBuffer buffer_;
-  PhaseTimes phase_times_;
-  int64_t tick_count_ = 0;
-  AttrId move_x_ = Schema::kInvalidAttr;
-  AttrId move_y_ = Schema::kInvalidAttr;
-  AttrId posx_ = Schema::kInvalidAttr;
-  AttrId posy_ = Schema::kInvalidAttr;
+  std::unique_ptr<Simulation> sim_;
+  mutable PhaseTimes legacy_times_;
 };
 
 }  // namespace sgl

@@ -1,0 +1,198 @@
+#include "engine/phase.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <unordered_set>
+
+#include "engine/simulation.h"
+
+namespace sgl {
+
+namespace {
+
+/// Occupancy key for integer grid cells.
+int64_t CellKey(int64_t x, int64_t y) { return (x << 32) ^ (y & 0xffffffff); }
+
+/// Total index probes issued so far across every session's provider.
+int64_t TotalProbes(Simulation* sim) {
+  int64_t probes = 0;
+  for (const auto& session : sim->sessions()) {
+    if (session->provider != nullptr) probes += session->provider->probe_count();
+  }
+  return probes;
+}
+
+}  // namespace
+
+PhaseStats& PhaseStatsRegistry::Slot(const std::string& phase) {
+  for (auto& [name, stats] : stats_) {
+    if (name == phase) return stats;
+  }
+  stats_.emplace_back(phase, PhaseStats{});
+  return stats_.back().second;
+}
+
+const PhaseStats* PhaseStatsRegistry::Find(const std::string& phase) const {
+  for (const auto& [name, stats] : stats_) {
+    if (name == phase) return &stats;
+  }
+  return nullptr;
+}
+
+std::string PhaseStatsRegistry::ToString() const {
+  std::ostringstream os;
+  os << "phase                 ticks   total(s)  ms/tick       rows     probes\n";
+  for (const auto& [name, s] : stats_) {
+    char line[160];
+    double per_tick =
+        s.invocations > 0 ? s.seconds * 1e3 / static_cast<double>(s.invocations)
+                          : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "%-20s %6lld %10.4f %8.3f %10lld %10lld\n", name.c_str(),
+                  static_cast<long long>(s.invocations), s.seconds, per_tick,
+                  static_cast<long long>(s.rows_scanned),
+                  static_cast<long long>(s.index_probes));
+    os << line;
+  }
+  return os.str();
+}
+
+Status IndexBuildPhase::Run(TickContext* ctx) {
+  for (auto& session : ctx->sim->sessions()) {
+    if (session->provider == nullptr) continue;
+    SGL_RETURN_NOT_OK(session->provider->BuildIndexes(*ctx->table, *ctx->rnd));
+    ctx->stats->rows_scanned += ctx->table->NumRows();
+  }
+  return Status::OK();
+}
+
+Status DecisionActionPhase::Run(TickContext* ctx) {
+  Simulation* sim = ctx->sim;
+  const int64_t probes_before = TotalProbes(sim);
+  const int32_t n = ctx->table->NumRows();
+  for (RowId r = 0; r < n; ++r) {
+    SGL_ASSIGN_OR_RETURN(const ScriptSession* session, sim->SessionForRow(r));
+    SGL_RETURN_NOT_OK(
+        session->interp->RunUnit(*ctx->table, r, *ctx->rnd, ctx->buffer));
+  }
+  ctx->stats->rows_scanned += n;
+  ctx->stats->index_probes += TotalProbes(sim) - probes_before;
+  return Status::OK();
+}
+
+Status DeferredIndexPhase::Run(TickContext* ctx) {
+  for (auto& session : ctx->sim->sessions()) {
+    if (session->sink == nullptr) continue;
+    SGL_RETURN_NOT_OK(
+        session->sink->FlushDeferred(*ctx->table, *ctx->rnd, ctx->buffer));
+  }
+  return Status::OK();
+}
+
+Status ApplyPhase::Run(TickContext* ctx) {
+  ctx->buffer->ApplyTo(ctx->table);
+  for (const ApplyEffectsHook& hook : ctx->sim->apply_hooks()) {
+    SGL_RETURN_NOT_OK(hook(ctx->table, *ctx->buffer, *ctx->rnd));
+  }
+  ctx->stats->rows_scanned += ctx->table->NumRows();
+  return Status::OK();
+}
+
+Status MechanicsPhase::Run(TickContext* ctx) {
+  for (const EndTickHook& hook : ctx->sim->end_tick_hooks()) {
+    SGL_RETURN_NOT_OK(hook(ctx->table, *ctx->rnd));
+  }
+  return Status::OK();
+}
+
+Status MovementPhase::Run(TickContext* ctx) {
+  EnvironmentTable& table = *ctx->table;
+  const TickRandom& rnd = *ctx->rnd;
+  const int32_t n = table.NumRows();
+  ctx->stats->rows_scanned += n;
+
+  // Occupancy of every unit's current cell.
+  std::unordered_set<int64_t> occupied;
+  if (collisions_) {
+    occupied.reserve(static_cast<size_t>(n) * 2);
+    for (RowId r = 0; r < n; ++r) {
+      occupied.insert(CellKey(static_cast<int64_t>(table.Get(r, posx_)),
+                              static_cast<int64_t>(table.Get(r, posy_))));
+    }
+  }
+
+  // Units move in random order (deterministic Fisher–Yates from the tick
+  // randomness, so the naive and indexed engines shuffle identically).
+  std::vector<RowId> order(n);
+  for (RowId r = 0; r < n; ++r) order[r] = r;
+  for (int32_t i = n - 1; i > 0; --i) {
+    int64_t j = rnd.DrawBounded(-1, i, i + 1);
+    std::swap(order[i], order[j]);
+  }
+
+  const double step = step_per_tick_;
+  for (RowId r : order) {
+    double mx = table.Get(r, move_x_);
+    double my = table.Get(r, move_y_);
+    if (mx == 0.0 && my == 0.0) continue;
+    // Example 4.1's norm: advance a full step in the intent direction
+    // (shorter intents move at most their own length).
+    double len = std::sqrt(mx * mx + my * my);
+    double scale = std::min(1.0, step / len);
+    int64_t cx = static_cast<int64_t>(table.Get(r, posx_));
+    int64_t cy = static_cast<int64_t>(table.Get(r, posy_));
+    int64_t tx = cx + static_cast<int64_t>(std::llround(mx * scale));
+    int64_t ty = cy + static_cast<int64_t>(std::llround(my * scale));
+    tx = std::clamp<int64_t>(tx, 0, grid_width_ - 1);
+    ty = std::clamp<int64_t>(ty, 0, grid_height_ - 1);
+    if (tx == cx && ty == cy) continue;
+
+    auto try_move = [&](int64_t nx, int64_t ny) {
+      if (nx < 0 || nx >= grid_width_ || ny < 0 || ny >= grid_height_) {
+        return false;
+      }
+      if (nx == cx && ny == cy) return false;
+      if (collisions_ && occupied.count(CellKey(nx, ny)) > 0) {
+        return false;
+      }
+      if (collisions_) {
+        occupied.erase(CellKey(cx, cy));
+        occupied.insert(CellKey(nx, ny));
+      }
+      table.Set(r, posx_, static_cast<double>(nx));
+      table.Set(r, posy_, static_cast<double>(ny));
+      return true;
+    };
+
+    if (try_move(tx, ty)) continue;
+    // Very simple pathfinding: try the 8 neighbours of the blocked target,
+    // closest to the current position first (deterministic ordering).
+    struct Alt {
+      int64_t x, y;
+      int64_t d2;
+    };
+    std::vector<Alt> alts;
+    alts.reserve(8);
+    for (int64_t dx = -1; dx <= 1; ++dx) {
+      for (int64_t dy = -1; dy <= 1; ++dy) {
+        if (dx == 0 && dy == 0) continue;
+        int64_t ax = tx + dx, ay = ty + dy;
+        int64_t ddx = ax - cx, ddy = ay - cy;
+        alts.push_back(Alt{ax, ay, ddx * ddx + ddy * ddy});
+      }
+    }
+    std::sort(alts.begin(), alts.end(), [](const Alt& a, const Alt& b) {
+      if (a.d2 != b.d2) return a.d2 < b.d2;
+      if (a.x != b.x) return a.x < b.x;
+      return a.y < b.y;
+    });
+    for (const Alt& alt : alts) {
+      if (try_move(alt.x, alt.y)) break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sgl

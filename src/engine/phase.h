@@ -1,0 +1,183 @@
+// Composable per-tick phases (the pipeline behind sgl::Simulation).
+//
+// Section 6 presents the engine as a fixed sequence of per-tick phases;
+// here each phase is a first-class TickPhase object registered with a
+// Simulation. The default pipeline reproduces the paper's order
+//
+//   index-build -> decision-action -> deferred-index -> apply
+//                -> movement -> mechanics
+//
+// but users can reorder, disable, or extend it with custom phases through
+// SimulationBuilder. Every phase reports its own PhaseStats (time, rows
+// scanned, index probes) into the simulation's PhaseStatsRegistry, which
+// replaces the ad-hoc PhaseTimes of the original Engine.
+#ifndef SGL_ENGINE_PHASE_H_
+#define SGL_ENGINE_PHASE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "env/effect_buffer.h"
+#include "env/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sgl {
+
+class Simulation;
+
+/// Canonical names of the built-in phases (stats keys and the anchors for
+/// SimulationBuilder::InsertPhaseBefore/After and DisablePhase).
+namespace phase_names {
+inline constexpr const char kIndexBuild[] = "index-build";
+inline constexpr const char kDecisionAction[] = "decision-action";
+inline constexpr const char kDeferredIndex[] = "deferred-index";
+inline constexpr const char kApply[] = "apply";
+inline constexpr const char kMovement[] = "movement";
+inline constexpr const char kMechanics[] = "mechanics";
+}  // namespace phase_names
+
+/// Counters one phase accumulates across ticks.
+struct PhaseStats {
+  double seconds = 0.0;       ///< total wall-clock time spent in the phase
+  int64_t invocations = 0;    ///< number of ticks the phase ran
+  int64_t rows_scanned = 0;   ///< environment rows the phase visited
+  int64_t index_probes = 0;   ///< aggregate-index probes issued
+};
+
+/// Per-phase stats, keyed by phase name in first-registration (pipeline)
+/// order.
+class PhaseStatsRegistry {
+ public:
+  /// The (created-on-demand) slot for `phase`. References stay valid for
+  /// the registry's lifetime (deque storage), so phases may create slots
+  /// while the runner holds a reference to another one.
+  PhaseStats& Slot(const std::string& phase);
+
+  /// The slot for `phase`, or nullptr if it never ran.
+  const PhaseStats* Find(const std::string& phase) const;
+
+  const std::deque<std::pair<std::string, PhaseStats>>& stats() const {
+    return stats_;
+  }
+
+  void Clear() { stats_.clear(); }
+
+  /// Multi-line table: per phase, invocations, total seconds, ms/tick,
+  /// rows scanned and index probes.
+  std::string ToString() const;
+
+ private:
+  std::deque<std::pair<std::string, PhaseStats>> stats_;
+};
+
+/// Everything a phase may touch during one clock tick. The pointers stay
+/// valid for the duration of the phase's Run call only.
+struct TickContext {
+  Simulation* sim = nullptr;         ///< owning simulation (scripts, hooks)
+  EnvironmentTable* table = nullptr; ///< the environment table E
+  EffectBuffer* buffer = nullptr;    ///< this tick's incremental ⊕
+  const TickRandom* rnd = nullptr;   ///< the tick's random function r(u, i)
+  int64_t tick = 0;                  ///< tick number being executed
+  PhaseStats* stats = nullptr;       ///< the running phase's own slot
+};
+
+/// One stage of the per-tick pipeline. Subclass and register through
+/// SimulationBuilder to observe or transform the world each tick.
+class TickPhase {
+ public:
+  explicit TickPhase(std::string name) : name_(std::move(name)) {}
+  virtual ~TickPhase() = default;
+
+  TickPhase(const TickPhase&) = delete;
+  TickPhase& operator=(const TickPhase&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  virtual Status Run(TickContext* ctx) = 0;
+
+ private:
+  std::string name_;
+};
+
+// ------------------------------------------------------------------------
+// Built-in phases. All are constructed by SimulationBuilder::Build; they
+// are exposed here so custom pipelines can re-instantiate them.
+
+/// Phase 1: rebuild the Section 5.3 aggregate-index families of every
+/// script session (no-op for the naive evaluator).
+class IndexBuildPhase : public TickPhase {
+ public:
+  IndexBuildPhase() : TickPhase(phase_names::kIndexBuild) {}
+  Status Run(TickContext* ctx) override;
+};
+
+/// Phase 2: every unit evaluates the main function of the script its
+/// dispatch-attribute value selects, streaming effects into the buffer.
+class DecisionActionPhase : public TickPhase {
+ public:
+  DecisionActionPhase() : TickPhase(phase_names::kDecisionAction) {}
+  Status Run(TickContext* ctx) override;
+};
+
+/// Phase 3: build the value-dependent indexes over deferred area-of-effect
+/// actions (Section 5.4) and fold them into the buffer.
+class DeferredIndexPhase : public TickPhase {
+ public:
+  DeferredIndexPhase() : TickPhase(phase_names::kDeferredIndex) {}
+  Status Run(TickContext* ctx) override;
+};
+
+/// Phase 4: write the combined effects back into the table and run the
+/// registered apply-effects hooks (the Example 4.1 post-processing).
+class ApplyPhase : public TickPhase {
+ public:
+  ApplyPhase() : TickPhase(phase_names::kApply) {}
+  Status Run(TickContext* ctx) override;
+};
+
+/// Phase 5: units move in deterministic random order with grid collision
+/// detection and very simple pathfinding.
+class MovementPhase : public TickPhase {
+ public:
+  MovementPhase(AttrId move_x, AttrId move_y, AttrId posx, AttrId posy,
+                int64_t grid_width, int64_t grid_height, double step_per_tick,
+                bool collisions)
+      : TickPhase(phase_names::kMovement),
+        move_x_(move_x),
+        move_y_(move_y),
+        posx_(posx),
+        posy_(posy),
+        grid_width_(grid_width),
+        grid_height_(grid_height),
+        step_per_tick_(step_per_tick),
+        collisions_(collisions) {}
+
+  Status Run(TickContext* ctx) override;
+
+ private:
+  AttrId move_x_;
+  AttrId move_y_;
+  AttrId posx_;
+  AttrId posy_;
+  int64_t grid_width_;
+  int64_t grid_height_;
+  double step_per_tick_;
+  bool collisions_;
+};
+
+/// Phase 6: run the registered end-of-tick hooks (death, resurrection,
+/// spawning).
+class MechanicsPhase : public TickPhase {
+ public:
+  MechanicsPhase() : TickPhase(phase_names::kMechanics) {}
+  Status Run(TickContext* ctx) override;
+};
+
+}  // namespace sgl
+
+#endif  // SGL_ENGINE_PHASE_H_

@@ -1,0 +1,407 @@
+#include "engine/simulation.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "algebra/plan.h"
+#include "util/timer.h"
+
+namespace sgl {
+
+namespace {
+
+/// The physical-plan block of one session, shared by Explain and
+/// DescribePlan.
+void DescribeSessionPlan(const ScriptSession& session, std::ostream& os) {
+  if (session.provider != nullptr) {
+    os << session.provider->DescribePlan();
+  } else {
+    os << "Naive evaluator: every aggregate and action scans E.\n";
+  }
+  if (session.sink != nullptr) os << session.sink->DescribePlan();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- Simulation
+
+Status Simulation::Tick() {
+  TickRandom rnd(config_.seed, static_cast<uint64_t>(tick_count_));
+
+  // Tick prologue: initialize the auxiliary (effect) attributes and
+  // snapshot them as the base contribution of the incremental ⊕.
+  table_.ResetEffects();
+  buffer_.Begin(table_);
+
+  TickContext ctx;
+  ctx.sim = this;
+  ctx.table = &table_;
+  ctx.buffer = &buffer_;
+  ctx.rnd = &rnd;
+  ctx.tick = tick_count_;
+  for (const std::unique_ptr<TickPhase>& phase : pipeline_) {
+    PhaseStats& slot = stats_.Slot(phase->name());
+    ctx.stats = &slot;
+    Timer timer;
+    Status st = phase->Run(&ctx);
+    slot.seconds += timer.Seconds();
+    slot.invocations += 1;
+    if (!st.ok()) return st;
+  }
+  ++tick_count_;
+  return Status::OK();
+}
+
+Status Simulation::Run(int64_t ticks) {
+  for (int64_t i = 0; i < ticks; ++i) {
+    SGL_RETURN_NOT_OK(Tick());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Simulation::PhaseNames() const {
+  std::vector<std::string> names;
+  names.reserve(pipeline_.size());
+  for (const auto& phase : pipeline_) names.push_back(phase->name());
+  return names;
+}
+
+Result<const ScriptSession*> Simulation::SessionForRow(RowId row) const {
+  if (dispatch_attr_ == Schema::kInvalidAttr) {
+    return sessions_[default_session_].get();
+  }
+  double value = table_.Get(row, dispatch_attr_);
+  auto it = dispatch_map_.find(value);
+  if (it != dispatch_map_.end()) return sessions_[it->second].get();
+  if (default_session_ >= 0) return sessions_[default_session_].get();
+  return Status::ExecutionError(
+      "no script registered for ", table_.schema().attr(dispatch_attr_).name,
+      " = ", value, " (unit key ", table_.KeyAt(row), ")");
+}
+
+std::string Simulation::Explain() const {
+  std::ostringstream os;
+  for (const auto& session : sessions_) {
+    os << "== script '" << session->name << "'";
+    if (dispatch_attr_ != Schema::kInvalidAttr) {
+      if (session->has_dispatch_value) {
+        os << " (dispatched when " << table_.schema().attr(dispatch_attr_).name
+           << " = " << session->dispatch_value << ")";
+      } else {
+        os << " (default)";
+      }
+    }
+    os << " ==\n";
+
+    auto logical = TranslateScript(session->script);
+    if (logical.ok()) {
+      auto optimized = OptimizePlan(*logical);
+      if (optimized.ok()) {
+        os << "logical plan: " << logical->NumNodes() << " operators, "
+           << logical->NumAggregateNodes() << " aggregate extensions -> "
+           << optimized->NumNodes() << " operators, "
+           << optimized->NumAggregateNodes() << " aggregate extensions, "
+           << optimized->NumSharedSignatures() << " shared signatures\n"
+           << optimized->ToString();
+      } else {
+        os << "logical plan: " << optimized.status().ToString() << "\n";
+      }
+    } else {
+      os << "logical plan: " << logical.status().ToString() << "\n";
+    }
+
+    DescribeSessionPlan(*session, os);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Simulation::DescribePlan() const {
+  std::ostringstream os;
+  for (const auto& session : sessions_) {
+    if (sessions_.size() > 1) os << "== script '" << session->name << "' ==\n";
+    DescribeSessionPlan(*session, os);
+  }
+  return os.str();
+}
+
+SimulationSnapshot Simulation::Snapshot() const {
+  return SimulationSnapshot{table_.Clone(), tick_count_};
+}
+
+Status Simulation::Restore(const SimulationSnapshot& snapshot) {
+  if (!(snapshot.table.schema() == table_.schema())) {
+    return Status::Invalid(
+        "snapshot schema does not match the simulation's table schema");
+  }
+  table_ = snapshot.table.Clone();
+  tick_count_ = snapshot.tick_count;
+  return Status::OK();
+}
+
+// ------------------------------------------------------- SimulationBuilder
+
+SimulationBuilder::SimulationBuilder() = default;
+SimulationBuilder::~SimulationBuilder() = default;
+
+SimulationBuilder& SimulationBuilder::SetTable(EnvironmentTable table) {
+  table_ = std::move(table);
+  has_table_ = true;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::SetConfig(SimulationConfig config) {
+  config_ = std::move(config);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::AddScript(std::string name,
+                                                Script script) {
+  auto session = std::make_unique<ScriptSession>();
+  session->name = std::move(name);
+  session->script = std::move(script);
+  sessions_.push_back(std::move(session));
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::AddScript(std::string name, Script script,
+                                                double dispatch_value) {
+  AddScript(std::move(name), std::move(script));
+  sessions_.back()->has_dispatch_value = true;
+  sessions_.back()->dispatch_value = dispatch_value;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::DispatchBy(std::string attr_name) {
+  dispatch_attr_name_ = std::move(attr_name);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::SetMechanics(
+    std::unique_ptr<GameMechanics> mechanics) {
+  mechanics_ = std::move(mechanics);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::OnApplyEffects(ApplyEffectsHook hook) {
+  apply_hooks_.push_back(std::move(hook));
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::OnEndTick(EndTickHook hook) {
+  end_tick_hooks_.push_back(std::move(hook));
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::AddPhase(
+    std::unique_ptr<TickPhase> phase) {
+  phase_edits_.push_back(
+      PhaseEdit{PhaseEdit::Kind::kAppend, "", std::move(phase)});
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::InsertPhaseBefore(
+    std::string anchor, std::unique_ptr<TickPhase> phase) {
+  phase_edits_.push_back(PhaseEdit{PhaseEdit::Kind::kInsertBefore,
+                                   std::move(anchor), std::move(phase)});
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::InsertPhaseAfter(
+    std::string anchor, std::unique_ptr<TickPhase> phase) {
+  phase_edits_.push_back(PhaseEdit{PhaseEdit::Kind::kInsertAfter,
+                                   std::move(anchor), std::move(phase)});
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::DisablePhase(std::string name) {
+  disabled_phases_.push_back(std::move(name));
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::SetPhaseOrder(
+    std::vector<std::string> order) {
+  phase_order_ = std::move(order);
+  return *this;
+}
+
+Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
+  if (!has_table_) {
+    return Status::Invalid("SimulationBuilder: SetTable was never called");
+  }
+  if (sessions_.empty()) {
+    return Status::Invalid("SimulationBuilder: no script registered");
+  }
+
+  std::unique_ptr<Simulation> sim(new Simulation(std::move(table_)));
+  sim->config_ = config_;
+  const Schema& schema = sim->table_.schema();
+
+  // --- scripts and dispatch ---------------------------------------------
+  bool any_dispatch_value = false;
+  std::unordered_set<std::string> session_names;
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    ScriptSession& session = *sessions_[i];
+    if (!session_names.insert(session.name).second) {
+      return Status::AlreadyExists("duplicate script name '", session.name,
+                                   "'");
+    }
+    if (session.script.main_index < 0) {
+      return Status::PlanError("script '", session.name,
+                               "' has no main function");
+    }
+    if (!(session.script.schema == schema)) {
+      return Status::Invalid("script '", session.name,
+                             "' was compiled against a different schema than "
+                             "the simulation's table");
+    }
+    if (session.has_dispatch_value) {
+      any_dispatch_value = true;
+    } else {
+      if (sim->default_session_ >= 0) {
+        return Status::Invalid(
+            "more than one default script (without a dispatch value): '",
+            sessions_[sim->default_session_]->name, "' and '", session.name,
+            "'");
+      }
+      sim->default_session_ = static_cast<int32_t>(i);
+    }
+
+    session.interp = std::make_unique<Interpreter>(session.script);
+    if (config_.mode == EvaluatorMode::kIndexed) {
+      if (config_.index_aggregates) {
+        SGL_ASSIGN_OR_RETURN(
+            session.provider,
+            IndexedAggregateProvider::Create(session.script, *session.interp));
+        session.interp->set_aggregate_provider(session.provider.get());
+      }
+      if (config_.index_actions) {
+        SGL_ASSIGN_OR_RETURN(session.sink, IndexedActionSink::Create(
+                                               session.script, *session.interp));
+        session.interp->set_action_sink(session.sink.get());
+      }
+    }
+  }
+  if (any_dispatch_value) {
+    if (dispatch_attr_name_.empty()) {
+      return Status::Invalid(
+          "scripts with dispatch values require DispatchBy(attr)");
+    }
+    SGL_ASSIGN_OR_RETURN(sim->dispatch_attr_,
+                         schema.Require(dispatch_attr_name_));
+    for (size_t i = 0; i < sessions_.size(); ++i) {
+      if (!sessions_[i]->has_dispatch_value) continue;
+      auto [it, inserted] = sim->dispatch_map_.emplace(
+          sessions_[i]->dispatch_value, static_cast<int32_t>(i));
+      if (!inserted) {
+        return Status::AlreadyExists(
+            "scripts '", sessions_[it->second]->name, "' and '",
+            sessions_[i]->name, "' share dispatch value ",
+            sessions_[i]->dispatch_value);
+      }
+    }
+  } else if (sessions_.size() > 1) {
+    return Status::Invalid(
+        "multiple scripts require dispatch values and DispatchBy(attr)");
+  }
+  sim->sessions_ = std::move(sessions_);
+
+  // --- mechanics ---------------------------------------------------------
+  sim->mechanics_ = std::move(mechanics_);
+  if (sim->mechanics_ != nullptr) {
+    GameMechanics* m = sim->mechanics_.get();
+    sim->apply_hooks_.push_back(
+        [m](EnvironmentTable* table, const EffectBuffer& buffer,
+            const TickRandom& rnd) { return m->ApplyEffects(table, buffer, rnd); });
+    sim->end_tick_hooks_.push_back(
+        [m](EnvironmentTable* table, const TickRandom& rnd) {
+          return m->EndTick(table, rnd);
+        });
+  }
+  for (auto& hook : apply_hooks_) sim->apply_hooks_.push_back(std::move(hook));
+  for (auto& hook : end_tick_hooks_) {
+    sim->end_tick_hooks_.push_back(std::move(hook));
+  }
+
+  // --- the phase pipeline ------------------------------------------------
+  std::vector<std::unique_ptr<TickPhase>> pipeline;
+  pipeline.push_back(std::make_unique<IndexBuildPhase>());
+  pipeline.push_back(std::make_unique<DecisionActionPhase>());
+  pipeline.push_back(std::make_unique<DeferredIndexPhase>());
+  pipeline.push_back(std::make_unique<ApplyPhase>());
+  if (!config_.move_x_attr.empty()) {
+    SGL_ASSIGN_OR_RETURN(AttrId move_x, schema.Require(config_.move_x_attr));
+    SGL_ASSIGN_OR_RETURN(AttrId move_y, schema.Require(config_.move_y_attr));
+    SGL_ASSIGN_OR_RETURN(AttrId posx, schema.Require("posx"));
+    SGL_ASSIGN_OR_RETURN(AttrId posy, schema.Require("posy"));
+    pipeline.push_back(std::make_unique<MovementPhase>(
+        move_x, move_y, posx, posy, config_.grid_width, config_.grid_height,
+        config_.step_per_tick, config_.collisions));
+  }
+  pipeline.push_back(std::make_unique<MechanicsPhase>());
+
+  // Disable.
+  for (const std::string& name : disabled_phases_) {
+    auto it = std::find_if(
+        pipeline.begin(), pipeline.end(),
+        [&](const std::unique_ptr<TickPhase>& p) { return p->name() == name; });
+    if (it == pipeline.end()) {
+      return Status::NotFound("DisablePhase: no phase named '", name, "'");
+    }
+    pipeline.erase(it);
+  }
+
+  // Reorder.
+  if (!phase_order_.empty()) {
+    if (phase_order_.size() != pipeline.size()) {
+      return Status::Invalid(
+          "SetPhaseOrder: order lists ", phase_order_.size(),
+          " phases but the pipeline has ", pipeline.size());
+    }
+    std::vector<std::unique_ptr<TickPhase>> reordered;
+    for (const std::string& name : phase_order_) {
+      auto it = std::find_if(pipeline.begin(), pipeline.end(),
+                             [&](const std::unique_ptr<TickPhase>& p) {
+                               return p != nullptr && p->name() == name;
+                             });
+      if (it == pipeline.end()) {
+        return Status::NotFound("SetPhaseOrder: no phase named '", name, "'");
+      }
+      reordered.push_back(std::move(*it));
+    }
+    pipeline = std::move(reordered);
+  }
+
+  // Insert / append custom phases.
+  for (PhaseEdit& edit : phase_edits_) {
+    if (edit.kind == PhaseEdit::Kind::kAppend) {
+      pipeline.push_back(std::move(edit.phase));
+      continue;
+    }
+    auto it = std::find_if(pipeline.begin(), pipeline.end(),
+                           [&](const std::unique_ptr<TickPhase>& p) {
+                             return p->name() == edit.anchor;
+                           });
+    if (it == pipeline.end()) {
+      return Status::NotFound("InsertPhase: no phase named '", edit.anchor,
+                              "'");
+    }
+    if (edit.kind == PhaseEdit::Kind::kInsertAfter) ++it;
+    pipeline.insert(it, std::move(edit.phase));
+  }
+
+  // Phase names key the stats registry; duplicates would silently merge.
+  std::unordered_set<std::string> phase_names;
+  for (const auto& phase : pipeline) {
+    if (!phase_names.insert(phase->name()).second) {
+      return Status::AlreadyExists("two pipeline phases named '",
+                                   phase->name(), "'");
+    }
+  }
+
+  sim->pipeline_ = std::move(pipeline);
+  return sim;
+}
+
+}  // namespace sgl

@@ -72,6 +72,15 @@ AttrId Schema::Find(const std::string& name) const {
   return it == by_name_.end() ? kInvalidAttr : it->second;
 }
 
+Result<AttrId> Schema::Require(const std::string& name) const {
+  AttrId id = Find(name);
+  if (id == kInvalidAttr) {
+    return Status::Invalid("schema has no attribute '", name,
+                           "'; schema is ", ToString());
+  }
+  return id;
+}
+
 std::vector<AttrId> Schema::EffectAttrs() const {
   std::vector<AttrId> out;
   for (AttrId i = 0; i < NumAttrs(); ++i) {

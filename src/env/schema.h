@@ -67,6 +67,11 @@ class Schema {
   AttrId Find(const std::string& name) const;
   bool Has(const std::string& name) const { return Find(name) >= 0; }
 
+  /// As Find, but a missing attribute is an InvalidArgument error naming
+  /// the attribute and the schema — use wherever silently propagating
+  /// kInvalidAttr would turn a configuration mistake into a crash.
+  Result<AttrId> Require(const std::string& name) const;
+
   /// List of all non-const (effect) attribute ids.
   std::vector<AttrId> EffectAttrs() const;
   /// List of all const (state) attribute ids, including the key.

@@ -406,6 +406,37 @@ Result<EnvironmentTable> BuildScenario(const ScenarioConfig& config) {
   return table;
 }
 
+Result<BattleSimSetup> MakeBattleSim(const ScenarioConfig& scenario,
+                                     EvaluatorMode mode, bool resurrect) {
+  SimulationConfig config;
+  config.mode = mode;
+  return MakeBattleSimWithConfig(scenario, config, resurrect);
+}
+
+Result<BattleSimSetup> MakeBattleSimWithConfig(const ScenarioConfig& scenario,
+                                               SimulationConfig config,
+                                               bool resurrect) {
+  SGL_ASSIGN_OR_RETURN(EnvironmentTable table, BuildScenario(scenario));
+  SGL_ASSIGN_OR_RETURN(Script script,
+                       CompileScript(BattleScriptSource(), BattleSchema()));
+  const int64_t side = scenario.GridSide();
+  auto mechanics = std::make_unique<BattleMechanics>(side, side, resurrect);
+  config.seed = scenario.seed;
+  config.grid_width = side;
+  config.grid_height = side;
+  config.step_per_tick = D20::kWalkPerTick;
+
+  BattleSimSetup setup;
+  setup.mechanics = mechanics.get();
+  SimulationBuilder builder;
+  builder.SetTable(std::move(table))
+      .SetConfig(std::move(config))
+      .AddScript("battle", std::move(script))
+      .SetMechanics(std::move(mechanics));
+  SGL_ASSIGN_OR_RETURN(setup.sim, builder.Build());
+  return setup;
+}
+
 Result<BattleSetup> MakeBattle(const ScenarioConfig& scenario,
                                EvaluatorMode mode, bool resurrect) {
   EngineConfig config;

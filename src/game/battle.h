@@ -110,7 +110,23 @@ struct ScenarioConfig {
 /// on distinct cells of the grid.
 Result<EnvironmentTable> BuildScenario(const ScenarioConfig& config);
 
-/// Convenience: scenario + script + engine in one call.
+/// Convenience: scenario + script + simulation in one call. The Simulation
+/// owns the mechanics; `mechanics` is an observer for test assertions.
+struct BattleSimSetup {
+  std::unique_ptr<Simulation> sim;
+  BattleMechanics* mechanics = nullptr;  // owned by sim
+};
+Result<BattleSimSetup> MakeBattleSim(const ScenarioConfig& scenario,
+                                     EvaluatorMode mode,
+                                     bool resurrect = true);
+
+/// As MakeBattleSim, but with full control of the simulation configuration
+/// (grid size, seed and step are still derived from the scenario).
+Result<BattleSimSetup> MakeBattleSimWithConfig(const ScenarioConfig& scenario,
+                                               SimulationConfig config,
+                                               bool resurrect = true);
+
+/// Engine-shim variant kept for existing callers (see engine.h).
 struct BattleSetup {
   std::unique_ptr<Engine> engine;
   std::unique_ptr<BattleMechanics> mechanics;

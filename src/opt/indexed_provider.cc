@@ -245,6 +245,7 @@ Result<Value> IndexedAggregateProvider::Eval(
   if (sig.kind == IndexKind::kNaive) {
     return interp_->EvalAggregate(agg_index, scalar_args, u_row, table, rnd);
   }
+  ++probe_count_;
   const AggregateDecl& decl = script_->program.aggregates[agg_index];
   const Family& family = families_[family_of_agg_[agg_index]];
   const std::string* u_name = &decl.params[0];

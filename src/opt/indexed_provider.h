@@ -56,6 +56,9 @@ class IndexedAggregateProvider : public AggregateProvider {
     return static_cast<int32_t>(families_.size());
   }
 
+  /// Aggregate probes answered since construction (PhaseStats feed).
+  int64_t probe_count() const { return probe_count_; }
+
   const AggregateSignature& signature(int32_t agg_index) const {
     return signatures_[agg_index];
   }
@@ -103,6 +106,7 @@ class IndexedAggregateProvider : public AggregateProvider {
   std::vector<AggregateSignature> signatures_;   // one per aggregate decl
   std::vector<int32_t> family_of_agg_;           // aggregate -> family
   std::vector<Family> families_;
+  int64_t probe_count_ = 0;
   AttrId posx_attr_ = Schema::kInvalidAttr;
   AttrId posy_attr_ = Schema::kInvalidAttr;
 };

@@ -27,15 +27,26 @@ namespace sgl {
 /// (scopes push and pop ranges; lookups scan from the innermost end).
 class LocalStack {
  public:
+  LocalStack() { entries_.reserve(16); }
+
   void Push(const std::string& name, Value v) {
     entries_.emplace_back(name, std::move(v));
   }
   size_t Mark() const { return entries_.size(); }
   void PopTo(size_t mark) { entries_.resize(mark); }
 
+  /// Innermost binding of `name`. This is the hot path of expression
+  /// evaluation (every identifier lookup lands here), so mismatches are
+  /// rejected on length and first character before the full compare.
   const Value* Find(const std::string& name) const {
+    const size_t len = name.size();
+    const char first = len > 0 ? name[0] : '\0';
     for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-      if (it->first == name) return &it->second;
+      const std::string& candidate = it->first;
+      if (candidate.size() != len || (len > 0 && candidate[0] != first)) {
+        continue;
+      }
+      if (candidate == name) return &it->second;
     }
     return nullptr;
   }

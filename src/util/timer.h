@@ -33,8 +33,14 @@ class Timer {
 class PhaseTimes {
  public:
   void Add(const std::string& phase, double seconds) {
+    Add(phase, seconds, 1);
+  }
+
+  /// Record `count` invocations totalling `seconds` at once (used when
+  /// repackaging aggregated PhaseStats into this legacy view).
+  void Add(const std::string& phase, double seconds, int64_t count) {
     totals_[phase] += seconds;
-    counts_[phase] += 1;
+    counts_[phase] += count;
   }
 
   double Total(const std::string& phase) const {
