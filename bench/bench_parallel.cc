@@ -1,0 +1,112 @@
+// Units-vs-threads scaling matrix for the deterministic parallel tick
+// pipeline (src/exec/): the battle workload at 1k/10k/100k units run with
+// 1/2/4/8 worker threads, one JSON line per configuration so BENCH_*.json
+// trajectories can track tick throughput and parallel speedup over time.
+//
+//   SGL_BENCH_TICKS       ticks per configuration (default 5)
+//   SGL_BENCH_MAX_UNITS   skip unit counts above this (default 100000)
+//   SGL_BENCH_MAX_THREADS skip thread counts above this (default 8)
+//
+// Every configuration also cross-checks the determinism contract: the
+// final table of each multi-threaded run must be bit-identical to the
+// single-threaded run of the same scenario.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/simulation.h"
+#include "env/table.h"
+#include "game/battle.h"
+#include "util/timer.h"
+
+namespace sgl {
+namespace {
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) {
+    int64_t v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  EnvironmentTable table{Schema()};
+};
+
+RunResult RunConfig(int32_t units, int32_t threads, int64_t ticks,
+                    uint64_t seed) {
+  ScenarioConfig scenario;
+  scenario.num_units = units;
+  scenario.seed = seed;
+  SimulationConfig config;
+  config.mode = EvaluatorMode::kIndexed;
+  config.threads = threads;
+  auto setup = MakeBattleSimWithConfig(scenario, config);
+  if (!setup.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 setup.status().ToString().c_str());
+    std::exit(1);
+  }
+  Timer timer;
+  Status st = setup->sim->Run(ticks);
+  if (!st.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  RunResult result;
+  result.seconds = timer.Seconds();
+  result.table = setup->sim->table().Clone();
+  return result;
+}
+
+}  // namespace
+}  // namespace sgl
+
+int main() {
+  using namespace sgl;
+  const int64_t ticks = BenchTicks(5);
+  const int64_t max_units = EnvInt("SGL_BENCH_MAX_UNITS", 100000);
+  const int64_t max_threads = EnvInt("SGL_BENCH_MAX_THREADS", 8);
+  const uint64_t seed = 7;
+
+  const std::vector<int32_t> unit_counts = {1000, 10000, 100000};
+  const std::vector<int32_t> thread_counts = {1, 2, 4, 8};
+
+  for (int32_t units : unit_counts) {
+    if (units > max_units) continue;
+    double base_seconds = 0.0;
+    RunResult reference;
+    for (int32_t threads : thread_counts) {
+      if (threads > max_threads) continue;
+      RunResult run = RunConfig(units, threads, ticks, seed);
+      if (threads == 1) {
+        base_seconds = run.seconds;
+        reference = std::move(run);
+      } else if (!reference.table.Equals(run.table)) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION at units=%d threads=%d:\n%s\n",
+                     units, threads,
+                     reference.table.DiffString(run.table).c_str());
+        return 1;
+      }
+      const double seconds = threads == 1 ? base_seconds : run.seconds;
+      const double ticks_per_sec =
+          seconds > 0.0 ? static_cast<double>(ticks) / seconds : 0.0;
+      const double speedup =
+          threads == 1 || seconds <= 0.0 ? 1.0 : base_seconds / seconds;
+      std::printf(
+          "{\"bench\": \"parallel\", \"units\": %d, \"threads\": %d, "
+          "\"ticks\": %lld, \"seconds\": %.6f, \"ticks_per_sec\": %.3f, "
+          "\"speedup_vs_1t\": %.3f, \"deterministic\": true}\n",
+          units, threads, static_cast<long long>(ticks), seconds,
+          ticks_per_sec, speedup);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

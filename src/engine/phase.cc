@@ -7,6 +7,8 @@
 #include <unordered_set>
 
 #include "engine/simulation.h"
+#include "exec/sharded_effect_buffer.h"
+#include "util/timer.h"
 
 namespace sgl {
 
@@ -43,40 +45,95 @@ const PhaseStats* PhaseStatsRegistry::Find(const std::string& phase) const {
 
 std::string PhaseStatsRegistry::ToString() const {
   std::ostringstream os;
-  os << "phase                 ticks   total(s)  ms/tick       rows     probes\n";
+  os << "phase                 ticks   total(s)  ms/tick       rows     probes"
+        "  workers  maxw-ms/tick\n";
   for (const auto& [name, s] : stats_) {
-    char line[160];
+    char line[200];
     double per_tick =
         s.invocations > 0 ? s.seconds * 1e3 / static_cast<double>(s.invocations)
                           : 0.0;
+    double max_worker_ms =
+        s.invocations > 0 ? static_cast<double>(s.max_worker_ns) * 1e-6 /
+                                static_cast<double>(s.invocations)
+                          : 0.0;
     std::snprintf(line, sizeof(line),
-                  "%-20s %6lld %10.4f %8.3f %10lld %10lld\n", name.c_str(),
-                  static_cast<long long>(s.invocations), s.seconds, per_tick,
-                  static_cast<long long>(s.rows_scanned),
-                  static_cast<long long>(s.index_probes));
+                  "%-20s %6lld %10.4f %8.3f %10lld %10lld %8lld %13.3f\n",
+                  name.c_str(), static_cast<long long>(s.invocations),
+                  s.seconds, per_tick, static_cast<long long>(s.rows_scanned),
+                  static_cast<long long>(s.index_probes),
+                  static_cast<long long>(s.workers), max_worker_ms);
     os << line;
   }
   return os.str();
 }
 
 Status IndexBuildPhase::Run(TickContext* ctx) {
+  exec::ParallelStats pstats;
   for (auto& session : ctx->sim->sessions()) {
     if (session->provider == nullptr) continue;
-    SGL_RETURN_NOT_OK(session->provider->BuildIndexes(*ctx->table, *ctx->rnd));
+    SGL_RETURN_NOT_OK(session->provider->BuildIndexes(*ctx->table, *ctx->rnd,
+                                                      ctx->pool, &pstats));
     ctx->stats->rows_scanned += ctx->table->NumRows();
   }
+  ctx->stats->workers = std::max(ctx->stats->workers, pstats.workers);
+  ctx->stats->max_worker_ns += pstats.max_worker_ns;
   return Status::OK();
 }
+
+namespace {
+/// Rows per decision chunk at minimum: below this, thread fan-out costs
+/// more than the scripts it parallelizes (each row runs a whole script,
+/// so even 8 rows outweigh a chunk dispatch). Chunking never affects
+/// results (shards replay in chunk order), only scheduling.
+constexpr int64_t kDecisionGrain = 8;
+}  // namespace
 
 Status DecisionActionPhase::Run(TickContext* ctx) {
   Simulation* sim = ctx->sim;
   const int64_t probes_before = TotalProbes(sim);
   const int32_t n = ctx->table->NumRows();
-  for (RowId r = 0; r < n; ++r) {
-    SGL_ASSIGN_OR_RETURN(const ScriptSession* session, sim->SessionForRow(r));
-    SGL_RETURN_NOT_OK(
-        session->interp->RunUnit(*ctx->table, r, *ctx->rnd, ctx->buffer));
+  exec::ThreadPool* pool = ctx->pool;
+  const int32_t chunks =
+      pool == nullptr ? (n > 0 ? 1 : 0) : pool->NumChunks(n, kDecisionGrain);
+
+  if (chunks <= 1) {
+    // Sequential: stream effects straight into the tick buffer (shard 0).
+    for (RowId r = 0; r < n; ++r) {
+      SGL_ASSIGN_OR_RETURN(const ScriptSession* session, sim->SessionForRow(r));
+      SGL_RETURN_NOT_OK(
+          session->interp->RunUnit(*ctx->table, r, *ctx->rnd, ctx->buffer));
+    }
+    if (n > 0) ctx->stats->workers = std::max<int64_t>(ctx->stats->workers, 1);
+  } else {
+    // Parallel: chunk c evaluates its contiguous row range [lo, hi) in
+    // ascending order into its own effect-log shard; replaying shards in
+    // chunk order afterwards reproduces the sequential Accumulate call
+    // sequence exactly (see sharded_effect_buffer.h), so any thread count
+    // yields a bit-identical tick.
+    sharded_.EnsureShards(chunks);
+    sharded_.ClearAll();  // on entry: robust even if a prior tick errored
+    exec::ShardedEffectBuffer& sharded = sharded_;
+    exec::ParallelStats pstats;
+    SGL_RETURN_NOT_OK(pool->ParallelFor(
+        n, kDecisionGrain,
+        [&](int32_t chunk, int64_t lo, int64_t hi) -> Status {
+          EffectSink* shard = sharded.shard(chunk);
+          for (RowId r = static_cast<RowId>(lo); r < static_cast<RowId>(hi);
+               ++r) {
+            SGL_ASSIGN_OR_RETURN(const ScriptSession* session,
+                                 sim->SessionForRow(r));
+            SGL_RETURN_NOT_OK(session->interp->RunUnit(*ctx->table, r,
+                                                       *ctx->rnd, shard,
+                                                       chunk));
+          }
+          return Status::OK();
+        },
+        &pstats));
+    sharded.MergeInto(ctx->buffer);
+    ctx->stats->workers = std::max(ctx->stats->workers, pstats.workers);
+    ctx->stats->max_worker_ns += pstats.max_worker_ns;
   }
+
   ctx->stats->rows_scanned += n;
   ctx->stats->index_probes += TotalProbes(sim) - probes_before;
   return Status::OK();

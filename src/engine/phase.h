@@ -23,6 +23,8 @@
 
 #include "env/effect_buffer.h"
 #include "env/table.h"
+#include "exec/sharded_effect_buffer.h"
+#include "exec/thread_pool.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -47,6 +49,8 @@ struct PhaseStats {
   int64_t invocations = 0;    ///< number of ticks the phase ran
   int64_t rows_scanned = 0;   ///< environment rows the phase visited
   int64_t index_probes = 0;   ///< aggregate-index probes issued
+  int64_t workers = 0;        ///< max parallel chunks one invocation used
+  int64_t max_worker_ns = 0;  ///< accumulated slowest-worker wall time
 };
 
 /// Per-phase stats, keyed by phase name in first-registration (pipeline)
@@ -82,6 +86,7 @@ struct TickContext {
   EnvironmentTable* table = nullptr; ///< the environment table E
   EffectBuffer* buffer = nullptr;    ///< this tick's incremental ⊕
   const TickRandom* rnd = nullptr;   ///< the tick's random function r(u, i)
+  exec::ThreadPool* pool = nullptr;  ///< worker pool; null = single thread
   int64_t tick = 0;                  ///< tick number being executed
   PhaseStats* stats = nullptr;       ///< the running phase's own slot
 };
@@ -118,10 +123,19 @@ class IndexBuildPhase : public TickPhase {
 
 /// Phase 2: every unit evaluates the main function of the script its
 /// dispatch-attribute value selects, streaming effects into the buffer.
+/// With a thread pool, rows split into contiguous chunks evaluated
+/// concurrently — each chunk writes an exec::EffectShard merged back in
+/// chunk order, so results are bit-identical to single-threaded runs (the
+/// state-effect pattern makes decisions read only frozen pre-tick state).
 class DecisionActionPhase : public TickPhase {
  public:
   DecisionActionPhase() : TickPhase(phase_names::kDecisionAction) {}
   Status Run(TickContext* ctx) override;
+
+ private:
+  // Reused across ticks so shard logs keep their capacity instead of
+  // reallocating on the hottest path (cleared after every merge).
+  exec::ShardedEffectBuffer sharded_{0};
 };
 
 /// Phase 3: build the value-dependent indexes over deferred area-of-effect

@@ -39,6 +39,7 @@ Status Simulation::Tick() {
   ctx.table = &table_;
   ctx.buffer = &buffer_;
   ctx.rnd = &rnd;
+  ctx.pool = pool_.get();
   ctx.tick = tick_count_;
   for (const std::unique_ptr<TickPhase>& phase : pipeline_) {
     PhaseStats& slot = stats_.Slot(phase->name());
@@ -82,6 +83,9 @@ Result<const ScriptSession*> Simulation::SessionForRow(RowId row) const {
 
 std::string Simulation::Explain() const {
   std::ostringstream os;
+  os << "execution: " << threads_ << (threads_ == 1 ? " thread" : " threads")
+     << (pool_ != nullptr ? " (parallel tick pipeline, deterministic)" : "")
+     << "\n\n";
   for (const auto& session : sessions_) {
     os << "== script '" << session->name << "'";
     if (dispatch_attr_ != Schema::kInvalidAttr) {
@@ -153,6 +157,11 @@ SimulationBuilder& SimulationBuilder::SetTable(EnvironmentTable table) {
 
 SimulationBuilder& SimulationBuilder::SetConfig(SimulationConfig config) {
   config_ = std::move(config);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::Threads(int32_t n) {
+  config_.threads = n;
   return *this;
 }
 
@@ -238,6 +247,19 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
   sim->config_ = config_;
   const Schema& schema = sim->table_.schema();
 
+  // --- worker threads ----------------------------------------------------
+  if (config_.threads < 0) {
+    return Status::Invalid("SimulationBuilder: threads must be >= 0 (0 = "
+                           "auto-detect), got ",
+                           config_.threads);
+  }
+  sim->threads_ = config_.threads == 0 ? exec::ThreadPool::HardwareThreads()
+                                       : config_.threads;
+  sim->config_.threads = sim->threads_;  // surface the resolved count
+  if (sim->threads_ > 1) {
+    sim->pool_ = std::make_unique<exec::ThreadPool>(sim->threads_);
+  }
+
   // --- scripts and dispatch ---------------------------------------------
   bool any_dispatch_value = false;
   std::unordered_set<std::string> session_names;
@@ -274,11 +296,13 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
         SGL_ASSIGN_OR_RETURN(
             session.provider,
             IndexedAggregateProvider::Create(session.script, *session.interp));
+        session.provider->set_num_shards(sim->threads_);
         session.interp->set_aggregate_provider(session.provider.get());
       }
       if (config_.index_actions) {
         SGL_ASSIGN_OR_RETURN(session.sink, IndexedActionSink::Create(
                                                session.script, *session.interp));
+        session.sink->set_num_shards(sim->threads_);
         session.interp->set_action_sink(session.sink.get());
       }
     }

@@ -38,6 +38,7 @@
 #include "engine/phase.h"
 #include "env/effect_buffer.h"
 #include "env/table.h"
+#include "exec/thread_pool.h"
 #include "opt/action_sink.h"
 #include "opt/indexed_provider.h"
 #include "sgl/analyzer.h"
@@ -76,6 +77,12 @@ using EndTickHook =
 struct SimulationConfig {
   EvaluatorMode mode = EvaluatorMode::kIndexed;
   uint64_t seed = 1;
+
+  /// Worker threads for the parallel tick phases (src/exec/). 1 runs the
+  /// classic single-threaded pipeline; 0 auto-detects hardware
+  /// concurrency. Any value produces bit-identical simulations — the
+  /// determinism contract the parallel test suite enforces.
+  int32_t threads = 1;
 
   /// Ablation switches for kIndexed mode: disable the Section 5.3
   /// aggregate indexes or the Section 5.4 action batching independently
@@ -136,6 +143,9 @@ class Simulation {
   const PhaseStatsRegistry& stats() const { return stats_; }
   PhaseStatsRegistry* mutable_stats() { return &stats_; }
 
+  /// Resolved worker-thread count (config threads after auto-detection).
+  int32_t threads() const { return threads_; }
+
   /// Pipeline order, by phase name.
   std::vector<std::string> PhaseNames() const;
 
@@ -186,6 +196,8 @@ class Simulation {
   EffectBuffer buffer_;
   PhaseStatsRegistry stats_;
   int64_t tick_count_ = 0;
+  int32_t threads_ = 1;
+  std::unique_ptr<exec::ThreadPool> pool_;  // null when threads_ == 1
 };
 
 /// Fluent assembly of a Simulation. All setters return *this; Build()
@@ -202,6 +214,11 @@ class SimulationBuilder {
   SimulationBuilder& SetTable(EnvironmentTable table);
 
   SimulationBuilder& SetConfig(SimulationConfig config);
+
+  /// Worker threads for the parallel tick phases: n == 1 single-threaded,
+  /// n == 0 auto-detect hardware concurrency, n > 1 a fixed pool.
+  /// Shorthand for config.threads; bit-exact results either way.
+  SimulationBuilder& Threads(int32_t n);
 
   /// Register the default script: units not matched by any dispatch value
   /// (or all units, when it is the only script) run its main.

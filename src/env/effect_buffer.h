@@ -22,8 +22,27 @@
 
 namespace sgl {
 
+/// Write-side interface of the effect fold: everything a unit's script
+/// evaluation may do to the world this tick. The interpreter and action
+/// sinks stream contributions through this seam, which is what lets the
+/// parallel decision phase substitute a per-worker exec::EffectShard
+/// (an operation log replayed in canonical order) for the real buffer.
+class EffectSink {
+ public:
+  virtual ~EffectSink() = default;
+
+  /// Fold `value` into (row, attr) under the attribute's combine type.
+  /// `attr` must be a kSum/kMax/kMin effect attribute.
+  virtual void Accumulate(RowId row, AttrId attr, double value) = 0;
+
+  /// Fold a set-effect: highest priority wins; ties broken by larger value
+  /// so the result is independent of accumulation order.
+  virtual void AccumulateSet(RowId row, AttrId attr, double value,
+                             double priority) = 0;
+};
+
 /// Accumulates per-unit effect values for one clock tick.
-class EffectBuffer {
+class EffectBuffer : public EffectSink {
  public:
   EffectBuffer() = default;
 
@@ -31,16 +50,13 @@ class EffectBuffer {
   /// and reset all set-effect priorities.
   void Begin(const EnvironmentTable& table);
 
-  /// Fold `value` into (row, attr) under the attribute's combine type.
-  /// `attr` must be a kSum/kMax/kMin effect attribute.
-  void Accumulate(RowId row, AttrId attr, double value) {
+  void Accumulate(RowId row, AttrId attr, double value) override {
     Slot& s = slots_[attr_slot_[attr]];
     s.acc[row] = CombineFold(s.type, s.acc[row], value);
   }
 
-  /// Fold a set-effect: highest priority wins; ties broken by larger value
-  /// so the result is independent of accumulation order.
-  void AccumulateSet(RowId row, AttrId attr, double value, double priority) {
+  void AccumulateSet(RowId row, AttrId attr, double value,
+                     double priority) override {
     Slot& s = slots_[attr_slot_[attr]];
     double& p = s.prio[row];
     double& v = s.acc[row];

@@ -1,0 +1,27 @@
+#include "exec/sharded_effect_buffer.h"
+
+namespace sgl {
+namespace exec {
+
+void EffectShard::ReplayInto(EffectBuffer* buffer) const {
+  for (const Op& op : ops_) {
+    if (op.is_set) {
+      buffer->AccumulateSet(op.row, op.attr, op.value, op.priority);
+    } else {
+      buffer->Accumulate(op.row, op.attr, op.value);
+    }
+  }
+}
+
+void ShardedEffectBuffer::MergeInto(EffectBuffer* buffer) const {
+  for (const EffectShard& shard : shards_) shard.ReplayInto(buffer);
+}
+
+int64_t ShardedEffectBuffer::total_ops() const {
+  int64_t total = 0;
+  for (const EffectShard& shard : shards_) total += shard.num_ops();
+  return total;
+}
+
+}  // namespace exec
+}  // namespace sgl

@@ -1,0 +1,96 @@
+// ShardedEffectBuffer: per-worker effect shards with a canonical merge.
+//
+// Why shards are operation LOGS rather than pre-folded EffectBuffers:
+// ⊕ is associative and commutative in the paper's exact arithmetic
+// (Eq. (3)), but IEEE double addition is not associative — folding a
+// kSum attribute's contributions into per-worker partial sums and then
+// adding the partials could round differently than the single-threaded
+// fold, breaking the subsystem's bit-exactness contract for scripts with
+// non-dyadic effect values. Each shard therefore records its chunk's
+// Accumulate/AccumulateSet calls verbatim, in program order; MergeInto
+// replays the logs in chunk index order. Because the decision phase
+// assigns chunk c a contiguous, ascending row range and evaluates its
+// rows in ascending order, the concatenated replay is the *exact* call
+// sequence single-threaded execution would have issued — the merged
+// buffer is bit-identical for any thread count and any chunking, not
+// merely equivalent up to reassociation. (kMax/kMin/kSet are fully
+// order-independent; kSum is the one that needs this care.)
+#ifndef SGL_EXEC_SHARDED_EFFECT_BUFFER_H_
+#define SGL_EXEC_SHARDED_EFFECT_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "env/effect_buffer.h"
+
+namespace sgl {
+namespace exec {
+
+/// One worker's append-only effect log (the EffectSink a chunk writes to).
+class EffectShard : public EffectSink {
+ public:
+  void Accumulate(RowId row, AttrId attr, double value) override {
+    ops_.push_back(Op{row, attr, false, value, 0.0});
+  }
+
+  void AccumulateSet(RowId row, AttrId attr, double value,
+                     double priority) override {
+    ops_.push_back(Op{row, attr, true, value, priority});
+  }
+
+  /// Re-issue every recorded call against `buffer`, in record order.
+  void ReplayInto(EffectBuffer* buffer) const;
+
+  int64_t num_ops() const { return static_cast<int64_t>(ops_.size()); }
+  void Clear() { ops_.clear(); }
+
+ private:
+  struct Op {
+    RowId row;
+    AttrId attr;
+    bool is_set;
+    double value;
+    double priority;  // is_set only
+  };
+
+  std::vector<Op> ops_;
+};
+
+/// A fixed array of EffectShards, one per ParallelFor chunk, merged into
+/// the tick's real EffectBuffer in chunk index order.
+class ShardedEffectBuffer {
+ public:
+  explicit ShardedEffectBuffer(int32_t num_shards)
+      : shards_(num_shards > 0 ? num_shards : 1) {}
+
+  int32_t num_shards() const { return static_cast<int32_t>(shards_.size()); }
+  EffectShard* shard(int32_t i) { return &shards_[i]; }
+
+  /// Grow to at least `num_shards` shards (chunk counts vary with the
+  /// table size; the decision phase keeps one buffer across ticks).
+  void EnsureShards(int32_t num_shards) {
+    if (num_shards > static_cast<int32_t>(shards_.size())) {
+      shards_.resize(num_shards);
+    }
+  }
+
+  /// Empty every shard's log, keeping its capacity for the next tick.
+  void ClearAll() {
+    for (EffectShard& shard : shards_) shard.Clear();
+  }
+
+  /// Replay shard 0, then shard 1, ... into `buffer`. With chunks covering
+  /// contiguous ascending row ranges this reproduces the single-threaded
+  /// accumulation sequence exactly (see file comment).
+  void MergeInto(EffectBuffer* buffer) const;
+
+  int64_t total_ops() const;
+
+ private:
+  std::vector<EffectShard> shards_;
+};
+
+}  // namespace exec
+}  // namespace sgl
+
+#endif  // SGL_EXEC_SHARDED_EFFECT_BUFFER_H_

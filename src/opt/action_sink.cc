@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <map>
 #include <sstream>
 
@@ -85,7 +86,31 @@ Result<std::unique_ptr<IndexedActionSink>> IndexedActionSink::Create(
     SGL_RETURN_NOT_OK(sink->ClassifyAction(a));
     sink->pending_[a].resize(script.program.actions[a].updates.size());
   }
+  sink->set_num_shards(1);
   return sink;
+}
+
+void IndexedActionSink::set_num_shards(int32_t num_shards) {
+  PendingBatches shape(script_->program.actions.size());
+  for (size_t a = 0; a < shape.size(); ++a) {
+    shape[a].resize(script_->program.actions[a].updates.size());
+  }
+  pending_shards_.assign(static_cast<size_t>(std::max(1, num_shards)), shape);
+}
+
+void IndexedActionSink::MergePendingShards() {
+  for (PendingBatches& shard : pending_shards_) {
+    for (size_t a = 0; a < shard.size(); ++a) {
+      for (size_t s = 0; s < shard[a].size(); ++s) {
+        std::vector<Pending>& src = shard[a][s];
+        if (src.empty()) continue;
+        std::vector<Pending>& dst = pending_[a][s];
+        dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                   std::make_move_iterator(src.end()));
+        src.clear();
+      }
+    }
+  }
 }
 
 Status IndexedActionSink::ClassifyAction(int32_t action_index) {
@@ -257,7 +282,7 @@ Result<bool> IndexedActionSink::Perform(int32_t action_index,
                                         RowId u_row,
                                         const EnvironmentTable& table,
                                         const TickRandom& rnd,
-                                        EffectBuffer* buffer) {
+                                        EffectSink* buffer, int32_t shard) {
   const ActionDecl& decl = script_->program.actions[action_index];
   const ActionPlans& plans = plans_[action_index];
   if (!plans.all_handled) return false;  // interpreter scans instead
@@ -310,7 +335,14 @@ Result<bool> IndexedActionSink::Perform(int32_t action_index,
       }
       pending.set_values.push_back(v.scalar());
     }
-    pending_[action_index][s].push_back(std::move(pending));
+    // An out-of-range shard means the caller skipped set_num_shards —
+    // fail deterministically rather than silently race on shard 0.
+    if (shard < 0 || shard >= static_cast<int32_t>(pending_shards_.size())) {
+      return Status::Internal("deferred perform from shard ", shard,
+                              " but only ", pending_shards_.size(),
+                              " shards configured (set_num_shards)");
+    }
+    pending_shards_[shard][action_index][s].push_back(std::move(pending));
   }
   return true;
 }
@@ -319,7 +351,7 @@ Status IndexedActionSink::ApplyDirectKey(
     const UpdatePlan& plan, const UpdateStmt& update, const ActionDecl& decl,
     const std::vector<Value>& scalar_args, RowId u_row,
     const EnvironmentTable& table, const TickRandom& rnd,
-    EffectBuffer* buffer) const {
+    EffectSink* buffer) const {
   const std::string* u_name = &decl.params[0];
   const std::string* e_name = &update.row_var;
   const int64_t u_key = table.KeyAt(u_row);
@@ -367,6 +399,7 @@ Status IndexedActionSink::ApplyDirectKey(
 Status IndexedActionSink::FlushDeferred(const EnvironmentTable& table,
                                         const TickRandom& rnd,
                                         EffectBuffer* buffer) {
+  MergePendingShards();
   const int32_t n = table.NumRows();
   for (size_t a = 0; a < pending_.size(); ++a) {
     const ActionDecl& decl = script_->program.actions[a];

@@ -35,16 +35,24 @@ class IndexedActionSink : public ActionSink {
       const Script& script, const Interpreter& interp);
 
   /// Called by the interpreter for each perform during the decision phase.
+  /// Concurrent callers pass distinct `shard` ids; each shard owns a
+  /// private deferred-AOE batch, merged in shard order by FlushDeferred so
+  /// the batch sequence (and hence every deterministic tie-break keyed on
+  /// batch position) matches sequential execution exactly.
   Result<bool> Perform(int32_t action_index,
                        const std::vector<Value>& scalar_args, RowId u_row,
                        const EnvironmentTable& table, const TickRandom& rnd,
-                       EffectBuffer* buffer) override;
+                       EffectSink* buffer, int32_t shard = 0) override;
 
   /// Phase "index build 2" + AOE application: build the per-action-type
   /// effect-center indexes and fold every deferred area effect into
   /// `buffer`. Must be called once after the decision phase.
   Status FlushDeferred(const EnvironmentTable& table, const TickRandom& rnd,
                        EffectBuffer* buffer);
+
+  /// Size the per-shard deferred batches for up to `num_shards` concurrent
+  /// performers (SimulationBuilder sets this to the thread count).
+  void set_num_shards(int32_t num_shards);
 
   /// EXPLAIN: strategy chosen per action update statement.
   std::string DescribePlan() const;
@@ -94,18 +102,28 @@ class IndexedActionSink : public ActionSink {
     bool all_handled = false;         // every update is non-fallback
   };
 
+  /// Deferred AOE performs, indexed [action][update].
+  using PendingBatches = std::vector<std::vector<std::vector<Pending>>>;
+
   Status ClassifyAction(int32_t action_index);
   Status ApplyDirectKey(const UpdatePlan& plan, const UpdateStmt& update,
                         const ActionDecl& decl,
                         const std::vector<Value>& scalar_args, RowId u_row,
                         const EnvironmentTable& table, const TickRandom& rnd,
-                        EffectBuffer* buffer) const;
+                        EffectSink* buffer) const;
+
+  /// Concatenate every shard's batches into pending_ in shard index order
+  /// (chunks cover ascending row ranges, so this reproduces the
+  /// sequential perform order bit for bit).
+  void MergePendingShards();
 
   const Script* script_;
   const Interpreter* interp_;
   std::vector<ActionPlans> plans_;  // per action declaration
-  // pending_[action][update] — deferred AOE performs of this tick.
-  std::vector<std::vector<std::vector<Pending>>> pending_;
+  // pending_[action][update] — this tick's merged deferred AOE performs.
+  PendingBatches pending_;
+  // pending_shards_[shard] — each concurrent performer's private batches.
+  std::vector<PendingBatches> pending_shards_;
   AttrId posx_attr_ = Schema::kInvalidAttr;
   AttrId posy_attr_ = Schema::kInvalidAttr;
 };

@@ -28,6 +28,7 @@ IndexedAggregateProvider::Create(const Script& script,
       new IndexedAggregateProvider(script, interp));
   provider->posx_attr_ = script.schema.Find("posx");
   provider->posy_attr_ = script.schema.Find("posy");
+  provider->probe_tallies_.resize(1);
 
   const int32_t num_aggs =
       static_cast<int32_t>(script.program.aggregates.size());
@@ -67,53 +68,104 @@ IndexedAggregateProvider::Create(const Script& script,
   return provider;
 }
 
+void IndexedAggregateProvider::set_num_shards(int32_t num_shards) {
+  probe_tallies_.resize(std::max(1, num_shards));
+}
+
 Status IndexedAggregateProvider::BuildIndexes(const EnvironmentTable& table,
-                                              const TickRandom& rnd) {
+                                              const TickRandom& rnd,
+                                              exec::ThreadPool* pool,
+                                              exec::ParallelStats* stats) {
+  std::vector<Family*> active;
+  active.reserve(families_.size());
   for (Family& family : families_) {
-    if (family.sig->kind == IndexKind::kNaive) continue;
-    SGL_RETURN_NOT_OK(BuildFamily(&family, table, rnd));
+    if (family.sig->kind != IndexKind::kNaive) active.push_back(&family);
   }
-  return Status::OK();
+  if (pool == nullptr || active.size() <= 1) {
+    // Sequential family loop; the per-row passes inside each family still
+    // use the pool (when present), so single-family scripts parallelize
+    // across row ranges instead — and report their fan-out via `stats`.
+    for (Family* family : active) {
+      SGL_RETURN_NOT_OK(BuildFamily(family, table, rnd, pool, stats));
+    }
+    return Status::OK();
+  }
+  // Families own disjoint build products, so they build concurrently;
+  // nested ParallelFor calls inside BuildFamily then run inline.
+  return pool->ParallelFor(
+      static_cast<int64_t>(active.size()), /*grain=*/1,
+      [&](int32_t, int64_t lo, int64_t hi) -> Status {
+        for (int64_t f = lo; f < hi; ++f) {
+          SGL_RETURN_NOT_OK(
+              BuildFamily(active[f], table, rnd, pool, nullptr));
+        }
+        return Status::OK();
+      },
+      stats);
 }
 
 Status IndexedAggregateProvider::BuildFamily(Family* family,
                                              const EnvironmentTable& table,
-                                             const TickRandom& rnd) {
+                                             const TickRandom& rnd,
+                                             exec::ThreadPool* pool,
+                                             exec::ParallelStats* stats) {
   const AggregateSignature& sig = *family->sig;
   const AggregateDecl& decl = script_->program.aggregates[sig.agg_index];
   const int32_t n = table.NumRows();
   const std::string* e_name = &decl.row_var;
 
+  // Row ranges split across workers; every write below lands in a
+  // row-private slot (row_passes[r], term_cols[..][r]), so the parallel
+  // build is trivially identical to the sequential one.
+  constexpr int64_t kRowGrain = 512;
+  auto for_rows =
+      [&](const std::function<Status(RowId, RowId)>& body) -> Status {
+    if (pool == nullptr) return body(0, n);
+    return pool->ParallelFor(
+        n, kRowGrain,
+        [&](int32_t, int64_t lo, int64_t hi) {
+          return body(static_cast<RowId>(lo), static_cast<RowId>(hi));
+        },
+        stats);
+  };
+
   // Pass 1: build filters (pure-e conjuncts pushed into construction).
   family->row_passes.assign(n, 1);
-  LocalStack no_params;
   for (const Cond* filter : sig.build_filters) {
-    for (RowId r = 0; r < n; ++r) {
-      if (!family->row_passes[r]) continue;
-      SGL_ASSIGN_OR_RETURN(
-          bool pass,
-          interp_->EvalCondIn(*filter, table, nullptr, -1, e_name, r,
-                              &no_params, rnd, table.KeyAt(r)));
-      if (!pass) family->row_passes[r] = 0;
-    }
+    SGL_RETURN_NOT_OK(for_rows([&](RowId lo, RowId hi) -> Status {
+      LocalStack no_params;
+      for (RowId r = lo; r < hi; ++r) {
+        if (!family->row_passes[r]) continue;
+        SGL_ASSIGN_OR_RETURN(
+            bool pass,
+            interp_->EvalCondIn(*filter, table, nullptr, -1, e_name, r,
+                                &no_params, rnd, table.KeyAt(r)));
+        if (!pass) family->row_passes[r] = 0;
+      }
+      return Status::OK();
+    }));
   }
 
   // Pass 2: term columns (and their squares, for stddev probes).
   const int32_t m = static_cast<int32_t>(sig.terms.size());
   family->term_cols.assign(2 * m, std::vector<double>(n, 0.0));
   for (int32_t t = 0; t < m; ++t) {
-    for (RowId r = 0; r < n; ++r) {
-      if (!family->row_passes[r]) continue;
-      SGL_ASSIGN_OR_RETURN(
-          Value v, interp_->EvalExprIn(*sig.terms[t], table, nullptr, -1,
-                                       e_name, r, &no_params, rnd,
-                                       table.KeyAt(r)));
-      if (!v.is_scalar()) {
-        return Status::ExecutionError("aggregate term must be scalar");
+    SGL_RETURN_NOT_OK(for_rows([&](RowId lo, RowId hi) -> Status {
+      LocalStack no_params;
+      for (RowId r = lo; r < hi; ++r) {
+        if (!family->row_passes[r]) continue;
+        SGL_ASSIGN_OR_RETURN(
+            Value v, interp_->EvalExprIn(*sig.terms[t], table, nullptr, -1,
+                                         e_name, r, &no_params, rnd,
+                                         table.KeyAt(r)));
+        if (!v.is_scalar()) {
+          return Status::ExecutionError("aggregate term must be scalar");
+        }
+        family->term_cols[t][r] = v.scalar();
+        family->term_cols[m + t][r] = v.scalar() * v.scalar();
       }
-      family->term_cols[t][r] = v.scalar();
-      family->term_cols[m + t][r] = v.scalar() * v.scalar();
-    }
+      return Status::OK();
+    }));
   }
 
   // Pass 3: group passing rows by their partition components.
@@ -240,12 +292,20 @@ Result<Value> IndexedAggregateProvider::EmptyRow(int32_t agg_index) const {
 
 Result<Value> IndexedAggregateProvider::Eval(
     int32_t agg_index, const std::vector<Value>& scalar_args, RowId u_row,
-    const EnvironmentTable& table, const TickRandom& rnd) {
+    const EnvironmentTable& table, const TickRandom& rnd, int32_t shard) {
   const AggregateSignature& sig = signatures_[agg_index];
   if (sig.kind == IndexKind::kNaive) {
     return interp_->EvalAggregate(agg_index, scalar_args, u_row, table, rnd);
   }
-  ++probe_count_;
+  // Per-shard tally: concurrent probes never contend on one counter. An
+  // out-of-range shard means the caller skipped set_num_shards — fail
+  // deterministically rather than silently race on a shared slot.
+  if (shard < 0 || shard >= static_cast<int32_t>(probe_tallies_.size())) {
+    return Status::Internal("aggregate probe from shard ", shard,
+                            " but only ", probe_tallies_.size(),
+                            " shards configured (set_num_shards)");
+  }
+  ++probe_tallies_[shard].count;
   const AggregateDecl& decl = script_->program.aggregates[agg_index];
   const Family& family = families_[family_of_agg_[agg_index]];
   const std::string* u_name = &decl.params[0];

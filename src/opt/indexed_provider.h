@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "geom/kd_tree.h"
 #include "geom/minmax_tree.h"
 #include "geom/range_tree.h"
@@ -41,12 +42,24 @@ class IndexedAggregateProvider : public AggregateProvider {
       const Script& script, const Interpreter& interp);
 
   /// Rebuild all index families for the tick (phase 1 of Section 6).
-  Status BuildIndexes(const EnvironmentTable& table, const TickRandom& rnd);
+  /// With a pool, independent families build concurrently and each
+  /// family's per-row passes split across workers; results are identical
+  /// to the sequential build (every write lands in a row- or family-
+  /// private slot). `stats`, when given, collects per-worker timing.
+  Status BuildIndexes(const EnvironmentTable& table, const TickRandom& rnd,
+                      exec::ThreadPool* pool = nullptr,
+                      exec::ParallelStats* stats = nullptr);
 
-  /// Answer an aggregate call with an index probe.
+  /// Answer an aggregate call with an index probe. Concurrent callers must
+  /// pass distinct `shard` ids (see AggregateProvider); all probe
+  /// bookkeeping is per-shard.
   Result<Value> Eval(int32_t agg_index, const std::vector<Value>& scalar_args,
                      RowId u_row, const EnvironmentTable& table,
-                     const TickRandom& rnd) override;
+                     const TickRandom& rnd, int32_t shard = 0) override;
+
+  /// Size the per-shard probe tallies for up to `num_shards` concurrent
+  /// callers (SimulationBuilder sets this to the thread count).
+  void set_num_shards(int32_t num_shards);
 
   /// EXPLAIN: one line per aggregate, plus sharing information.
   std::string DescribePlan() const;
@@ -56,8 +69,14 @@ class IndexedAggregateProvider : public AggregateProvider {
     return static_cast<int32_t>(families_.size());
   }
 
-  /// Aggregate probes answered since construction (PhaseStats feed).
-  int64_t probe_count() const { return probe_count_; }
+  /// Aggregate probes answered since construction (PhaseStats feed): the
+  /// sum of the per-shard tallies. Not meaningful mid-ParallelFor; the
+  /// engine reads it only between phases.
+  int64_t probe_count() const {
+    int64_t total = 0;
+    for (const ShardTally& t : probe_tallies_) total += t.count;
+    return total;
+  }
 
   const AggregateSignature& signature(int32_t agg_index) const {
     return signatures_[agg_index];
@@ -89,8 +108,15 @@ class IndexedAggregateProvider : public AggregateProvider {
     std::map<int64_t, KdTree2D> kd_trees;
   };
 
+  /// One cache line per shard: workers bump their own tally without
+  /// false sharing (the satellite fix for the old shared probe_count_).
+  struct alignas(64) ShardTally {
+    int64_t count = 0;
+  };
+
   Status BuildFamily(Family* family, const EnvironmentTable& table,
-                     const TickRandom& rnd);
+                     const TickRandom& rnd, exec::ThreadPool* pool,
+                     exec::ParallelStats* stats);
 
   /// Evaluate probe-side bounds/partition values for unit `u_row`.
   Result<Rect> ProbeRect(const AggregateSignature& sig, RowId u_row,
@@ -106,7 +132,7 @@ class IndexedAggregateProvider : public AggregateProvider {
   std::vector<AggregateSignature> signatures_;   // one per aggregate decl
   std::vector<int32_t> family_of_agg_;           // aggregate -> family
   std::vector<Family> families_;
-  int64_t probe_count_ = 0;
+  std::vector<ShardTally> probe_tallies_;        // indexed by shard
   AttrId posx_attr_ = Schema::kInvalidAttr;
   AttrId posy_attr_ = Schema::kInvalidAttr;
 };

@@ -25,8 +25,8 @@ Status Interpreter::Tick(const EnvironmentTable& table, const TickRandom& rnd,
 }
 
 Status Interpreter::RunUnit(const EnvironmentTable& table, RowId u_row,
-                            const TickRandom& rnd,
-                            EffectBuffer* buffer) const {
+                            const TickRandom& rnd, EffectSink* buffer,
+                            int32_t shard) const {
   if (script_->main_index < 0) {
     return Status::ExecutionError("script has no main function");
   }
@@ -39,6 +39,7 @@ Status Interpreter::RunUnit(const EnvironmentTable& table, RowId u_row,
   ctx.locals = &locals;
   ctx.rnd = &rnd;
   ctx.random_key = table.KeyAt(u_row);
+  ctx.shard = shard;
   return ExecStmt(*main.body, &ctx, buffer);
 }
 
@@ -159,7 +160,7 @@ Result<Value> Interpreter::EvalExpr(const Expr& e, EvalCtx* ctx) const {
         }
         if (provider_ != nullptr) {
           return provider_->Eval(e.call_id, args, ctx->u_row, *ctx->table,
-                                 *ctx->rnd);
+                                 *ctx->rnd, ctx->shard);
         }
         return EvalAggregate(e.call_id, args, ctx->u_row, *ctx->table,
                              *ctx->rnd);
@@ -247,7 +248,7 @@ Result<bool> Interpreter::EvalCond(const Cond& c, EvalCtx* ctx) const {
 }
 
 Status Interpreter::ExecStmt(const Stmt& s, EvalCtx* ctx,
-                             EffectBuffer* buffer) const {
+                             EffectSink* buffer) const {
   switch (s.kind) {
     case StmtKind::kLet: {
       SGL_ASSIGN_OR_RETURN(Value v, EvalExpr(*s.let_value, ctx));
@@ -282,7 +283,7 @@ Status Interpreter::ExecStmt(const Stmt& s, EvalCtx* ctx,
           SGL_ASSIGN_OR_RETURN(
               bool handled,
               sink_->Perform(s.target_action, args, ctx->u_row, *ctx->table,
-                             *ctx->rnd, buffer));
+                             *ctx->rnd, buffer, ctx->shard));
           if (handled) return Status::OK();
         }
         return ExecAction(s.target_action, args, ctx->u_row, *ctx->table,
@@ -303,6 +304,7 @@ Status Interpreter::ExecStmt(const Stmt& s, EvalCtx* ctx,
       inner.locals = &locals;
       inner.rnd = ctx->rnd;
       inner.random_key = ctx->random_key;
+      inner.shard = ctx->shard;
       return ExecStmt(*fn.body, &inner, buffer);
     }
   }
@@ -475,7 +477,7 @@ Status Interpreter::ExecAction(int32_t action_index,
                                const std::vector<Value>& scalar_args,
                                RowId u_row, const EnvironmentTable& table,
                                const TickRandom& rnd,
-                               EffectBuffer* buffer) const {
+                               EffectSink* buffer) const {
   const ActionDecl& decl = script_->program.actions[action_index];
   LocalStack locals;
   for (size_t i = 1; i < decl.params.size(); ++i) {

@@ -60,13 +60,20 @@ class LocalStack {
 /// query evaluator"). The interpreter calls Eval for every aggregate;
 /// the naive evaluator scans E, the indexed one probes the per-tick index
 /// structures of Section 5.3.
+///
+/// `shard` identifies the caller's ParallelFor chunk (0 when sequential);
+/// implementations must route any bookkeeping that Eval mutates (e.g.
+/// probe counters) to per-shard storage so concurrent callers on distinct
+/// shards never race. Eval must not mutate anything else: the parallel
+/// decision phase calls it from many workers against the same frozen
+/// pre-tick state.
 class AggregateProvider {
  public:
   virtual ~AggregateProvider() = default;
   virtual Result<Value> Eval(int32_t agg_index,
                              const std::vector<Value>& scalar_args,
                              RowId u_row, const EnvironmentTable& table,
-                             const TickRandom& rnd) = 0;
+                             const TickRandom& rnd, int32_t shard = 0) = 0;
 };
 
 /// Pluggable action application. The naive engine scans E per update
@@ -74,16 +81,30 @@ class AggregateProvider {
 /// key-equality updates in O(1) and batches area-of-effect actions through
 /// the ⊕ indexes of Section 5.4. Return true if the perform was handled;
 /// false falls back to the interpreter's naive scan.
+///
+/// As with AggregateProvider::Eval, `shard` keys all mutable bookkeeping
+/// (deferred area-of-effect batches) so concurrent performs on distinct
+/// shards are race-free, and per-shard batches can be merged in canonical
+/// chunk order to preserve bit-exact determinism.
 class ActionSink {
  public:
   virtual ~ActionSink() = default;
   virtual Result<bool> Perform(int32_t action_index,
                                const std::vector<Value>& scalar_args,
                                RowId u_row, const EnvironmentTable& table,
-                               const TickRandom& rnd,
-                               EffectBuffer* buffer) = 0;
+                               const TickRandom& rnd, EffectSink* buffer,
+                               int32_t shard = 0) = 0;
 };
 
+// Concurrent-caller safety (audited for the parallel decision phase):
+// every evaluation entry point below is const and keeps all mutable state
+// in stack-local EvalCtx/LocalStack objects, so one Interpreter may run
+// many units concurrently as long as each caller supplies its own
+// EffectSink (per-worker EffectShard) and a distinct `shard` id. The only
+// shared mutable paths are the provider_/sink_ plugins, whose contracts
+// (above) require per-shard bookkeeping; TickRandom is a pure function and
+// Value's shared RowLayout/RowValue payloads are immutable after
+// construction (shared_ptr refcounts are atomic).
 class Interpreter {
  public:
   /// `script` must outlive the interpreter.
@@ -102,9 +123,12 @@ class Interpreter {
   Status Tick(const EnvironmentTable& table, const TickRandom& rnd,
               EffectBuffer* buffer) const;
 
-  /// Evaluate main for a single unit row.
+  /// Evaluate main for a single unit row, streaming effects into `buffer`.
+  /// `shard` is forwarded to the aggregate provider and action sink so
+  /// concurrent callers (one per ParallelFor chunk) stay race-free.
   Status RunUnit(const EnvironmentTable& table, RowId u_row,
-                 const TickRandom& rnd, EffectBuffer* buffer) const;
+                 const TickRandom& rnd, EffectSink* buffer,
+                 int32_t shard = 0) const;
 
   /// Naive evaluation of aggregate `agg_index` probed by unit `u_row` with
   /// the given scalar arguments (decl params after the unit tuple).
@@ -119,7 +143,7 @@ class Interpreter {
   Status ExecAction(int32_t action_index,
                     const std::vector<Value>& scalar_args, RowId u_row,
                     const EnvironmentTable& table, const TickRandom& rnd,
-                    EffectBuffer* buffer) const;
+                    EffectSink* buffer) const;
 
   /// Evaluate an analyzed expression in an explicit binding environment.
   /// Used by the physical planner and the plan executor, which evaluate
@@ -152,11 +176,12 @@ class Interpreter {
     LocalStack* locals = nullptr;
     const TickRandom* rnd = nullptr;
     int64_t random_key = 0;  // unit key seeding random(i)
+    int32_t shard = 0;       // caller's ParallelFor chunk (0 = sequential)
   };
 
   Result<Value> EvalExpr(const Expr& e, EvalCtx* ctx) const;
   Result<bool> EvalCond(const Cond& c, EvalCtx* ctx) const;
-  Status ExecStmt(const Stmt& s, EvalCtx* ctx, EffectBuffer* buffer) const;
+  Status ExecStmt(const Stmt& s, EvalCtx* ctx, EffectSink* buffer) const;
   Result<Value> EvalBuiltin(const Expr& e, EvalCtx* ctx) const;
 
   const Script* script_;

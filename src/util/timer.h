@@ -24,6 +24,13 @@ class Timer {
 
   double Millis() const { return Seconds() * 1e3; }
 
+  /// Elapsed nanoseconds (per-worker timing feeds PhaseStats as int64).
+  int64_t Nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
