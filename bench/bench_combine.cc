@@ -6,26 +6,32 @@
 // all auras, builds one index over the effect centers per action type,
 // and lets every unit probe it once (O(n log n) per tick).
 #include <cstdio>
+#include <sstream>
 
 #include "bench_common.h"
 
 using namespace sgl;
 
-int main() {
-  const int64_t ticks = BenchTicks();
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgsOrExit(
+      argc, argv, "bench_combine",
+      "  ablation A4: area-of-effect combination, healer-heavy armies\n");
+  const int64_t ticks = args.TicksOr(20);
+  const uint64_t seed = args.SeedOr(42);
+  JsonLines json(args.json_path);
   std::printf("=== Area-of-effect ⊕ combination: healer-heavy armies ===\n");
   std::printf("(10%% knights, 10%% archers, 80%% healers; wounded units "
               "everywhere keep auras firing)\n\n");
   std::printf("%8s %14s %14s %9s\n", "units", "naive s/tick",
               "indexed s/tick", "speedup");
-  for (int32_t n : {250, 500, 1000, 2000, 4000}) {
+  for (int32_t n : args.UnitsOr({250, 500, 1000, 2000, 4000})) {
     ScenarioConfig scenario;
     scenario.num_units = n;
     scenario.density = 0.04;  // dense: auras overlap heavily
     scenario.knight_fraction = 0.1;
     scenario.archer_fraction = 0.1;
-    scenario.seed = 42;
-    bool run_naive = n <= NaiveMaxUnits();
+    scenario.seed = seed;
+    bool run_naive = n <= args.NaiveMaxOr(2000);
     double naive =
         run_naive ? TimeBattle(scenario, EvaluatorMode::kNaive, ticks) /
                         static_cast<double>(ticks)
@@ -38,6 +44,16 @@ int main() {
     } else {
       std::printf("%8d %14s %14.5f %9s\n", n, "(skipped)", indexed, "-");
     }
+    std::ostringstream row;
+    row << "{\"bench\": \"combine\", \"units\": " << n
+        << ", \"ticks\": " << ticks << ", \"naive_s_per_tick\": ";
+    if (run_naive) {
+      row << naive;
+    } else {
+      row << "null";  // skipped, not measured-as-zero
+    }
+    row << ", \"indexed_s_per_tick\": " << indexed << "}";
+    json.WriteLine(row.str());
   }
   std::printf("\npaper: nonstackable effects combine by MAX over an index "
               "of effect centres; stackable ones by SUM (Section 5.4).\n");

@@ -9,20 +9,27 @@
 // point, the speedup at 700 units, and the largest army each engine can
 // simulate at 10 ticks per second.
 //
-// Environment: SGL_BENCH_TICKS (default 20) ticks per point;
-// SGL_BENCH_NAIVE_MAX (default 2000) caps the naive sweep.
+// Flags: --units overrides the sweep, --ticks the per-point tick count,
+// --naive-max the naive cap (env SGL_BENCH_TICKS / SGL_BENCH_NAIVE_MAX
+// still honoured as fallbacks), --json tees machine-readable rows.
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "bench_common.h"
 
 using namespace sgl;
 
-int main() {
-  const int64_t ticks = BenchTicks();
-  const int32_t naive_max = NaiveMaxUnits();
-  const std::vector<int32_t> sizes = {250,  500,  700,  1000, 1500, 2000,
-                                      3000, 4000, 6000, 8000, 12000, 14000};
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgsOrExit(
+      argc, argv, "bench_fig10_scaling",
+      "  Figure 10: naive vs indexed total time versus unit count\n");
+  const int64_t ticks = args.TicksOr(20);
+  const int32_t naive_max = args.NaiveMaxOr(2000);
+  const uint64_t seed = args.SeedOr(42);
+  JsonLines json(args.json_path);
+  const std::vector<int32_t> sizes = args.UnitsOr(
+      {250, 500, 700, 1000, 1500, 2000, 3000, 4000, 6000, 8000, 12000, 14000});
 
   std::printf("=== Figure 10: scalability with the number of units ===\n");
   std::printf("density 1%%, %lld ticks measured per point, "
@@ -40,7 +47,7 @@ int main() {
     ScenarioConfig scenario;
     scenario.num_units = n;
     scenario.density = 0.01;
-    scenario.seed = 42;
+    scenario.seed = seed;
 
     double indexed = TimeBattle(scenario, EvaluatorMode::kIndexed, ticks);
     double indexed_per_tick = indexed / static_cast<double>(ticks);
@@ -60,6 +67,17 @@ int main() {
       std::printf("%8d %14s %14.5f %14s %14.2f %9s\n", n, "(skipped)",
                   indexed_per_tick, "-", indexed_per_tick * 500, "-");
     }
+
+    std::ostringstream row;
+    row << "{\"bench\": \"fig10_scaling\", \"units\": " << n
+        << ", \"ticks\": " << ticks << ", \"naive_s_per_tick\": ";
+    if (ran_naive) {
+      row << naive_per_tick;
+    } else {
+      row << "null";  // skipped, not measured-as-zero
+    }
+    row << ", \"indexed_s_per_tick\": " << indexed_per_tick << "}";
+    json.WriteLine(row.str());
 
     if (n == 700 && ran_naive) {
       speedup_at_700 = naive_per_tick / indexed_per_tick;

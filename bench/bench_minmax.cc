@@ -9,8 +9,10 @@
 //   sweep line           one batch, O(n log n)
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 #include <vector>
 
+#include "bench_common.h"
 #include "geom/minmax_tree.h"
 #include "geom/sweepline.h"
 #include "util/rng.h"
@@ -27,10 +29,10 @@ struct World {
   int64_t grid;
 };
 
-World MakeWorld(int64_t n) {
+World MakeWorld(int64_t n, uint64_t seed) {
   World w;
   w.grid = static_cast<int64_t>(std::sqrt(static_cast<double>(n) / 0.01));
-  Xoshiro256 rng(5);
+  Xoshiro256 rng(seed);
   for (int64_t i = 0; i < n; ++i) {
     w.points.push_back(PointRef{static_cast<double>(rng.NextBounded(w.grid)),
                                 static_cast<double>(rng.NextBounded(w.grid)),
@@ -43,15 +45,20 @@ World MakeWorld(int64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgsOrExit(
+      argc, argv, "bench_minmax",
+      "  ablation A2: MIN/MAX aggregate strategies (scan, tree, sweep)\n");
+  const uint64_t seed = args.SeedOr(5);
+  JsonLines json(args.json_path);
   const double extent = 24;  // the battle script's BOW_RANGE box
   std::printf("=== MIN aggregate strategies: all n units probe a "
               "constant-extent box ===\n\n");
   std::printf("%8s %12s %14s %14s %12s %12s\n", "n", "naive(s)",
               "mm-tree(s)", "sweep(s)", "mm speedup", "sweep speedup");
 
-  for (int64_t n : {500, 1000, 2000, 4000, 8000, 14000}) {
-    World w = MakeWorld(n);
+  for (int32_t n : args.UnitsOr({500, 1000, 2000, 4000, 8000, 14000})) {
+    World w = MakeWorld(n, seed);
     volatile double guard = 0;
 
     // Naive: every unit scans every unit.
@@ -111,6 +118,11 @@ int main() {
     std::printf("%8lld %12.4f %14.4f %14.4f %11.1fx %11.1fx\n",
                 static_cast<long long>(n), naive_s, mm_s, sweep_s,
                 naive_s / mm_s, naive_s / sweep_s);
+    std::ostringstream row;
+    row << "{\"bench\": \"minmax\", \"units\": " << n
+        << ", \"naive_s\": " << naive_s << ", \"mm_tree_s\": " << mm_s
+        << ", \"sweep_s\": " << sweep_s << "}";
+    json.WriteLine(row.str());
   }
   std::printf("\npaper: the sweep line computes all MIN probes in "
               "O(n log n) total when extents are constant (Figure 9).\n");

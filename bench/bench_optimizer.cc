@@ -6,6 +6,7 @@
 //   +action batching — Section 5.4 direct-key/AOE actions, aggregates scan;
 //   full             — both (the shipping configuration).
 #include <cstdio>
+#include <sstream>
 
 #include "bench_common.h"
 
@@ -37,23 +38,35 @@ double TimeConfig(const ScenarioConfig& scenario, bool agg, bool act,
 
 }  // namespace
 
-int main() {
-  const int64_t ticks = BenchTicks();
+int main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgsOrExit(
+      argc, argv, "bench_optimizer",
+      "  ablation A3: contribution of each optimization\n");
+  const int64_t ticks = args.TicksOr(20);
+  const uint64_t seed = args.SeedOr(42);
+  JsonLines json(args.json_path);
   std::printf("=== Optimizer ablation: per-tick seconds by configuration "
               "===\n\n");
   std::printf("%8s %12s %14s %16s %12s\n", "units", "naive", "+agg-index",
               "+action-batch", "full");
-  for (int32_t n : {500, 1000, 2000}) {
+  for (int32_t n : args.UnitsOr({500, 1000, 2000})) {
     ScenarioConfig scenario;
     scenario.num_units = n;
     scenario.density = 0.01;
-    scenario.seed = 42;
+    scenario.seed = seed;
     double naive = TimeConfig(scenario, false, false, ticks);
     double agg_only = TimeConfig(scenario, true, false, ticks);
     double act_only = TimeConfig(scenario, false, true, ticks);
     double full = TimeConfig(scenario, true, true, ticks);
     std::printf("%8d %12.5f %14.5f %16.5f %12.5f\n", n, naive, agg_only,
                 act_only, full);
+    std::ostringstream row;
+    row << "{\"bench\": \"optimizer\", \"units\": " << n
+        << ", \"ticks\": " << ticks << ", \"naive_s_per_tick\": " << naive
+        << ", \"agg_index_s_per_tick\": " << agg_only
+        << ", \"action_batch_s_per_tick\": " << act_only
+        << ", \"full_s_per_tick\": " << full << "}";
+    json.WriteLine(row.str());
   }
   std::printf("\nAggregate indexing dominates (each unit evaluates ~8 "
               "aggregates but performs one action per tick); action "

@@ -1,0 +1,221 @@
+// The unified benchmark suite: every registered scenario, swept across
+// {naive, indexed} evaluators x worker-thread counts x unit scales.
+//
+// Each (scenario, units) group elects the first completed cell as its
+// reference; every other cell's final environment table must be
+// bit-identical to it (the PR-2 determinism contract, now enforced
+// across the whole scenario library on every benchmark run), and every
+// cell must satisfy its scenario's invariant checker.
+//
+// Results go to a standardized BENCH_scenarios.json: one "meta" line
+// followed by one line per cell with ns/tick, rows, rows scanned, index
+// probes, and the per-phase breakdown from PhaseStatsRegistry — the
+// repo's perf trajectory, consumed by tools/bench_compare.py in CI.
+//
+//   bench_suite --quick --json BENCH_scenarios.json   # the CI smoke run
+//   bench_suite --scenarios battle,ctf --units 1000,4000 --threads 1,2,8
+//   bench_suite --list
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/simulation.h"
+#include "scenario/scenario.h"
+#include "util/timer.h"
+
+namespace sgl {
+namespace {
+
+struct CellResult {
+  double seconds = 0.0;
+  EnvironmentTable table{Schema()};
+  int32_t rows = 0;
+  int64_t rows_scanned = 0;
+  int64_t index_probes = 0;
+  std::vector<std::pair<std::string, double>> phase_seconds;
+};
+
+// Runs one (scenario, params, mode, threads) cell `reps` times and
+// keeps the fastest repetition — identical seeds make every repetition
+// bit-identical, so repeating only filters scheduler noise out of the
+// timing, which matters for the sub-millisecond CI cells the regression
+// gate compares across runs.
+CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
+                   EvaluatorMode mode, int32_t threads, int64_t ticks,
+                   int32_t reps) {
+  CellResult best;
+  for (int32_t rep = 0; rep < reps; ++rep) {
+    SimulationConfig config;
+    config.mode = mode;
+    config.threads = threads;
+    auto sim = ScenarioRegistry::Global().BuildSimulation(scenario, params,
+                                                          config);
+    if (!sim.ok()) {
+      std::fprintf(stderr, "%s: setup failed: %s\n", scenario.c_str(),
+                   sim.status().ToString().c_str());
+      std::exit(1);
+    }
+    Timer timer;
+    Status st = (*sim)->Run(ticks);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: run failed: %s\n", scenario.c_str(),
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    CellResult cell;
+    cell.seconds = timer.Seconds();
+    if (rep > 0 && cell.seconds >= best.seconds) continue;
+    cell.table = (*sim)->table().Clone();
+    cell.rows = (*sim)->table().NumRows();
+    for (const auto& [name, stats] : (*sim)->stats().stats()) {
+      cell.rows_scanned += stats.rows_scanned;
+      cell.index_probes += stats.index_probes;
+      cell.phase_seconds.push_back({name, stats.seconds});
+    }
+    st = ScenarioRegistry::Global().CheckInvariants(scenario, params, **sim);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: INVARIANT VIOLATION: %s\n", scenario.c_str(),
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    best = std::move(cell);
+  }
+  return best;
+}
+
+std::string CellJson(const std::string& scenario, const char* mode,
+                     int32_t units, int32_t threads, int64_t ticks,
+                     const CellResult& cell) {
+  const double ns_per_tick = cell.seconds / static_cast<double>(ticks) * 1e9;
+  std::ostringstream os;
+  os << "{\"scenario\": \"" << scenario << "\", \"mode\": \"" << mode
+     << "\", \"units\": " << units << ", \"threads\": " << threads
+     << ", \"ticks\": " << ticks << ", \"seconds\": " << cell.seconds
+     << ", \"ns_per_tick\": " << static_cast<int64_t>(ns_per_tick)
+     << ", \"rows\": " << cell.rows
+     << ", \"rows_scanned\": " << cell.rows_scanned
+     << ", \"index_probes\": " << cell.index_probes
+     << ", \"deterministic\": true, \"phases\": [";
+  bool first = true;
+  for (const auto& [name, seconds] : cell.phase_seconds) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"name\": \"" << name << "\", \"ns_per_tick\": "
+       << static_cast<int64_t>(seconds / static_cast<double>(ticks) * 1e9)
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
+}  // namespace sgl
+
+int main(int argc, char** argv) {
+  using namespace sgl;
+  BenchArgs args = ParseBenchArgsOrExit(
+      argc, argv, "bench_suite",
+      "  the scenario-library sweep: every cell is cross-checked for\n"
+      "  bit-exact determinism against its (scenario, units) reference\n");
+
+  auto& registry = ScenarioRegistry::Global();
+  if (args.list) {
+    for (const std::string& name : registry.List()) {
+      auto def = registry.Get(name);
+      std::printf("%-14s %s\n", name.c_str(), (*def)->description.c_str());
+    }
+    return 0;
+  }
+
+  const int64_t ticks = args.ticks > 0 ? args.ticks
+                        : args.quick   ? BenchTicks(15)
+                                       : BenchTicks(25);
+  // The quick CI preset repeats each cell and keeps the fastest run:
+  // its cells are sub-millisecond-per-tick and would otherwise be at
+  // the mercy of runner noise in the regression gate.
+  const int32_t reps = args.quick ? 5 : 1;
+  const uint64_t seed = args.SeedOr(7);
+  const int32_t naive_max = args.NaiveMaxOr(2000);
+  const std::vector<int32_t> unit_counts =
+      args.UnitsOr(args.quick ? std::vector<int32_t>{250}
+                              : std::vector<int32_t>{500, 2000});
+  const std::vector<int32_t> thread_counts =
+      args.ThreadsOr(args.quick ? std::vector<int32_t>{1, 2}
+                                : std::vector<int32_t>{1, 4});
+  std::vector<std::string> scenarios =
+      args.scenarios.empty() ? registry.List() : args.scenarios;
+  const std::vector<std::string> modes =
+      args.modes.empty() ? std::vector<std::string>{"naive", "indexed"}
+                         : args.modes;
+  for (const std::string& name : scenarios) {
+    auto def = registry.Get(name);
+    if (!def.ok()) {
+      std::fprintf(stderr, "%s\n", def.status().ToString().c_str());
+      return 2;
+    }
+  }
+
+  JsonLines json(args.json_path.empty() ? std::string("BENCH_scenarios.json")
+                                        : args.json_path);
+  {
+    std::ostringstream meta;
+    meta << "{\"bench\": \"scenarios\", \"ticks\": " << ticks
+         << ", \"seed\": " << seed << ", \"naive_max\": " << naive_max << "}";
+    json.WriteLine(meta.str());
+  }
+
+  std::printf("%-14s %-8s %7s %8s %14s %9s\n", "scenario", "mode", "units",
+              "threads", "ns/tick", "speedup");
+  for (const std::string& scenario : scenarios) {
+    for (int32_t units : unit_counts) {
+      ScenarioParams params;
+      params.units = units;
+      params.seed = seed;
+      bool have_reference = false;
+      EnvironmentTable reference{Schema()};
+      double base_ns = 0.0;  // the group's first cell, for the speedup column
+      for (const std::string& mode_name : modes) {
+        EvaluatorMode mode;
+        if (mode_name == "naive") {
+          mode = EvaluatorMode::kNaive;
+        } else if (mode_name == "indexed") {
+          mode = EvaluatorMode::kIndexed;
+        } else {
+          std::fprintf(stderr, "unknown mode '%s'\n", mode_name.c_str());
+          return 2;
+        }
+        if (mode == EvaluatorMode::kNaive && units > naive_max) continue;
+        for (int32_t threads : thread_counts) {
+          CellResult cell =
+              RunCell(scenario, params, mode, threads, ticks, reps);
+          if (!have_reference) {
+            have_reference = true;
+            reference = cell.table.Clone();
+            base_ns = cell.seconds / static_cast<double>(ticks) * 1e9;
+          } else if (!reference.Equals(cell.table)) {
+            std::fprintf(
+                stderr,
+                "DETERMINISM VIOLATION: %s units=%d %s threads=%d diverged "
+                "from the group reference:\n%s\n",
+                scenario.c_str(), units, mode_name.c_str(), threads,
+                reference.DiffString(cell.table).c_str());
+            return 1;
+          }
+          const double ns = cell.seconds / static_cast<double>(ticks) * 1e9;
+          std::printf("%-14s %-8s %7d %8d %14.0f %8.2fx\n", scenario.c_str(),
+                      mode_name.c_str(), units, threads, ns,
+                      ns > 0 ? base_ns / ns : 0.0);
+          std::fflush(stdout);
+          json.WriteLine(CellJson(scenario, mode_name.c_str(), units, threads,
+                                  ticks, cell));
+        }
+      }
+    }
+  }
+  std::printf("\nevery cell bit-identical to its (scenario, units) reference; "
+              "all invariants held\n");
+  return 0;
+}

@@ -83,6 +83,7 @@ Result<const ScriptSession*> Simulation::SessionForRow(RowId row) const {
 
 std::string Simulation::Explain() const {
   std::ostringstream os;
+  if (!name_.empty()) os << "simulation: " << name_ << "\n";
   os << "execution: " << threads_ << (threads_ == 1 ? " thread" : " threads")
      << (pool_ != nullptr ? " (parallel tick pipeline, deterministic)" : "")
      << "\n\n";
@@ -157,6 +158,18 @@ SimulationBuilder& SimulationBuilder::SetTable(EnvironmentTable table) {
 
 SimulationBuilder& SimulationBuilder::SetConfig(SimulationConfig config) {
   config_ = std::move(config);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::SetName(std::string name) {
+  name_ = std::move(name);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::Apply(
+    const std::function<Status(SimulationBuilder&)>& hook) {
+  Status st = hook(*this);
+  if (!st.ok() && deferred_error_.ok()) deferred_error_ = std::move(st);
   return *this;
 }
 
@@ -236,6 +249,7 @@ SimulationBuilder& SimulationBuilder::SetPhaseOrder(
 }
 
 Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
+  if (!deferred_error_.ok()) return deferred_error_;
   if (!has_table_) {
     return Status::Invalid("SimulationBuilder: SetTable was never called");
   }
@@ -244,6 +258,7 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
   }
 
   std::unique_ptr<Simulation> sim(new Simulation(std::move(table_)));
+  sim->name_ = std::move(name_);
   sim->config_ = config_;
   const Schema& schema = sim->table_.schema();
 

@@ -134,6 +134,10 @@ class Simulation {
   /// Run `ticks` clock ticks.
   Status Run(int64_t ticks);
 
+  /// Human-readable label (SimulationBuilder::SetName; the scenario layer
+  /// stamps the scenario name here). Empty when never set.
+  const std::string& name() const { return name_; }
+
   const EnvironmentTable& table() const { return table_; }
   EnvironmentTable* mutable_table() { return &table_; }
   int64_t tick_count() const { return tick_count_; }
@@ -183,6 +187,7 @@ class Simulation {
   friend class SimulationBuilder;
   explicit Simulation(EnvironmentTable table) : table_(std::move(table)) {}
 
+  std::string name_;
   SimulationConfig config_;
   EnvironmentTable table_;
   std::vector<std::unique_ptr<ScriptSession>> sessions_;
@@ -214,6 +219,23 @@ class SimulationBuilder {
   SimulationBuilder& SetTable(EnvironmentTable table);
 
   SimulationBuilder& SetConfig(SimulationConfig config);
+
+  /// Label the simulation (surfaced by Simulation::name() and Explain();
+  /// the scenario registry stamps the scenario name here).
+  SimulationBuilder& SetName(std::string name);
+
+  /// In-place access to the configuration accumulated so far. Scenario
+  /// hooks use this to adjust workload-specific knobs (grid size, movement
+  /// attributes, step) without clobbering caller-chosen evaluator mode,
+  /// seed, or thread count via a wholesale SetConfig.
+  SimulationConfig& config() { return config_; }
+
+  /// Run a composable configuration hook against this builder right away.
+  /// Scenario definitions are expressed as such hooks: each registers its
+  /// scripts, mechanics, and config tweaks. A failed hook is remembered
+  /// and surfaces as the error of Build(), keeping the fluent chain.
+  SimulationBuilder& Apply(
+      const std::function<Status(SimulationBuilder&)>& hook);
 
   /// Worker threads for the parallel tick phases: n == 1 single-threaded,
   /// n == 0 auto-detect hardware concurrency, n > 1 a fixed pool.
@@ -269,6 +291,8 @@ class SimulationBuilder {
   };
 
   bool has_table_ = false;
+  std::string name_;
+  Status deferred_error_;  // first Apply() hook failure, surfaced by Build
   EnvironmentTable table_{Schema()};
   SimulationConfig config_;
   std::vector<std::unique_ptr<ScriptSession>> sessions_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "sgl/analyzer.h"
+#include "util/grid.h"
 
 namespace sgl {
 
@@ -344,8 +345,7 @@ Status BattleMechanics::EndTick(EnvironmentTable* table,
 }
 
 int64_t ScenarioConfig::GridSide() const {
-  double cells = static_cast<double>(num_units) / density;
-  return std::max<int64_t>(8, static_cast<int64_t>(std::ceil(std::sqrt(cells))));
+  return GridSideFor(num_units, density);
 }
 
 Result<EnvironmentTable> BuildScenario(const ScenarioConfig& config) {

@@ -1,0 +1,100 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "util/grid.h"
+
+namespace sgl {
+
+int64_t ScenarioParams::GridSide() const {
+  return GridSideFor(units, density);
+}
+
+ScenarioRegistry& ScenarioRegistry::Global() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    Status st = RegisterBuiltinScenarios(r);
+    if (!st.ok()) {
+      std::fprintf(stderr, "builtin scenario registration failed: %s\n",
+                   st.ToString().c_str());
+      std::abort();
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Status ScenarioRegistry::Register(ScenarioDef def) {
+  if (def.name.empty()) {
+    return Status::Invalid("scenario registration requires a name");
+  }
+  if (!def.world || !def.configure || !def.invariant) {
+    return Status::Invalid("scenario '", def.name,
+                           "' must provide world, configure, and invariant");
+  }
+  auto [it, inserted] = scenarios_.emplace(def.name, std::move(def));
+  if (!inserted) {
+    return Status::AlreadyExists("scenario '", it->first,
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<const ScenarioDef*> ScenarioRegistry::Get(
+    const std::string& name) const {
+  auto it = scenarios_.find(name);
+  if (it != scenarios_.end()) return &it->second;
+  std::ostringstream known;
+  for (const auto& [n, def] : scenarios_) {
+    if (known.tellp() > 0) known << ", ";
+    known << n;
+  }
+  return Status::NotFound("unknown scenario '", name,
+                          "'; registered scenarios: ", known.str());
+}
+
+std::vector<std::string> ScenarioRegistry::List() const {
+  std::vector<std::string> names;
+  names.reserve(scenarios_.size());
+  for (const auto& [name, def] : scenarios_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+Result<std::unique_ptr<Simulation>> ScenarioRegistry::BuildSimulation(
+    const std::string& name, const ScenarioParams& params,
+    SimulationConfig config) const {
+  SGL_ASSIGN_OR_RETURN(const ScenarioDef* def, Get(name));
+  SGL_ASSIGN_OR_RETURN(EnvironmentTable table, def->world(params));
+  // The scenario seed governs both world generation (inside def->world)
+  // and per-tick randomness, mirroring MakeBattleSimWithConfig.
+  config.seed = params.seed;
+  SimulationBuilder builder;
+  builder.SetTable(std::move(table))
+      .SetName(def->name)
+      .SetConfig(std::move(config))
+      .Apply([&](SimulationBuilder& b) { return def->configure(params, b); });
+  return builder.Build();
+}
+
+Status ScenarioRegistry::CheckInvariants(const std::string& name,
+                                         const ScenarioParams& params,
+                                         const Simulation& sim) const {
+  SGL_ASSIGN_OR_RETURN(const ScenarioDef* def, Get(name));
+  return def->invariant(params, sim);
+}
+
+Status RegisterBuiltinScenarios(ScenarioRegistry* registry) {
+  SGL_RETURN_NOT_OK(RegisterBattleScenarios(registry));
+  SGL_RETURN_NOT_OK(RegisterEpidemicScenario(registry));
+  SGL_RETURN_NOT_OK(RegisterPredatorPreyScenario(registry));
+  SGL_RETURN_NOT_OK(RegisterEvacuationScenario(registry));
+  SGL_RETURN_NOT_OK(RegisterMarketScenario(registry));
+  SGL_RETURN_NOT_OK(RegisterCtfScenario(registry));
+  return Status::OK();
+}
+
+}  // namespace sgl

@@ -1,0 +1,124 @@
+// The scenario library: self-describing, parameterized simulation
+// workloads built on the sgl::Simulation facade.
+//
+// The paper's thesis is that expressing game scripts as queries lets one
+// engine scale *many kinds* of simulations. A Scenario packages one such
+// kind: its SGL script(s) and schema, a deterministic world generator
+// parameterized by (units, density, seed), and an invariant checker that
+// states what the simulated world must always satisfy. Scenarios register
+// with the global ScenarioRegistry by name, so benchmarks, tests, and
+// examples can iterate "every workload we have" instead of hard-coding
+// the battle demo:
+//
+//   SGL_ASSIGN_OR_RETURN(auto sim, ScenarioRegistry::Global().BuildSimulation(
+//       "epidemic", ScenarioParams{2000, 0.01, 42}, config));
+//   SGL_RETURN_NOT_OK(sim->Run(100));
+//   SGL_RETURN_NOT_OK(ScenarioRegistry::Global().CheckInvariants(
+//       "epidemic", ScenarioParams{2000, 0.01, 42}, *sim));
+//
+// Every scenario keeps its arithmetic integral (see src/game/battle.h),
+// so the bit-exactness contract holds across {naive, indexed} evaluators
+// and any worker-thread count — bench_suite and tests/scenario_test.cc
+// cross-check it per configuration.
+#ifndef SGL_SCENARIO_SCENARIO_H_
+#define SGL_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/simulation.h"
+#include "env/table.h"
+#include "util/status.h"
+
+namespace sgl {
+
+/// Workload-scale knobs shared by every scenario. Scenarios derive their
+/// grid from (units, density) the way the paper's Section 6 setup does:
+/// the grid grows with the population so occupancy stays constant.
+struct ScenarioParams {
+  int32_t units = 500;
+  double density = 0.01;  ///< fraction of grid cells occupied
+  uint64_t seed = 7;
+
+  /// Side length of the square grid holding `units` at `density`.
+  int64_t GridSide() const;
+};
+
+/// One registered workload. The three callables must be deterministic
+/// functions of their arguments — the world generator in particular is
+/// re-invoked by invariant checkers to recover initial totals
+/// (conserved-quantity checks) without shipping extra state around.
+struct ScenarioDef {
+  std::string name;
+  std::string description;  ///< one line for List()/gallery output
+
+  /// Build the initial environment table for `params`.
+  std::function<Result<EnvironmentTable>(const ScenarioParams&)> world;
+
+  /// Configure a SimulationBuilder that already holds the table and the
+  /// caller's SimulationConfig: register scripts (and DispatchBy),
+  /// mechanics, and adjust workload knobs through builder.config()
+  /// (grid size, movement attributes, step) — but leave the caller's
+  /// evaluator mode, seed, and thread count alone.
+  std::function<Status(const ScenarioParams&, SimulationBuilder&)> configure;
+
+  /// Check scenario invariants against a (possibly advanced) simulation
+  /// built from the same params. OK = the world is still well-formed.
+  std::function<Status(const ScenarioParams&, const Simulation&)> invariant;
+};
+
+/// Name-keyed registry of scenarios. The global instance self-populates
+/// with the builtin library (battle, formation, epidemic, predator_prey,
+/// evacuation, market, ctf) on first use; additional scenarios may be
+/// registered at any time.
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry, builtin scenarios already registered.
+  /// Not thread-safe for concurrent Register; Get/List/Build are const.
+  static ScenarioRegistry& Global();
+
+  /// Register a scenario. All three callables are required.
+  Status Register(ScenarioDef def);
+
+  /// Look up a scenario; unknown names produce a NotFound error that
+  /// lists every registered scenario.
+  Result<const ScenarioDef*> Get(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> List() const;
+
+  /// One-call assembly: generate the world for `params`, stamp
+  /// config.seed from params.seed, run the scenario's configure hook,
+  /// and build the Simulation (named after the scenario).
+  Result<std::unique_ptr<Simulation>> BuildSimulation(
+      const std::string& name, const ScenarioParams& params,
+      SimulationConfig config) const;
+
+  /// Run the scenario's invariant checker against `sim`.
+  Status CheckInvariants(const std::string& name, const ScenarioParams& params,
+                         const Simulation& sim) const;
+
+ private:
+  std::map<std::string, ScenarioDef> scenarios_;
+};
+
+/// Register the builtin scenario library into `registry` (idempotent per
+/// registry only in the sense that re-registering fails; Global() calls
+/// this exactly once). Exposed for tests that want a private registry.
+Status RegisterBuiltinScenarios(ScenarioRegistry* registry);
+
+// Per-file registration hooks of the builtin library (scenario_*.cc).
+Status RegisterBattleScenarios(ScenarioRegistry* registry);
+Status RegisterEpidemicScenario(ScenarioRegistry* registry);
+Status RegisterPredatorPreyScenario(ScenarioRegistry* registry);
+Status RegisterEvacuationScenario(ScenarioRegistry* registry);
+Status RegisterMarketScenario(ScenarioRegistry* registry);
+Status RegisterCtfScenario(ScenarioRegistry* registry);
+
+}  // namespace sgl
+
+#endif  // SGL_SCENARIO_SCENARIO_H_

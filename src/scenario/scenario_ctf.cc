@@ -1,0 +1,321 @@
+// Capture the flag: two teams race for each other's flag, freezing
+// opponents and rallying teammates on the way.
+//
+// The workload deliberately mixes every effect class the schema system
+// has: stackable movement sums, a max-combined rally aura delivered as
+// an area-of-effect action (Section 5.4's deferred path), and two
+// set-priority effects (Section 2.2's absolute-value effects) —
+// `freeze`, where the highest-key attacker wins the tick, and
+// `carrier`, which arbitrates simultaneous flag claims so exactly one
+// raider scores even when several touch the flag in the same tick.
+// Scoring teleports the scorer home; flags are immobile landmark rows.
+#include <array>
+#include <memory>
+
+#include "scenario/scenario.h"
+#include "scenario/scenario_world.h"
+#include "sgl/analyzer.h"
+
+namespace sgl {
+
+namespace {
+
+constexpr double kSoldier = 0.0;
+constexpr double kFlag = 1.0;
+constexpr double kRaider = 0.0;
+constexpr double kSupport = 1.0;
+constexpr int64_t kFreezeTicks = 4;
+
+const char* kSoldierScript = R"SGL(
+  const SOLDIER = 0;
+  const FLAG = 1;
+  const SUPPORT = 1;
+  const FREEZE_RANGE = 3;
+  const FREEZE_TICKS = 4;
+  const PICK_RANGE = 2;
+  const RALLY_RANGE = 8;
+
+  aggregate EnemyFlag(u) {
+    select nearest(*) from E e
+    where e.kind = FLAG and e.team <> u.team;
+  }
+
+  aggregate NearestFoe(u, r) {
+    select nearest(*) from E e
+    where e.kind = SOLDIER and e.team <> u.team
+      and e.posx >= u.posx - r and e.posx <= u.posx + r
+      and e.posy >= u.posy - r and e.posy <= u.posy + r;
+  }
+
+  aggregate FrozenAlliesNear(u, r) {
+    select count(*) from E e
+    where e.kind = SOLDIER and e.team = u.team and e.frozen >= 1
+      and e.posx >= u.posx - r and e.posx <= u.posx + r
+      and e.posy >= u.posy - r and e.posy <= u.posy + r;
+  }
+
+  aggregate SquadCentroid(u) {
+    select avg(e.posx) as x, avg(e.posy) as y, count(*) as n from E e
+    where e.kind = SOLDIER and e.team = u.team;
+  }
+
+  action Move(u, dx, dy) {
+    update e where e.key = u.key set movex += dx, movey += dy;
+  }
+
+  # Absolute-value effect: the highest-key attacker's freeze sticks.
+  action Freeze(u, target) {
+    update e where e.key = target set freeze = FREEZE_TICKS priority u.key;
+  }
+
+  # Simultaneous flag touches resolved by set-priority: one claimant wins.
+  action ClaimFlag(u, f) {
+    update e where e.key = f set carrier = u.key priority u.key;
+  }
+
+  # Area-of-effect morale burst: thaws frozen teammates faster.
+  action Rally(u) {
+    update e where e.kind = SOLDIER and e.team = u.team
+      and e.posx >= u.posx - RALLY_RANGE and e.posx <= u.posx + RALLY_RANGE
+      and e.posy >= u.posy - RALLY_RANGE and e.posy <= u.posy + RALLY_RANGE
+      set rally max= 1;
+  }
+
+  function raider_ai(u) {
+    let foe = NearestFoe(u, FREEZE_RANGE);
+    if foe.found = 1 and foe.frozen = 0 then
+      perform Freeze(u, foe.key);
+    else {
+      let flag = EnemyFlag(u);
+      if flag.found = 1 then {
+        if flag.dist2 <= PICK_RANGE * PICK_RANGE then
+          perform ClaimFlag(u, flag.key);
+        else
+          perform Move(u, flag.posx - u.posx, flag.posy - u.posy);
+      }
+    }
+  }
+
+  function support_ai(u) {
+    if FrozenAlliesNear(u, RALLY_RANGE) > 0 then
+      perform Rally(u);
+    else {
+      let squad = SquadCentroid(u);
+      perform Move(u, squad.x - u.posx, squad.y - u.posy);
+    }
+  }
+
+  function main(u) {
+    if u.frozen = 0 then {
+      if u.role = SUPPORT then perform support_ai(u);
+      else perform raider_ai(u);
+    }
+  }
+)SGL";
+
+// Flags are scenery: they never act.
+const char* kFlagScript = R"SGL(
+  function main(u) { }
+)SGL";
+
+Schema CtfSchema() {
+  Schema s;
+  (void)s.AddAttribute("kind", CombineType::kConst);
+  (void)s.AddAttribute("team", CombineType::kConst);
+  (void)s.AddAttribute("role", CombineType::kConst);
+  (void)s.AddAttribute("posx", CombineType::kConst);
+  (void)s.AddAttribute("posy", CombineType::kConst);
+  (void)s.AddAttribute("frozen", CombineType::kConst);
+  (void)s.AddAttribute("freeze", CombineType::kSet);
+  (void)s.AddAttribute("carrier", CombineType::kSet);
+  (void)s.AddAttribute("rally", CombineType::kMax);
+  (void)s.AddAttribute("movex", CombineType::kSum);
+  (void)s.AddAttribute("movey", CombineType::kSum);
+  return s;
+}
+
+/// Flag home cells for a given grid side.
+std::array<std::pair<int64_t, int64_t>, 2> FlagHomes(int64_t side) {
+  return {{{2, side / 2}, {side - 3, side / 2}}};
+}
+
+class CtfMechanics : public GameMechanics {
+ public:
+  explicit CtfMechanics(int64_t side) : side_(side) {}
+
+  Status ApplyEffects(EnvironmentTable* table, const EffectBuffer& buffer,
+                      const TickRandom& rnd) override {
+    const Schema& s = table->schema();
+    const AttrId kind = s.Find("kind");
+    const AttrId team = s.Find("team");
+    const AttrId posx = s.Find("posx");
+    const AttrId posy = s.Find("posy");
+    const AttrId frozen = s.Find("frozen");
+    const AttrId freeze = s.Find("freeze");
+    const AttrId carrier = s.Find("carrier");
+    const AttrId rally = s.Find("rally");
+    const auto homes = FlagHomes(side_);
+    for (RowId r = 0; r < table->NumRows(); ++r) {
+      if (table->Get(r, kind) == kSoldier) {
+        if (buffer.HasSet(r, freeze)) {
+          table->Set(r, frozen, table->Get(r, freeze));
+        } else {
+          // Thaw one tick per tick, plus one more under a rally aura.
+          double thaw = 1 + table->Get(r, rally);
+          double left = table->Get(r, frozen) - thaw;
+          table->Set(r, frozen, left > 0 ? left : 0);
+        }
+        continue;
+      }
+      // A flag row: a set `carrier` effect means one raider touched it
+      // this tick (set-priority already arbitrated simultaneous claims).
+      if (!buffer.HasSet(r, carrier)) continue;
+      int64_t scorer = static_cast<int64_t>(table->Get(r, carrier));
+      RowId scorer_row = table->RowOf(scorer);
+      if (scorer_row < 0) {
+        return Status::ExecutionError("flag claimed by unknown unit ", scorer);
+      }
+      ++captures_[table->Get(scorer_row, team) == 0.0 ? 0 : 1];
+      // The scorer carries the flag straight home: teleport to a
+      // key-derived cell beside its own flag.
+      auto home = homes[table->Get(scorer_row, team) == 0.0 ? 0 : 1];
+      int64_t dx = rnd.DrawBounded(scorer, 81, 5) - 2;
+      int64_t dy = rnd.DrawBounded(scorer, 82, 5) - 2;
+      auto clamp = [&](int64_t v) {
+        if (v < 0) return static_cast<int64_t>(0);
+        if (v >= side_) return side_ - 1;
+        return v;
+      };
+      table->Set(scorer_row, posx, static_cast<double>(clamp(home.first + dx)));
+      table->Set(scorer_row, posy,
+                 static_cast<double>(clamp(home.second + dy)));
+    }
+    return Status::OK();
+  }
+
+  Status EndTick(EnvironmentTable* table, const TickRandom& rnd) override {
+    (void)table;
+    (void)rnd;
+    return Status::OK();
+  }
+
+  int64_t captures(int team) const { return captures_[team]; }
+
+ private:
+  int64_t side_;
+  std::array<int64_t, 2> captures_ = {0, 0};
+};
+
+Result<EnvironmentTable> CtfWorld(const ScenarioParams& params) {
+  EnvironmentTable table(CtfSchema());
+  Xoshiro256 rng(params.seed);
+  const int64_t side = params.GridSide();
+  scenario_internal::DistinctCells cells(&rng, side);
+  for (int team = 0; team < 2; ++team) {
+    auto [fx, fy] = FlagHomes(side)[team];
+    cells.Claim(fx, fy);
+    SGL_RETURN_NOT_OK(
+        table
+            .AddRow({kFlag, static_cast<double>(team), kRaider,
+                     static_cast<double>(fx), static_cast<double>(fy), 0, 0, 0,
+                     0, 0, 0})
+            .status());
+  }
+  // Each team musters in its own third of the field; every fourth
+  // soldier is support, the rest raid.
+  const int64_t band = side / 3 > 0 ? side / 3 : 1;
+  for (int32_t i = 0; i < params.units; ++i) {
+    int team = i % 2;
+    double role = (i / 2) % 4 == 3 ? kSupport : kRaider;
+    SGL_ASSIGN_OR_RETURN(auto cell,
+                         cells.DrawInBand(team == 0 ? 0 : side - band, band));
+    auto [x, y] = cell;
+    SGL_RETURN_NOT_OK(
+        table
+            .AddRow({kSoldier, static_cast<double>(team), role,
+                     static_cast<double>(x), static_cast<double>(y), 0, 0, 0,
+                     0, 0, 0})
+            .status());
+  }
+  return table;
+}
+
+Status CtfInvariant(const ScenarioParams& params, const Simulation& sim) {
+  const EnvironmentTable& t = sim.table();
+  const int64_t side = params.GridSide();
+  if (t.NumRows() != params.units + 2) {
+    return Status::ExecutionError("ctf lost rows: ", t.NumRows());
+  }
+  SGL_RETURN_NOT_OK(scenario_internal::CheckOnGrid(t, side));
+  SGL_RETURN_NOT_OK(
+      scenario_internal::CheckCodeAttr(t, "kind", {kSoldier, kFlag}));
+  SGL_RETURN_NOT_OK(scenario_internal::CheckCodeAttr(t, "team", {0, 1}));
+  SGL_RETURN_NOT_OK(
+      scenario_internal::CheckCodeAttr(t, "role", {kRaider, kSupport}));
+  const Schema& s = t.schema();
+  const AttrId kind = s.Find("kind");
+  const AttrId team = s.Find("team");
+  const AttrId posx = s.Find("posx");
+  const AttrId posy = s.Find("posy");
+  const AttrId frozen = s.Find("frozen");
+  const auto homes = FlagHomes(side);
+  int32_t flags = 0;
+  std::array<int32_t, 2> team_sizes = {0, 0};
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    if (t.Get(r, kind) == kFlag) {
+      ++flags;
+      auto home = homes[t.Get(r, team) == 0.0 ? 0 : 1];
+      if (t.Get(r, posx) != static_cast<double>(home.first) ||
+          t.Get(r, posy) != static_cast<double>(home.second)) {
+        return Status::ExecutionError("flag of team ", t.Get(r, team),
+                                      " left its home cell");
+      }
+      continue;
+    }
+    ++team_sizes[t.Get(r, team) == 0.0 ? 0 : 1];
+    double f = t.Get(r, frozen);
+    if (f < 0 || f > static_cast<double>(kFreezeTicks)) {
+      return Status::ExecutionError("unit ", t.KeyAt(r),
+                                    ": frozen out of range: ", f);
+    }
+  }
+  if (flags != 2) {
+    return Status::ExecutionError("expected 2 flags, found ", flags);
+  }
+  if (team_sizes[0] + team_sizes[1] != params.units ||
+      std::abs(team_sizes[0] - team_sizes[1]) > 1) {
+    return Status::ExecutionError("team sizes drifted: ", team_sizes[0], " vs ",
+                                  team_sizes[1]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RegisterCtfScenario(ScenarioRegistry* registry) {
+  ScenarioDef def;
+  def.name = "ctf";
+  def.description =
+      "capture the flag: set-priority freezes and claim arbitration, an "
+      "area-of-effect rally aura, and kD-tree flag/foe probes; scorers "
+      "teleport home and the flags never move";
+  def.world = CtfWorld;
+  def.configure = [](const ScenarioParams& params, SimulationBuilder& b) {
+    SGL_ASSIGN_OR_RETURN(Script soldier,
+                         CompileScript(kSoldierScript, CtfSchema()));
+    SGL_ASSIGN_OR_RETURN(Script scenery, CompileScript(kFlagScript, CtfSchema()));
+    const int64_t side = params.GridSide();
+    b.config().grid_width = side;
+    b.config().grid_height = side;
+    b.config().step_per_tick = 3.0;
+    b.DispatchBy("kind")
+        .AddScript("soldier", std::move(soldier), /*dispatch_value=*/kSoldier)
+        .AddScript("flag", std::move(scenery), /*dispatch_value=*/kFlag)
+        .SetMechanics(std::make_unique<CtfMechanics>(side));
+    return Status::OK();
+  };
+  def.invariant = CtfInvariant;
+  return registry->Register(std::move(def));
+}
+
+}  // namespace sgl

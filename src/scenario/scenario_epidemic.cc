@@ -1,0 +1,224 @@
+// Epidemic contagion: an SIR (susceptible / infected / recovered) model
+// where infection pressure is a radius-based count aggregate.
+//
+// Every susceptible counts the infected inside an exposure radius — the
+// classic O(n^2) neighbourhood query the paper's indexes collapse to
+// O(log n) — records that count as a stackable exposure effect on
+// itself, and flees the local infected centroid. The mechanics phase
+// turns exposure into infection with a deterministic per-unit dice roll
+// (TickRandom keyed on the unit), infected units sicken for a fixed
+// number of ticks, then recover immune. All arithmetic is integral, so
+// naive and indexed evaluators agree bit for bit.
+#include <memory>
+
+#include "scenario/scenario.h"
+#include "scenario/scenario_world.h"
+#include "sgl/analyzer.h"
+
+namespace sgl {
+
+namespace {
+
+constexpr double kSusceptible = 0.0;
+constexpr double kInfected = 1.0;
+constexpr double kRecovered = 2.0;
+constexpr int64_t kSickTicks = 16;
+
+const char* kEpidemicScript = R"SGL(
+  const S = 0;
+  const I = 1;
+  const RADIUS = 10;
+  const SIGHT = 12;
+
+  # Infection pressure: infected units inside the exposure box.
+  aggregate InfectedNear(u, r) {
+    select count(*) from E e
+    where e.state = I
+      and e.posx >= u.posx - r and e.posx <= u.posx + r
+      and e.posy >= u.posy - r and e.posy <= u.posy + r;
+  }
+
+  # Where the local outbreak is, for the flight response.
+  aggregate OutbreakCentroid(u) {
+    select avg(e.posx) as x, avg(e.posy) as y, count(*) as n from E e
+    where e.state = I
+      and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+      and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+  }
+
+  # The whole population's centre of mass (global divisible aggregate).
+  aggregate CrowdCentroid(u) {
+    select avg(e.posx) as x, avg(e.posy) as y from E e;
+  }
+
+  action Expose(u, n) {
+    update e where e.key = u.key set exposure += n;
+  }
+  action Move(u, dx, dy) {
+    update e where e.key = u.key set movex += dx, movey += dy;
+  }
+
+  function wander(u, salt) {
+    perform Move(u, random(salt) mod 3 - 1, random(salt + 1) mod 3 - 1);
+  }
+
+  function main(u) {
+    if u.state = S then {
+      let pressure = InfectedNear(u, RADIUS);
+      if pressure > 0 then {
+        # Too late to stay ahead of the wave: exposure accrues while
+        # fleeing the local outbreak centroid.
+        perform Expose(u, pressure);
+        let outbreak = OutbreakCentroid(u);
+        if outbreak.n > 0 then {
+          let away = (u.posx, u.posy) - (outbreak.x, outbreak.y);
+          perform Move(u, away.x, away.y);
+        }
+      }
+      else perform wander(u, 10);
+    }
+    else if u.state = I then {
+      # The infected press toward the crowd, which keeps the epidemic
+      # wavefront chasing the fleeing susceptibles.
+      let c = CrowdCentroid(u);
+      perform Move(u, c.x - u.posx, c.y - u.posy);
+    }
+    else {
+      # Recovered and immune: drift back toward the crowd.
+      let c = CrowdCentroid(u);
+      perform Move(u, c.x - u.posx, c.y - u.posy);
+    }
+  }
+)SGL";
+
+Schema EpidemicSchema() {
+  Schema s;
+  (void)s.AddAttribute("state", CombineType::kConst);
+  (void)s.AddAttribute("posx", CombineType::kConst);
+  (void)s.AddAttribute("posy", CombineType::kConst);
+  (void)s.AddAttribute("sick", CombineType::kConst);
+  (void)s.AddAttribute("exposure", CombineType::kSum);
+  (void)s.AddAttribute("movex", CombineType::kSum);
+  (void)s.AddAttribute("movey", CombineType::kSum);
+  return s;
+}
+
+/// exposure -> infection with a per-unit deterministic dice roll; sick
+/// units count down to immunity.
+class EpidemicMechanics : public GameMechanics {
+ public:
+  Status ApplyEffects(EnvironmentTable* table, const EffectBuffer& buffer,
+                      const TickRandom& rnd) override {
+    (void)buffer;
+    const Schema& s = table->schema();
+    const AttrId state = s.Find("state");
+    const AttrId sick = s.Find("sick");
+    const AttrId exposure = s.Find("exposure");
+    for (RowId r = 0; r < table->NumRows(); ++r) {
+      double st = table->Get(r, state);
+      if (st == kSusceptible) {
+        double pressure = table->Get(r, exposure);
+        if (pressure <= 0) continue;
+        // Chance of infection grows with the number of infected
+        // neighbours: min(3 * pressure, 9) in 10.
+        int64_t threshold = static_cast<int64_t>(pressure) * 3;
+        if (threshold > 9) threshold = 9;
+        if (rnd.DrawBounded(table->KeyAt(r), 9001, 10) < threshold) {
+          table->Set(r, state, kInfected);
+          table->Set(r, sick, static_cast<double>(kSickTicks));
+        }
+      } else if (st == kInfected) {
+        double remaining = table->Get(r, sick) - 1;
+        if (remaining <= 0) {
+          table->Set(r, state, kRecovered);
+          table->Set(r, sick, 0);
+        } else {
+          table->Set(r, sick, remaining);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status EndTick(EnvironmentTable* table, const TickRandom& rnd) override {
+    (void)table;
+    (void)rnd;
+    return Status::OK();
+  }
+};
+
+Result<EnvironmentTable> EpidemicWorld(const ScenarioParams& params) {
+  EnvironmentTable table(EpidemicSchema());
+  Xoshiro256 rng(params.seed);
+  const int64_t side = params.GridSide();
+  scenario_internal::DistinctCells cells(&rng, side);
+  // Patient zeros: 5% of the population (at least one), scattered like
+  // everyone else, staggered along their sickness countdown.
+  const int32_t initial_infected = params.units / 20 > 0 ? params.units / 20 : 1;
+  for (int32_t i = 0; i < params.units; ++i) {
+    SGL_ASSIGN_OR_RETURN(auto cell, cells.Draw());
+    auto [x, y] = cell;
+    bool infected = i < initial_infected;
+    double sick = infected ? 1 + (i % kSickTicks) : 0;
+    SGL_RETURN_NOT_OK(
+        table
+            .AddRow({infected ? kInfected : kSusceptible,
+                     static_cast<double>(x), static_cast<double>(y), sick, 0,
+                     0, 0})
+            .status());
+  }
+  return table;
+}
+
+Status EpidemicInvariant(const ScenarioParams& params, const Simulation& sim) {
+  const EnvironmentTable& t = sim.table();
+  if (t.NumRows() != params.units) {
+    return Status::ExecutionError("epidemic population changed: ", t.NumRows(),
+                                  " of ", params.units);
+  }
+  SGL_RETURN_NOT_OK(scenario_internal::CheckOnGrid(t, params.GridSide()));
+  SGL_RETURN_NOT_OK(scenario_internal::CheckCodeAttr(
+      t, "state", {kSusceptible, kInfected, kRecovered}));
+  const Schema& s = t.schema();
+  const AttrId state = s.Find("state");
+  const AttrId sick = s.Find("sick");
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    double st = t.Get(r, state), countdown = t.Get(r, sick);
+    bool consistent = st == kInfected
+                          ? countdown >= 1 && countdown <= kSickTicks
+                          : countdown == 0;
+    if (!consistent) {
+      return Status::ExecutionError("unit ", t.KeyAt(r), ": state ", st,
+                                    " inconsistent with sick countdown ",
+                                    countdown);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RegisterEpidemicScenario(ScenarioRegistry* registry) {
+  ScenarioDef def;
+  def.name = "epidemic";
+  def.description =
+      "SIR contagion: susceptibles count infected neighbours in a radius "
+      "(stackable exposure effect), flee the outbreak centroid, sicken and "
+      "recover immune";
+  def.world = EpidemicWorld;
+  def.configure = [](const ScenarioParams& params, SimulationBuilder& b) {
+    SGL_ASSIGN_OR_RETURN(Script script,
+                         CompileScript(kEpidemicScript, EpidemicSchema()));
+    const int64_t side = params.GridSide();
+    b.config().grid_width = side;
+    b.config().grid_height = side;
+    b.config().step_per_tick = 2.0;
+    b.AddScript("epidemic", std::move(script))
+        .SetMechanics(std::make_unique<EpidemicMechanics>());
+    return Status::OK();
+  };
+  def.invariant = EpidemicInvariant;
+  return registry->Register(std::move(def));
+}
+
+}  // namespace sgl

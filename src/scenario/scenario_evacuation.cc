@@ -1,0 +1,233 @@
+// Crowd evacuation through choke points: everyone heads for the nearest
+// exit, and the exits are narrow enough that congestion becomes the
+// dominant dynamic.
+//
+// Exits are inert landmark rows in E (a second script class dispatched
+// by `kind`), so "where is my nearest exit" is itself a kD-tree nearest
+// probe, and "how jammed is the door" is a range count over the unevacuated
+// crowd. Units that reach an exit raise a max-combined `atexit` effect on
+// themselves; the mechanics phase retires them to a holding cell off the
+// floor. The crowd only drains — the invariant checks retirement is
+// one-way and everyone else stays on the floor.
+#include <memory>
+
+#include "scenario/scenario.h"
+#include "scenario/scenario_world.h"
+#include "sgl/analyzer.h"
+
+namespace sgl {
+
+namespace {
+
+constexpr double kPerson = 0.0;
+constexpr double kExit = 1.0;
+
+const char* kPersonScript = R"SGL(
+  const PERSON = 0;
+  const EXIT = 1;
+  const REACH = 2;
+  const JAM_RADIUS = 4;
+  const JAM = 6;
+
+  # The nearest exit anywhere on the floor (global kD-tree probe over the
+  # handful of EXIT landmark rows).
+  aggregate NearestExit(u) {
+    select nearest(*) from E e
+    where e.kind = EXIT;
+  }
+
+  # How many people are packed around me (the choke-point pressure).
+  aggregate CrowdNear(u, r) {
+    select count(*) from E e
+    where e.kind = PERSON and e.escaped = 0 and e.key <> u.key
+      and e.posx >= u.posx - r and e.posx <= u.posx + r
+      and e.posy >= u.posy - r and e.posy <= u.posy + r;
+  }
+
+  action Move(u, dx, dy) {
+    update e where e.key = u.key set movex += dx, movey += dy;
+  }
+  action ReachExit(u) {
+    update e where e.key = u.key set atexit max= 1;
+  }
+
+  function main(u) {
+    if u.escaped = 0 then {
+      let door = NearestExit(u);
+      if door.found = 1 then {
+        if door.dist2 <= REACH * REACH then
+          perform ReachExit(u);
+        else if CrowdNear(u, JAM_RADIUS) > JAM then
+          # Jammed: jostle sideways instead of pushing into the pile.
+          perform Move(u, random(1) mod 5 - 2, random(2) mod 5 - 2);
+        else
+          perform Move(u, door.posx - u.posx, door.posy - u.posy);
+      }
+    }
+  }
+)SGL";
+
+// Exits are scenery: they never act.
+const char* kExitScript = R"SGL(
+  function main(u) { }
+)SGL";
+
+Schema EvacuationSchema() {
+  Schema s;
+  (void)s.AddAttribute("kind", CombineType::kConst);
+  (void)s.AddAttribute("posx", CombineType::kConst);
+  (void)s.AddAttribute("posy", CombineType::kConst);
+  (void)s.AddAttribute("escaped", CombineType::kConst);
+  (void)s.AddAttribute("atexit", CombineType::kMax);
+  (void)s.AddAttribute("movex", CombineType::kSum);
+  (void)s.AddAttribute("movey", CombineType::kSum);
+  return s;
+}
+
+/// Units that touched an exit this tick retire to the holding cell at
+/// (0, 0) and never act again.
+class EvacuationMechanics : public GameMechanics {
+ public:
+  Status ApplyEffects(EnvironmentTable* table, const EffectBuffer& buffer,
+                      const TickRandom& rnd) override {
+    (void)buffer;
+    (void)rnd;
+    const Schema& s = table->schema();
+    const AttrId escaped = s.Find("escaped");
+    const AttrId atexit_attr = s.Find("atexit");
+    const AttrId posx = s.Find("posx");
+    const AttrId posy = s.Find("posy");
+    for (RowId r = 0; r < table->NumRows(); ++r) {
+      if (table->Get(r, escaped) != 0 || table->Get(r, atexit_attr) <= 0) {
+        continue;
+      }
+      ++evacuated_;
+      table->Set(r, escaped, 1);
+      table->Set(r, posx, 0);
+      table->Set(r, posy, 0);
+    }
+    return Status::OK();
+  }
+
+  Status EndTick(EnvironmentTable* table, const TickRandom& rnd) override {
+    (void)table;
+    (void)rnd;
+    return Status::OK();
+  }
+
+  int64_t evacuated() const { return evacuated_; }
+
+ private:
+  int64_t evacuated_ = 0;
+};
+
+/// Exit placement: a few doors spread along the east wall — close enough
+/// to concentrate the crowd, far enough apart to form separate chokes.
+std::vector<std::pair<int64_t, int64_t>> ExitCells(int64_t side) {
+  std::vector<std::pair<int64_t, int64_t>> exits;
+  const int64_t doors = side >= 64 ? 3 : 2;
+  for (int64_t d = 0; d < doors; ++d) {
+    exits.push_back({side - 1, (d + 1) * side / (doors + 1)});
+  }
+  return exits;
+}
+
+Result<EnvironmentTable> EvacuationWorld(const ScenarioParams& params) {
+  EnvironmentTable table(EvacuationSchema());
+  Xoshiro256 rng(params.seed);
+  const int64_t side = params.GridSide();
+  scenario_internal::DistinctCells cells(&rng, side);
+  for (auto [x, y] : ExitCells(side)) {
+    cells.Claim(x, y);
+    SGL_RETURN_NOT_OK(table
+                          .AddRow({kExit, static_cast<double>(x),
+                                   static_cast<double>(y), 0, 0, 0, 0})
+                          .status());
+  }
+  // The crowd starts in the western two thirds of the floor.
+  const int64_t band = side * 2 / 3 > 0 ? side * 2 / 3 : 1;
+  for (int32_t i = 0; i < params.units; ++i) {
+    SGL_ASSIGN_OR_RETURN(auto cell, cells.DrawInBand(0, band));
+    auto [x, y] = cell;
+    SGL_RETURN_NOT_OK(table
+                          .AddRow({kPerson, static_cast<double>(x),
+                                   static_cast<double>(y), 0, 0, 0, 0})
+                          .status());
+  }
+  return table;
+}
+
+Status EvacuationInvariant(const ScenarioParams& params,
+                           const Simulation& sim) {
+  const EnvironmentTable& t = sim.table();
+  const int64_t side = params.GridSide();
+  const auto exits = ExitCells(side);
+  if (t.NumRows() != params.units + static_cast<int32_t>(exits.size())) {
+    return Status::ExecutionError("evacuation lost rows: ", t.NumRows());
+  }
+  SGL_RETURN_NOT_OK(scenario_internal::CheckOnGrid(t, side));
+  SGL_RETURN_NOT_OK(
+      scenario_internal::CheckCodeAttr(t, "kind", {kPerson, kExit}));
+  SGL_RETURN_NOT_OK(scenario_internal::CheckCodeAttr(t, "escaped", {0, 1}));
+  const Schema& s = t.schema();
+  const AttrId kind = s.Find("kind");
+  const AttrId escaped = s.Find("escaped");
+  const AttrId posx = s.Find("posx");
+  const AttrId posy = s.Find("posy");
+  size_t exits_seen = 0;
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    if (t.Get(r, kind) == kExit) {
+      // Exits are immovable scenery.
+      if (exits_seen >= exits.size()) {
+        return Status::ExecutionError("more exit rows than doors placed");
+      }
+      auto expect = exits[exits_seen++];
+      if (t.Get(r, posx) != static_cast<double>(expect.first) ||
+          t.Get(r, posy) != static_cast<double>(expect.second)) {
+        return Status::ExecutionError("exit ", t.KeyAt(r), " moved");
+      }
+      continue;
+    }
+    if (t.Get(r, escaped) != 0 &&
+        (t.Get(r, posx) != 0 || t.Get(r, posy) != 0)) {
+      return Status::ExecutionError("unit ", t.KeyAt(r),
+                                    " escaped but is not in the holding cell");
+    }
+  }
+  if (exits_seen != exits.size()) {
+    return Status::ExecutionError("expected ", exits.size(), " exits, found ",
+                                  exits_seen);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RegisterEvacuationScenario(ScenarioRegistry* registry) {
+  ScenarioDef def;
+  def.name = "evacuation";
+  def.description =
+      "crowd evacuation through choke-point doors: nearest-exit kD probes, "
+      "congestion counts around each unit, one-way retirement of everyone "
+      "who reaches a door";
+  def.world = EvacuationWorld;
+  def.configure = [](const ScenarioParams& params, SimulationBuilder& b) {
+    SGL_ASSIGN_OR_RETURN(Script person,
+                         CompileScript(kPersonScript, EvacuationSchema()));
+    SGL_ASSIGN_OR_RETURN(Script scenery,
+                         CompileScript(kExitScript, EvacuationSchema()));
+    const int64_t side = params.GridSide();
+    b.config().grid_width = side;
+    b.config().grid_height = side;
+    b.config().step_per_tick = 2.0;
+    b.DispatchBy("kind")
+        .AddScript("person", std::move(person), /*dispatch_value=*/kPerson)
+        .AddScript("exit", std::move(scenery), /*dispatch_value=*/kExit)
+        .SetMechanics(std::make_unique<EvacuationMechanics>());
+    return Status::OK();
+  };
+  def.invariant = EvacuationInvariant;
+  return registry->Register(std::move(def));
+}
+
+}  // namespace sgl

@@ -1,0 +1,175 @@
+// A market economy: traders price goods off *global* sum aggregates and
+// settle trades by direct-key effects.
+//
+// Unlike the spatial workloads, every aggregate here ranges over all of
+// E: total supply (sum of goods), total cash (the demand proxy), and an
+// argmin probe for the poorest solvent buyer. That exercises the
+// evaluators' non-spatial paths — global divisible sums shared across
+// every probing unit, and an extremum probe with a one-dimensional
+// range constraint (e.cash >= price) instead of a 2-D box. There is no
+// grid at all: the movement phase is disabled through the scenario's
+// builder hook.
+//
+// Trades conserve both goods and cash by construction — the seller
+// debits itself and credits the buyer in one action — and the invariant
+// checker recomputes the initial totals from the (deterministic) world
+// generator and demands exact conservation. A buyer picked by several
+// sellers in one tick may go cash-negative (it was solvent at decision
+// time; all decisions read frozen pre-tick state); that is the
+// simultaneous-action semantics of Section 2.2, not an error.
+#include <memory>
+
+#include "scenario/scenario.h"
+#include "scenario/scenario_world.h"
+#include "sgl/analyzer.h"
+
+namespace sgl {
+
+namespace {
+
+const char* kMarketScript = R"SGL(
+  # One scan's worth of global market state, shared by every trader.
+  aggregate Market(u) {
+    select sum(e.goods) as supply, sum(e.cash) as demand, count(*) as n
+    from E e;
+  }
+
+  # The poorest trader still able to pay `p` (extremum probe with a
+  # 1-D range constraint on cash).
+  aggregate PoorestBuyer(u, p) {
+    select argmin(e.goods) from E e
+    where e.cash >= p;
+  }
+
+  # Settlement is symmetric, so goods and cash are conserved exactly.
+  action SellTo(u, buyer, p) {
+    update e where e.key = u.key set sold += 1, revenue += p;
+    update e where e.key = buyer set bought += 1, spent += p;
+  }
+
+  function main(u) {
+    let m = Market(u);
+    # Integer price: cash chasing each unit of goods, clamped to [1, 9].
+    let price = max(1, min(9, floor(m.demand / max(1, m.supply))));
+    # Hold more goods than the market average? Sell one to the poorest
+    # solvent buyer. (u.goods > supply/n, kept integral by cross-
+    # multiplying.)
+    if u.goods * m.n > m.supply then {
+      let b = PoorestBuyer(u, price);
+      if b.found = 1 then
+        perform SellTo(u, b.key, price);
+    }
+  }
+)SGL";
+
+Schema MarketSchema() {
+  Schema s;
+  (void)s.AddAttribute("goods", CombineType::kConst);
+  (void)s.AddAttribute("cash", CombineType::kConst);
+  (void)s.AddAttribute("sold", CombineType::kSum);
+  (void)s.AddAttribute("bought", CombineType::kSum);
+  (void)s.AddAttribute("revenue", CombineType::kSum);
+  (void)s.AddAttribute("spent", CombineType::kSum);
+  return s;
+}
+
+class MarketMechanics : public GameMechanics {
+ public:
+  Status ApplyEffects(EnvironmentTable* table, const EffectBuffer& buffer,
+                      const TickRandom& rnd) override {
+    (void)buffer;
+    (void)rnd;
+    const Schema& s = table->schema();
+    const AttrId goods = s.Find("goods");
+    const AttrId cash = s.Find("cash");
+    const AttrId sold = s.Find("sold");
+    const AttrId bought = s.Find("bought");
+    const AttrId revenue = s.Find("revenue");
+    const AttrId spent = s.Find("spent");
+    for (RowId r = 0; r < table->NumRows(); ++r) {
+      table->Set(r, goods, table->Get(r, goods) + table->Get(r, bought) -
+                               table->Get(r, sold));
+      table->Set(r, cash, table->Get(r, cash) + table->Get(r, revenue) -
+                              table->Get(r, spent));
+    }
+    return Status::OK();
+  }
+
+  Status EndTick(EnvironmentTable* table, const TickRandom& rnd) override {
+    (void)table;
+    (void)rnd;
+    return Status::OK();
+  }
+};
+
+Result<EnvironmentTable> MarketWorld(const ScenarioParams& params) {
+  EnvironmentTable table(MarketSchema());
+  Xoshiro256 rng(params.seed);
+  for (int32_t i = 0; i < params.units; ++i) {
+    double goods = static_cast<double>(1 + rng.NextBounded(10));
+    double cash = static_cast<double>(10 + rng.NextBounded(40));
+    SGL_RETURN_NOT_OK(table.AddRow({goods, cash, 0, 0, 0, 0}).status());
+  }
+  return table;
+}
+
+Status MarketInvariant(const ScenarioParams& params, const Simulation& sim) {
+  const EnvironmentTable& t = sim.table();
+  if (t.NumRows() != params.units) {
+    return Status::ExecutionError("market population changed: ", t.NumRows(),
+                                  " of ", params.units);
+  }
+  // Recompute the initial endowments from the deterministic generator.
+  SGL_ASSIGN_OR_RETURN(EnvironmentTable initial, MarketWorld(params));
+  const Schema& s = t.schema();
+  const AttrId goods = s.Find("goods");
+  const AttrId cash = s.Find("cash");
+  double goods_now = 0, cash_now = 0, goods_then = 0, cash_then = 0;
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    double g = t.Get(r, goods);
+    if (g < 0) {
+      return Status::ExecutionError("trader ", t.KeyAt(r),
+                                    " oversold: goods = ", g);
+    }
+    goods_now += g;
+    cash_now += t.Get(r, cash);
+    goods_then += initial.Get(r, goods);
+    cash_then += initial.Get(r, cash);
+  }
+  if (goods_now != goods_then) {
+    return Status::ExecutionError("goods not conserved: ", goods_now, " vs ",
+                                  goods_then);
+  }
+  if (cash_now != cash_then) {
+    return Status::ExecutionError("cash not conserved: ", cash_now, " vs ",
+                                  cash_then);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RegisterMarketScenario(ScenarioRegistry* registry) {
+  ScenarioDef def;
+  def.name = "market";
+  def.description =
+      "traders price goods off global-sum supply/demand aggregates and "
+      "settle with the poorest solvent buyer (argmin probe); goods and cash "
+      "are conserved exactly, no spatial grid";
+  def.world = MarketWorld;
+  def.configure = [](const ScenarioParams& params, SimulationBuilder& b) {
+    (void)params;
+    SGL_ASSIGN_OR_RETURN(Script script,
+                         CompileScript(kMarketScript, MarketSchema()));
+    // No positions: drop the movement phase entirely.
+    b.config().move_x_attr.clear();
+    b.config().move_y_attr.clear();
+    b.AddScript("market", std::move(script))
+        .SetMechanics(std::make_unique<MarketMechanics>());
+    return Status::OK();
+  };
+  def.invariant = MarketInvariant;
+  return registry->Register(std::move(def));
+}
+
+}  // namespace sgl

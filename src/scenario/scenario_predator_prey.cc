@@ -1,0 +1,242 @@
+// Predator–prey pursuit: wolves chase the nearest sheep (a kD-tree
+// min-distance probe per wolf per tick), sheep flee the nearest wolf and
+// otherwise regroup toward the flock centroid.
+//
+// A two-script session dispatched by `species` — the paper's
+// one-script-per-unit-class design — where each species' entire
+// behaviour is aggregate queries over the other. Eaten sheep respawn at
+// a deterministic pseudo-random cell so the population (and thus the
+// benchmark workload) stays constant.
+#include <memory>
+
+#include "scenario/scenario.h"
+#include "scenario/scenario_world.h"
+#include "sgl/analyzer.h"
+
+namespace sgl {
+
+namespace {
+
+constexpr double kWolf = 0.0;
+constexpr double kSheep = 1.0;
+constexpr double kSheepHealth = 6.0;
+constexpr double kWolfHealth = 20.0;
+
+const char* kWolfScript = R"SGL(
+  const WOLF = 0;
+  const SHEEP = 1;
+  const BITE_RANGE = 2;
+  const SIGHT = 28;
+
+  # Min-distance pursuit: the nearest sheep in the sight box (kD tree).
+  aggregate NearestPrey(u) {
+    select nearest(*) from E e
+    where e.species = SHEEP
+      and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+      and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+  }
+
+  # Rival pressure: wolves already crowding the same ground.
+  aggregate PackmatesNear(u, r) {
+    select count(*) from E e
+    where e.species = WOLF and e.key <> u.key
+      and e.posx >= u.posx - r and e.posx <= u.posx + r
+      and e.posy >= u.posy - r and e.posy <= u.posy + r;
+  }
+
+  action Bite(u, target, dmg) {
+    update e where e.key = target set damage += dmg;
+  }
+  action Move(u, dx, dy) {
+    update e where e.key = u.key set movex += dx, movey += dy;
+  }
+
+  function main(u) {
+    let prey = NearestPrey(u);
+    if prey.found = 1 and prey.dist2 <= BITE_RANGE * BITE_RANGE then
+      perform Bite(u, prey.key, 2 + random(1) mod 3);
+    else if prey.found = 1 then {
+      if PackmatesNear(u, 3) >= 2 then
+        # Spread the pack instead of dogpiling one sheep.
+        perform Move(u, random(2) mod 7 - 3, random(3) mod 7 - 3);
+      else
+        perform Move(u, prey.posx - u.posx, prey.posy - u.posy);
+    }
+    else
+      perform Move(u, random(4) mod 5 - 2, random(5) mod 5 - 2);
+  }
+)SGL";
+
+const char* kSheepScript = R"SGL(
+  const WOLF = 0;
+  const SHEEP = 1;
+  const SIGHT = 16;
+
+  aggregate NearestHunter(u) {
+    select nearest(*) from E e
+    where e.species = WOLF
+      and e.posx >= u.posx - SIGHT and e.posx <= u.posx + SIGHT
+      and e.posy >= u.posy - SIGHT and e.posy <= u.posy + SIGHT;
+  }
+
+  aggregate FlockCentroid(u) {
+    select avg(e.posx) as x, avg(e.posy) as y, count(*) as n from E e
+    where e.species = SHEEP;
+  }
+
+  action Move(u, dx, dy) {
+    update e where e.key = u.key set movex += dx, movey += dy;
+  }
+
+  function main(u) {
+    let hunter = NearestHunter(u);
+    if hunter.found = 1 then {
+      let away = (u.posx, u.posy) - (hunter.posx, hunter.posy);
+      perform Move(u, away.x, away.y);
+    }
+    else {
+      let flock = FlockCentroid(u);
+      perform Move(u, flock.x - u.posx, flock.y - u.posy);
+    }
+  }
+)SGL";
+
+Schema PredatorPreySchema() {
+  Schema s;
+  (void)s.AddAttribute("species", CombineType::kConst);
+  (void)s.AddAttribute("posx", CombineType::kConst);
+  (void)s.AddAttribute("posy", CombineType::kConst);
+  (void)s.AddAttribute("health", CombineType::kConst);
+  (void)s.AddAttribute("maxhealth", CombineType::kConst);
+  (void)s.AddAttribute("damage", CombineType::kSum);
+  (void)s.AddAttribute("movex", CombineType::kSum);
+  (void)s.AddAttribute("movey", CombineType::kSum);
+  return s;
+}
+
+/// Bites land as damage; sheep that run out of health respawn with full
+/// health at a key-derived random cell (constant population).
+class PastureMechanics : public GameMechanics {
+ public:
+  explicit PastureMechanics(int64_t side) : side_(side) {}
+
+  Status ApplyEffects(EnvironmentTable* table, const EffectBuffer& buffer,
+                      const TickRandom& rnd) override {
+    (void)buffer;
+    (void)rnd;
+    const Schema& s = table->schema();
+    const AttrId health = s.Find("health");
+    const AttrId damage = s.Find("damage");
+    for (RowId r = 0; r < table->NumRows(); ++r) {
+      table->Set(r, health, table->Get(r, health) - table->Get(r, damage));
+    }
+    return Status::OK();
+  }
+
+  Status EndTick(EnvironmentTable* table, const TickRandom& rnd) override {
+    const Schema& s = table->schema();
+    const AttrId health = s.Find("health");
+    const AttrId maxhealth = s.Find("maxhealth");
+    const AttrId posx = s.Find("posx");
+    const AttrId posy = s.Find("posy");
+    for (RowId r = 0; r < table->NumRows(); ++r) {
+      if (table->Get(r, health) > 0) continue;
+      ++eaten_;
+      int64_t key = table->KeyAt(r);
+      table->Set(r, posx, static_cast<double>(rnd.DrawBounded(key, 71, side_)));
+      table->Set(r, posy, static_cast<double>(rnd.DrawBounded(key, 72, side_)));
+      table->Set(r, health, table->Get(r, maxhealth));
+    }
+    return Status::OK();
+  }
+
+  int64_t eaten() const { return eaten_; }
+
+ private:
+  int64_t side_;
+  int64_t eaten_ = 0;
+};
+
+Result<EnvironmentTable> PredatorPreyWorld(const ScenarioParams& params) {
+  EnvironmentTable table(PredatorPreySchema());
+  Xoshiro256 rng(params.seed);
+  const int64_t side = params.GridSide();
+  scenario_internal::DistinctCells cells(&rng, side);
+  // One wolf per five sheep (at least one wolf).
+  const int32_t wolves = params.units / 6 > 0 ? params.units / 6 : 1;
+  for (int32_t i = 0; i < params.units; ++i) {
+    bool wolf = i < wolves;
+    SGL_ASSIGN_OR_RETURN(auto cell, cells.Draw());
+    auto [x, y] = cell;
+    double hp = wolf ? kWolfHealth : kSheepHealth;
+    SGL_RETURN_NOT_OK(table
+                          .AddRow({wolf ? kWolf : kSheep,
+                                   static_cast<double>(x),
+                                   static_cast<double>(y), hp, hp, 0, 0, 0})
+                          .status());
+  }
+  return table;
+}
+
+Status PredatorPreyInvariant(const ScenarioParams& params,
+                             const Simulation& sim) {
+  const EnvironmentTable& t = sim.table();
+  if (t.NumRows() != params.units) {
+    return Status::ExecutionError("pasture population changed: ", t.NumRows(),
+                                  " of ", params.units);
+  }
+  SGL_RETURN_NOT_OK(scenario_internal::CheckOnGrid(t, params.GridSide()));
+  SGL_RETURN_NOT_OK(
+      scenario_internal::CheckCodeAttr(t, "species", {kWolf, kSheep}));
+  const Schema& s = t.schema();
+  const AttrId species = s.Find("species");
+  const AttrId health = s.Find("health");
+  const AttrId maxhealth = s.Find("maxhealth");
+  const int32_t expected_wolves =
+      params.units / 6 > 0 ? params.units / 6 : 1;
+  int32_t wolves = 0;
+  for (RowId r = 0; r < t.NumRows(); ++r) {
+    if (t.Get(r, species) == kWolf) ++wolves;
+    double h = t.Get(r, health);
+    if (h <= 0 || h > t.Get(r, maxhealth)) {
+      return Status::ExecutionError("unit ", t.KeyAt(r),
+                                    ": health out of range: ", h);
+    }
+  }
+  if (wolves != expected_wolves) {
+    return Status::ExecutionError("wolf population changed: ", wolves, " of ",
+                                  expected_wolves);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RegisterPredatorPreyScenario(ScenarioRegistry* registry) {
+  ScenarioDef def;
+  def.name = "predator_prey";
+  def.description =
+      "wolves pursue the nearest sheep (kD-tree min-distance probes), sheep "
+      "flee the nearest wolf; two scripts dispatched by species, eaten sheep "
+      "respawn deterministically";
+  def.world = PredatorPreyWorld;
+  def.configure = [](const ScenarioParams& params, SimulationBuilder& b) {
+    SGL_ASSIGN_OR_RETURN(Script wolves,
+                         CompileScript(kWolfScript, PredatorPreySchema()));
+    SGL_ASSIGN_OR_RETURN(Script sheep,
+                         CompileScript(kSheepScript, PredatorPreySchema()));
+    const int64_t side = params.GridSide();
+    b.config().grid_width = side;
+    b.config().grid_height = side;
+    b.config().step_per_tick = 3.0;
+    b.DispatchBy("species")
+        .AddScript("wolves", std::move(wolves), /*dispatch_value=*/kWolf)
+        .AddScript("sheep", std::move(sheep), /*dispatch_value=*/kSheep)
+        .SetMechanics(std::make_unique<PastureMechanics>(side));
+    return Status::OK();
+  };
+  def.invariant = PredatorPreyInvariant;
+  return registry->Register(std::move(def));
+}
+
+}  // namespace sgl

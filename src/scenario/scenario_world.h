@@ -1,0 +1,91 @@
+// Internal helpers shared by the builtin scenario world generators and
+// invariant checkers (not part of the public scenario API).
+#ifndef SGL_SCENARIO_SCENARIO_WORLD_H_
+#define SGL_SCENARIO_SCENARIO_WORLD_H_
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "env/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sgl {
+namespace scenario_internal {
+
+/// Draws distinct random cells on a square grid (every builtin world
+/// places units on unique cells so collision handling starts clean).
+class DistinctCells {
+ public:
+  DistinctCells(Xoshiro256* rng, int64_t side) : rng_(rng), side_(side) {}
+
+  /// Anywhere on the grid.
+  Result<std::pair<int64_t, int64_t>> Draw() { return DrawInBand(0, side_); }
+
+  /// x confined to [x0, x0 + width); y anywhere. Errors out instead of
+  /// spinning forever when the band is (effectively) full — with any
+  /// free cell left, the attempt bound fails with probability
+  /// (1 - 1/cells)^(20*cells) ~ e^-20, so workloads at sane densities
+  /// never see it.
+  Result<std::pair<int64_t, int64_t>> DrawInBand(int64_t x0, int64_t width) {
+    const int64_t cells = width * side_;
+    for (int64_t attempt = 0; attempt < 1000 + 20 * cells; ++attempt) {
+      int64_t x = x0 + rng_->NextBounded(width);
+      int64_t y = rng_->NextBounded(side_);
+      if (used_.insert({x, y}).second) return std::make_pair(x, y);
+    }
+    return Status::Invalid("world generator ran out of free cells in the ",
+                           width, "x", side_, " band at x=", x0,
+                           " (density too high for the unit count)");
+  }
+
+  /// Reserve a specific cell (fixed landmarks: exits, flags, bases).
+  bool Claim(int64_t x, int64_t y) { return used_.insert({x, y}).second; }
+
+ private:
+  Xoshiro256* rng_;
+  int64_t side_;
+  std::set<std::pair<int64_t, int64_t>> used_;
+};
+
+/// Every row's (posx, posy) lies on the integer grid [0, side)^2.
+inline Status CheckOnGrid(const EnvironmentTable& table, int64_t side) {
+  const AttrId posx = table.schema().Find("posx");
+  const AttrId posy = table.schema().Find("posy");
+  if (posx < 0 || posy < 0) return Status::OK();
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    double x = table.Get(r, posx), y = table.Get(r, posy);
+    if (x < 0 || x >= static_cast<double>(side) || y < 0 ||
+        y >= static_cast<double>(side)) {
+      return Status::ExecutionError("unit ", table.KeyAt(r),
+                                    " left the grid: (", x, ", ", y,
+                                    ") not in [0, ", side, ")^2");
+    }
+  }
+  return Status::OK();
+}
+
+/// `attr` of every row is one of the integer codes in `allowed`.
+inline Status CheckCodeAttr(const EnvironmentTable& table, const char* attr,
+                            std::initializer_list<double> allowed) {
+  const AttrId id = table.schema().Find(attr);
+  if (id < 0) {
+    return Status::Invalid("invariant: no attribute '", attr, "'");
+  }
+  for (RowId r = 0; r < table.NumRows(); ++r) {
+    double v = table.Get(r, id);
+    bool ok = false;
+    for (double a : allowed) ok = ok || v == a;
+    if (!ok) {
+      return Status::ExecutionError("unit ", table.KeyAt(r), ": ", attr, " = ",
+                                    v, " is not a legal code");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace scenario_internal
+}  // namespace sgl
+
+#endif  // SGL_SCENARIO_SCENARIO_WORLD_H_

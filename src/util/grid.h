@@ -1,0 +1,23 @@
+// Shared workload-generation geometry helpers.
+#ifndef SGL_UTIL_GRID_H_
+#define SGL_UTIL_GRID_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace sgl {
+
+/// Side length of the square grid that holds `units` at occupancy
+/// `density` (fraction of cells occupied) — the Section 6 experimental
+/// setup's rule, shared by every workload generator so world placement
+/// and the movement phase's clamping grid always agree.
+inline int64_t GridSideFor(int64_t units, double density) {
+  double cells = static_cast<double>(units) / density;
+  return std::max<int64_t>(8,
+                           static_cast<int64_t>(std::ceil(std::sqrt(cells))));
+}
+
+}  // namespace sgl
+
+#endif  // SGL_UTIL_GRID_H_

@@ -1,0 +1,157 @@
+// Scenario-library tests: every registered workload must run bit-
+// exactly under {naive, indexed} evaluators and {1, 4} worker threads,
+// satisfy its own invariant checker throughout, and the registry must
+// fail lookups of unknown scenarios with a useful message.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/simulation.h"
+#include "scenario/scenario.h"
+
+namespace sgl {
+namespace {
+
+constexpr int64_t kTicks = 50;
+
+ScenarioParams SmallParams() {
+  ScenarioParams params;
+  params.units = 150;
+  params.density = 0.02;
+  params.seed = 11;
+  return params;
+}
+
+std::unique_ptr<Simulation> BuildOrDie(const std::string& name,
+                                       const ScenarioParams& params,
+                                       EvaluatorMode mode, int32_t threads) {
+  SimulationConfig config;
+  config.mode = mode;
+  config.threads = threads;
+  auto sim = ScenarioRegistry::Global().BuildSimulation(name, params, config);
+  EXPECT_TRUE(sim.ok()) << name << ": " << sim.status().ToString();
+  return sim.ok() ? std::move(*sim) : nullptr;
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(ScenarioRegistryTest, ListsTheBuiltinLibrary) {
+  std::vector<std::string> names = ScenarioRegistry::Global().List();
+  ASSERT_GE(names.size(), 7u);
+  for (const char* expected :
+       {"battle", "formation", "epidemic", "predator_prey", "evacuation",
+        "market", "ctf"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing scenario " << expected;
+  }
+}
+
+TEST(ScenarioRegistryTest, UnknownScenarioIsAClearError) {
+  auto result = ScenarioRegistry::Global().Get("starcraft");
+  ASSERT_FALSE(result.ok());
+  const std::string message = result.status().ToString();
+  EXPECT_NE(message.find("unknown scenario 'starcraft'"), std::string::npos)
+      << message;
+  // The error names the scenarios that do exist.
+  EXPECT_NE(message.find("battle"), std::string::npos) << message;
+  EXPECT_NE(message.find("epidemic"), std::string::npos) << message;
+}
+
+TEST(ScenarioRegistryTest, BuildSimulationOfUnknownScenarioFails) {
+  auto sim = ScenarioRegistry::Global().BuildSimulation(
+      "starcraft", SmallParams(), SimulationConfig{});
+  ASSERT_FALSE(sim.ok());
+  EXPECT_NE(sim.status().ToString().find("unknown scenario"),
+            std::string::npos);
+}
+
+TEST(ScenarioRegistryTest, RegistrationValidatesTheDefinition) {
+  ScenarioRegistry registry;
+  ScenarioDef incomplete;
+  incomplete.name = "half-baked";
+  EXPECT_FALSE(registry.Register(std::move(incomplete)).ok());
+
+  ASSERT_TRUE(RegisterBuiltinScenarios(&registry).ok());
+  EXPECT_FALSE(RegisterBuiltinScenarios(&registry).ok())
+      << "duplicate registration must fail";
+}
+
+TEST(ScenarioRegistryTest, SimulationCarriesTheScenarioName) {
+  auto sim = BuildOrDie("market", SmallParams(), EvaluatorMode::kIndexed, 1);
+  ASSERT_NE(sim, nullptr);
+  EXPECT_EQ(sim->name(), "market");
+  EXPECT_NE(sim->Explain().find("simulation: market"), std::string::npos);
+}
+
+// ------------------------------------------------- per-scenario contracts
+
+class ScenarioContractTest : public ::testing::TestWithParam<std::string> {};
+
+// The bit-exactness contract: naive 1-thread, indexed 1-thread, and
+// indexed 4-thread simulations of the same scenario agree bit for bit
+// after every one of kTicks ticks' worth of evolution, and the
+// scenario's invariants hold along the way in every mode.
+TEST_P(ScenarioContractTest, NaiveIndexedAndThreadedRunsAreBitExact) {
+  const std::string name = GetParam();
+  const ScenarioParams params = SmallParams();
+  auto naive = BuildOrDie(name, params, EvaluatorMode::kNaive, 1);
+  auto indexed = BuildOrDie(name, params, EvaluatorMode::kIndexed, 1);
+  auto threaded = BuildOrDie(name, params, EvaluatorMode::kIndexed, 4);
+  ASSERT_NE(naive, nullptr);
+  ASSERT_NE(indexed, nullptr);
+  ASSERT_NE(threaded, nullptr);
+
+  auto& registry = ScenarioRegistry::Global();
+  for (int64_t tick = 0; tick < kTicks; ++tick) {
+    ASSERT_TRUE(naive->Tick().ok()) << name << " naive tick " << tick;
+    ASSERT_TRUE(indexed->Tick().ok()) << name << " indexed tick " << tick;
+    ASSERT_TRUE(threaded->Tick().ok()) << name << " threaded tick " << tick;
+    ASSERT_TRUE(naive->table().Equals(indexed->table()))
+        << name << " naive vs indexed diverged at tick " << tick << ":\n"
+        << naive->table().DiffString(indexed->table());
+    ASSERT_TRUE(indexed->table().Equals(threaded->table()))
+        << name << " 1 vs 4 threads diverged at tick " << tick << ":\n"
+        << indexed->table().DiffString(threaded->table());
+    if (tick % 10 == 9) {
+      Status st = registry.CheckInvariants(name, params, *indexed);
+      ASSERT_TRUE(st.ok()) << name << " invariant broken at tick " << tick
+                           << ": " << st.ToString();
+    }
+  }
+  for (Simulation* sim : {naive.get(), indexed.get(), threaded.get()}) {
+    Status st = registry.CheckInvariants(name, params, *sim);
+    EXPECT_TRUE(st.ok()) << name << ": " << st.ToString();
+  }
+}
+
+// A second seed and scale: the contract is not an artifact of one world.
+TEST_P(ScenarioContractTest, HoldsAtADifferentSeedAndScale) {
+  const std::string name = GetParam();
+  ScenarioParams params;
+  params.units = 80;
+  params.density = 0.03;
+  params.seed = 977;
+  auto naive = BuildOrDie(name, params, EvaluatorMode::kNaive, 1);
+  auto threaded = BuildOrDie(name, params, EvaluatorMode::kIndexed, 4);
+  ASSERT_NE(naive, nullptr);
+  ASSERT_NE(threaded, nullptr);
+  ASSERT_TRUE(naive->Run(kTicks).ok());
+  ASSERT_TRUE(threaded->Run(kTicks).ok());
+  EXPECT_TRUE(naive->table().Equals(threaded->table()))
+      << naive->table().DiffString(threaded->table());
+  EXPECT_TRUE(
+      ScenarioRegistry::Global().CheckInvariants(name, params, *naive).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ScenarioContractTest,
+    ::testing::ValuesIn(ScenarioRegistry::Global().List()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace
+}  // namespace sgl

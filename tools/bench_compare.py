@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Compare a bench_suite BENCH_scenarios.json run against a committed baseline.
+
+Both files are JSON lines: a meta object ({"bench": "scenarios", ...})
+followed by one object per benchmark cell, keyed by
+(scenario, mode, units, threads) with an ns_per_tick measurement.
+
+Absolute ns/tick is machine-dependent, so raw ratios against a baseline
+recorded on different hardware would trip on machine speed, not code.
+The comparator therefore normalizes every cell's current/baseline ratio
+by the *median* ratio across all cells — uniform machine drift cancels
+out, and only cells that regressed relative to the run as a whole fail.
+Two guards keep the normalization honest:
+
+  * drift below 1 is never used to penalize cells — a PR that speeds up
+    most of the suite must not fail the cells it left untouched;
+  * drift above --max-drift (default 3x) fails the run outright: that
+    much uniform slowdown is either a genuinely slower runner class
+    (refresh the baseline) or a global regression that normalization
+    would otherwise hide.
+
+A >threshold (default 20%) normalized slowdown in any cell, or a cell
+that disappeared from the current run, fails the check.
+
+Usage:
+  tools/bench_compare.py CURRENT BASELINE [--threshold 0.20]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_cells(path):
+    """Returns (meta, {key: cell}) from a bench_suite JSON-lines file."""
+    meta = {}
+    cells = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("bench") == "scenarios":
+                meta = obj
+                continue
+            key = (
+                obj.get("scenario"),
+                obj.get("mode"),
+                obj.get("units"),
+                obj.get("threads"),
+            )
+            if None in key:
+                continue
+            cells[key] = obj
+    return meta, cells
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold ns/tick regression vs a baseline"
+    )
+    parser.add_argument("current", help="freshly produced BENCH_scenarios.json")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed per-cell slowdown after drift normalization "
+        "(0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--max-drift",
+        type=float,
+        default=3.0,
+        help="fail outright if the median current/baseline ratio exceeds "
+        "this (uniform slowdowns must not hide behind normalization)",
+    )
+    args = parser.parse_args()
+
+    cur_meta, current = load_cells(args.current)
+    base_meta, baseline = load_cells(args.baseline)
+    if not current:
+        print(f"error: no benchmark cells in {args.current}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"error: no benchmark cells in {args.baseline}", file=sys.stderr)
+        return 2
+    if cur_meta.get("ticks") != base_meta.get("ticks"):
+        print(
+            f"note: tick counts differ (current {cur_meta.get('ticks')}, "
+            f"baseline {base_meta.get('ticks')}); ns/tick comparison is "
+            "still meaningful but noisier"
+        )
+
+    missing = sorted(k for k in baseline if k not in current)
+    shared = sorted(k for k in baseline if k in current)
+    if not shared:
+        print("error: current and baseline share no cells", file=sys.stderr)
+        return 2
+
+    ratios = {
+        k: current[k]["ns_per_tick"] / max(1, baseline[k]["ns_per_tick"])
+        for k in shared
+    }
+    median_ratio = statistics.median(ratios.values())
+    # Only slowdown drift is normalized out; a mostly-faster run must not
+    # turn its untouched cells into "regressions".
+    drift = max(1.0, median_ratio)
+    print(
+        f"{len(shared)} shared cells; median current/baseline ratio "
+        f"{median_ratio:.3f} (drift {drift:.3f} normalized out)"
+    )
+    if median_ratio > args.max_drift:
+        print(
+            f"FAIL: median ratio {median_ratio:.2f} exceeds --max-drift "
+            f"{args.max_drift:.2f}: either the whole suite regressed or the "
+            "runner class changed — investigate, or refresh "
+            "bench/baselines/BENCH_scenarios.json deliberately",
+            file=sys.stderr,
+        )
+        return 1
+
+    header = f"{'scenario':<14} {'mode':<8} {'units':>6} {'thr':>4} " \
+             f"{'base ns/tick':>13} {'cur ns/tick':>13} {'norm ratio':>10}"
+    print(header)
+    failures = []
+    for k in shared:
+        norm = ratios[k] / drift
+        scenario, mode, units, threads = k
+        flag = ""
+        if norm > 1.0 + args.threshold:
+            failures.append((k, norm))
+            flag = "  << REGRESSION"
+        print(
+            f"{scenario:<14} {mode:<8} {units:>6} {threads:>4} "
+            f"{baseline[k]['ns_per_tick']:>13} {current[k]['ns_per_tick']:>13} "
+            f"{norm:>10.3f}{flag}"
+        )
+
+    new_cells = sorted(k for k in current if k not in baseline)
+    if new_cells:
+        print(f"{len(new_cells)} new cell(s) not in the baseline (ok)")
+
+    status = 0
+    if missing:
+        print(
+            f"FAIL: {len(missing)} baseline cell(s) missing from the current "
+            f"run: {missing[:5]}{' ...' if len(missing) > 5 else ''}",
+            file=sys.stderr,
+        )
+        status = 1
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        print(
+            f"FAIL: {len(failures)} cell(s) regressed more than "
+            f"{args.threshold:.0%} (worst: {worst[0]} at {worst[1]:.2f}x)",
+            file=sys.stderr,
+        )
+        status = 1
+    if status == 0:
+        print(f"OK: no cell regressed more than {args.threshold:.0%}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
