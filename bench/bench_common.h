@@ -156,7 +156,8 @@ inline void PrintBenchUsage(const char* bench, const char* extra) {
                "  --seed N            workload seed\n"
                "  --json PATH         write machine-readable results to PATH\n"
                "  --scenarios A,B,... restrict to named scenarios\n"
-               "  --modes A,B,...     evaluator modes (naive, indexed)\n"
+               "  --modes A,B,...     evaluator modes "
+               "(naive, indexed, adaptive)\n"
                "  --naive-max N       naive-evaluator unit cap "
                "(env SGL_BENCH_NAIVE_MAX)\n"
                "  --quick             small CI smoke preset\n"
@@ -187,10 +188,11 @@ inline BenchArgs ParseBenchArgsOrExit(int argc, char** argv, const char* bench,
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (is_flag(arg, "--units")) {
-      args.units = bench_internal::SplitIntList("--units", value_of(&i, "--units"));
+      args.units =
+          bench_internal::SplitIntList("--units", value_of(&i, "--units"));
     } else if (is_flag(arg, "--ticks")) {
-      args.ticks =
-          bench_internal::ParsePositiveIntOrExit("--ticks", value_of(&i, "--ticks"));
+      args.ticks = bench_internal::ParsePositiveIntOrExit(
+          "--ticks", value_of(&i, "--ticks"));
     } else if (is_flag(arg, "--threads")) {
       args.threads =
           bench_internal::SplitIntList("--threads", value_of(&i, "--threads"));

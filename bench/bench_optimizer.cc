@@ -17,7 +17,7 @@ namespace {
 double TimeConfig(const ScenarioConfig& scenario, bool agg, bool act,
                   int64_t ticks) {
   SimulationConfig config;
-  config.mode =
+  config.eval_mode =
       (agg || act) ? EvaluatorMode::kIndexed : EvaluatorMode::kNaive;
   config.index_aggregates = agg;
   config.index_actions = act;

@@ -45,7 +45,7 @@ RunResult RunConfig(int32_t units, int32_t threads, int64_t ticks,
   scenario.num_units = units;
   scenario.seed = seed;
   SimulationConfig config;
-  config.mode = EvaluatorMode::kIndexed;
+  config.eval_mode = EvaluatorMode::kIndexed;
   config.threads = threads;
   auto setup = MakeBattleSimWithConfig(scenario, config);
   if (!setup.ok()) {

@@ -1,5 +1,5 @@
 // The unified benchmark suite: every registered scenario, swept across
-// {naive, indexed} evaluators x worker-thread counts x unit scales.
+// {naive, indexed, adaptive} evaluators x worker-thread counts x unit scales.
 //
 // Each (scenario, units) group elects the first completed cell as its
 // reference; every other cell's final environment table must be
@@ -49,7 +49,7 @@ CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
   CellResult best;
   for (int32_t rep = 0; rep < reps; ++rep) {
     SimulationConfig config;
-    config.mode = mode;
+    config.eval_mode = mode;
     config.threads = threads;
     auto sim = ScenarioRegistry::Global().BuildSimulation(scenario, params,
                                                           config);
@@ -148,8 +148,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> scenarios =
       args.scenarios.empty() ? registry.List() : args.scenarios;
   const std::vector<std::string> modes =
-      args.modes.empty() ? std::vector<std::string>{"naive", "indexed"}
-                         : args.modes;
+      args.modes.empty()
+          ? std::vector<std::string>{"naive", "indexed", "adaptive"}
+          : args.modes;
   for (const std::string& name : scenarios) {
     auto def = registry.Get(name);
     if (!def.ok()) {
@@ -178,15 +179,12 @@ int main(int argc, char** argv) {
       EnvironmentTable reference{Schema()};
       double base_ns = 0.0;  // the group's first cell, for the speedup column
       for (const std::string& mode_name : modes) {
-        EvaluatorMode mode;
-        if (mode_name == "naive") {
-          mode = EvaluatorMode::kNaive;
-        } else if (mode_name == "indexed") {
-          mode = EvaluatorMode::kIndexed;
-        } else {
-          std::fprintf(stderr, "unknown mode '%s'\n", mode_name.c_str());
+        auto parsed = ParseEvaluatorMode(mode_name);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
           return 2;
         }
+        EvaluatorMode mode = *parsed;
         if (mode == EvaluatorMode::kNaive && units > naive_max) continue;
         for (int32_t threads : thread_counts) {
           CellResult cell =

@@ -109,7 +109,7 @@ int main() {
   // 4. Assemble the simulation (indexed evaluator; try kNaive — same
   // results, bit for bit).
   SimulationConfig config;
-  config.mode = EvaluatorMode::kIndexed;
+  config.eval_mode = EvaluatorMode::kIndexed;
   config.grid_width = 20;
   config.grid_height = 20;
   config.step_per_tick = 2.0;
@@ -142,6 +142,7 @@ int main() {
     if (tick % 5 == 4) std::printf("%4d  %d\n", tick + 1, sheep);
   }
   std::printf("\nfinal table:\n%s", (*sim)->table().ToString(10).c_str());
-  std::printf("\nper-phase statistics:\n%s", (*sim)->stats().ToString().c_str());
+  std::printf("\nper-phase statistics:\n%s",
+              (*sim)->stats().ToString().c_str());
   return 0;
 }

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   const int64_t ticks = argc > 3 ? std::atoll(argv[3]) : 60;
 
   SimulationConfig config;
-  config.mode = EvaluatorMode::kIndexed;
+  config.eval_mode = EvaluatorMode::kIndexed;
   auto sim = registry.BuildSimulation(argv[1], params, config);
   if (!sim.ok()) {
     std::fprintf(stderr, "%s\n", sim.status().ToString().c_str());

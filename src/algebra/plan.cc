@@ -461,7 +461,9 @@ int32_t LogicalPlan::NumSharedSignatures() const {
   return static_cast<int32_t>(sigs.size());
 }
 
-std::string LogicalPlan::ToString() const {
+std::string LogicalPlan::ToString() const { return ToString(nullptr); }
+
+std::string LogicalPlan::ToString(const PlanAnnotator& annotate) const {
   std::ostringstream os;
   os << "⊕  (combine; result ⊕ E applies the tick)\n";
   std::map<const PlanNode*, int32_t> seen;
@@ -509,6 +511,10 @@ std::string LogicalPlan::ToString() const {
         case PlanOp::kCombine:
           os << "⊕";
           break;
+      }
+      if (annotate) {
+        std::string note = annotate(*n);
+        if (!note.empty()) os << "   {physical: " << note << "}";
       }
       os << "  #" << seen[n] << "\n";
     }

@@ -29,6 +29,7 @@
 #ifndef SGL_ALGEBRA_PLAN_H_
 #define SGL_ALGEBRA_PLAN_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,6 +67,13 @@ struct PlanNode {
   int32_t shared_signature = -1;  // kExtendAgg: factoring group id
 };
 
+/// Optional per-node annotation hook for ToString: return a non-empty
+/// string to attach "{physical: ...}" to a node's line. The engine uses
+/// it to print, under each π∗,agg(∗) operator, the physical operator the
+/// evaluator chose for it (index kind, family, and — in adaptive mode —
+/// the latest cost decision with estimated vs observed statistics).
+using PlanAnnotator = std::function<std::string(const PlanNode&)>;
+
 /// A translated script plan: the Figure 6-style DAG plus bookkeeping.
 struct LogicalPlan {
   PlanPtr root;  // kCombine
@@ -79,8 +87,11 @@ struct LogicalPlan {
   int32_t NumAggregateNodes() const;
   int32_t NumSharedSignatures() const;
 
-  /// Multi-line tree rendering in the style of Figure 6.
+  /// Multi-line tree rendering in the style of Figure 6. The annotated
+  /// overload appends each node's physical-operator note (see
+  /// PlanAnnotator); the plain one renders the logical plan alone.
   std::string ToString() const;
+  std::string ToString(const PlanAnnotator& annotate) const;
 };
 
 /// Translate the (analyzed, normalized) script's main function into the

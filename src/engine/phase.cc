@@ -21,7 +21,9 @@ int64_t CellKey(int64_t x, int64_t y) { return (x << 32) ^ (y & 0xffffffff); }
 int64_t TotalProbes(Simulation* sim) {
   int64_t probes = 0;
   for (const auto& session : sim->sessions()) {
-    if (session->provider != nullptr) probes += session->provider->probe_count();
+    if (session->provider != nullptr) {
+      probes += session->provider->probe_count();
+    }
   }
   return probes;
 }
@@ -75,6 +77,10 @@ Status IndexBuildPhase::Run(TickContext* ctx) {
                                                       ctx->pool, &pstats));
     ctx->stats->rows_scanned += ctx->table->NumRows();
   }
+  // All sessions have consumed this change window (the writes since the
+  // previous index build); open the next one. No-op unless the adaptive
+  // evaluator enabled tracking.
+  if (ctx->table->change_tracking_enabled()) ctx->table->ClearChanges();
   ctx->stats->workers = std::max(ctx->stats->workers, pstats.workers);
   ctx->stats->max_worker_ns += pstats.max_worker_ns;
   return Status::OK();

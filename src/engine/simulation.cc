@@ -5,9 +5,27 @@
 #include <unordered_set>
 
 #include "algebra/plan.h"
+#include "opt/adaptive_provider.h"
 #include "util/timer.h"
 
 namespace sgl {
+
+const char* EvaluatorModeName(EvaluatorMode mode) {
+  switch (mode) {
+    case EvaluatorMode::kNaive: return "naive";
+    case EvaluatorMode::kIndexed: return "indexed";
+    case EvaluatorMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+Result<EvaluatorMode> ParseEvaluatorMode(const std::string& name) {
+  if (name == "naive") return EvaluatorMode::kNaive;
+  if (name == "indexed") return EvaluatorMode::kIndexed;
+  if (name == "adaptive") return EvaluatorMode::kAdaptive;
+  return Status::Invalid("unknown evaluator mode '", name,
+                         "' (expected naive, indexed, or adaptive)");
+}
 
 namespace {
 
@@ -86,7 +104,7 @@ std::string Simulation::Explain() const {
   if (!name_.empty()) os << "simulation: " << name_ << "\n";
   os << "execution: " << threads_ << (threads_ == 1 ? " thread" : " threads")
      << (pool_ != nullptr ? " (parallel tick pipeline, deterministic)" : "")
-     << "\n\n";
+     << ", evaluator: " << EvaluatorModeName(config_.eval_mode) << "\n\n";
   for (const auto& session : sessions_) {
     os << "== script '" << session->name << "'";
     if (dispatch_attr_ != Schema::kInvalidAttr) {
@@ -103,12 +121,26 @@ std::string Simulation::Explain() const {
     if (logical.ok()) {
       auto optimized = OptimizePlan(*logical);
       if (optimized.ok()) {
+        // Attach to every aggregate operator the physical strategy the
+        // evaluator chose for it (and, in adaptive mode, the cost
+        // decision behind the choice).
+        PlanAnnotator annotate;
+        if (session->provider != nullptr) {
+          const IndexedAggregateProvider* provider = session->provider.get();
+          annotate = [provider](const PlanNode& n) -> std::string {
+            if (n.op != PlanOp::kExtendAgg || n.expr == nullptr ||
+                !n.expr->is_aggregate || n.expr->call_id < 0) {
+              return "";
+            }
+            return provider->DescribeAggregatePhysical(n.expr->call_id);
+          };
+        }
         os << "logical plan: " << logical->NumNodes() << " operators, "
            << logical->NumAggregateNodes() << " aggregate extensions -> "
            << optimized->NumNodes() << " operators, "
            << optimized->NumAggregateNodes() << " aggregate extensions, "
            << optimized->NumSharedSignatures() << " shared signatures\n"
-           << optimized->ToString();
+           << optimized->ToString(annotate);
       } else {
         os << "logical plan: " << optimized.status().ToString() << "\n";
       }
@@ -142,6 +174,13 @@ Status Simulation::Restore(const SimulationSnapshot& snapshot) {
   }
   table_ = snapshot.table.Clone();
   tick_count_ = snapshot.tick_count;
+  if (config_.eval_mode == EvaluatorMode::kAdaptive) {
+    // The replaced table invalidates every delta-maintained structure;
+    // a structural change forces full rebuilds on the next tick.
+    table_.EnableChangeTracking();
+    table_.ClearChanges();
+    table_.MarkStructuralChange();
+  }
   return Status::OK();
 }
 
@@ -261,6 +300,11 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
   sim->name_ = std::move(name_);
   sim->config_ = config_;
   const Schema& schema = sim->table_.schema();
+  if (config_.eval_mode == EvaluatorMode::kAdaptive) {
+    // The adaptive evaluator consumes the table's delta log each tick
+    // (IndexBuildPhase clears it after every session has built).
+    sim->table_.EnableChangeTracking();
+  }
 
   // --- worker threads ----------------------------------------------------
   if (config_.threads < 0) {
@@ -306,17 +350,26 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
     }
 
     session.interp = std::make_unique<Interpreter>(session.script);
-    if (config_.mode == EvaluatorMode::kIndexed) {
+    if (config_.eval_mode != EvaluatorMode::kNaive) {
       if (config_.index_aggregates) {
-        SGL_ASSIGN_OR_RETURN(
-            session.provider,
-            IndexedAggregateProvider::Create(session.script, *session.interp));
+        if (config_.eval_mode == EvaluatorMode::kAdaptive) {
+          SGL_ASSIGN_OR_RETURN(
+              auto adaptive,
+              AdaptiveAggregateProvider::Create(session.script,
+                                                *session.interp));
+          session.provider = std::move(adaptive);
+        } else {
+          SGL_ASSIGN_OR_RETURN(session.provider,
+                               IndexedAggregateProvider::Create(
+                                   session.script, *session.interp));
+        }
         session.provider->set_num_shards(sim->threads_);
         session.interp->set_aggregate_provider(session.provider.get());
       }
       if (config_.index_actions) {
-        SGL_ASSIGN_OR_RETURN(session.sink, IndexedActionSink::Create(
-                                               session.script, *session.interp));
+        SGL_ASSIGN_OR_RETURN(
+            session.sink,
+            IndexedActionSink::Create(session.script, *session.interp));
         session.sink->set_num_shards(sim->threads_);
         session.interp->set_action_sink(session.sink.get());
       }
@@ -352,7 +405,9 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
     GameMechanics* m = sim->mechanics_.get();
     sim->apply_hooks_.push_back(
         [m](EnvironmentTable* table, const EffectBuffer& buffer,
-            const TickRandom& rnd) { return m->ApplyEffects(table, buffer, rnd); });
+            const TickRandom& rnd) {
+          return m->ApplyEffects(table, buffer, rnd);
+        });
     sim->end_tick_hooks_.push_back(
         [m](EnvironmentTable* table, const TickRandom& rnd) {
           return m->EndTick(table, rnd);

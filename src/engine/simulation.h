@@ -20,7 +20,9 @@
 // The evaluator is pluggable per config (Section 6: "two pluggable
 // versions of our aggregate query evaluator"): kNaive scans E per
 // aggregate and per action; kIndexed probes the Section 5.3/5.4 index
-// structures. Both modes produce bit-identical simulations.
+// structures; kAdaptive re-plans per index family each tick with the
+// cost model of src/opt/cost.h. All modes produce bit-identical
+// simulations.
 //
 // Snapshot()/Restore() checkpoint the environment table and tick counter;
 // because all per-tick randomness derives from (seed, tick), restoring a
@@ -48,7 +50,20 @@
 
 namespace sgl {
 
-enum class EvaluatorMode { kNaive, kIndexed };
+/// Which aggregate/action evaluator the simulation runs. All modes are
+/// bit-exact with each other (the engine and scenario suites enforce it):
+///   kNaive    reference scans per aggregate and action;
+///   kIndexed  Section 5.3/5.4 index structures, rebuilt every tick;
+///   kAdaptive per index family and per tick, a calibrated cost model
+///             (src/opt/cost.h) picks scan fallback, full rebuild, or —
+///             for divisible range-tree families under low churn —
+///             incremental maintenance from the tick's delta log.
+enum class EvaluatorMode { kNaive, kIndexed, kAdaptive };
+
+const char* EvaluatorModeName(EvaluatorMode mode);
+
+/// Parse "naive" / "indexed" / "adaptive" (benchmark and tool CLIs).
+Result<EvaluatorMode> ParseEvaluatorMode(const std::string& name);
 
 /// Game-specific rules the engine delegates to: how combined effects
 /// change unit state (Example 4.1) and what happens at end of tick
@@ -70,12 +85,14 @@ class GameMechanics {
 
 /// Function-style mechanics registration (alternative to GameMechanics).
 using ApplyEffectsHook = std::function<Status(
-    EnvironmentTable* table, const EffectBuffer& buffer, const TickRandom& rnd)>;
+    EnvironmentTable* table, const EffectBuffer& buffer,
+    const TickRandom& rnd)>;
 using EndTickHook =
     std::function<Status(EnvironmentTable* table, const TickRandom& rnd)>;
 
 struct SimulationConfig {
-  EvaluatorMode mode = EvaluatorMode::kIndexed;
+  /// Evaluator mode (the paper's pluggable evaluators plus kAdaptive).
+  EvaluatorMode eval_mode = EvaluatorMode::kIndexed;
   uint64_t seed = 1;
 
   /// Worker threads for the parallel tick phases (src/exec/). 1 runs the
@@ -112,8 +129,10 @@ struct ScriptSession {
   bool has_dispatch_value = false;
   double dispatch_value = 0.0;
   std::unique_ptr<Interpreter> interp;
-  std::unique_ptr<IndexedAggregateProvider> provider;  // indexed mode only
-  std::unique_ptr<IndexedActionSink> sink;             // indexed mode only
+  /// Indexed/adaptive modes only (an AdaptiveAggregateProvider in the
+  /// latter); null under the naive evaluator.
+  std::unique_ptr<IndexedAggregateProvider> provider;
+  std::unique_ptr<IndexedActionSink> sink;  // indexed/adaptive modes only
 };
 
 /// A checkpoint of the simulation state: the environment table plus the

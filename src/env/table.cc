@@ -26,6 +26,7 @@ Status EnvironmentTable::AddRowWithKey(int64_t key,
   if (key_to_row_.count(key) > 0) {
     return Status::AlreadyExists("key ", key, " already present");
   }
+  if (tracking_) changes_.structural = true;
   RowId row = NumRows();
   keys_.push_back(key);
   for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(values[c]);
@@ -40,8 +41,36 @@ void EnvironmentTable::ResetEffects() {
   // contributes 0 to the `⊕ E` of Eq. (6), which is what makes an
   // effect-free tick a no-op even for max/min-tagged attributes.
   for (AttrId a : schema_.EffectAttrs()) {
-    std::fill(cols_[a - 1].begin(), cols_[a - 1].end(), 0.0);
+    std::vector<double>& col = cols_[a - 1];
+    if (tracking_) {
+      for (RowId r = 0; r < NumRows(); ++r) {
+        if (col[r] != 0.0) NoteDirty(r, a);
+      }
+    }
+    std::fill(col.begin(), col.end(), 0.0);
   }
+}
+
+void EnvironmentTable::EnableChangeTracking() {
+  if (tracking_) return;
+  tracking_ = true;
+  // No change window exists yet; make the first consumer rebuild.
+  changes_.structural = true;
+}
+
+void EnvironmentTable::ClearChanges() {
+  changes_.structural = false;
+  for (RowId r : changes_.dirty_rows) changes_.masks[r] = 0;
+  changes_.dirty_rows.clear();
+}
+
+void EnvironmentTable::NoteDirty(RowId row, AttrId attr) {
+  if (row >= static_cast<RowId>(changes_.masks.size())) {
+    changes_.masks.resize(NumRows(), 0);
+  }
+  uint64_t& mask = changes_.masks[row];
+  if (mask == 0) changes_.dirty_rows.push_back(row);
+  mask |= TableChanges::BitOf(attr);
 }
 
 int32_t EnvironmentTable::RemoveIf(const std::function<bool(RowId)>& pred) {
@@ -61,6 +90,7 @@ int32_t EnvironmentTable::RemoveIf(const std::function<bool(RowId)>& pred) {
   }
   keys_.resize(out);
   for (auto& col : cols_) col.resize(out);
+  if (tracking_ && out != n) changes_.structural = true;
   return n - out;
 }
 

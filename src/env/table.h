@@ -24,6 +24,32 @@ namespace sgl {
 /// Row index within an EnvironmentTable. Invalidated by RemoveIf.
 using RowId = int32_t;
 
+/// The table's record of what changed since the last ClearChanges() — the
+/// tick's delta log, consumed by the adaptive evaluator to decide between
+/// rebuilding an index family from scratch and applying the delta to it.
+///
+/// `dirty_rows` lists each written row once, in first-write order;
+/// `attr_mask(row)` says which attributes of it changed (attribute a maps
+/// to bit min(a, 63), so schemas wider than 64 attributes stay correct,
+/// merely coarser). `structural` is set by any row addition or removal:
+/// RowIds are no longer comparable across the change window, so consumers
+/// must fall back to a full rebuild.
+struct TableChanges {
+  bool structural = false;
+  std::vector<RowId> dirty_rows;
+
+  uint64_t attr_mask(RowId row) const {
+    return row < static_cast<RowId>(masks.size()) ? masks[row] : 0;
+  }
+
+  static uint64_t BitOf(AttrId attr) {
+    return uint64_t{1} << (attr < 63 ? attr : 63);
+  }
+
+  // Implementation state (public for EnvironmentTable's inline writers).
+  std::vector<uint64_t> masks;  // indexed by row; 0 = clean
+};
+
 /// Columnar multiset of unit tuples with unique keys.
 class EnvironmentTable {
  public:
@@ -55,11 +81,18 @@ class EnvironmentTable {
                               : cols_[attr - 1][row];
   }
 
-  /// Write a non-key attribute.
-  void Set(RowId row, AttrId attr, double value) { cols_[attr - 1][row] = value; }
+  /// Write a non-key attribute. With change tracking enabled, a write that
+  /// actually changes the stored value marks (row, attr) dirty.
+  void Set(RowId row, AttrId attr, double value) {
+    double& slot = cols_[attr - 1][row];
+    if (tracking_ && slot != value) NoteDirty(row, attr);
+    slot = value;
+  }
 
   /// Column accessor for index builders (attr must not be the key).
-  const std::vector<double>& Column(AttrId attr) const { return cols_[attr - 1]; }
+  const std::vector<double>& Column(AttrId attr) const {
+    return cols_[attr - 1];
+  }
   const std::vector<int64_t>& Keys() const { return keys_; }
 
   /// Reset every effect attribute to its combine identity — the start-of-
@@ -82,12 +115,35 @@ class EnvironmentTable {
   /// Render up to `max_rows` rows for debugging.
   std::string ToString(int32_t max_rows = 10) const;
 
+  // --- change tracking (the adaptive evaluator's delta log) ---------------
+
+  /// Start recording writes. Until the first ClearChanges() the log reports
+  /// a structural change, so consumers begin from a full rebuild.
+  void EnableChangeTracking();
+  bool change_tracking_enabled() const { return tracking_; }
+
+  /// What changed since the last ClearChanges() (empty when disabled).
+  const TableChanges& changes() const { return changes_; }
+
+  /// Forget the recorded changes (end of the consumer's change window).
+  void ClearChanges();
+
+  /// Force the next change window to report a structural change (used when
+  /// the table is wholesale replaced, e.g. snapshot restore).
+  void MarkStructuralChange() {
+    if (tracking_) changes_.structural = true;
+  }
+
  private:
+  void NoteDirty(RowId row, AttrId attr);
+
   Schema schema_;
   std::vector<int64_t> keys_;
   std::vector<std::vector<double>> cols_;  // cols_[i] is attribute i+1
   std::unordered_map<int64_t, RowId> key_to_row_;
   int64_t next_key_ = 0;
+  bool tracking_ = false;
+  TableChanges changes_;
 };
 
 }  // namespace sgl

@@ -409,7 +409,7 @@ Result<EnvironmentTable> BuildScenario(const ScenarioConfig& config) {
 Result<BattleSimSetup> MakeBattleSim(const ScenarioConfig& scenario,
                                      EvaluatorMode mode, bool resurrect) {
   SimulationConfig config;
-  config.mode = mode;
+  config.eval_mode = mode;
   return MakeBattleSimWithConfig(scenario, config, resurrect);
 }
 
@@ -440,7 +440,7 @@ Result<BattleSimSetup> MakeBattleSimWithConfig(const ScenarioConfig& scenario,
 Result<BattleSetup> MakeBattle(const ScenarioConfig& scenario,
                                EvaluatorMode mode, bool resurrect) {
   EngineConfig config;
-  config.mode = mode;
+  config.eval_mode = mode;
   return MakeBattleWithConfig(scenario, config, resurrect);
 }
 

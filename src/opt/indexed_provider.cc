@@ -26,14 +26,19 @@ IndexedAggregateProvider::Create(const Script& script,
                                  const Interpreter& interp) {
   std::unique_ptr<IndexedAggregateProvider> provider(
       new IndexedAggregateProvider(script, interp));
-  provider->posx_attr_ = script.schema.Find("posx");
-  provider->posy_attr_ = script.schema.Find("posy");
-  provider->probe_tallies_.resize(1);
+  SGL_RETURN_NOT_OK(provider->Init());
+  return provider;
+}
+
+Status IndexedAggregateProvider::Init() {
+  const Script& script = *script_;
+  posx_attr_ = script.schema.Find("posx");
+  posy_attr_ = script.schema.Find("posy");
 
   const int32_t num_aggs =
       static_cast<int32_t>(script.program.aggregates.size());
-  provider->signatures_.reserve(num_aggs);
-  provider->family_of_agg_.assign(num_aggs, -1);
+  signatures_.reserve(num_aggs);
+  family_of_agg_.assign(num_aggs, -1);
 
   // Group aggregates with identical physical signatures into families —
   // the multi-query optimization of Section 3.1 applied across every
@@ -50,26 +55,35 @@ IndexedAggregateProvider::Create(const Script& script,
     if (sig.kind == IndexKind::kNaive) {
       fp += "#naive" + std::to_string(a);  // naive signatures never share
     }
-    provider->signatures_.push_back(std::move(sig));
+    signatures_.push_back(std::move(sig));
     auto [it, inserted] = family_by_fingerprint.emplace(
-        fp, static_cast<int32_t>(provider->families_.size()));
+        fp, static_cast<int32_t>(families_.size()));
     if (inserted) {
-      provider->families_.emplace_back();
-      provider->families_.back().sig = &provider->signatures_[a];
+      families_.emplace_back();
+      families_.back().sig = &signatures_[a];
     }
-    provider->families_[it->second].member_aggs.push_back(a);
-    provider->family_of_agg_[a] = it->second;
+    families_[it->second].member_aggs.push_back(a);
+    family_of_agg_[a] = it->second;
   }
   // signatures_ vector finished growing; re-point representatives (the
   // vector may have reallocated while we were inserting).
-  for (Family& family : provider->families_) {
-    family.sig = &provider->signatures_[family.member_aggs[0]];
+  for (Family& family : families_) {
+    family.sig = &signatures_[family.member_aggs[0]];
   }
-  return provider;
+  family_mode_.assign(families_.size(), PhysicalChoice::kRebuild);
+  set_num_shards(1);
+  return Status::OK();
 }
 
 void IndexedAggregateProvider::set_num_shards(int32_t num_shards) {
-  probe_tallies_.resize(std::max(1, num_shards));
+  const size_t shards = static_cast<size_t>(std::max(1, num_shards));
+  probe_tallies_.resize(shards);
+  // Pad each shard's per-family region to a whole cache line plus one
+  // (8 int64s = 64 bytes): wherever the vector's storage happens to be
+  // aligned, two shards' active slots can never fall on one line.
+  const size_t line = 64 / sizeof(int64_t);
+  family_stride_ = (families_.size() + line - 1) / line * line + line;
+  family_tallies_.assign(shards * family_stride_, 0);
 }
 
 Status IndexedAggregateProvider::BuildIndexes(const EnvironmentTable& table,
@@ -81,11 +95,18 @@ Status IndexedAggregateProvider::BuildIndexes(const EnvironmentTable& table,
   for (Family& family : families_) {
     if (family.sig->kind != IndexKind::kNaive) active.push_back(&family);
   }
-  if (pool == nullptr || active.size() <= 1) {
+  return BuildFamilies(active, table, rnd, pool, stats);
+}
+
+Status IndexedAggregateProvider::BuildFamilies(
+    const std::vector<Family*>& families, const EnvironmentTable& table,
+    const TickRandom& rnd, exec::ThreadPool* pool,
+    exec::ParallelStats* stats) {
+  if (pool == nullptr || families.size() <= 1) {
     // Sequential family loop; the per-row passes inside each family still
     // use the pool (when present), so single-family scripts parallelize
     // across row ranges instead — and report their fan-out via `stats`.
-    for (Family* family : active) {
+    for (Family* family : families) {
       SGL_RETURN_NOT_OK(BuildFamily(family, table, rnd, pool, stats));
     }
     return Status::OK();
@@ -93,11 +114,11 @@ Status IndexedAggregateProvider::BuildIndexes(const EnvironmentTable& table,
   // Families own disjoint build products, so they build concurrently;
   // nested ParallelFor calls inside BuildFamily then run inline.
   return pool->ParallelFor(
-      static_cast<int64_t>(active.size()), /*grain=*/1,
+      static_cast<int64_t>(families.size()), /*grain=*/1,
       [&](int32_t, int64_t lo, int64_t hi) -> Status {
         for (int64_t f = lo; f < hi; ++f) {
           SGL_RETURN_NOT_OK(
-              BuildFamily(active[f], table, rnd, pool, nullptr));
+              BuildFamily(families[f], table, rnd, pool, nullptr));
         }
         return Status::OK();
       },
@@ -168,7 +189,16 @@ Status IndexedAggregateProvider::BuildFamily(Family* family,
     }));
   }
 
-  // Pass 3: group passing rows by their partition components.
+  // Pass 3: group passing rows by their partition components. When the
+  // family is delta-maintained, snapshot each row's partition components
+  // and point coordinates too — a later incremental tick retracts exactly
+  // this contribution from the trees.
+  const int32_t p_dims = static_cast<int32_t>(sig.partitions.size());
+  if (family->maintain_deltas) {
+    family->comps.assign(static_cast<size_t>(n) * p_dims, 0.0);
+    family->xs.assign(n, 0.0);
+    family->ys.assign(n, 0.0);
+  }
   std::map<std::vector<double>, std::vector<RowId>> groups;
   for (RowId r = 0; r < n; ++r) {
     if (!family->row_passes[r]) continue;
@@ -176,6 +206,15 @@ Status IndexedAggregateProvider::BuildFamily(Family* family,
     comps.reserve(sig.partitions.size());
     for (const PartitionDim& p : sig.partitions) {
       comps.push_back(table.Get(r, p.attr));
+    }
+    if (family->maintain_deltas) {
+      for (int32_t i = 0; i < p_dims; ++i) {
+        family->comps[static_cast<size_t>(r) * p_dims + i] = comps[i];
+      }
+      family->xs[r] =
+          sig.ranges.size() > 0 ? table.Get(r, sig.ranges[0].attr) : 0.0;
+      family->ys[r] =
+          sig.ranges.size() > 1 ? table.Get(r, sig.ranges[1].attr) : 0.0;
     }
     groups[std::move(comps)].push_back(r);
   }
@@ -185,6 +224,7 @@ Status IndexedAggregateProvider::BuildFamily(Family* family,
   family->mm_trees.clear();
   family->kd_trees.clear();
   family->parts.clear();
+  family->part_id_of.clear();
   const std::vector<int64_t>& keys = table.Keys();
   int64_t part_id = 0;
   for (auto& [comps, rows] : groups) {
@@ -228,8 +268,12 @@ Status IndexedAggregateProvider::BuildFamily(Family* family,
         break;
     }
     family->parts.push_back(PartitionEntry{comps, part_id});
+    family->part_id_of.emplace(comps, part_id);
     ++part_id;
   }
+  family->next_part_id = part_id;
+  family->tree_valid = true;
+  family->overlay_points = 0;
   return Status::OK();
 }
 
@@ -305,9 +349,20 @@ Result<Value> IndexedAggregateProvider::Eval(
                             " but only ", probe_tallies_.size(),
                             " shards configured (set_num_shards)");
   }
+  const int32_t family_index = family_of_agg_[agg_index];
+  ++family_tallies_[static_cast<size_t>(shard) * family_stride_ +
+                    family_index];
+  // A family the cost model put in scan mode this tick has no (current)
+  // index; answer through the reference evaluator. The demand tally
+  // above still counts the call — it is the signal that flips the family
+  // back to an index once calls outnumber what a scan justifies — but
+  // the externally reported probe_count() does not: no index served it.
+  if (family_mode_[family_index] == PhysicalChoice::kScan) {
+    return interp_->EvalAggregate(agg_index, scalar_args, u_row, table, rnd);
+  }
   ++probe_tallies_[shard].count;
   const AggregateDecl& decl = script_->program.aggregates[agg_index];
-  const Family& family = families_[family_of_agg_[agg_index]];
+  const Family& family = families_[family_index];
   const std::string* u_name = &decl.params[0];
   const int64_t u_key = table.KeyAt(u_row);
 
@@ -466,6 +521,17 @@ Result<Value> IndexedAggregateProvider::Eval(
       break;
   }
   return Status::Internal("unreachable index kind");
+}
+
+std::string IndexedAggregateProvider::DescribeAggregatePhysical(
+    int32_t agg_index) const {
+  const AggregateSignature& sig = signatures_[agg_index];
+  std::ostringstream os;
+  os << IndexKindName(sig.kind);
+  if (sig.kind != IndexKind::kNaive) {
+    os << ", family " << family_of_agg_[agg_index];
+  }
+  return os.str();
 }
 
 std::string IndexedAggregateProvider::DescribePlan() const {

@@ -28,6 +28,7 @@
 #include "geom/kd_tree.h"
 #include "geom/minmax_tree.h"
 #include "geom/range_tree.h"
+#include "opt/cost.h"
 #include "opt/signature.h"
 #include "sgl/interpreter.h"
 #include "util/timer.h"
@@ -46,9 +47,12 @@ class IndexedAggregateProvider : public AggregateProvider {
   /// family's per-row passes split across workers; results are identical
   /// to the sequential build (every write lands in a row- or family-
   /// private slot). `stats`, when given, collects per-worker timing.
-  Status BuildIndexes(const EnvironmentTable& table, const TickRandom& rnd,
-                      exec::ThreadPool* pool = nullptr,
-                      exec::ParallelStats* stats = nullptr);
+  /// The adaptive subclass overrides this with a per-family cost-based
+  /// choice between rebuilding, delta maintenance, and scan fallback.
+  virtual Status BuildIndexes(const EnvironmentTable& table,
+                              const TickRandom& rnd,
+                              exec::ThreadPool* pool = nullptr,
+                              exec::ParallelStats* stats = nullptr);
 
   /// Answer an aggregate call with an index probe. Concurrent callers must
   /// pass distinct `shard` ids (see AggregateProvider); all probe
@@ -62,19 +66,39 @@ class IndexedAggregateProvider : public AggregateProvider {
   void set_num_shards(int32_t num_shards);
 
   /// EXPLAIN: one line per aggregate, plus sharing information.
-  std::string DescribePlan() const;
+  virtual std::string DescribePlan() const;
+
+  /// EXPLAIN: the physical strategy serving one aggregate declaration, as
+  /// a short annotation the logical-plan renderer attaches to the
+  /// aggregate's π∗,agg(∗) operator. The adaptive subclass extends it
+  /// with the family's latest cost decision.
+  virtual std::string DescribeAggregatePhysical(int32_t agg_index) const;
 
   /// Number of distinct physical index families (after sharing).
   int32_t NumIndexFamilies() const {
     return static_cast<int32_t>(families_.size());
   }
 
-  /// Aggregate probes answered since construction (PhaseStats feed): the
-  /// sum of the per-shard tallies. Not meaningful mid-ParallelFor; the
-  /// engine reads it only between phases.
+  /// Aggregate probes answered *by an index* since construction
+  /// (PhaseStats feed): the sum of the per-shard tallies. Calls served by
+  /// a scan fallback — naive signatures, or a family the adaptive model
+  /// put in scan mode — are not probes and are excluded. Not meaningful
+  /// mid-ParallelFor; the engine reads it only between phases.
   int64_t probe_count() const {
     int64_t total = 0;
     for (const ShardTally& t : probe_tallies_) total += t.count;
+    return total;
+  }
+
+  /// Aggregate calls routed to family `f` since construction, scan-mode
+  /// fallbacks included — the adaptive cost model's demand signal
+  /// (thread-count independent by construction: every call increments
+  /// exactly one slot).
+  int64_t family_probe_count(int32_t f) const {
+    int64_t total = 0;
+    for (size_t shard = 0; shard < probe_tallies_.size(); ++shard) {
+      total += family_tallies_[shard * family_stride_ + f];
+    }
     return total;
   }
 
@@ -82,9 +106,13 @@ class IndexedAggregateProvider : public AggregateProvider {
     return signatures_[agg_index];
   }
 
- private:
+ protected:
   IndexedAggregateProvider(const Script& script, const Interpreter& interp)
       : script_(&script), interp_(&interp) {}
+
+  /// Shared post-construction setup: signature extraction and family
+  /// deduplication (called by the factory of this class and subclasses).
+  Status Init();
 
   /// One categorical partition (the hash layer of Section 5.3.1): the
   /// tuple of partition-attribute values and the id of its index.
@@ -99,13 +127,26 @@ class IndexedAggregateProvider : public AggregateProvider {
     const AggregateSignature* sig = nullptr;  // representative
     std::vector<int32_t> member_aggs;         // aggregate indices served
 
-    // Build products (per tick).
+    // Build products (per tick — or maintained across ticks by the
+    // adaptive evaluator's delta path).
     std::vector<char> row_passes;  // build-filter result per row
     std::vector<std::vector<double>> term_cols;  // terms then squares, by row
     std::vector<PartitionEntry> parts;
     std::map<int64_t, LayeredRangeTree2D> div_trees;
     std::map<int64_t, MinMaxRangeTree2D> mm_trees;
     std::map<int64_t, KdTree2D> kd_trees;
+
+    // --- delta-maintenance state (adaptive divisible families only) ----
+    // The build snapshots each row's point coordinates and partition
+    // components so a later tick can retract exactly the contribution the
+    // trees hold for a changed row.
+    bool maintain_deltas = false;  // cache xs/ys/comps during builds
+    bool tree_valid = false;       // build products match some past tick
+    std::vector<double> xs, ys;    // point coords per row (passing rows)
+    std::vector<double> comps;     // partition components, row-major
+    std::map<std::vector<double>, int64_t> part_id_of;  // comps -> part id
+    int64_t next_part_id = 0;
+    int64_t overlay_points = 0;    // outstanding delta points, all trees
   };
 
   /// One cache line per shard: workers bump their own tally without
@@ -117,6 +158,15 @@ class IndexedAggregateProvider : public AggregateProvider {
   Status BuildFamily(Family* family, const EnvironmentTable& table,
                      const TickRandom& rnd, exec::ThreadPool* pool,
                      exec::ParallelStats* stats);
+
+  /// Build `families` with the shared fan-out policy: sequentially when
+  /// there is no pool or at most one family (per-row passes then still
+  /// parallelize inside BuildFamily), else one ParallelFor chunk per
+  /// family with nested row passes running inline. Used by both the
+  /// always-rebuild base BuildIndexes and the adaptive rebuild subset.
+  Status BuildFamilies(const std::vector<Family*>& families,
+                       const EnvironmentTable& table, const TickRandom& rnd,
+                       exec::ThreadPool* pool, exec::ParallelStats* stats);
 
   /// Evaluate probe-side bounds/partition values for unit `u_row`.
   Result<Rect> ProbeRect(const AggregateSignature& sig, RowId u_row,
@@ -133,6 +183,16 @@ class IndexedAggregateProvider : public AggregateProvider {
   std::vector<int32_t> family_of_agg_;           // aggregate -> family
   std::vector<Family> families_;
   std::vector<ShardTally> probe_tallies_;        // indexed by shard
+  /// Per-(shard, family) call tallies in one flat array. The per-shard
+  /// stride is padded to a full cache line plus one (so shards' active
+  /// regions never share a line whatever the base alignment); slot
+  /// [shard * family_stride_ + family] is written by that shard alone.
+  std::vector<int64_t> family_tallies_;
+  size_t family_stride_ = 0;
+  /// Physical strategy per family this tick. The base provider always
+  /// rebuilds (the constructor default); the adaptive subclass re-decides
+  /// each tick, and Eval falls back to the reference scan for kScan.
+  std::vector<PhysicalChoice> family_mode_;
   AttrId posx_attr_ = Schema::kInvalidAttr;
   AttrId posy_attr_ = Schema::kInvalidAttr;
 };

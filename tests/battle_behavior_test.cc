@@ -48,7 +48,7 @@ class World {
     mechanics_ = std::make_unique<BattleMechanics>(side, side,
                                                    /*resurrect=*/false);
     EngineConfig config;
-    config.mode = mode;
+    config.eval_mode = mode;
     config.seed = 77;
     config.grid_width = side;
     config.grid_height = side;

@@ -85,7 +85,8 @@ struct FreezeWorld {
   std::unique_ptr<FreezeMechanics> mechanics;
 };
 
-FreezeWorld MakeFreezeWorld(EvaluatorMode mode, int32_t walkers, uint64_t seed) {
+FreezeWorld MakeFreezeWorld(EvaluatorMode mode, int32_t walkers,
+                            uint64_t seed) {
   Schema schema = FreezeSchema();
   EnvironmentTable table(schema);
   Xoshiro256 rng(seed);
@@ -109,7 +110,7 @@ FreezeWorld MakeFreezeWorld(EvaluatorMode mode, int32_t walkers, uint64_t seed) 
   FreezeWorld setup;
   setup.mechanics = std::make_unique<FreezeMechanics>();
   EngineConfig config;
-  config.mode = mode;
+  config.eval_mode = mode;
   config.seed = seed;
   config.grid_width = 64;
   config.grid_height = 64;
@@ -137,7 +138,8 @@ class FreezeEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FreezeEquivalence, NaiveAndIndexedAgree) {
   FreezeWorld naive = MakeFreezeWorld(EvaluatorMode::kNaive, 12, GetParam());
-  FreezeWorld indexed = MakeFreezeWorld(EvaluatorMode::kIndexed, 12, GetParam());
+  FreezeWorld indexed =
+      MakeFreezeWorld(EvaluatorMode::kIndexed, 12, GetParam());
   for (int tick = 0; tick < 8; ++tick) {
     ASSERT_TRUE(naive.engine->Tick().ok());
     ASSERT_TRUE(indexed.engine->Tick().ok());

@@ -116,7 +116,7 @@ Result<std::unique_ptr<Simulation>> MakeStorm(EvaluatorMode mode,
                                               uint64_t seed,
                                               int32_t threads) {
   SimulationConfig config;
-  config.mode = mode;
+  config.eval_mode = mode;
   config.seed = seed;
   config.threads = threads;
   config.grid_width = kGrid;
@@ -278,7 +278,8 @@ TEST(SimulationBuilderThreads, ExplainSurfacesThreadCount) {
   EXPECT_NE(std::string::npos, explain.find("execution: 4 threads"));
   auto single = MakeStorm(EvaluatorMode::kIndexed, 3, 1);
   ASSERT_TRUE(single.ok());
-  EXPECT_NE(std::string::npos, (*single)->Explain().find("execution: 1 thread"));
+  EXPECT_NE(std::string::npos,
+            (*single)->Explain().find("execution: 1 thread"));
 }
 
 }  // namespace

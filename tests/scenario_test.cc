@@ -29,7 +29,7 @@ std::unique_ptr<Simulation> BuildOrDie(const std::string& name,
                                        const ScenarioParams& params,
                                        EvaluatorMode mode, int32_t threads) {
   SimulationConfig config;
-  config.mode = mode;
+  config.eval_mode = mode;
   config.threads = threads;
   auto sim = ScenarioRegistry::Global().BuildSimulation(name, params, config);
   EXPECT_TRUE(sim.ok()) << name << ": " << sim.status().ToString();

@@ -172,7 +172,7 @@ void RegisterFarmMechanics(SimulationBuilder* builder) {
 Result<std::unique_ptr<Simulation>> MakeFarm(EvaluatorMode mode, uint64_t seed,
                                              SimulationBuilder* out = nullptr) {
   SimulationConfig config;
-  config.mode = mode;
+  config.eval_mode = mode;
   config.seed = seed;
   config.grid_width = kGrid;
   config.grid_height = kGrid;

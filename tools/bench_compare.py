@@ -3,15 +3,20 @@
 
 Both files are JSON lines: a meta object ({"bench": "scenarios", ...})
 followed by one object per benchmark cell, keyed by
-(scenario, mode, units, threads) with an ns_per_tick measurement.
+(scenario, mode, units, threads) with an ns_per_tick measurement and a
+per-phase breakdown ({"phases": [{"name": ..., "ns_per_tick": ...}]}).
 
 Absolute ns/tick is machine-dependent, so raw ratios against a baseline
 recorded on different hardware would trip on machine speed, not code.
 The comparator therefore normalizes every cell's current/baseline ratio
-by the *median* ratio across all cells — uniform machine drift cancels
-out, and only cells that regressed relative to the run as a whole fail.
-Two guards keep the normalization honest:
+by the *median* ratio across cells — and the median is computed over
+MATCHED cells only (present in both files). Cells that exist on just one
+side must never enter the normalization factor: a newly added mode or
+scenario, which has no baseline ratio at all, would otherwise shift the
+median and could mask (or fake) regressions in the cells that do have
+history. Three guards keep the normalization honest:
 
+  * only matched cells contribute to the median drift factor;
   * drift below 1 is never used to penalize cells — a PR that speeds up
     most of the suite must not fail the cells it left untouched;
   * drift above --max-drift (default 3x) fails the run outright: that
@@ -20,14 +25,22 @@ Two guards keep the normalization honest:
     would otherwise hide.
 
 A >threshold (default 20%) normalized slowdown in any cell, or a cell
-that disappeared from the current run, fails the check.
+that disappeared from the current run, fails the check. Each regressed
+cell is reported with its per-phase deltas, so "battle slowed down 25%"
+comes annotated with "and it is all in index-build" — the phase
+breakdown usually names the culprit subsystem directly.
 
 Usage:
   tools/bench_compare.py CURRENT BASELINE [--threshold 0.20]
+  tools/bench_compare.py CURRENT BASELINE --update-baseline
+      copies CURRENT over BASELINE (after printing the comparison) and
+      exits 0 — the deliberate refresh path, used when a new mode or
+      scenario column is introduced or the runner class changes.
 """
 
 import argparse
 import json
+import shutil
 import statistics
 import sys
 
@@ -57,6 +70,43 @@ def load_cells(path):
     return meta, cells
 
 
+def phases_of(cell):
+    """Phase name -> ns_per_tick for one cell (empty if not recorded)."""
+    return {
+        p["name"]: p["ns_per_tick"]
+        for p in cell.get("phases", [])
+        if "name" in p and "ns_per_tick" in p
+    }
+
+
+def phase_deltas(base_cell, cur_cell, drift):
+    """Per-phase (name, base, cur, normalized ratio) rows, worst first.
+
+    Phases present on only one side are reported with the other side as 0
+    (a new pipeline phase, or one that disappeared).
+    """
+    base_phases = phases_of(base_cell)
+    cur_phases = phases_of(cur_cell)
+    rows = []
+    for name in sorted(set(base_phases) | set(cur_phases)):
+        base = base_phases.get(name, 0)
+        cur = cur_phases.get(name, 0)
+        norm = (cur / base / drift) if base > 0 else float("inf" if cur else 1)
+        rows.append((name, base, cur, norm))
+    rows.sort(key=lambda r: -(r[2] - r[1] * drift))
+    return rows
+
+
+def print_phase_deltas(base_cell, cur_cell, drift, indent="    "):
+    for name, base, cur, norm in phase_deltas(base_cell, cur_cell, drift):
+        flag = "  <<" if base > 0 and norm > 1.0 and (cur - base * drift) > 0 else ""
+        norm_str = f"{norm:8.3f}" if norm != float("inf") else "     new"
+        print(
+            f"{indent}{name:<16} {base:>12} -> {cur:>12} ns/tick"
+            f"  norm {norm_str}{flag}"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="fail on >threshold ns/tick regression vs a baseline"
@@ -77,6 +127,18 @@ def main():
         help="fail outright if the median current/baseline ratio exceeds "
         "this (uniform slowdowns must not hide behind normalization)",
     )
+    parser.add_argument(
+        "--phases",
+        action="store_true",
+        help="print per-phase deltas for every matched cell, not just "
+        "regressed ones",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="after printing the comparison, overwrite BASELINE with "
+        "CURRENT and exit 0 (deliberate refresh)",
+    )
     args = parser.parse_args()
 
     cur_meta, current = load_cells(args.current)
@@ -95,29 +157,42 @@ def main():
         )
 
     missing = sorted(k for k in baseline if k not in current)
-    shared = sorted(k for k in baseline if k in current)
-    if not shared:
+    new_cells = sorted(k for k in current if k not in baseline)
+    # Only cells present in BOTH files may shape the drift factor; see the
+    # module docstring for why unmatched cells are excluded.
+    matched = sorted(k for k in baseline if k in current)
+    if not matched:
+        # A deliberate refresh must work precisely when nothing matches
+        # any more (renamed scenarios, new cell-key scheme).
+        if args.update_baseline:
+            shutil.copyfile(args.current, args.baseline)
+            print(
+                "no cells matched; baseline refreshed: "
+                f"{args.current} -> {args.baseline}"
+            )
+            return 0
         print("error: current and baseline share no cells", file=sys.stderr)
         return 2
 
     ratios = {
         k: current[k]["ns_per_tick"] / max(1, baseline[k]["ns_per_tick"])
-        for k in shared
+        for k in matched
     }
     median_ratio = statistics.median(ratios.values())
     # Only slowdown drift is normalized out; a mostly-faster run must not
     # turn its untouched cells into "regressions".
     drift = max(1.0, median_ratio)
     print(
-        f"{len(shared)} shared cells; median current/baseline ratio "
+        f"{len(matched)} matched cells ({len(new_cells)} current-only "
+        f"excluded from normalization); median current/baseline ratio "
         f"{median_ratio:.3f} (drift {drift:.3f} normalized out)"
     )
-    if median_ratio > args.max_drift:
+    if median_ratio > args.max_drift and not args.update_baseline:
         print(
             f"FAIL: median ratio {median_ratio:.2f} exceeds --max-drift "
             f"{args.max_drift:.2f}: either the whole suite regressed or the "
-            "runner class changed — investigate, or refresh "
-            "bench/baselines/BENCH_scenarios.json deliberately",
+            "runner class changed — investigate, or refresh the baseline "
+            "deliberately with --update-baseline",
             file=sys.stderr,
         )
         return 1
@@ -126,7 +201,7 @@ def main():
              f"{'base ns/tick':>13} {'cur ns/tick':>13} {'norm ratio':>10}"
     print(header)
     failures = []
-    for k in shared:
+    for k in matched:
         norm = ratios[k] / drift
         scenario, mode, units, threads = k
         flag = ""
@@ -138,8 +213,9 @@ def main():
             f"{baseline[k]['ns_per_tick']:>13} {current[k]['ns_per_tick']:>13} "
             f"{norm:>10.3f}{flag}"
         )
+        if args.phases or flag:
+            print_phase_deltas(baseline[k], current[k], drift)
 
-    new_cells = sorted(k for k in current if k not in baseline)
     if new_cells:
         print(f"{len(new_cells)} new cell(s) not in the baseline (ok)")
 
@@ -155,12 +231,18 @@ def main():
         worst = max(failures, key=lambda f: f[1])
         print(
             f"FAIL: {len(failures)} cell(s) regressed more than "
-            f"{args.threshold:.0%} (worst: {worst[0]} at {worst[1]:.2f}x)",
+            f"{args.threshold:.0%} (worst: {worst[0]} at {worst[1]:.2f}x; "
+            "per-phase deltas above name the slow subsystem)",
             file=sys.stderr,
         )
         status = 1
     if status == 0:
         print(f"OK: no cell regressed more than {args.threshold:.0%}")
+
+    if args.update_baseline:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline refreshed: {args.current} -> {args.baseline}")
+        return 0
     return status
 
 

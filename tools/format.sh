@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Format (or check) every C++ source in the repo with the committed
+# .clang-format. CI runs `tools/format.sh --check` with clang-format
+# 14.0.6 (pip-pinned, so the result does not depend on the runner image);
+# developers run `tools/format.sh` to fix the tree in place.
+#
+#   tools/format.sh            # rewrite files in place
+#   tools/format.sh --check    # exit 1 if any file needs reformatting
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT or install" \
+       "clang-format; CI uses 'pip install clang-format==14.0.6')" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h' '*.cpp')
+if [[ "${1:-}" == "--check" ]]; then
+  "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+  echo "format check OK (${#files[@]} files)"
+else
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+fi
