@@ -78,8 +78,10 @@ void KdTree2D::Search(int32_t node_id, double qx, double qy,
                       int64_t exclude_key, Neighbor* best) const {
   const Node& node = nodes_[node_id];
   // Prune on the bounding box distance.
-  double dx = qx < node.bxlo ? node.bxlo - qx : (qx > node.bxhi ? qx - node.bxhi : 0.0);
-  double dy = qy < node.bylo ? node.bylo - qy : (qy > node.byhi ? qy - node.byhi : 0.0);
+  double dx =
+      qx < node.bxlo ? node.bxlo - qx : (qx > node.bxhi ? qx - node.bxhi : 0.0);
+  double dy =
+      qy < node.bylo ? node.bylo - qy : (qy > node.byhi ? qy - node.byhi : 0.0);
   double box_d2 = dx * dx + dy * dy;
   if (box_d2 > best->dist2) return;
 
@@ -163,7 +165,9 @@ LayeredKdForest::LayeredKdForest(const std::vector<PointRef>& points,
     return keys[points[a].id] < keys[points[b].id];
   });
   attr_sorted_.resize(n_);
-  for (int32_t i = 0; i < n_; ++i) attr_sorted_[i] = ordered[points[order[i]].id];
+  for (int32_t i = 0; i < n_; ++i) {
+    attr_sorted_[i] = ordered[points[order[i]].id];
+  }
 
   // leaves_of[p]: sorted positions covered by segment-tree node p.
   std::vector<std::vector<int32_t>> leaves_of(static_cast<size_t>(2 * n_));

@@ -303,7 +303,8 @@ Status RegisterCtfScenario(ScenarioRegistry* registry) {
   def.configure = [](const ScenarioParams& params, SimulationBuilder& b) {
     SGL_ASSIGN_OR_RETURN(Script soldier,
                          CompileScript(kSoldierScript, CtfSchema()));
-    SGL_ASSIGN_OR_RETURN(Script scenery, CompileScript(kFlagScript, CtfSchema()));
+    SGL_ASSIGN_OR_RETURN(Script scenery,
+                         CompileScript(kFlagScript, CtfSchema()));
     const int64_t side = params.GridSide();
     b.config().grid_width = side;
     b.config().grid_height = side;

@@ -154,7 +154,8 @@ Result<EnvironmentTable> EpidemicWorld(const ScenarioParams& params) {
   scenario_internal::DistinctCells cells(&rng, side);
   // Patient zeros: 5% of the population (at least one), scattered like
   // everyone else, staggered along their sickness countdown.
-  const int32_t initial_infected = params.units / 20 > 0 ? params.units / 20 : 1;
+  const int32_t initial_infected =
+      params.units / 20 > 0 ? params.units / 20 : 1;
   for (int32_t i = 0; i < params.units; ++i) {
     SGL_ASSIGN_OR_RETURN(auto cell, cells.Draw());
     auto [x, y] = cell;

@@ -48,7 +48,8 @@ class TickRandom {
 
   /// Draw reduced to [0, bound); bound must be > 0.
   int64_t DrawBounded(int64_t unit_key, int64_t i, int64_t bound) const {
-    return static_cast<int64_t>(Draw(unit_key, i) % static_cast<uint64_t>(bound));
+    return static_cast<int64_t>(Draw(unit_key, i) %
+                                static_cast<uint64_t>(bound));
   }
 
   uint64_t tick_seed() const { return tick_seed_; }

@@ -24,7 +24,8 @@ TEST(Scenario, BuildsDistinctPositionsAndArmies) {
   auto table = BuildScenario(config);
   ASSERT_TRUE(table.ok()) << table.status().ToString();
   const Schema& s = table->schema();
-  AttrId posx = s.Find("posx"), posy = s.Find("posy"), player = s.Find("player");
+  AttrId posx = s.Find("posx"), posy = s.Find("posy"),
+         player = s.Find("player");
   std::set<std::pair<int64_t, int64_t>> cells;
   int32_t players[2] = {0, 0};
   for (RowId r = 0; r < table->NumRows(); ++r) {

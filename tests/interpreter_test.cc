@@ -249,7 +249,9 @@ TEST(Interpreter, RandomVariesAcrossUnits) {
   // Not all four draws should coincide (astronomically unlikely).
   double v0 = h.Effect(0, "damage");
   bool all_same = true;
-  for (int64_t k : {1, 2, 3}) all_same = all_same && h.Effect(k, "damage") == v0;
+  for (int64_t k : {1, 2, 3}) {
+    all_same = all_same && h.Effect(k, "damage") == v0;
+  }
   EXPECT_FALSE(all_same);
 }
 
