@@ -68,6 +68,7 @@ struct BenchArgs {
   std::vector<int32_t> threads;
   std::vector<std::string> scenarios;
   std::vector<std::string> modes;
+  std::vector<std::string> sharing;  // "on" / "off" sweep (bench_suite)
   int64_t ticks = 0;
   uint64_t seed = 0;
   bool seed_set = false;  // --seed 0 is a legitimate seed
@@ -158,6 +159,7 @@ inline void PrintBenchUsage(const char* bench, const char* extra) {
                "  --scenarios A,B,... restrict to named scenarios\n"
                "  --modes A,B,...     evaluator modes "
                "(naive, indexed, adaptive)\n"
+               "  --sharing A,B,...   aggregate-sharing sweep (on, off)\n"
                "  --naive-max N       naive-evaluator unit cap "
                "(env SGL_BENCH_NAIVE_MAX)\n"
                "  --quick             small CI smoke preset\n"
@@ -206,6 +208,14 @@ inline BenchArgs ParseBenchArgsOrExit(int argc, char** argv, const char* bench,
       args.scenarios = bench_internal::SplitList(value_of(&i, "--scenarios"));
     } else if (is_flag(arg, "--modes")) {
       args.modes = bench_internal::SplitList(value_of(&i, "--modes"));
+    } else if (is_flag(arg, "--sharing")) {
+      args.sharing = bench_internal::SplitList(value_of(&i, "--sharing"));
+      for (const std::string& s : args.sharing) {
+        if (s != "on" && s != "off") {
+          std::fprintf(stderr, "--sharing: '%s' is not on/off\n", s.c_str());
+          std::exit(2);
+        }
+      }
     } else if (is_flag(arg, "--naive-max")) {
       args.naive_max = bench_internal::ParsePositiveIntOrExit(
           "--naive-max", value_of(&i, "--naive-max"));

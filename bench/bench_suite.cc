@@ -1,16 +1,19 @@
 // The unified benchmark suite: every registered scenario, swept across
-// {naive, indexed, adaptive} evaluators x worker-thread counts x unit scales.
+// {naive, indexed, adaptive} evaluators x worker-thread counts x unit
+// scales x aggregate sharing {on, off}.
 //
 // Each (scenario, units) group elects the first completed cell as its
 // reference; every other cell's final environment table must be
 // bit-identical to it (the PR-2 determinism contract, now enforced
-// across the whole scenario library on every benchmark run), and every
-// cell must satisfy its scenario's invariant checker.
+// across the whole scenario library — including sharing on vs off — on
+// every benchmark run), and every cell must satisfy its scenario's
+// invariant checker.
 //
 // Results go to a standardized BENCH_scenarios.json: one "meta" line
 // followed by one line per cell with ns/tick, rows, rows scanned, index
-// probes, and the per-phase breakdown from PhaseStatsRegistry — the
-// repo's perf trajectory, consumed by tools/bench_compare.py in CI.
+// probes, sharing counters (shared_hits / memo_entries), and the
+// per-phase breakdown from PhaseStatsRegistry — the repo's perf
+// trajectory, consumed by tools/bench_compare.py in CI.
 //
 //   bench_suite --quick --json BENCH_scenarios.json   # the CI smoke run
 //   bench_suite --scenarios battle,ctf --units 1000,4000 --threads 1,2,8
@@ -35,22 +38,25 @@ struct CellResult {
   int32_t rows = 0;
   int64_t rows_scanned = 0;
   int64_t index_probes = 0;
+  int64_t shared_hits = 0;
+  int64_t memo_entries = 0;
   std::vector<std::pair<std::string, double>> phase_seconds;
 };
 
-// Runs one (scenario, params, mode, threads) cell `reps` times and
-// keeps the fastest repetition — identical seeds make every repetition
-// bit-identical, so repeating only filters scheduler noise out of the
-// timing, which matters for the sub-millisecond CI cells the regression
-// gate compares across runs.
+// Runs one (scenario, params, mode, threads, sharing) cell `reps` times
+// and keeps the fastest repetition — identical seeds make every
+// repetition bit-identical, so repeating only filters scheduler noise
+// out of the timing, which matters for the sub-millisecond CI cells the
+// regression gate compares across runs.
 CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
-                   EvaluatorMode mode, int32_t threads, int64_t ticks,
-                   int32_t reps) {
+                   EvaluatorMode mode, int32_t threads, bool sharing,
+                   int64_t ticks, int32_t reps) {
   CellResult best;
   for (int32_t rep = 0; rep < reps; ++rep) {
     SimulationConfig config;
     config.eval_mode = mode;
     config.threads = threads;
+    config.sharing = sharing;
     auto sim = ScenarioRegistry::Global().BuildSimulation(scenario, params,
                                                           config);
     if (!sim.ok()) {
@@ -70,6 +76,8 @@ CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
     if (rep > 0 && cell.seconds >= best.seconds) continue;
     cell.table = (*sim)->table().Clone();
     cell.rows = (*sim)->table().NumRows();
+    cell.shared_hits = (*sim)->shared_hits();
+    cell.memo_entries = (*sim)->memo_entries();
     for (const auto& [name, stats] : (*sim)->stats().stats()) {
       cell.rows_scanned += stats.rows_scanned;
       cell.index_probes += stats.index_probes;
@@ -87,17 +95,20 @@ CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
 }
 
 std::string CellJson(const std::string& scenario, const char* mode,
-                     int32_t units, int32_t threads, int64_t ticks,
-                     const CellResult& cell) {
+                     int32_t units, int32_t threads, bool sharing,
+                     int64_t ticks, const CellResult& cell) {
   const double ns_per_tick = cell.seconds / static_cast<double>(ticks) * 1e9;
   std::ostringstream os;
   os << "{\"scenario\": \"" << scenario << "\", \"mode\": \"" << mode
      << "\", \"units\": " << units << ", \"threads\": " << threads
+     << ", \"sharing\": \"" << (sharing ? "on" : "off") << "\""
      << ", \"ticks\": " << ticks << ", \"seconds\": " << cell.seconds
      << ", \"ns_per_tick\": " << static_cast<int64_t>(ns_per_tick)
      << ", \"rows\": " << cell.rows
      << ", \"rows_scanned\": " << cell.rows_scanned
      << ", \"index_probes\": " << cell.index_probes
+     << ", \"shared_hits\": " << cell.shared_hits
+     << ", \"memo_entries\": " << cell.memo_entries
      << ", \"deterministic\": true, \"phases\": [";
   bool first = true;
   for (const auto& [name, seconds] : cell.phase_seconds) {
@@ -151,6 +162,12 @@ int main(int argc, char** argv) {
       args.modes.empty()
           ? std::vector<std::string>{"naive", "indexed", "adaptive"}
           : args.modes;
+  // Sharing is swept on and off by default: the off rows keep a
+  // regression gate on the probe-per-unit path, and on-vs-off in one
+  // file documents what the memoization layer buys per scenario.
+  const std::vector<std::string> sharing_sweep =
+      args.sharing.empty() ? std::vector<std::string>{"on", "off"}
+                           : args.sharing;
   for (const std::string& name : scenarios) {
     auto def = registry.Get(name);
     if (!def.ok()) {
@@ -168,8 +185,8 @@ int main(int argc, char** argv) {
     json.WriteLine(meta.str());
   }
 
-  std::printf("%-14s %-8s %7s %8s %14s %9s\n", "scenario", "mode", "units",
-              "threads", "ns/tick", "speedup");
+  std::printf("%-14s %-8s %7s %8s %8s %14s %9s\n", "scenario", "mode",
+              "units", "threads", "sharing", "ns/tick", "speedup");
   for (const std::string& scenario : scenarios) {
     for (int32_t units : unit_counts) {
       ScenarioParams params;
@@ -187,28 +204,33 @@ int main(int argc, char** argv) {
         EvaluatorMode mode = *parsed;
         if (mode == EvaluatorMode::kNaive && units > naive_max) continue;
         for (int32_t threads : thread_counts) {
-          CellResult cell =
-              RunCell(scenario, params, mode, threads, ticks, reps);
-          if (!have_reference) {
-            have_reference = true;
-            reference = cell.table.Clone();
-            base_ns = cell.seconds / static_cast<double>(ticks) * 1e9;
-          } else if (!reference.Equals(cell.table)) {
-            std::fprintf(
-                stderr,
-                "DETERMINISM VIOLATION: %s units=%d %s threads=%d diverged "
-                "from the group reference:\n%s\n",
-                scenario.c_str(), units, mode_name.c_str(), threads,
-                reference.DiffString(cell.table).c_str());
-            return 1;
+          for (const std::string& sharing_name : sharing_sweep) {
+            const bool sharing = sharing_name == "on";
+            CellResult cell = RunCell(scenario, params, mode, threads,
+                                      sharing, ticks, reps);
+            if (!have_reference) {
+              have_reference = true;
+              reference = cell.table.Clone();
+              base_ns = cell.seconds / static_cast<double>(ticks) * 1e9;
+            } else if (!reference.Equals(cell.table)) {
+              std::fprintf(
+                  stderr,
+                  "DETERMINISM VIOLATION: %s units=%d %s threads=%d "
+                  "sharing=%s diverged from the group reference:\n%s\n",
+                  scenario.c_str(), units, mode_name.c_str(), threads,
+                  sharing_name.c_str(),
+                  reference.DiffString(cell.table).c_str());
+              return 1;
+            }
+            const double ns = cell.seconds / static_cast<double>(ticks) * 1e9;
+            std::printf("%-14s %-8s %7d %8d %8s %14.0f %8.2fx\n",
+                        scenario.c_str(), mode_name.c_str(), units, threads,
+                        sharing_name.c_str(), ns,
+                        ns > 0 ? base_ns / ns : 0.0);
+            std::fflush(stdout);
+            json.WriteLine(CellJson(scenario, mode_name.c_str(), units,
+                                    threads, sharing, ticks, cell));
           }
-          const double ns = cell.seconds / static_cast<double>(ticks) * 1e9;
-          std::printf("%-14s %-8s %7d %8d %14.0f %8.2fx\n", scenario.c_str(),
-                      mode_name.c_str(), units, threads, ns,
-                      ns > 0 ? base_ns / ns : 0.0);
-          std::fflush(stdout);
-          json.WriteLine(CellJson(scenario, mode_name.c_str(), units, threads,
-                                  ticks, cell));
         }
       }
     }

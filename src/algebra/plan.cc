@@ -34,7 +34,10 @@ void CollectNamesCond(const Cond& c, std::set<std::string>* out) {
 
 void ExprKey(const Expr& e, std::ostream& os) {
   switch (e.kind) {
-    case ExprKind::kNumber: os << e.number; break;
+    // Round-trip literal precision (opt/signature.h): distinct constants
+    // must never render alike, or the common-aggregate factoring below
+    // would merge operators with different semantics.
+    case ExprKind::kNumber: PrintCanonicalNumber(e.number, os); break;
     case ExprKind::kVarRef: os << "v:" << e.name; break;
     case ExprKind::kAttrRef: os << "a:" << e.tuple_var << "." << e.attr; break;
     case ExprKind::kFieldAccess:
@@ -376,12 +379,32 @@ Result<LogicalPlan> OptimizePlan(const LogicalPlan& plan) {
 
   // Common-aggregate factoring: identical aggregate expressions share a
   // signature id (the physical layer builds one index family per id).
+  // Identity is *structural*: the called declaration contributes its
+  // canonical fingerprint (opt/signature.h), not its name, so calls to
+  // two declarations that differ only in spelling — aggregate or tuple-
+  // variable names — factor into one shared signature, mirroring the
+  // dedup rule of the physical families and the cross-script sharing
+  // layer.
   std::map<std::string, int32_t> signature_of;
   std::set<const PlanNode*> visited;
   std::function<void(const PlanPtr&)> factor = [&](const PlanPtr& node) {
     if (node == nullptr || !visited.insert(node.get()).second) return;
     if (node->op == PlanOp::kExtendAgg) {
-      std::string key = ExprKeyOf(*node->expr);
+      std::string key;
+      const Expr& call = *node->expr;
+      if (call.is_aggregate && call.call_id >= 0) {
+        std::ostringstream os;
+        os << CanonicalAggregateFingerprint(*out.script, call.call_id)
+           << "@(";
+        for (size_t a = 1; a < call.args.size(); ++a) {
+          if (call.args[a]) ExprKey(*call.args[a], os);
+          os << ",";
+        }
+        os << ")";
+        key = os.str();
+      } else {
+        key = ExprKeyOf(call);
+      }
       auto [it, inserted] = signature_of.emplace(
           key, static_cast<int32_t>(signature_of.size()));
       node->shared_signature = it->second;

@@ -48,9 +48,12 @@ Status Simulation::Tick() {
   TickRandom rnd(config_.seed, static_cast<uint64_t>(tick_count_));
 
   // Tick prologue: initialize the auxiliary (effect) attributes and
-  // snapshot them as the base contribution of the incremental ⊕.
+  // snapshot them as the base contribution of the incremental ⊕. The
+  // sharing layer's memo tables only describe the frozen state of one
+  // tick, so they reset here too (and demotions take effect).
   table_.ResetEffects();
   buffer_.Begin(table_);
+  if (sharing_ != nullptr) sharing_->BeginTick();
 
   TickContext ctx;
   ctx.sim = this;
@@ -104,7 +107,8 @@ std::string Simulation::Explain() const {
   if (!name_.empty()) os << "simulation: " << name_ << "\n";
   os << "execution: " << threads_ << (threads_ == 1 ? " thread" : " threads")
      << (pool_ != nullptr ? " (parallel tick pipeline, deterministic)" : "")
-     << ", evaluator: " << EvaluatorModeName(config_.eval_mode) << "\n\n";
+     << ", evaluator: " << EvaluatorModeName(config_.eval_mode)
+     << ", sharing: " << (sharing_ != nullptr ? "on" : "off") << "\n\n";
   for (const auto& session : sessions_) {
     os << "== script '" << session->name << "'";
     if (dispatch_attr_ != Schema::kInvalidAttr) {
@@ -151,6 +155,7 @@ std::string Simulation::Explain() const {
     DescribeSessionPlan(*session, os);
     os << "\n";
   }
+  if (sharing_ != nullptr) os << sharing_->Describe();
   return os.str();
 }
 
@@ -374,7 +379,29 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
         session.interp->set_action_sink(session.sink.get());
       }
     }
+    if (config_.sharing) {
+      // The sharing decorator intercepts the interpreter's aggregate
+      // calls: memo hits return immediately, misses flow to the physical
+      // provider (or the reference scan under the naive evaluator). One
+      // context serves every session, so structurally identical
+      // aggregates dedup across scripts.
+      if (sim->sharing_ == nullptr) {
+        sim->sharing_ = std::make_unique<SharingContext>();
+      }
+      SGL_ASSIGN_OR_RETURN(
+          session.sharing,
+          SharingAggregateProvider::Create(
+              session.script, *session.interp, session.provider.get(),
+              sim->sharing_.get(), session.name));
+      // All-per-unit scripts (every probe depends on the probing unit)
+      // keep the direct path: the decorator would only add a forwarding
+      // hop per call. Classifications stay registered for EXPLAIN.
+      if (session.sharing->any_shared()) {
+        session.interp->set_aggregate_provider(session.sharing.get());
+      }
+    }
   }
+  if (sim->sharing_ != nullptr) sim->sharing_->set_num_shards(sim->threads_);
   if (any_dispatch_value) {
     if (dispatch_attr_name_.empty()) {
       return Status::Invalid(

@@ -43,6 +43,7 @@
 #include "exec/thread_pool.h"
 #include "opt/action_sink.h"
 #include "opt/indexed_provider.h"
+#include "opt/sharing.h"
 #include "sgl/analyzer.h"
 #include "sgl/interpreter.h"
 #include "util/rng.h"
@@ -107,6 +108,14 @@ struct SimulationConfig {
   bool index_aggregates = true;
   bool index_actions = true;
 
+  /// Cross-unit aggregate sharing (src/opt/sharing.h): memoize
+  /// unit-invariant and partition-keyed aggregate results per tick and
+  /// broadcast them across probing units and scripts. Works under every
+  /// evaluator mode (it layers above the physical providers — including
+  /// the naive reference scans) and is bit-exact on or off for any
+  /// thread count; off reproduces the probe-per-unit behavior exactly.
+  bool sharing = true;
+
   /// Movement phase configuration. Attribute names for the per-tick
   /// movement intent; empty names disable the phase. Positions are kept
   /// on the integer grid [0, grid_width) x [0, grid_height).
@@ -133,6 +142,10 @@ struct ScriptSession {
   /// latter); null under the naive evaluator.
   std::unique_ptr<IndexedAggregateProvider> provider;
   std::unique_ptr<IndexedActionSink> sink;  // indexed/adaptive modes only
+  /// With SimulationConfig::sharing: the memoization decorator installed
+  /// between the interpreter and `provider` (or the naive fallback when
+  /// `provider` is null). All sessions share the Simulation's context.
+  std::unique_ptr<SharingAggregateProvider> sharing;
 };
 
 /// A checkpoint of the simulation state: the environment table plus the
@@ -165,6 +178,19 @@ class Simulation {
   /// Per-phase statistics accumulated across ticks.
   const PhaseStatsRegistry& stats() const { return stats_; }
   PhaseStatsRegistry* mutable_stats() { return &stats_; }
+
+  /// The cross-unit aggregate-sharing layer; null when
+  /// SimulationConfig::sharing is off.
+  const SharingContext* sharing() const { return sharing_.get(); }
+
+  /// Sharing counters for benches/tests (0 with sharing off). Read them
+  /// between ticks or after a run, not mid-phase.
+  int64_t shared_hits() const {
+    return sharing_ != nullptr ? sharing_->shared_hits() : 0;
+  }
+  int64_t memo_entries() const {
+    return sharing_ != nullptr ? sharing_->memo_entries() : 0;
+  }
 
   /// Resolved worker-thread count (config threads after auto-detection).
   int32_t threads() const { return threads_; }
@@ -217,6 +243,7 @@ class Simulation {
   std::vector<ApplyEffectsHook> apply_hooks_;
   std::vector<EndTickHook> end_tick_hooks_;
   std::vector<std::unique_ptr<TickPhase>> pipeline_;
+  std::unique_ptr<SharingContext> sharing_;  // null when sharing is off
   EffectBuffer buffer_;
   PhaseStatsRegistry stats_;
   int64_t tick_count_ = 0;

@@ -1,0 +1,411 @@
+#include "opt/sharing.h"
+
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+namespace sgl {
+
+namespace {
+
+/// Probe calls a group must accumulate before its hit rate is judged;
+/// below this a scan's worth of memo misses cannot hurt.
+constexpr int64_t kDemotionMinCalls = 64;
+
+/// Does the expression/condition reference the tuple variable `name`?
+/// Thin wrappers over the signature module's side-use analysis (empty
+/// e-alias and param list restrict it to exactly that question), so the
+/// sharing classifier and the signature extractor can never drift apart
+/// on what counts as a variable reference.
+bool ExprUsesTuple(const Expr& e, const std::string& name) {
+  return AnalyzeExprUse(e, name, "", {}).uses_u;
+}
+
+bool CondUsesTuple(const Cond& c, const std::string& name) {
+  return AnalyzeCondUse(c, name, "", {}).uses_u;
+}
+
+void CollectParamRefs(const Expr& e, const std::vector<std::string>& params,
+                      std::vector<bool>* used) {
+  if (e.kind == ExprKind::kVarRef) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (params[i] == e.name) (*used)[i] = true;
+    }
+  }
+  for (const ExprPtr& a : e.args) {
+    if (a) CollectParamRefs(*a, params, used);
+  }
+}
+
+void CollectParamRefsCond(const Cond& c,
+                          const std::vector<std::string>& params,
+                          std::vector<bool>* used) {
+  if (c.lhs) CollectParamRefs(*c.lhs, params, used);
+  if (c.rhs) CollectParamRefs(*c.rhs, params, used);
+  if (c.left) CollectParamRefsCond(*c.left, params, used);
+  if (c.right) CollectParamRefsCond(*c.right, params, used);
+}
+
+}  // namespace
+
+const char* SharingClassName(SharingClass cls) {
+  switch (cls) {
+    case SharingClass::kPerUnit: return "per-unit";
+    case SharingClass::kUnitInvariant: return "unit-invariant";
+    case SharingClass::kPartitionKeyed: return "partition-keyed";
+  }
+  return "?";
+}
+
+SharingPlan ClassifySharing(const Script& script,
+                            const AggregateSignature& sig) {
+  const AggregateDecl& decl = script.program.aggregates[sig.agg_index];
+  const std::string& u = decl.params[0];
+  const std::vector<std::string> params(decl.params.begin() + 1,
+                                        decl.params.end());
+  SharingPlan plan;
+  auto per_unit = [&](std::string reason) {
+    plan.cls = SharingClass::kPerUnit;
+    plan.reason = std::move(reason);
+    plan.key_exprs.clear();
+    plan.key_conds.clear();
+    plan.key_params.clear();
+    return plan;
+  };
+  // Referenced scalar parameters become raw key components; unused ones
+  // cannot influence the result and stay out of the key.
+  auto params_to_key = [&](const std::vector<bool>& used) {
+    for (size_t i = 0; i < used.size(); ++i) {
+      if (used[i]) plan.key_params.push_back(static_cast<int32_t>(i));
+    }
+    plan.cls = plan.key_params.empty() ? SharingClass::kUnitInvariant
+                                       : SharingClass::kPartitionKeyed;
+    return plan;
+  };
+
+  if (sig.kind == IndexKind::kKdNearest) {
+    return per_unit("nearest probes from the unit's own position");
+  }
+  if (sig.exclude_self) {
+    return per_unit("self-excluding: subtracts the probing unit's own "
+                    "contribution");
+  }
+
+  if (sig.kind == IndexKind::kNaive) {
+    // No probe/build decomposition exists: the reference scan may use the
+    // unit anywhere, so analyze the whole declaration.
+    for (const AggItem& item : decl.items) {
+      if (item.func == AggFunc::kNearest) {
+        return per_unit("nearest probes from the unit's own position");
+      }
+    }
+    bool uses_u = CondUsesTuple(*decl.where, u);
+    for (const AggItem& item : decl.items) {
+      if (item.term && ExprUsesTuple(*item.term, u)) uses_u = true;
+    }
+    if (uses_u) {
+      return per_unit("references the probing unit's attributes");
+    }
+    std::vector<bool> used(params.size(), false);
+    CollectParamRefsCond(*decl.where, params, &used);
+    for (const AggItem& item : decl.items) {
+      if (item.term) CollectParamRefs(*item.term, params, &used);
+    }
+    return params_to_key(used);
+  }
+
+  // Indexable kinds: unit-dependence can only flow through the probe side
+  // of the signature — build filters and terms are e-only by construction
+  // (a u-dependent term already forced the naive fallback).
+  bool any_u = false;
+  auto check_expr = [&](const Expr* e) {
+    if (e != nullptr && ExprUsesTuple(*e, u)) any_u = true;
+  };
+  for (const PartitionDim& p : sig.partitions) check_expr(p.value);
+  for (const RangeDim& r : sig.ranges) {
+    check_expr(r.lo);
+    check_expr(r.hi);
+  }
+  for (const Cond* f : sig.probe_filters) {
+    if (CondUsesTuple(*f, u)) any_u = true;
+  }
+
+  if (any_u) {
+    // Key on the evaluated probe values: two units with equal partition
+    // values, range bounds, and probe-filter outcomes get equal results
+    // (the probe algorithm consumes nothing else once self-exclusion is
+    // ruled out above).
+    for (const PartitionDim& p : sig.partitions) {
+      plan.key_exprs.push_back(p.value);
+    }
+    for (const RangeDim& r : sig.ranges) {
+      if (r.lo != nullptr) plan.key_exprs.push_back(r.lo);
+      if (r.hi != nullptr) plan.key_exprs.push_back(r.hi);
+    }
+    plan.key_conds = sig.probe_filters;
+    plan.cls = SharingClass::kPartitionKeyed;
+    return plan;
+  }
+
+  // No unit attributes anywhere on the probe side: the scalar arguments
+  // alone determine the probe, so key on the referenced ones directly
+  // (cheaper than re-evaluating bound expressions per call).
+  std::vector<bool> used(params.size(), false);
+  for (const PartitionDim& p : sig.partitions) {
+    CollectParamRefs(*p.value, params, &used);
+  }
+  for (const RangeDim& r : sig.ranges) {
+    if (r.lo != nullptr) CollectParamRefs(*r.lo, params, &used);
+    if (r.hi != nullptr) CollectParamRefs(*r.hi, params, &used);
+  }
+  for (const Cond* f : sig.probe_filters) {
+    CollectParamRefsCond(*f, params, &used);
+  }
+  return params_to_key(used);
+}
+
+// ----------------------------------------------------------- SharingContext
+
+size_t SharingContext::KeyHash::operator()(const Key& key) const {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (double d : key) {
+    uint64_t bits = 0;
+    if (d != 0.0) std::memcpy(&bits, &d, sizeof(bits));  // -0.0 == 0.0
+    h ^= bits;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+int32_t SharingContext::RegisterAggregate(const std::string& member,
+                                          const std::string& canonical_key,
+                                          SharingClass cls,
+                                          const std::string& reason) {
+  auto [it, inserted] = group_by_key_.emplace(
+      canonical_key, static_cast<int32_t>(groups_.size()));
+  if (inserted) {
+    auto group = std::make_unique<Group>();
+    group->cls = cls;
+    group->reason = reason;
+    group->active = cls != SharingClass::kPerUnit;
+    groups_.push_back(std::move(group));
+    group_entries_.push_back(0);
+  }
+  groups_[it->second]->members.push_back(member);
+  return it->second;
+}
+
+void SharingContext::set_num_shards(int32_t num_shards) {
+  const size_t shards = static_cast<size_t>(num_shards < 1 ? 1 : num_shards);
+  // Stride-pad each shard's region to a whole cache line plus one, so two
+  // shards' active slots never land on one line (same layout rationale as
+  // IndexedAggregateProvider::set_num_shards).
+  const size_t line = 64 / sizeof(int64_t);
+  group_stride_ = (groups_.size() + line - 1) / line * line + line;
+  call_tallies_.assign(shards * group_stride_, 0);
+  hit_tallies_.assign(shards * group_stride_, 0);
+}
+
+int64_t SharingContext::GroupCalls(int32_t group) const {
+  if (group_stride_ == 0) return 0;
+  int64_t total = 0;
+  for (size_t base = 0; base < call_tallies_.size(); base += group_stride_) {
+    total += call_tallies_[base + group];
+  }
+  return total;
+}
+
+int64_t SharingContext::GroupHits(int32_t group) const {
+  if (group_stride_ == 0) return 0;
+  int64_t total = 0;
+  for (size_t base = 0; base < hit_tallies_.size(); base += group_stride_) {
+    total += hit_tallies_[base + group];
+  }
+  return total;
+}
+
+int64_t SharingContext::GroupEntries(int32_t group) const {
+  return group_entries_[group];
+}
+
+int64_t SharingContext::shared_hits() const {
+  int64_t total = 0;
+  for (int64_t t : hit_tallies_) total += t;
+  return total;
+}
+
+int64_t SharingContext::memo_entries() const {
+  int64_t total = 0;
+  for (int64_t t : group_entries_) total += t;
+  return total;
+}
+
+void SharingContext::BeginTick() {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    Group& group = *groups_[g];
+    if (!group.active) continue;
+    // Demotion: once enough probes prove the keys nearly unique (>75%
+    // distinct), memoization costs more than it saves. The counts are
+    // cumulative so low-rate groups (a handful of calls per tick, every
+    // key fresh) get caught too, and they are pure per-tick totals, so
+    // the verdict is identical for any worker-thread count.
+    const int64_t calls = GroupCalls(static_cast<int32_t>(g));
+    const int64_t entries = group_entries_[g];
+    if (group.cls == SharingClass::kPartitionKeyed &&
+        calls >= kDemotionMinCalls && entries * 4 > calls * 3) {
+      group.active = false;
+      group.demoted = true;
+      std::ostringstream os;
+      os << "demoted: keys nearly unique per probe (" << entries
+         << " distinct keys over " << calls << " calls)";
+      group.reason = os.str();
+    }
+    // Memoized results are only valid against the frozen state of the
+    // tick that computed them. Single-threaded here (tick prologue), so
+    // no lock is needed.
+    group.memo.clear();
+  }
+}
+
+bool SharingContext::Lookup(int32_t group_id, const Key& key, Value* out,
+                            int32_t shard) {
+  Group& group = *groups_[group_id];
+  const size_t slot = static_cast<size_t>(shard) * group_stride_ + group_id;
+  ++call_tallies_[slot];
+  {
+    std::shared_lock<std::shared_mutex> lock(group.mu);
+    auto it = group.memo.find(key);
+    if (it == group.memo.end()) return false;
+    *out = it->second;
+  }
+  ++hit_tallies_[slot];
+  return true;
+}
+
+void SharingContext::Publish(int32_t group_id, const Key& key, Value value) {
+  Group& group = *groups_[group_id];
+  std::unique_lock<std::shared_mutex> lock(group.mu);
+  // Publish-once: if a racing shard installed this key first, its value
+  // is bit-identical (aggregates are deterministic in (key, table)) and
+  // this copy is simply dropped.
+  auto [it, inserted] = group.memo.emplace(key, std::move(value));
+  if (inserted) ++group_entries_[group_id];
+}
+
+std::string SharingContext::Describe() const {
+  std::ostringstream os;
+  os << "Aggregate sharing (" << groups_.size()
+     << " dedup groups, per-tick memoization):\n";
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const Group& group = *groups_[g];
+    os << "  group " << g << " [" << SharingClassName(group.cls);
+    if (group.demoted) os << ", demoted";
+    os << "] ";
+    for (size_t m = 0; m < group.members.size(); ++m) {
+      if (m > 0) os << " = ";
+      os << group.members[m];
+    }
+    if (group.cls == SharingClass::kPerUnit || group.demoted) {
+      os << ": " << group.reason;
+    }
+    if (group.cls != SharingClass::kPerUnit) {
+      os << ": calls " << GroupCalls(static_cast<int32_t>(g)) << ", hits "
+         << GroupHits(static_cast<int32_t>(g)) << ", entries "
+         << GroupEntries(static_cast<int32_t>(g));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// -------------------------------------------------- SharingAggregateProvider
+
+Result<std::unique_ptr<SharingAggregateProvider>>
+SharingAggregateProvider::Create(const Script& script,
+                                 const Interpreter& interp,
+                                 AggregateProvider* inner, SharingContext* ctx,
+                                 const std::string& session_name) {
+  std::unique_ptr<SharingAggregateProvider> provider(
+      new SharingAggregateProvider(script, interp, inner, ctx));
+  const int32_t num_aggs =
+      static_cast<int32_t>(script.program.aggregates.size());
+  provider->plans_.reserve(num_aggs);
+  provider->group_of_.reserve(num_aggs);
+  for (int32_t a = 0; a < num_aggs; ++a) {
+    SGL_ASSIGN_OR_RETURN(AggregateSignature sig, ExtractSignature(script, a));
+    SharingPlan plan = ClassifySharing(script, sig);
+    const std::string member =
+        session_name + "." + script.program.aggregates[a].name;
+    provider->group_of_.push_back(ctx->RegisterAggregate(
+        member, CanonicalAggregateFingerprint(script, a), plan.cls,
+        plan.reason));
+    provider->plans_.push_back(std::move(plan));
+  }
+  return provider;
+}
+
+Result<Value> SharingAggregateProvider::InnerEval(
+    int32_t agg_index, const std::vector<Value>& scalar_args, RowId u_row,
+    const EnvironmentTable& table, const TickRandom& rnd, int32_t shard) {
+  if (inner_ != nullptr) {
+    return inner_->Eval(agg_index, scalar_args, u_row, table, rnd, shard);
+  }
+  return interp_->EvalAggregate(agg_index, scalar_args, u_row, table, rnd);
+}
+
+Result<Value> SharingAggregateProvider::Eval(
+    int32_t agg_index, const std::vector<Value>& scalar_args, RowId u_row,
+    const EnvironmentTable& table, const TickRandom& rnd, int32_t shard) {
+  const int32_t group = group_of_[agg_index];
+  // An out-of-range shard means set_num_shards was skipped; bypass the
+  // memo (and its per-shard tallies) rather than write past the arrays.
+  if (!ctx_->Active(group) || shard < 0 || shard >= ctx_->num_shards()) {
+    return InnerEval(agg_index, scalar_args, u_row, table, rnd, shard);
+  }
+  const SharingPlan& plan = plans_[agg_index];
+
+  SharingContext::Key key;
+  key.reserve(plan.key_exprs.size() + plan.key_conds.size() +
+              plan.key_params.size());
+  if (!plan.key_exprs.empty() || !plan.key_conds.empty()) {
+    const AggregateDecl& decl = script_->program.aggregates[agg_index];
+    const std::string* u_name = &decl.params[0];
+    const int64_t u_key = table.KeyAt(u_row);
+    LocalStack locals;
+    for (size_t i = 1; i < decl.params.size(); ++i) {
+      locals.Push(decl.params[i], scalar_args[i - 1]);
+    }
+    for (const Expr* e : plan.key_exprs) {
+      SGL_ASSIGN_OR_RETURN(
+          Value v, interp_->EvalExprIn(*e, table, u_name, u_row, nullptr, -1,
+                                       &locals, rnd, u_key));
+      if (!v.is_scalar()) {
+        return InnerEval(agg_index, scalar_args, u_row, table, rnd, shard);
+      }
+      key.push_back(v.scalar());
+    }
+    for (const Cond* c : plan.key_conds) {
+      SGL_ASSIGN_OR_RETURN(
+          bool pass, interp_->EvalCondIn(*c, table, u_name, u_row, nullptr,
+                                         -1, &locals, rnd, u_key));
+      key.push_back(pass ? 1.0 : 0.0);
+    }
+  }
+  for (int32_t p : plan.key_params) {
+    const Value& v = scalar_args[p];
+    if (!v.is_scalar()) {
+      return InnerEval(agg_index, scalar_args, u_row, table, rnd, shard);
+    }
+    key.push_back(v.scalar());
+  }
+
+  Value out;
+  if (ctx_->Lookup(group, key, &out, shard)) return out;
+  SGL_ASSIGN_OR_RETURN(out,
+                       InnerEval(agg_index, scalar_args, u_row, table, rnd,
+                                 shard));
+  ctx_->Publish(group, key, out);
+  return out;
+}
+
+}  // namespace sgl

@@ -1,0 +1,258 @@
+// Cross-unit aggregate sharing: the multi-query optimization layer that
+// sits *above* the physical aggregate evaluators.
+//
+// The paper's central observation is that thousands of units issue the
+// same or near-identical environment aggregates each tick. The physical
+// layer already exploits half of that (structurally identical aggregates
+// share one index family); this module exploits the other half: most
+// probes against a shared family carry the same *probe values* too, so
+// their results can be memoized per tick instead of recomputed per unit.
+// Each aggregate declaration is classified once, at build time:
+//
+//   unit-invariant    no probe-side expression references the probing
+//                     unit's attributes or the declaration's scalar
+//                     parameters: the result is a pure function of the
+//                     frozen tick-start environment. Compute once per
+//                     tick, broadcast to every probing unit — across
+//                     scripts (market's global supply/demand sums,
+//                     epidemic's crowd centroid).
+//
+//   partition-keyed   the only unit-dependence flows through a small
+//                     tuple of scalar probe values (partition values,
+//                     range bounds, probe-filter outcomes — or, when the
+//                     probe side references no unit attributes at all,
+//                     just the scalar arguments). Memoize one result per
+//                     distinct key in a per-tick table (market's
+//                     poorest-buyer probe: every seller passes the same
+//                     tick price).
+//
+//   per-unit          everything else (self-excluding divisible sums,
+//                     nearest-neighbour probes from the unit's own
+//                     position): today's path, untouched.
+//
+// Sharing changes *where* a result comes from, never what it is: every
+// aggregate is deterministic in (probe key, environment) — random() is
+// banned inside aggregate declarations — so a memo hit returns a value
+// bit-identical to what the evaluator below would have produced.
+// Concurrent shards fill the per-tick tables race-free through a
+// publish-once slot per key: racing shards may compute the same value
+// twice, but exactly one copy is published and both are identical, so
+// simulations stay bit-exact for any worker-thread count with sharing on
+// or off (SimulationConfig::sharing; tests/sharing_test.cc enforces it).
+//
+// Groups whose keys turn out to be nearly unique per unit (epidemic's
+// per-position exposure boxes) are demoted to per-unit as soon as the
+// probes prove it. The demotion signal is cumulative (calls, distinct
+// keys) totals — pure counts, deterministic for any thread count, same
+// rationale as the adaptive cost model's inputs (opt/cost.h); cumulative
+// rather than per-tick so a group issuing only a handful of fresh-keyed
+// calls per tick is caught too. Demotion also feeds
+// the adaptive evaluator the right demand signal for free: the inner
+// provider only sees memo *misses*, so a shared aggregate's per-family
+// probe tally collapses to ~the distinct-key count and the cost model
+// stops building indexes nobody probes.
+#ifndef SGL_OPT_SHARING_H_
+#define SGL_OPT_SHARING_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/signature.h"
+#include "sgl/interpreter.h"
+
+namespace sgl {
+
+/// How one aggregate declaration's probe results may be shared.
+enum class SharingClass { kPerUnit, kUnitInvariant, kPartitionKeyed };
+
+const char* SharingClassName(SharingClass cls);
+
+/// The classification verdict for one aggregate, plus the recipe for
+/// building its memo key. Expression/condition pointers alias the
+/// Script's AST and share its lifetime.
+struct SharingPlan {
+  SharingClass cls = SharingClass::kPerUnit;
+  std::string reason;  // kPerUnit: why the aggregate cannot share
+
+  /// kPartitionKeyed key recipe, in canonical order: probe-side scalar
+  /// expressions (partition values, range bounds) evaluated with the
+  /// probing unit bound, then probe-filter conditions as 0/1 components,
+  /// then raw scalar-argument indices. Unit-invariant plans have an
+  /// empty recipe (a single slot per tick).
+  std::vector<const Expr*> key_exprs;
+  std::vector<const Cond*> key_conds;
+  std::vector<int32_t> key_params;  // indices into Eval's scalar_args
+};
+
+/// Classify aggregate `sig.agg_index` of `script`. Pure analysis; never
+/// fails (anything unanalyzable is kPerUnit with a reason).
+SharingPlan ClassifySharing(const Script& script,
+                            const AggregateSignature& sig);
+
+/// The per-simulation sharing state: dedup groups of structurally
+/// identical aggregates (keyed by CanonicalAggregateFingerprint, so
+/// identical declarations in different scripts join one group) and their
+/// per-tick memo tables. Owned by Simulation; one instance serves every
+/// script session.
+///
+/// Thread safety: registration and BeginTick are build-time / tick-
+/// prologue operations (single-threaded by construction); Lookup and
+/// Publish are called concurrently from the decision phase and
+/// synchronize per group (shared lock to read, unique lock to publish).
+class SharingContext {
+ public:
+  using Key = std::vector<double>;
+
+  /// Join (or create) the dedup group for `canonical_key`, recording
+  /// `member` ("script.aggregate") for EXPLAIN. All members of a group
+  /// share classification by construction (the class is derived from the
+  /// same structure the key canonicalizes), so `cls`/`reason` are simply
+  /// recorded on first registration. Returns the group id.
+  int32_t RegisterAggregate(const std::string& member,
+                            const std::string& canonical_key,
+                            SharingClass cls, const std::string& reason);
+
+  /// Size per-shard counters for up to `num_shards` concurrent callers
+  /// (SimulationBuilder sets this to the thread count after every
+  /// session has registered its aggregates).
+  void set_num_shards(int32_t num_shards);
+
+  /// Tick prologue: demote groups whose cumulative counts show
+  /// near-unique keys, then clear every memo table (results are only
+  /// valid against the frozen state of the tick that computed them).
+  void BeginTick();
+
+  /// True if `group` still memoizes (not per-unit, not demoted). Callers
+  /// skip all sharing work — including the calls tally — once inactive.
+  bool Active(int32_t group) const { return groups_[group]->active; }
+
+  /// Per-tick memo probe. On a hit, *out receives the published value.
+  /// Tallies the call (and the hit) on `shard`'s counters.
+  bool Lookup(int32_t group, const Key& key, Value* out, int32_t shard);
+
+  /// Publish-once: install `value` for `key` unless another shard beat
+  /// us to it (both computed the identical value; the first wins).
+  void Publish(int32_t group, const Key& key, Value value);
+
+  int32_t NumGroups() const { return static_cast<int32_t>(groups_.size()); }
+  int32_t num_shards() const {
+    return group_stride_ == 0
+               ? 0
+               : static_cast<int32_t>(call_tallies_.size() / group_stride_);
+  }
+  SharingClass GroupClass(int32_t group) const { return groups_[group]->cls; }
+  const std::vector<std::string>& GroupMembers(int32_t group) const {
+    return groups_[group]->members;
+  }
+
+  /// Cumulative memo hits across all groups (bench/test observability).
+  /// Deterministic for single-threaded runs; with several workers a
+  /// racing shard may compute a value another shard published first, so
+  /// the split between hits and computes can vary by a few counts (the
+  /// values, and the simulation, never do).
+  int64_t shared_hits() const;
+
+  /// Cumulative published memo entries (= distinct keys summed over
+  /// ticks; deterministic for any thread count). Like shared_hits(), not
+  /// meaningful mid-phase; read between ticks or after a run.
+  int64_t memo_entries() const;
+
+  /// The EXPLAIN "Sharing" block: one line per group with its class,
+  /// members, call/hit/entry counters, and demotions.
+  std::string Describe() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  struct Group {
+    SharingClass cls = SharingClass::kPerUnit;
+    std::string reason;
+    std::vector<std::string> members;
+    bool active = false;
+    bool demoted = false;
+
+    std::shared_mutex mu;                       // guards memo
+    std::unordered_map<Key, Value, KeyHash> memo;
+  };
+
+  int64_t GroupCalls(int32_t group) const;
+  int64_t GroupHits(int32_t group) const;
+  int64_t GroupEntries(int32_t group) const;
+
+  std::unordered_map<std::string, int32_t> group_by_key_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  /// Per-(shard, group) call/hit tallies, stride-padded so shards' active
+  /// regions never share a cache line (same layout as the provider's
+  /// family tallies).
+  std::vector<int64_t> call_tallies_;
+  std::vector<int64_t> hit_tallies_;
+  size_t group_stride_ = 0;
+  /// Published-entry counts are bumped under each group's unique lock;
+  /// per-group persistent totals live here (indexed by group), so two
+  /// groups publishing concurrently touch distinct slots.
+  std::vector<int64_t> group_entries_;
+};
+
+/// The sharing decorator installed between the interpreter and the
+/// session's physical aggregate evaluator: consults the per-tick memo
+/// first and only forwards misses to `inner` (or, when `inner` is null —
+/// the naive evaluator — to the interpreter's reference scan, which is
+/// exactly what makes unit-invariant aggregates O(rows) *per tick*
+/// instead of per probe under the naive evaluator too).
+class SharingAggregateProvider : public AggregateProvider {
+ public:
+  /// `script`, `interp`, `inner` (optional), and `ctx` must outlive the
+  /// provider. Registers every aggregate of `script` with `ctx` under
+  /// `session_name` labels.
+  static Result<std::unique_ptr<SharingAggregateProvider>> Create(
+      const Script& script, const Interpreter& interp,
+      AggregateProvider* inner, SharingContext* ctx,
+      const std::string& session_name);
+
+  Result<Value> Eval(int32_t agg_index, const std::vector<Value>& scalar_args,
+                     RowId u_row, const EnvironmentTable& table,
+                     const TickRandom& rnd, int32_t shard = 0) override;
+
+  const SharingPlan& plan(int32_t agg_index) const {
+    return plans_[agg_index];
+  }
+  int32_t group_of(int32_t agg_index) const { return group_of_[agg_index]; }
+
+  /// True if any aggregate of the script can share (classified better
+  /// than per-unit). When false the decorator would forward every call
+  /// unchanged, so the builder skips installing it for this session —
+  /// the classifications remain registered with the context for EXPLAIN.
+  bool any_shared() const {
+    for (const SharingPlan& p : plans_) {
+      if (p.cls != SharingClass::kPerUnit) return true;
+    }
+    return false;
+  }
+
+ private:
+  SharingAggregateProvider(const Script& script, const Interpreter& interp,
+                           AggregateProvider* inner, SharingContext* ctx)
+      : script_(&script), interp_(&interp), inner_(inner), ctx_(ctx) {}
+
+  Result<Value> InnerEval(int32_t agg_index,
+                          const std::vector<Value>& scalar_args, RowId u_row,
+                          const EnvironmentTable& table, const TickRandom& rnd,
+                          int32_t shard);
+
+  const Script* script_;
+  const Interpreter* interp_;
+  AggregateProvider* inner_;  // null: fall through to the reference scan
+  SharingContext* ctx_;
+  std::vector<SharingPlan> plans_;   // one per aggregate declaration
+  std::vector<int32_t> group_of_;    // aggregate -> context group id
+};
+
+}  // namespace sgl
+
+#endif  // SGL_OPT_SHARING_H_

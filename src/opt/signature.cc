@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <sstream>
@@ -9,6 +10,12 @@
 #include "env/table.h"
 
 namespace sgl {
+
+void PrintCanonicalNumber(double v, std::ostream& os) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
 
 const char* IndexKindName(IndexKind kind) {
   switch (kind) {
@@ -91,66 +98,107 @@ bool IsPlainAttrRef(const Expr& e, const std::string& alias, AttrId* attr) {
 
 namespace {
 
+/// Canonical variable renaming for fingerprints: tuple variables print as
+/// @u / @e and scalar parameters as @p<i>, so structural identity is
+/// independent of the names a declaration happened to choose. All fields
+/// may be null/empty (legacy callers print names verbatim).
+struct NameCanon {
+  const std::string* u = nullptr;
+  const std::string* e = nullptr;
+  const std::vector<std::string>* params = nullptr;
+
+  void PrintTupleVar(const std::string& name, std::ostream& os) const {
+    if (u != nullptr && name == *u) {
+      os << "@u";
+    } else if (e != nullptr && name == *e) {
+      os << "@e";
+    } else {
+      os << name;
+    }
+  }
+  void PrintVar(const std::string& name, std::ostream& os) const {
+    if (params != nullptr) {
+      for (size_t i = 0; i < params->size(); ++i) {
+        if ((*params)[i] == name) {
+          os << "@p" << i;
+          return;
+        }
+      }
+    }
+    os << name;
+  }
+};
+
 /// Fingerprint helpers: a canonical string form of analyzed expressions.
-void PrintExpr(const Expr& e, std::ostream& os) {
+void PrintExpr(const Expr& e, std::ostream& os, const NameCanon& canon) {
   switch (e.kind) {
-    case ExprKind::kNumber: os << e.number; break;
-    case ExprKind::kVarRef: os << e.name; break;
-    case ExprKind::kAttrRef: os << "$" << e.tuple_var << "." << e.attr_id;
+    case ExprKind::kNumber: PrintCanonicalNumber(e.number, os); break;
+    case ExprKind::kVarRef: canon.PrintVar(e.name, os); break;
+    case ExprKind::kAttrRef:
+      os << "$";
+      canon.PrintTupleVar(e.tuple_var, os);
+      os << "." << e.attr_id;
       break;
     case ExprKind::kFieldAccess:
-      PrintExpr(*e.args[0], os);
+      PrintExpr(*e.args[0], os, canon);
       os << "." << e.attr;
       break;
     case ExprKind::kUnaryMinus:
       os << "(-";
-      PrintExpr(*e.args[0], os);
+      PrintExpr(*e.args[0], os, canon);
       os << ")";
       break;
     case ExprKind::kBinary:
       os << "(";
-      PrintExpr(*e.args[0], os);
+      PrintExpr(*e.args[0], os, canon);
       os << static_cast<int>(e.op);
-      PrintExpr(*e.args[1], os);
+      PrintExpr(*e.args[1], os, canon);
       os << ")";
       break;
     case ExprKind::kCall:
-      os << e.name << "(";
+      // Builtins print their resolved id, not the source spelling (the
+      // lookup is case-insensitive, so "MAX" and "max" are one function).
+      if (!e.is_aggregate && e.call_id >= 0) {
+        os << "b" << e.call_id;
+      } else {
+        os << e.name;
+      }
+      os << "(";
       for (const ExprPtr& a : e.args) {
-        if (a) PrintExpr(*a, os);
+        if (a) PrintExpr(*a, os, canon);
         os << ",";
       }
       os << ")";
       break;
     case ExprKind::kTuple:
       os << "<";
-      PrintExpr(*e.args[0], os);
+      PrintExpr(*e.args[0], os, canon);
       os << ",";
-      PrintExpr(*e.args[1], os);
+      PrintExpr(*e.args[1], os, canon);
       os << ">";
       break;
   }
 }
 
-void PrintCond(const Cond& c, std::ostream& os) {
+void PrintCond(const Cond& c, std::ostream& os, const NameCanon& canon) {
   switch (c.kind) {
     case CondKind::kTrue: os << "T"; break;
     case CondKind::kCompare:
       os << "[";
-      PrintExpr(*c.lhs, os);
+      PrintExpr(*c.lhs, os, canon);
       os << static_cast<int>(c.op);
-      PrintExpr(*c.rhs, os);
+      PrintExpr(*c.rhs, os, canon);
       os << "]";
       break;
     case CondKind::kNot:
       os << "!";
-      PrintCond(*c.left, os);
+      PrintCond(*c.left, os, canon);
       break;
     case CondKind::kAnd:
     case CondKind::kOr:
       os << (c.kind == CondKind::kAnd ? "&" : "|") << "(";
-      PrintCond(*c.left, os);
-      PrintCond(*c.right, os);
+      PrintCond(*c.left, os, canon);
+      PrintCond(*c.right, os, canon);
       os << ")";
       break;
   }
@@ -159,33 +207,52 @@ void PrintCond(const Cond& c, std::ostream& os) {
 }  // namespace
 
 std::string AggregateSignature::Fingerprint() const {
+  NameCanon canon{&u_name, &e_name, &param_names};
   std::ostringstream os;
   os << IndexKindName(kind) << "|";
   for (const RangeDim& r : ranges) {
     os << "R" << r.attr << ":";
-    if (r.lo) PrintExpr(*r.lo, os);
+    if (r.lo) PrintExpr(*r.lo, os, canon);
     os << (r.lo_strict ? "<" : "<=");
-    if (r.hi) PrintExpr(*r.hi, os);
+    if (r.hi) PrintExpr(*r.hi, os, canon);
     os << (r.hi_strict ? "<" : "<=") << ";";
   }
   for (const PartitionDim& p : partitions) {
     os << "P" << p.attr << (p.negated ? "!" : "=");
-    PrintExpr(*p.value, os);
+    PrintExpr(*p.value, os, canon);
     os << ";";
   }
   for (const Cond* f : build_filters) {
     os << "F";
-    PrintCond(*f, os);
+    PrintCond(*f, os, canon);
   }
   for (const Cond* f : probe_filters) {
     os << "U";
-    PrintCond(*f, os);
+    PrintCond(*f, os, canon);
   }
   os << (exclude_self ? "X" : "-") << "|";
   for (const Expr* t : terms) {
     os << "t";
-    PrintExpr(*t, os);
+    PrintExpr(*t, os, canon);
   }
+  return os.str();
+}
+
+std::string CanonicalAggregateFingerprint(const Script& script,
+                                          int32_t agg_index) {
+  const AggregateDecl& decl = script.program.aggregates[agg_index];
+  const std::vector<std::string> params(decl.params.begin() + 1,
+                                        decl.params.end());
+  NameCanon canon{&decl.params[0], &decl.row_var, &params};
+  std::ostringstream os;
+  os << "agg|p" << params.size() << "|";
+  for (const AggItem& item : decl.items) {
+    os << AggFuncName(item.func) << ":" << item.alias << ":";
+    if (item.term) PrintExpr(*item.term, os, canon);
+    os << ";";
+  }
+  os << "where:";
+  PrintCond(*decl.where, os, canon);
   return os.str();
 }
 
@@ -200,6 +267,9 @@ Result<AggregateSignature> ExtractSignature(const Script& script,
 
   AggregateSignature sig;
   sig.agg_index = agg_index;
+  sig.u_name = u;
+  sig.e_name = e;
+  sig.param_names = params;
 
   auto naive = [&](std::string reason) {
     sig.kind = IndexKind::kNaive;

@@ -26,6 +26,7 @@
 #ifndef SGL_OPT_SIGNATURE_H_
 #define SGL_OPT_SIGNATURE_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,13 @@ struct AggregateSignature {
   IndexKind kind = IndexKind::kNaive;
   std::string reason;  // why kNaive, for EXPLAIN
 
+  /// Declaration variable names, recorded so fingerprints can rename them
+  /// to canonical placeholders (@u, @e, @p0...) — structural identity must
+  /// not depend on what a script called its tuple variables.
+  std::string u_name;
+  std::string e_name;
+  std::vector<std::string> param_names;  // scalar params (after the unit)
+
   std::vector<RangeDim> ranges;          // at most 2 (x dimension first)
   std::vector<PartitionDim> partitions;  // composite hash layer
   std::vector<const Cond*> build_filters;
@@ -81,13 +89,35 @@ struct AggregateSignature {
   std::vector<int32_t> term_of_item;
 
   /// Structural identity for multi-query sharing: two aggregates with the
-  /// same fingerprint can share one physical index family.
+  /// same fingerprint can share one physical index family. Variable names
+  /// are canonicalized, so the identity holds across declarations — and
+  /// across scripts — that differ only in spelling.
   std::string Fingerprint() const;
 };
 
 /// Extract the signature of aggregate `agg_index` of `script`.
 Result<AggregateSignature> ExtractSignature(const Script& script,
                                             int32_t agg_index);
+
+/// Round-trip rendering of a numeric literal for structural keys
+/// (%.17g): distinct constants must never print alike, or fingerprint /
+/// factoring dedup would merge declarations with different semantics.
+/// Shared by the signature fingerprints and plan.cc's canonical keys so
+/// the two layers cannot disagree about literal identity.
+void PrintCanonicalNumber(double v, std::ostream& os);
+
+/// Canonical structural identity of the *whole* aggregate declaration:
+/// select items (function, alias, term), where clause, and parameter
+/// count, with tuple variables and parameters renamed to placeholders.
+/// Two declarations with equal canonical fingerprints compute the same
+/// function of (probing unit, scalar args, environment) — schemas are
+/// resolved to attribute ids, and random() is banned inside aggregates —
+/// so their probe results are interchangeable. This is the dedup key of
+/// the cross-script aggregate-sharing layer (src/opt/sharing.h), which is
+/// also why it must cover aliases: memoized row results are looked up by
+/// field name against the producing declaration's layout.
+std::string CanonicalAggregateFingerprint(const Script& script,
+                                          int32_t agg_index);
 
 /// The build-side attribute dependencies of an indexable signature, as a
 /// TableChanges-style bitmask (attribute a -> bit min(a, 63)): the range

@@ -1,0 +1,408 @@
+// Aggregate-sharing tests: the cross-unit memoization layer
+// (src/opt/sharing.h) must never change what a simulation computes —
+// only how often the evaluators below it run. Every registered scenario
+// runs 50 ticks in lockstep with sharing on vs off across all three
+// evaluator modes and {1, 4} worker threads; classification is unit-
+// tested per class; structurally identical aggregates in different
+// scripts must dedup to one shared memo slot; the publish-once slot is
+// hammered from four workers (the TSan CI job runs this suite); and the
+// EXPLAIN transcript must name every class and counter.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/simulation.h"
+#include "opt/sharing.h"
+#include "opt/signature.h"
+#include "scenario/scenario.h"
+#include "sgl/analyzer.h"
+
+namespace sgl {
+namespace {
+
+constexpr int64_t kTicks = 50;
+
+ScenarioParams SmallParams() {
+  ScenarioParams params;
+  params.units = 150;
+  params.density = 0.02;
+  params.seed = 11;
+  return params;
+}
+
+std::unique_ptr<Simulation> BuildOrDie(const std::string& name,
+                                       const ScenarioParams& params,
+                                       EvaluatorMode mode, int32_t threads,
+                                       bool sharing) {
+  SimulationConfig config;
+  config.eval_mode = mode;
+  config.threads = threads;
+  config.sharing = sharing;
+  auto sim = ScenarioRegistry::Global().BuildSimulation(name, params, config);
+  EXPECT_TRUE(sim.ok()) << name << ": " << sim.status().ToString();
+  return sim.ok() ? std::move(*sim) : nullptr;
+}
+
+// ---------------------------------------------------------------- lockstep
+
+// Sharing on vs off must be bit-exact after every tick, for every
+// scenario, evaluator mode, and thread count.
+TEST(SharingLockstepTest, OnMatchesOffEverywhere) {
+  const ScenarioParams params = SmallParams();
+  for (const std::string& scenario : ScenarioRegistry::Global().List()) {
+    for (EvaluatorMode mode :
+         {EvaluatorMode::kNaive, EvaluatorMode::kIndexed,
+          EvaluatorMode::kAdaptive}) {
+      for (int32_t threads : {1, 4}) {
+        SCOPED_TRACE(scenario + " / " + EvaluatorModeName(mode) + " / " +
+                     std::to_string(threads) + " threads");
+        auto on = BuildOrDie(scenario, params, mode, threads, true);
+        auto off = BuildOrDie(scenario, params, mode, threads, false);
+        ASSERT_NE(on, nullptr);
+        ASSERT_NE(off, nullptr);
+        for (int64_t tick = 0; tick < kTicks; ++tick) {
+          ASSERT_TRUE(on->Tick().ok());
+          ASSERT_TRUE(off->Tick().ok());
+          ASSERT_TRUE(on->table().Equals(off->table()))
+              << "diverged at tick " << tick << ":\n"
+              << on->table().DiffString(off->table());
+        }
+        ASSERT_TRUE(ScenarioRegistry::Global()
+                        .CheckInvariants(scenario, params, *on)
+                        .ok());
+      }
+    }
+  }
+}
+
+// Published entry counts are pure per-tick key counts — identical for
+// any worker-thread count (hit/compute splits may race; entries not).
+TEST(SharingLockstepTest, MemoEntriesAreThreadCountInvariant) {
+  const ScenarioParams params = SmallParams();
+  for (const std::string& scenario : {"market", "epidemic", "ctf"}) {
+    auto one = BuildOrDie(scenario, params, EvaluatorMode::kIndexed, 1, true);
+    auto four = BuildOrDie(scenario, params, EvaluatorMode::kIndexed, 4, true);
+    ASSERT_NE(one, nullptr);
+    ASSERT_NE(four, nullptr);
+    ASSERT_TRUE(one->Run(20).ok());
+    ASSERT_TRUE(four->Run(20).ok());
+    EXPECT_EQ(one->memo_entries(), four->memo_entries()) << scenario;
+  }
+}
+
+// ---------------------------------------------------------- classification
+
+Schema TestSchema() {
+  Schema s;
+  (void)s.AddAttribute("team", CombineType::kConst);
+  (void)s.AddAttribute("posx", CombineType::kConst);
+  (void)s.AddAttribute("posy", CombineType::kConst);
+  (void)s.AddAttribute("gold", CombineType::kConst);
+  (void)s.AddAttribute("hp", CombineType::kConst);
+  (void)s.AddAttribute("dmg", CombineType::kSum);
+  return s;
+}
+
+/// Compile a script whose first aggregate is the declaration under test
+/// and return its sharing plan.
+SharingPlan PlanOf(const std::string& aggregate_decl) {
+  const std::string source =
+      aggregate_decl + "\nfunction main(u) { let x = Probe(u" +
+      (aggregate_decl.find("Probe(u, p)") != std::string::npos ? ", 1" : "") +
+      "); }\n";
+  auto script = CompileScript(source, TestSchema());
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  if (!script.ok()) return SharingPlan{};
+  auto sig = ExtractSignature(*script, 0);
+  EXPECT_TRUE(sig.ok()) << sig.status().ToString();
+  if (!sig.ok()) return SharingPlan{};
+  return ClassifySharing(*script, *sig);
+}
+
+TEST(SharingClassifyTest, GlobalSumIsUnitInvariant) {
+  SharingPlan plan =
+      PlanOf("aggregate Probe(u) { select sum(e.gold) from E e; }");
+  EXPECT_EQ(plan.cls, SharingClass::kUnitInvariant);
+  EXPECT_TRUE(plan.key_exprs.empty());
+  EXPECT_TRUE(plan.key_params.empty());
+}
+
+TEST(SharingClassifyTest, BuildFilteredGlobalIsUnitInvariant) {
+  SharingPlan plan = PlanOf(
+      "aggregate Probe(u) { select count(*) from E e where e.hp > 2; }");
+  EXPECT_EQ(plan.cls, SharingClass::kUnitInvariant);
+}
+
+TEST(SharingClassifyTest, ParamBoundKeysOnScalarArgument) {
+  SharingPlan plan = PlanOf(
+      "aggregate Probe(u, p) { select argmin(e.gold) from E e "
+      "where e.hp >= p; }");
+  EXPECT_EQ(plan.cls, SharingClass::kPartitionKeyed);
+  EXPECT_TRUE(plan.key_exprs.empty());  // raw args beat re-evaluation
+  ASSERT_EQ(plan.key_params.size(), 1u);
+  EXPECT_EQ(plan.key_params[0], 0);
+}
+
+TEST(SharingClassifyTest, UnusedParamDoesNotKey) {
+  SharingPlan plan =
+      PlanOf("aggregate Probe(u, p) { select sum(e.gold) from E e; }");
+  EXPECT_EQ(plan.cls, SharingClass::kUnitInvariant);
+}
+
+TEST(SharingClassifyTest, UnitBoxKeysOnEvaluatedBounds) {
+  SharingPlan plan = PlanOf(
+      "aggregate Probe(u) { select count(*) from E e "
+      "where e.posx >= u.posx - 5 and e.posx <= u.posx + 5; }");
+  EXPECT_EQ(plan.cls, SharingClass::kPartitionKeyed);
+  EXPECT_EQ(plan.key_exprs.size(), 2u);  // the two bounds
+  EXPECT_TRUE(plan.key_params.empty());
+}
+
+TEST(SharingClassifyTest, PartitionValueKeysOnUnitAttribute) {
+  SharingPlan plan = PlanOf(
+      "aggregate Probe(u) { select count(*) from E e "
+      "where e.team = u.team; }");
+  EXPECT_EQ(plan.cls, SharingClass::kPartitionKeyed);
+  EXPECT_EQ(plan.key_exprs.size(), 1u);  // the partition value
+}
+
+TEST(SharingClassifyTest, SelfExclusionIsPerUnit) {
+  SharingPlan plan = PlanOf(
+      "aggregate Probe(u) { select count(*) from E e "
+      "where e.key <> u.key; }");
+  EXPECT_EQ(plan.cls, SharingClass::kPerUnit);
+  EXPECT_NE(plan.reason.find("self-excluding"), std::string::npos);
+}
+
+TEST(SharingClassifyTest, NearestIsPerUnit) {
+  SharingPlan plan =
+      PlanOf("aggregate Probe(u) { select nearest(*) from E e; }");
+  EXPECT_EQ(plan.cls, SharingClass::kPerUnit);
+  EXPECT_NE(plan.reason.find("position"), std::string::npos);
+}
+
+TEST(SharingClassifyTest, NonIndexableWithoutUnitSharesToo) {
+  // min + sum in one select forces the naive fallback — but the whole
+  // declaration references no unit attribute, so the reference scan's
+  // result is still unit-invariant and shareable.
+  SharingPlan plan = PlanOf(
+      "aggregate Probe(u) { select min(e.gold) as a, sum(e.gold) as b "
+      "from E e; }");
+  EXPECT_EQ(plan.cls, SharingClass::kUnitInvariant);
+}
+
+TEST(SharingClassifyTest, NonIndexableWithUnitIsPerUnit) {
+  SharingPlan plan = PlanOf(
+      "aggregate Probe(u) { select min(e.gold + u.gold) as a, "
+      "sum(e.gold) as b from E e; }");
+  EXPECT_EQ(plan.cls, SharingClass::kPerUnit);
+}
+
+TEST(SharingClassifyTest, FingerprintKeepsFullLiteralPrecision) {
+  // Constants differing only beyond 6 significant digits must not merge
+  // into one dedup group (one declaration's memoized value would be
+  // served for the other): literals print with round-trip precision.
+  auto a = CompileScript(
+      "aggregate Probe(u) { select count(*) from E e "
+      "where e.posx < 1000000.25; }\n"
+      "function main(u) { let x = Probe(u); }",
+      TestSchema());
+  auto b = CompileScript(
+      "aggregate Probe(u) { select count(*) from E e "
+      "where e.posx < 1000000.75; }\n"
+      "function main(u) { let x = Probe(u); }",
+      TestSchema());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(CanonicalAggregateFingerprint(*a, 0),
+            CanonicalAggregateFingerprint(*b, 0));
+}
+
+TEST(SharingClassifyTest, CanonicalFingerprintIgnoresSpelling) {
+  auto a = CompileScript(
+      "aggregate TotalGold(u) { select sum(e.gold) from E e; }\n"
+      "function main(u) { let g = TotalGold(u); }",
+      TestSchema());
+  auto b = CompileScript(
+      "aggregate Wealth(v) { select sum(w.gold) from E w; }\n"
+      "function main(v) { let g = Wealth(v); }",
+      TestSchema());
+  auto c = CompileScript(
+      "aggregate Other(u) { select sum(e.hp) from E e; }\n"
+      "function main(u) { let g = Other(u); }",
+      TestSchema());
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(CanonicalAggregateFingerprint(*a, 0),
+            CanonicalAggregateFingerprint(*b, 0));
+  EXPECT_NE(CanonicalAggregateFingerprint(*a, 0),
+            CanonicalAggregateFingerprint(*c, 0));
+}
+
+// ------------------------------------------------------- cross-script dedup
+
+TEST(SharingDedupTest, IdenticalAggregatesAcrossScriptsShareOneSlot) {
+  const char* kScriptA =
+      "aggregate TotalGold(u) { select sum(e.gold) from E e; }\n"
+      "function main(u) { let g = TotalGold(u); }";
+  const char* kScriptB =
+      "aggregate Wealth(v) { select sum(w.gold) from E w; }\n"
+      "function main(v) { let g = Wealth(v); }";
+  Schema schema = TestSchema();
+  auto a = CompileScript(kScriptA, schema);
+  auto b = CompileScript(kScriptB, schema);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  EnvironmentTable table(schema);
+  constexpr int32_t kUnits = 40;
+  for (int32_t i = 0; i < kUnits; ++i) {
+    ASSERT_TRUE(
+        table.AddRow({static_cast<double>(i % 2), static_cast<double>(i), 0,
+                      static_cast<double>(1 + i % 5), 10, 0})
+            .ok());
+  }
+  SimulationConfig config;
+  config.eval_mode = EvaluatorMode::kIndexed;
+  config.move_x_attr.clear();
+  config.move_y_attr.clear();
+  auto sim = SimulationBuilder()
+                 .SetTable(std::move(table))
+                 .SetConfig(config)
+                 .DispatchBy("team")
+                 .AddScript("alpha", std::move(*a), 0)
+                 .AddScript("beta", std::move(*b), 1)
+                 .Build();
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+
+  const SharingContext* ctx = (*sim)->sharing();
+  ASSERT_NE(ctx, nullptr);
+  ASSERT_EQ(ctx->NumGroups(), 1);  // one dedup group across both scripts
+  ASSERT_EQ(ctx->GroupMembers(0).size(), 2u);
+  EXPECT_EQ(ctx->GroupMembers(0)[0], "alpha.TotalGold");
+  EXPECT_EQ(ctx->GroupMembers(0)[1], "beta.Wealth");
+
+  constexpr int64_t kRunTicks = 20;
+  ASSERT_TRUE((*sim)->Run(kRunTicks).ok());
+  // One compute per tick serves both scripts: units x ticks calls, one
+  // published entry per tick, everything else a hit (single-threaded, so
+  // the split is exact).
+  EXPECT_EQ((*sim)->memo_entries(), kRunTicks);
+  EXPECT_EQ((*sim)->shared_hits(),
+            static_cast<int64_t>(kUnits) * kRunTicks - kRunTicks);
+}
+
+// ---------------------------------------------------------------- demotion
+
+TEST(SharingDemotionTest, NearUniqueKeysDemoteToPerUnit) {
+  // Every unit probes a box around its own distinct position: one key
+  // per unit per tick. The first tick's (calls, entries) totals must
+  // deterministically demote the group before tick 2.
+  const char* kScript =
+      "aggregate NearMe(u) { select count(*) from E e "
+      "where e.posx >= u.posx - 1 and e.posx <= u.posx + 1; }\n"
+      "function main(u) { let c = NearMe(u); }";
+  Schema schema = TestSchema();
+  auto script = CompileScript(kScript, schema);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EnvironmentTable table(schema);
+  for (int32_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        table.AddRow({0, static_cast<double>(3 * i), 0, 1, 10, 0}).ok());
+  }
+  SimulationConfig config;
+  config.eval_mode = EvaluatorMode::kIndexed;
+  config.move_x_attr.clear();
+  config.move_y_attr.clear();
+  auto sim = SimulationBuilder()
+                 .SetTable(std::move(table))
+                 .SetConfig(config)
+                 .AddScript("solo", std::move(*script))
+                 .Build();
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  ASSERT_TRUE((*sim)->Run(3).ok());
+
+  const std::string explain = (*sim)->Explain();
+  EXPECT_NE(explain.find("demoted: keys nearly unique per probe"),
+            std::string::npos)
+      << explain;
+  // Only tick 1 published entries; the demoted group stops memoizing.
+  EXPECT_EQ((*sim)->memo_entries(), 200);
+  EXPECT_EQ((*sim)->shared_hits(), 0);
+}
+
+// ------------------------------------------------------------ publish-once
+
+TEST(SharingPublishOnceTest, ConcurrentWorkersAgreeOnOneSlot) {
+  // A single unit-invariant aggregate probed by every unit from four
+  // workers: all shards race to publish the slot on every tick; exactly
+  // one entry per tick may win (TSan validates the synchronization).
+  const char* kScript =
+      "aggregate Total(u) { select sum(e.gold) as g, count(*) as n "
+      "from E e; }\n"
+      "action Tax(u, g) { update e where e.key = u.key set dmg += g; }\n"
+      "function main(u) { let t = Total(u); perform Tax(u, t.g - t.g + 1); }";
+  Schema schema = TestSchema();
+  auto script = CompileScript(kScript, schema);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EnvironmentTable table(schema);
+  for (int32_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        table.AddRow({0, static_cast<double>(i), 0, 2, 10, 0}).ok());
+  }
+  SimulationConfig config;
+  config.eval_mode = EvaluatorMode::kIndexed;
+  config.threads = 4;
+  config.move_x_attr.clear();
+  config.move_y_attr.clear();
+  auto sim = SimulationBuilder()
+                 .SetTable(std::move(table))
+                 .SetConfig(config)
+                 .AddScript("solo", std::move(*script))
+                 .Build();
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  constexpr int64_t kRunTicks = 10;
+  ASSERT_TRUE((*sim)->Run(kRunTicks).ok());
+  EXPECT_EQ((*sim)->memo_entries(), kRunTicks);
+}
+
+// ----------------------------------------------------------------- explain
+
+TEST(SharingExplainTest, TranscriptListsClassesAndCounters) {
+  auto sim =
+      BuildOrDie("market", SmallParams(), EvaluatorMode::kAdaptive, 1, true);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_TRUE(sim->Run(10).ok());
+  const std::string explain = sim->Explain();
+  EXPECT_NE(explain.find("sharing: on"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("Aggregate sharing ("), std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("[unit-invariant] market.Market"),
+            std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("[partition-keyed] market.PoorestBuyer"),
+            std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("calls "), std::string::npos) << explain;
+  EXPECT_NE(explain.find("hits "), std::string::npos) << explain;
+  // Sharing off: the block disappears and the header says so.
+  auto off =
+      BuildOrDie("market", SmallParams(), EvaluatorMode::kAdaptive, 1, false);
+  ASSERT_NE(off, nullptr);
+  const std::string off_explain = off->Explain();
+  EXPECT_NE(off_explain.find("sharing: off"), std::string::npos)
+      << off_explain;
+  EXPECT_EQ(off_explain.find("Aggregate sharing ("), std::string::npos)
+      << off_explain;
+}
+
+TEST(SharingExplainTest, PerUnitAggregatesListTheirReason) {
+  auto sim =
+      BuildOrDie("battle", SmallParams(), EvaluatorMode::kIndexed, 1, true);
+  ASSERT_NE(sim, nullptr);
+  ASSERT_TRUE(sim->Run(5).ok());
+  const std::string explain = sim->Explain();
+  EXPECT_NE(explain.find("[per-unit]"), std::string::npos) << explain;
+}
+
+}  // namespace
+}  // namespace sgl

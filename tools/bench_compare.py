@@ -3,8 +3,13 @@
 
 Both files are JSON lines: a meta object ({"bench": "scenarios", ...})
 followed by one object per benchmark cell, keyed by
-(scenario, mode, units, threads) with an ns_per_tick measurement and a
-per-phase breakdown ({"phases": [{"name": ..., "ns_per_tick": ...}]}).
+(scenario, mode, units, threads, sharing) with an ns_per_tick measurement
+and a per-phase breakdown ({"phases": [{"name": ..., "ns_per_tick": ...}]}).
+Cells recorded before the aggregate-sharing sweep existed carry no
+"sharing" field and default to "on" (the engine's default). Cells may
+also carry informational counters (shared_hits, memo_entries); they ride
+along into refreshed baselines but are never compared — only ns_per_tick
+can regress a cell.
 
 Absolute ns/tick is machine-dependent, so raw ratios against a baseline
 recorded on different hardware would trip on machine speed, not code.
@@ -63,6 +68,7 @@ def load_cells(path):
                 obj.get("mode"),
                 obj.get("units"),
                 obj.get("threads"),
+                obj.get("sharing", "on"),
             )
             if None in key:
                 continue
@@ -198,20 +204,25 @@ def main():
         return 1
 
     header = f"{'scenario':<14} {'mode':<8} {'units':>6} {'thr':>4} " \
-             f"{'base ns/tick':>13} {'cur ns/tick':>13} {'norm ratio':>10}"
+             f"{'shr':>3} {'base ns/tick':>13} {'cur ns/tick':>13} " \
+             f"{'norm ratio':>10}"
     print(header)
     failures = []
     for k in matched:
         norm = ratios[k] / drift
-        scenario, mode, units, threads = k
+        scenario, mode, units, threads, sharing = k
         flag = ""
         if norm > 1.0 + args.threshold:
             failures.append((k, norm))
             flag = "  << REGRESSION"
+        # Sharing counters are informational: printed when present so the
+        # hit-rate trajectory is visible in CI logs, never compared.
+        hits = current[k].get("shared_hits")
+        info = f"  hits {hits}" if flag == "" and hits else ""
         print(
             f"{scenario:<14} {mode:<8} {units:>6} {threads:>4} "
-            f"{baseline[k]['ns_per_tick']:>13} {current[k]['ns_per_tick']:>13} "
-            f"{norm:>10.3f}{flag}"
+            f"{sharing:>3} {baseline[k]['ns_per_tick']:>13} "
+            f"{current[k]['ns_per_tick']:>13} {norm:>10.3f}{flag}{info}"
         )
         if args.phases or flag:
             print_phase_deltas(baseline[k], current[k], drift)

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Line-coverage gate over src/: build with clang source-based coverage
+# (-fprofile-instr-generate -fcoverage-mapping), run the full ctest
+# suite, merge the per-process profiles, and fail if line coverage over
+# src/ drops below the committed floor in tools/coverage_floor.txt.
+# Also renders an HTML report (coverage_html/) that CI uploads as an
+# artifact.
+#
+#   tools/coverage.sh [BUILD_DIR]    # default: build-coverage
+#
+# Requires clang++ plus the matching llvm-profdata / llvm-cov (override
+# with CXX / LLVM_PROFDATA / LLVM_COV).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-coverage}"
+CXX="${CXX:-clang++}"
+LLVM_PROFDATA="${LLVM_PROFDATA:-llvm-profdata}"
+LLVM_COV="${LLVM_COV:-llvm-cov}"
+FLOOR_FILE=tools/coverage_floor.txt
+
+for tool in "$CXX" "$LLVM_PROFDATA" "$LLVM_COV"; do
+  if ! command -v "$tool" >/dev/null 2>&1; then
+    echo "error: $tool not found (clang + llvm tools required)" >&2
+    exit 2
+  fi
+done
+
+# Compiler launcher (ccache in CI) when available: the instrumented
+# build is the slowest part of the gate and caches fine.
+launcher_flags=()
+if command -v ccache >/dev/null 2>&1; then
+  launcher_flags+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_COMPILER="$CXX" \
+  "${launcher_flags[@]}" \
+  -DCMAKE_CXX_FLAGS="-fprofile-instr-generate -fcoverage-mapping" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fprofile-instr-generate"
+cmake --build "$BUILD_DIR" -j
+
+# %p: one profile per test process, merged below.
+mkdir -p "$BUILD_DIR/profiles"
+LLVM_PROFILE_FILE="$PWD/$BUILD_DIR/profiles/%p.profraw" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure --no-tests=error -j
+
+"$LLVM_PROFDATA" merge -sparse "$BUILD_DIR"/profiles/*.profraw \
+  -o "$BUILD_DIR/coverage.profdata"
+
+# Every test binary contributes mappings; the first is positional, the
+# rest ride -object flags. Coverage is restricted to src/ — tests and
+# benches instrument too but must not pad the percentage.
+mapfile -t binaries < <(find "$BUILD_DIR" -maxdepth 1 -type f -name '*_test' \
+  -perm -u+x | sort)
+if [[ ${#binaries[@]} -eq 0 ]]; then
+  echo "error: no test binaries found in $BUILD_DIR" >&2
+  exit 2
+fi
+object_flags=()
+for bin in "${binaries[@]:1}"; do object_flags+=(-object "$bin"); done
+
+"$LLVM_COV" report "${binaries[0]}" "${object_flags[@]}" \
+  -instr-profile="$BUILD_DIR/coverage.profdata" "$PWD/src"
+"$LLVM_COV" show "${binaries[0]}" "${object_flags[@]}" \
+  -instr-profile="$BUILD_DIR/coverage.profdata" \
+  -format=html -output-dir=coverage_html "$PWD/src"
+
+percent=$("$LLVM_COV" export "${binaries[0]}" "${object_flags[@]}" \
+  -instr-profile="$BUILD_DIR/coverage.profdata" -summary-only "$PWD/src" |
+  python3 -c '
+import json, sys
+totals = json.load(sys.stdin)["data"][0]["totals"]
+print("{:.2f}".format(totals["lines"]["percent"]))
+')
+floor=$(tr -d '[:space:]' < "$FLOOR_FILE")
+
+echo "line coverage over src/: ${percent}% (floor: ${floor}%)"
+python3 - "$percent" "$floor" <<'EOF'
+import sys
+percent, floor = float(sys.argv[1]), float(sys.argv[2])
+if percent < floor:
+    print(f"FAIL: line coverage {percent:.2f}% is below the committed "
+          f"floor {floor:.2f}% (tools/coverage_floor.txt); add tests or, "
+          "if the drop is deliberate, lower the floor in the same PR",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"OK: line coverage {percent:.2f}% >= floor {floor:.2f}%")
+EOF

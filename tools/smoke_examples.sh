@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Smoke-run every example binary: small fixed arguments, assert exit 0
+# and non-empty stdout. CI builds the examples on every PR but used to
+# never execute them — a broken demo would ship silently.
+#
+#   tools/smoke_examples.sh [BUILD_DIR]    # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+# Binary -> small fixed arguments (kept tiny: the point is "runs and
+# prints", the benchmarks own performance).
+declare -A example_args=(
+  [quickstart]=""
+  [battle]="150 20"
+  [explain]=""
+  [formation]=""
+  [skeleton_fear]=""
+  [scenarios]="market 200 20"
+)
+
+failures=0
+for example in quickstart battle explain formation skeleton_fear scenarios; do
+  bin="$BUILD_DIR/$example"
+  if [[ ! -x "$bin" ]]; then
+    echo "FAIL: $example: binary not found at $bin" >&2
+    failures=$((failures + 1))
+    continue
+  fi
+  args=${example_args[$example]}
+  echo "== $example $args"
+  out_file=$(mktemp)
+  # shellcheck disable=SC2086  # word-splitting the args is the point
+  if ! "$bin" $args > "$out_file" 2>&1; then
+    echo "FAIL: $example exited non-zero; output:" >&2
+    cat "$out_file" >&2
+    failures=$((failures + 1))
+  elif [[ ! -s "$out_file" ]]; then
+    echo "FAIL: $example produced no output" >&2
+    failures=$((failures + 1))
+  else
+    head -n 3 "$out_file" | sed 's/^/   /'
+    echo "   ... ($(wc -l < "$out_file") lines) OK"
+  fi
+  rm -f "$out_file"
+done
+
+if [[ $failures -gt 0 ]]; then
+  echo "$failures example(s) failed" >&2
+  exit 1
+fi
+echo "all examples ran: exit 0, non-empty output"
