@@ -12,6 +12,7 @@
 //   --json PATH           also write machine-readable results to PATH
 //   --scenarios a,b       (bench_suite) restrict to named scenarios
 //   --modes naive,indexed (bench_suite) evaluator modes
+//   --compiled on,off     (bench_suite) bytecode-VM sweep
 //   --naive-max N         largest unit count the naive evaluator runs
 //   --quick               small preset for CI smoke runs
 //   --list                (bench_suite) list scenarios and exit
@@ -68,7 +69,8 @@ struct BenchArgs {
   std::vector<int32_t> threads;
   std::vector<std::string> scenarios;
   std::vector<std::string> modes;
-  std::vector<std::string> sharing;  // "on" / "off" sweep (bench_suite)
+  std::vector<std::string> sharing;   // "on" / "off" sweep (bench_suite)
+  std::vector<std::string> compiled;  // "on" / "off" sweep (bench_suite)
   int64_t ticks = 0;
   uint64_t seed = 0;
   bool seed_set = false;  // --seed 0 is a legitimate seed
@@ -160,6 +162,7 @@ inline void PrintBenchUsage(const char* bench, const char* extra) {
                "  --modes A,B,...     evaluator modes "
                "(naive, indexed, adaptive)\n"
                "  --sharing A,B,...   aggregate-sharing sweep (on, off)\n"
+               "  --compiled A,B,...  bytecode-VM sweep (on, off)\n"
                "  --naive-max N       naive-evaluator unit cap "
                "(env SGL_BENCH_NAIVE_MAX)\n"
                "  --quick             small CI smoke preset\n"
@@ -213,6 +216,14 @@ inline BenchArgs ParseBenchArgsOrExit(int argc, char** argv, const char* bench,
       for (const std::string& s : args.sharing) {
         if (s != "on" && s != "off") {
           std::fprintf(stderr, "--sharing: '%s' is not on/off\n", s.c_str());
+          std::exit(2);
+        }
+      }
+    } else if (is_flag(arg, "--compiled")) {
+      args.compiled = bench_internal::SplitList(value_of(&i, "--compiled"));
+      for (const std::string& s : args.compiled) {
+        if (s != "on" && s != "off") {
+          std::fprintf(stderr, "--compiled: '%s' is not on/off\n", s.c_str());
           std::exit(2);
         }
       }

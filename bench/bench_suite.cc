@@ -1,6 +1,6 @@
 // The unified benchmark suite: every registered scenario, swept across
 // {naive, indexed, adaptive} evaluators x worker-thread counts x unit
-// scales x aggregate sharing {on, off}.
+// scales x aggregate sharing {on, off} x compiled evaluation {on, off}.
 //
 // Each (scenario, units) group elects the first completed cell as its
 // reference; every other cell's final environment table must be
@@ -50,13 +50,14 @@ struct CellResult {
 // regression gate compares across runs.
 CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
                    EvaluatorMode mode, int32_t threads, bool sharing,
-                   int64_t ticks, int32_t reps) {
+                   bool compiled, int64_t ticks, int32_t reps) {
   CellResult best;
   for (int32_t rep = 0; rep < reps; ++rep) {
     SimulationConfig config;
     config.eval_mode = mode;
     config.threads = threads;
     config.sharing = sharing;
+    config.compiled = compiled;
     auto sim = ScenarioRegistry::Global().BuildSimulation(scenario, params,
                                                           config);
     if (!sim.ok()) {
@@ -96,12 +97,13 @@ CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
 
 std::string CellJson(const std::string& scenario, const char* mode,
                      int32_t units, int32_t threads, bool sharing,
-                     int64_t ticks, const CellResult& cell) {
+                     bool compiled, int64_t ticks, const CellResult& cell) {
   const double ns_per_tick = cell.seconds / static_cast<double>(ticks) * 1e9;
   std::ostringstream os;
   os << "{\"scenario\": \"" << scenario << "\", \"mode\": \"" << mode
      << "\", \"units\": " << units << ", \"threads\": " << threads
      << ", \"sharing\": \"" << (sharing ? "on" : "off") << "\""
+     << ", \"compiled\": \"" << (compiled ? "on" : "off") << "\""
      << ", \"ticks\": " << ticks << ", \"seconds\": " << cell.seconds
      << ", \"ns_per_tick\": " << static_cast<int64_t>(ns_per_tick)
      << ", \"rows\": " << cell.rows
@@ -168,6 +170,13 @@ int main(int argc, char** argv) {
   const std::vector<std::string> sharing_sweep =
       args.sharing.empty() ? std::vector<std::string>{"on", "off"}
                            : args.sharing;
+  // Compiled evaluation is likewise swept both ways by default: the off
+  // rows keep the interpreter's perf visible (it is still the semantics
+  // oracle), and on-vs-off in one file documents what the bytecode VM
+  // buys per scenario.
+  const std::vector<std::string> compiled_sweep =
+      args.compiled.empty() ? std::vector<std::string>{"on", "off"}
+                            : args.compiled;
   for (const std::string& name : scenarios) {
     auto def = registry.Get(name);
     if (!def.ok()) {
@@ -185,8 +194,8 @@ int main(int argc, char** argv) {
     json.WriteLine(meta.str());
   }
 
-  std::printf("%-14s %-8s %7s %8s %8s %14s %9s\n", "scenario", "mode",
-              "units", "threads", "sharing", "ns/tick", "speedup");
+  std::printf("%-14s %-8s %7s %8s %8s %9s %14s %9s\n", "scenario", "mode",
+              "units", "threads", "sharing", "compiled", "ns/tick", "speedup");
   for (const std::string& scenario : scenarios) {
     for (int32_t units : unit_counts) {
       ScenarioParams params;
@@ -205,31 +214,37 @@ int main(int argc, char** argv) {
         if (mode == EvaluatorMode::kNaive && units > naive_max) continue;
         for (int32_t threads : thread_counts) {
           for (const std::string& sharing_name : sharing_sweep) {
-            const bool sharing = sharing_name == "on";
-            CellResult cell = RunCell(scenario, params, mode, threads,
-                                      sharing, ticks, reps);
-            if (!have_reference) {
-              have_reference = true;
-              reference = cell.table.Clone();
-              base_ns = cell.seconds / static_cast<double>(ticks) * 1e9;
-            } else if (!reference.Equals(cell.table)) {
-              std::fprintf(
-                  stderr,
-                  "DETERMINISM VIOLATION: %s units=%d %s threads=%d "
-                  "sharing=%s diverged from the group reference:\n%s\n",
-                  scenario.c_str(), units, mode_name.c_str(), threads,
-                  sharing_name.c_str(),
-                  reference.DiffString(cell.table).c_str());
-              return 1;
+            for (const std::string& compiled_name : compiled_sweep) {
+              const bool sharing = sharing_name == "on";
+              const bool compiled = compiled_name == "on";
+              CellResult cell = RunCell(scenario, params, mode, threads,
+                                        sharing, compiled, ticks, reps);
+              if (!have_reference) {
+                have_reference = true;
+                reference = cell.table.Clone();
+                base_ns = cell.seconds / static_cast<double>(ticks) * 1e9;
+              } else if (!reference.Equals(cell.table)) {
+                std::fprintf(
+                    stderr,
+                    "DETERMINISM VIOLATION: %s units=%d %s threads=%d "
+                    "sharing=%s compiled=%s diverged from the group "
+                    "reference:\n%s\n",
+                    scenario.c_str(), units, mode_name.c_str(), threads,
+                    sharing_name.c_str(), compiled_name.c_str(),
+                    reference.DiffString(cell.table).c_str());
+                return 1;
+              }
+              const double ns =
+                  cell.seconds / static_cast<double>(ticks) * 1e9;
+              std::printf("%-14s %-8s %7d %8d %8s %9s %14.0f %8.2fx\n",
+                          scenario.c_str(), mode_name.c_str(), units, threads,
+                          sharing_name.c_str(), compiled_name.c_str(), ns,
+                          ns > 0 ? base_ns / ns : 0.0);
+              std::fflush(stdout);
+              json.WriteLine(CellJson(scenario, mode_name.c_str(), units,
+                                      threads, sharing, compiled, ticks,
+                                      cell));
             }
-            const double ns = cell.seconds / static_cast<double>(ticks) * 1e9;
-            std::printf("%-14s %-8s %7d %8d %8s %14.0f %8.2fx\n",
-                        scenario.c_str(), mode_name.c_str(), units, threads,
-                        sharing_name.c_str(), ns,
-                        ns > 0 ? base_ns / ns : 0.0);
-            std::fflush(stdout);
-            json.WriteLine(CellJson(scenario, mode_name.c_str(), units,
-                                    threads, sharing, ticks, cell));
           }
         }
       }

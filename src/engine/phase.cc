@@ -94,6 +94,37 @@ namespace {
 constexpr int64_t kDecisionGrain = 8;
 }  // namespace
 
+Status DecisionActionPhase::RunRange(TickContext* ctx, RowId lo, RowId hi,
+                                     EffectSink* sink, int32_t shard) {
+  Simulation* sim = ctx->sim;
+  vm::BatchExecutor* executor = executors_[shard].get();
+  RowId r = lo;
+  while (r < hi) {
+    SGL_ASSIGN_OR_RETURN(const ScriptSession* session, sim->SessionForRow(r));
+    // Extend the run while consecutive rows dispatch to the same session;
+    // a dispatch error breaks the run here and surfaces on the next
+    // iteration, after this run's effects — the interpreter's order.
+    RowId end = r + 1;
+    while (end < hi) {
+      auto next = sim->SessionForRow(end);
+      if (!next.ok() || next.value() != session) break;
+      ++end;
+    }
+    if (session->compiled != nullptr) {
+      SGL_RETURN_NOT_OK(executor->Run(*session->compiled, *session->interp,
+                                      *ctx->table, r, end, *ctx->rnd, sink,
+                                      shard));
+    } else {
+      for (RowId u = r; u < end; ++u) {
+        SGL_RETURN_NOT_OK(
+            session->interp->RunUnit(*ctx->table, u, *ctx->rnd, sink, shard));
+      }
+    }
+    r = end;
+  }
+  return Status::OK();
+}
+
 Status DecisionActionPhase::Run(TickContext* ctx) {
   Simulation* sim = ctx->sim;
   const int64_t probes_before = TotalProbes(sim);
@@ -104,35 +135,26 @@ Status DecisionActionPhase::Run(TickContext* ctx) {
 
   if (chunks <= 1) {
     // Sequential: stream effects straight into the tick buffer (shard 0).
-    for (RowId r = 0; r < n; ++r) {
-      SGL_ASSIGN_OR_RETURN(const ScriptSession* session, sim->SessionForRow(r));
-      SGL_RETURN_NOT_OK(
-          session->interp->RunUnit(*ctx->table, r, *ctx->rnd, ctx->buffer));
-    }
+    EnsureExecutors(1);
+    SGL_RETURN_NOT_OK(RunRange(ctx, 0, n, ctx->buffer, 0));
     if (n > 0) ctx->stats->workers = std::max<int64_t>(ctx->stats->workers, 1);
   } else {
     // Parallel: chunk c evaluates its contiguous row range [lo, hi) in
     // ascending order into its own effect-log shard; replaying shards in
     // chunk order afterwards reproduces the sequential Accumulate call
     // sequence exactly (see sharded_effect_buffer.h), so any thread count
-    // yields a bit-identical tick.
+    // yields a bit-identical tick. A batch never crosses a chunk boundary,
+    // so compiled and interpreted runs chunk identically.
     sharded_.EnsureShards(chunks);
     sharded_.ClearAll();  // on entry: robust even if a prior tick errored
+    EnsureExecutors(chunks);
     exec::ShardedEffectBuffer& sharded = sharded_;
     exec::ParallelStats pstats;
     SGL_RETURN_NOT_OK(pool->ParallelFor(
         n, kDecisionGrain,
         [&](int32_t chunk, int64_t lo, int64_t hi) -> Status {
-          EffectSink* shard = sharded.shard(chunk);
-          for (RowId r = static_cast<RowId>(lo); r < static_cast<RowId>(hi);
-               ++r) {
-            SGL_ASSIGN_OR_RETURN(const ScriptSession* session,
-                                 sim->SessionForRow(r));
-            SGL_RETURN_NOT_OK(session->interp->RunUnit(*ctx->table, r,
-                                                       *ctx->rnd, shard,
-                                                       chunk));
-          }
-          return Status::OK();
+          return RunRange(ctx, static_cast<RowId>(lo), static_cast<RowId>(hi),
+                          sharded.shard(chunk), chunk);
         },
         &pstats));
     sharded.MergeInto(ctx->buffer);

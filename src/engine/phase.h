@@ -27,6 +27,7 @@
 #include "exec/thread_pool.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "vm/vm.h"
 
 namespace sgl {
 
@@ -127,15 +128,33 @@ class IndexBuildPhase : public TickPhase {
 /// concurrently — each chunk writes an exec::EffectShard merged back in
 /// chunk order, so results are bit-identical to single-threaded runs (the
 /// state-effect pattern makes decisions read only frozen pre-tick state).
+/// Sessions with compiled bytecode (SimulationConfig::compiled) run
+/// through the batch VM — a batch is a same-session row run within a
+/// chunk — with the interpreter serving the remaining sessions.
 class DecisionActionPhase : public TickPhase {
  public:
   DecisionActionPhase() : TickPhase(phase_names::kDecisionAction) {}
   Status Run(TickContext* ctx) override;
 
  private:
+  /// Evaluate rows [lo, hi) in ascending order into `sink`, batching
+  /// same-session runs through the VM where the session is compiled.
+  Status RunRange(TickContext* ctx, RowId lo, RowId hi, EffectSink* sink,
+                  int32_t shard);
+
+  void EnsureExecutors(int32_t count) {
+    while (static_cast<int32_t>(executors_.size()) < count) {
+      executors_.push_back(std::make_unique<vm::BatchExecutor>());
+    }
+  }
+
   // Reused across ticks so shard logs keep their capacity instead of
   // reallocating on the hottest path (cleared after every merge).
   exec::ShardedEffectBuffer sharded_{0};
+  /// One batch executor per ParallelFor chunk (index 0 also serves the
+  /// sequential path); persistent so register files keep their capacity
+  /// and hoisted prologues their values across ticks.
+  std::vector<std::unique_ptr<vm::BatchExecutor>> executors_;
 };
 
 /// Phase 3: build the value-dependent indexes over deferred area-of-effect

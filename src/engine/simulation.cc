@@ -7,6 +7,7 @@
 #include "algebra/plan.h"
 #include "opt/adaptive_provider.h"
 #include "util/timer.h"
+#include "vm/compiler.h"
 
 namespace sgl {
 
@@ -38,6 +39,56 @@ void DescribeSessionPlan(const ScriptSession& session, std::ostream& os) {
     os << "Naive evaluator: every aggregate and action scans E.\n";
   }
   if (session.sink != nullptr) os << session.sink->DescribePlan();
+}
+
+/// The compiled-evaluation block of one session: disassembly plus static
+/// and executed opcode counts, or the reason the script is interpreted.
+void DescribeBytecode(const ScriptSession& session, std::ostream& os) {
+  os << "-- Bytecode --\n";
+  if (session.compiled == nullptr) {
+    os << "compiled: off";
+    if (!session.compile_note.empty()) {
+      os << " (" << session.compile_note << ")";
+    }
+    os << "\n";
+    return;
+  }
+  const vm::CompiledProgram& prog = *session.compiled;
+  os << "compiled: on: " << prog.code.size() << " instrs ("
+     << prog.num_hoisted << " hoisted consts, " << prog.num_batch_ops
+     << " batch, " << prog.num_scalar_ops << " scalar), " << prog.num_regs
+     << " regs, " << prog.num_masks << " masks\n";
+  if (!prog.agg_scans.empty()) {
+    int32_t vectorized = 0;
+    for (const auto& scan : prog.agg_scans) {
+      if (scan != nullptr) ++vectorized;
+    }
+    os << "aggregates: " << vectorized << " vectorized scan(s), "
+       << prog.agg_scans.size() - vectorized << " interpreted probe(s)\n";
+  }
+  if (!prog.action_scans.empty()) {
+    int32_t vectorized = 0;
+    for (const auto& scan : prog.action_scans) {
+      if (scan != nullptr) ++vectorized;
+    }
+    os << "actions: " << vectorized << " vectorized update scan(s), "
+       << prog.action_scans.size() - vectorized << " interpreted exec(s)\n";
+  }
+  os << prog.Disassemble();
+  const int64_t batches = prog.batches.load(std::memory_order_relaxed);
+  if (batches > 0) {
+    os << "executed: " << batches << " batches, "
+       << prog.batch_dispatches.load(std::memory_order_relaxed)
+       << " batch dispatches, "
+       << prog.scalar_lane_ops.load(std::memory_order_relaxed)
+       << " scalar lane-ops, "
+       << prog.agg_scan_probes.load(std::memory_order_relaxed)
+       << " vectorized agg probes, "
+       << prog.action_scan_execs.load(std::memory_order_relaxed)
+       << " vectorized action execs, "
+       << prog.interp_fallbacks.load(std::memory_order_relaxed)
+       << " interpreter fallbacks\n";
+  }
 }
 
 }  // namespace
@@ -108,7 +159,8 @@ std::string Simulation::Explain() const {
   os << "execution: " << threads_ << (threads_ == 1 ? " thread" : " threads")
      << (pool_ != nullptr ? " (parallel tick pipeline, deterministic)" : "")
      << ", evaluator: " << EvaluatorModeName(config_.eval_mode)
-     << ", sharing: " << (sharing_ != nullptr ? "on" : "off") << "\n\n";
+     << ", sharing: " << (sharing_ != nullptr ? "on" : "off")
+     << ", compiled: " << (config_.compiled ? "on" : "off") << "\n\n";
   for (const auto& session : sessions_) {
     os << "== script '" << session->name << "'";
     if (dispatch_attr_ != Schema::kInvalidAttr) {
@@ -153,6 +205,7 @@ std::string Simulation::Explain() const {
     }
 
     DescribeSessionPlan(*session, os);
+    DescribeBytecode(*session, os);
     os << "\n";
   }
   if (sharing_ != nullptr) os << sharing_->Describe();
@@ -399,6 +452,19 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
       if (session.sharing->any_shared()) {
         session.interp->set_aggregate_provider(session.sharing.get());
       }
+    }
+    if (config_.compiled) {
+      // Lower the decision logic to batch bytecode (src/vm/). The
+      // compiler is conservative: a declined script simply keeps the
+      // interpreter, with the reason surfaced by Explain().
+      auto compiled = vm::CompileProgram(session.script);
+      if (compiled.ok()) {
+        session.compiled = compiled.MoveValue();
+      } else {
+        session.compile_note = compiled.status().message();
+      }
+    } else {
+      session.compile_note = "disabled by config";
     }
   }
   if (sim->sharing_ != nullptr) sim->sharing_->set_num_shards(sim->threads_);

@@ -48,6 +48,7 @@
 #include "sgl/interpreter.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "vm/bytecode.h"
 
 namespace sgl {
 
@@ -116,6 +117,14 @@ struct SimulationConfig {
   /// thread count; off reproduces the probe-per-unit behavior exactly.
   bool sharing = true;
 
+  /// Compiled evaluation (src/vm/): lower each script's decision logic to
+  /// register bytecode at Build() time and run the decision phase through
+  /// the batch VM instead of the AST interpreter. Bit-exact with the
+  /// interpreter under every evaluator mode, thread count, and sharing
+  /// setting; scripts the conservative compiler declines fall back to the
+  /// interpreter automatically (Explain() shows the reason per script).
+  bool compiled = true;
+
   /// Movement phase configuration. Attribute names for the per-tick
   /// movement intent; empty names disable the phase. Positions are kept
   /// on the integer grid [0, grid_width) x [0, grid_height).
@@ -146,6 +155,11 @@ struct ScriptSession {
   /// between the interpreter and `provider` (or the naive fallback when
   /// `provider` is null). All sessions share the Simulation's context.
   std::unique_ptr<SharingAggregateProvider> sharing;
+  /// With SimulationConfig::compiled: the script's decision bytecode, run
+  /// by the batch VM (src/vm/). Null when compilation is off or declined;
+  /// `compile_note` then carries the reason (surfaced by Explain()).
+  std::unique_ptr<vm::CompiledProgram> compiled;
+  std::string compile_note;
 };
 
 /// A checkpoint of the simulation state: the environment table plus the

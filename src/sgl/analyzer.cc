@@ -33,6 +33,8 @@ struct ExprCtx {
   bool allow_random = true;
 };
 
+void AssignProgramSlots(Program* program);  // stack-slot resolution (below)
+
 class AnalyzerImpl {
  public:
   AnalyzerImpl(Program* program, const Schema* schema)
@@ -94,6 +96,9 @@ Status AnalyzerImpl::Run(Script* out) {
   for (FunctionDecl& fn : program_->functions) {
     SGL_RETURN_NOT_OK(NormalizeFunction(&fn));
   }
+  // After normalization (hoisted _agg lets are ordinary bindings now),
+  // predict LocalStack slots for every variable reference.
+  AssignProgramSlots(program_);
   out->schema = *schema_;
   out->agg_layouts = std::move(agg_layouts_);
   out->main_index = program_->FunctionIndex("main");
@@ -674,6 +679,112 @@ void AnalyzerImpl::NormalizeInto(StmtPtr stmt, std::vector<StmtPtr>* out) {
 Status AnalyzerImpl::NormalizeFunction(FunctionDecl* fn) {
   fn->body = NormalizeStmt(std::move(fn->body));
   return Status::OK();
+}
+
+// --------------------------------------------------- Stack-slot resolution
+//
+// Predict, at analysis time, the LocalStack slot each kVarRef will find its
+// binding at, so the interpreter's hot-path lookup becomes an indexed load
+// with a verifying compare instead of a string scan (interpreter.h). The
+// prediction mirrors the interpreter's stack discipline exactly: scalar
+// parameters occupy slots 0..k-1, each kLet pushes at the current depth,
+// blocks pop back to their mark, and `if` branches never pop — so a branch
+// that pushes makes the depth after the `if` run-dependent, where we stop
+// predicting (slot -1 = always-correct scan fallback).
+
+/// Slot environment: name -> predicted slot, plus the current stack depth
+/// (kUnknownDepth once control flow makes it run-dependent).
+constexpr int32_t kUnknownDepth = -1;
+
+void AssignExprSlots(Expr* e,
+                     const std::unordered_map<std::string, int32_t>& slots) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kVarRef) {
+    auto it = slots.find(e->name);
+    e->var_slot = it != slots.end() ? it->second : -1;
+  }
+  for (ExprPtr& a : e->args) AssignExprSlots(a.get(), slots);
+}
+
+void AssignCondSlots(Cond* c,
+                     const std::unordered_map<std::string, int32_t>& slots) {
+  if (c == nullptr) return;
+  AssignExprSlots(c->lhs.get(), slots);
+  AssignExprSlots(c->rhs.get(), slots);
+  AssignCondSlots(c->left.get(), slots);
+  AssignCondSlots(c->right.get(), slots);
+}
+
+/// Walk a statement with the inherited slot map and depth; returns the
+/// stack depth after the statement (kUnknownDepth when not predictable).
+int32_t AssignStmtSlots(Stmt* s,
+                        std::unordered_map<std::string, int32_t> slots,
+                        int32_t depth) {
+  switch (s->kind) {
+    case StmtKind::kLet:
+      AssignExprSlots(s->let_value.get(), slots);
+      // Unknowable depth poisons the binding, not the walk: reads of this
+      // name verify-and-miss, everything else stays predicted.
+      slots[s->let_name] = depth;
+      return depth == kUnknownDepth ? kUnknownDepth : depth + 1;
+    case StmtKind::kIf: {
+      AssignCondSlots(s->cond.get(), slots);
+      // Branch bindings leak on the runtime stack (kIf never pops) but go
+      // out of scope for name resolution — branch maps are copies.
+      const int32_t then_depth =
+          AssignStmtSlots(s->then_branch.get(), slots, depth);
+      int32_t else_depth = depth;
+      if (s->else_branch != nullptr) {
+        else_depth = AssignStmtSlots(s->else_branch.get(), slots, depth);
+      }
+      return then_depth == else_depth ? then_depth : kUnknownDepth;
+    }
+    case StmtKind::kBlock: {
+      int32_t d = depth;
+      for (StmtPtr& child : s->body) {
+        d = AssignStmtSlots(child.get(), slots, d);
+      }
+      // The block pops to its mark, restoring the entry depth.
+      return depth;
+    }
+    case StmtKind::kPerform:
+      for (ExprPtr& a : s->args) AssignExprSlots(a.get(), slots);
+      return depth;
+  }
+  return depth;
+}
+
+/// Map a declaration's scalar parameters to their push-order slots
+/// (params[0] is the unit tuple, which lives outside the stack).
+std::unordered_map<std::string, int32_t> ParamSlots(
+    const std::vector<std::string>& params) {
+  std::unordered_map<std::string, int32_t> slots;
+  for (size_t i = 1; i < params.size(); ++i) {
+    slots[params[i]] = static_cast<int32_t>(i - 1);
+  }
+  return slots;
+}
+
+void AssignProgramSlots(Program* program) {
+  for (FunctionDecl& fn : program->functions) {
+    AssignStmtSlots(fn.body.get(), ParamSlots(fn.params),
+                    static_cast<int32_t>(fn.params.size()) - 1);
+  }
+  for (AggregateDecl& agg : program->aggregates) {
+    const auto slots = ParamSlots(agg.params);
+    for (AggItem& item : agg.items) AssignExprSlots(item.term.get(), slots);
+    AssignCondSlots(agg.where.get(), slots);
+  }
+  for (ActionDecl& action : program->actions) {
+    const auto slots = ParamSlots(action.params);
+    for (UpdateStmt& update : action.updates) {
+      AssignCondSlots(update.where.get(), slots);
+      for (SetItem& set : update.sets) {
+        AssignExprSlots(set.value.get(), slots);
+        AssignExprSlots(set.priority.get(), slots);
+      }
+    }
+  }
 }
 
 }  // namespace

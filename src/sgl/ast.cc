@@ -15,6 +15,7 @@ ExprPtr Expr::Clone() const {
   out->field_index = field_index;
   out->call_id = call_id;
   out->is_aggregate = is_aggregate;
+  out->var_slot = var_slot;
   out->args.reserve(args.size());
   for (const ExprPtr& a : args) out->args.push_back(a->Clone());
   return out;

@@ -59,6 +59,11 @@ struct Expr {
   int32_t field_index = -1;               // kFieldAccess
   int32_t call_id = -1;   // kCall: builtin id or aggregate decl index
   bool is_aggregate = false;  // kCall resolved to an aggregate declaration
+  /// kVarRef: predicted LocalStack slot of the binding, or -1 when the
+  /// analyzer could not place it statically (e.g. a binding leaked out of
+  /// an if branch). A hint only — LocalStack::Find verifies the name and
+  /// falls back to its scan, so -1 is always safe.
+  int32_t var_slot = -1;
 
   ExprPtr Clone() const;
 };

@@ -48,8 +48,9 @@ Result<Value> Interpreter::EvalExpr(const Expr& e, EvalCtx* ctx) const {
     case ExprKind::kNumber:
       return Value(e.number);
     case ExprKind::kVarRef: {
-      const Value* v = ctx->locals != nullptr ? ctx->locals->Find(e.name)
-                                              : nullptr;
+      const Value* v = ctx->locals != nullptr
+                           ? ctx->locals->Find(e.name, e.var_slot)
+                           : nullptr;
       if (v == nullptr) {
         return Status::ExecutionError("unbound name '", e.name, "' (line ",
                                       e.line, ")");

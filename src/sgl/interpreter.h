@@ -36,9 +36,20 @@ class LocalStack {
   void PopTo(size_t mark) { entries_.resize(mark); }
 
   /// Innermost binding of `name`. This is the hot path of expression
-  /// evaluation (every identifier lookup lands here), so mismatches are
+  /// evaluation (every identifier lookup lands here). `slot_hint` is the
+  /// analyzer's compile-time stack-slot prediction (Expr::var_slot): when
+  /// the entry at that depth carries the name, the lookup is one bounds
+  /// check and one verifying compare instead of a scan. The hint is just
+  /// a hint — callers that build non-standard stacks (or a binding the
+  /// analyzer could not place) miss the verify and fall back to the scan,
+  /// so the result is always the innermost match. Scan mismatches are
   /// rejected on length and first character before the full compare.
-  const Value* Find(const std::string& name) const {
+  const Value* Find(const std::string& name, int32_t slot_hint = -1) const {
+    if (slot_hint >= 0 &&
+        static_cast<size_t>(slot_hint) < entries_.size() &&
+        entries_[slot_hint].first == name) {
+      return &entries_[slot_hint].second;
+    }
     const size_t len = name.size();
     const char first = len > 0 ? name[0] : '\0';
     for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
@@ -116,6 +127,12 @@ class Interpreter {
     provider_ = provider;
   }
   void set_action_sink(ActionSink* sink) { sink_ = sink; }
+
+  /// The installed plugins (nullptr = naive built-in evaluation). The
+  /// batch VM routes its scalar aggregate-probe and perform opcodes
+  /// through the same plugins the interpreter would use.
+  AggregateProvider* aggregate_provider() const { return provider_; }
+  ActionSink* action_sink() const { return sink_; }
 
   /// Evaluate main for every unit of `table`, folding all effects into
   /// `buffer` (caller calls buffer->Begin(table) first). This is

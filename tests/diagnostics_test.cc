@@ -3,7 +3,13 @@
 // modder-facing language lives or dies by its diagnostics.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "engine/simulation.h"
 #include "game/battle.h"
+#include "scenario/scenario.h"
 #include "sgl/analyzer.h"
 
 namespace sgl {
@@ -140,6 +146,47 @@ TEST(Diagnostics, AnalysisErrorsNameTheSchema) {
   auto r = CompileScript("function main(u) { if u.mana > 1 then ; }",
                          BattleSchema());
   ASSERT_FALSE(r.ok());
+}
+
+// ---- Explain(): the per-script "Bytecode" block ----
+
+std::unique_ptr<Simulation> ExplainSim(bool compiled) {
+  SimulationConfig config;
+  config.compiled = compiled;
+  auto sim = ScenarioRegistry::Global().BuildSimulation(
+      "battle", ScenarioParams{80, 0.02, 5}, config);
+  EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+  return sim.ok() ? std::move(*sim) : nullptr;
+}
+
+TEST(Diagnostics, ExplainShowsBytecodeDisassembly) {
+  auto sim = ExplainSim(true);
+  ASSERT_NE(sim, nullptr);
+  const std::string explain = sim->Explain();
+  EXPECT_NE(std::string::npos, explain.find("compiled: on"));
+  EXPECT_NE(std::string::npos, explain.find("-- Bytecode --"));
+  // Static opcode accounting: batch vs scalar split, register budget, and
+  // the hoisted-constant prologue annotation in the disassembly.
+  EXPECT_NE(std::string::npos, explain.find("hoisted consts"));
+  EXPECT_NE(std::string::npos, explain.find("batch"));
+  EXPECT_NE(std::string::npos, explain.find("scalar"));
+  EXPECT_NE(std::string::npos, explain.find("hoisted (unit-invariant)"));
+  // Before any tick runs there is nothing to report under "executed:".
+  EXPECT_EQ(std::string::npos, explain.find("executed:"));
+
+  ASSERT_TRUE(sim->Run(2).ok());
+  const std::string after = sim->Explain();
+  EXPECT_NE(std::string::npos, after.find("executed:"));
+  EXPECT_NE(std::string::npos, after.find("batch dispatches"));
+}
+
+TEST(Diagnostics, ExplainReportsCompilationOff) {
+  auto sim = ExplainSim(false);
+  ASSERT_NE(sim, nullptr);
+  const std::string explain = sim->Explain();
+  EXPECT_NE(std::string::npos, explain.find("compiled: off"));
+  EXPECT_NE(std::string::npos, explain.find("disabled by config"));
+  EXPECT_EQ(std::string::npos, explain.find("compiled: on"));
 }
 
 }  // namespace

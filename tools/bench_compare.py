@@ -3,10 +3,12 @@
 
 Both files are JSON lines: a meta object ({"bench": "scenarios", ...})
 followed by one object per benchmark cell, keyed by
-(scenario, mode, units, threads, sharing) with an ns_per_tick measurement
-and a per-phase breakdown ({"phases": [{"name": ..., "ns_per_tick": ...}]}).
-Cells recorded before the aggregate-sharing sweep existed carry no
-"sharing" field and default to "on" (the engine's default). Cells may
+(scenario, mode, units, threads, sharing, compiled) with an ns_per_tick
+measurement and a per-phase breakdown
+({"phases": [{"name": ..., "ns_per_tick": ...}]}).
+Cells recorded before the aggregate-sharing or compiled-evaluation sweeps
+existed carry no "sharing" / "compiled" field and default to "on" (the
+engine's defaults for both). Cells may
 also carry informational counters (shared_hits, memo_entries); they ride
 along into refreshed baselines but are never compared — only ns_per_tick
 can regress a cell.
@@ -69,6 +71,7 @@ def load_cells(path):
                 obj.get("units"),
                 obj.get("threads"),
                 obj.get("sharing", "on"),
+                obj.get("compiled", "on"),
             )
             if None in key:
                 continue
@@ -204,13 +207,13 @@ def main():
         return 1
 
     header = f"{'scenario':<14} {'mode':<8} {'units':>6} {'thr':>4} " \
-             f"{'shr':>3} {'base ns/tick':>13} {'cur ns/tick':>13} " \
-             f"{'norm ratio':>10}"
+             f"{'shr':>3} {'vm':>3} {'base ns/tick':>13} " \
+             f"{'cur ns/tick':>13} {'norm ratio':>10}"
     print(header)
     failures = []
     for k in matched:
         norm = ratios[k] / drift
-        scenario, mode, units, threads, sharing = k
+        scenario, mode, units, threads, sharing, compiled = k
         flag = ""
         if norm > 1.0 + args.threshold:
             failures.append((k, norm))
@@ -221,7 +224,7 @@ def main():
         info = f"  hits {hits}" if flag == "" and hits else ""
         print(
             f"{scenario:<14} {mode:<8} {units:>6} {threads:>4} "
-            f"{sharing:>3} {baseline[k]['ns_per_tick']:>13} "
+            f"{sharing:>3} {compiled:>3} {baseline[k]['ns_per_tick']:>13} "
             f"{current[k]['ns_per_tick']:>13} {norm:>10.3f}{flag}{info}"
         )
         if args.phases or flag:
