@@ -78,6 +78,10 @@ struct BenchArgs {
   std::string json_path;
   bool quick = false;
   bool list = false;
+  /// Embed each cell's deterministic metrics snapshot in the JSON output
+  /// (bench_suite): informational context for tools/bench_compare.py's
+  /// regression reports, never itself a gate.
+  bool metrics = false;
 
   int64_t TicksOr(int64_t fallback) const {
     return ticks > 0 ? ticks : BenchTicks(fallback);
@@ -166,6 +170,8 @@ inline void PrintBenchUsage(const char* bench, const char* extra) {
                "  --naive-max N       naive-evaluator unit cap "
                "(env SGL_BENCH_NAIVE_MAX)\n"
                "  --quick             small CI smoke preset\n"
+               "  --metrics           embed per-cell metrics snapshots in "
+               "the JSON\n"
                "  --list              list registered scenarios and exit\n",
                bench, extra);
 }
@@ -232,6 +238,8 @@ inline BenchArgs ParseBenchArgsOrExit(int argc, char** argv, const char* bench,
           "--naive-max", value_of(&i, "--naive-max"));
     } else if (std::strcmp(arg, "--quick") == 0) {
       args.quick = true;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      args.metrics = true;
     } else if (std::strcmp(arg, "--list") == 0) {
       args.list = true;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {

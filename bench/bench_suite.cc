@@ -41,6 +41,7 @@ struct CellResult {
   int64_t shared_hits = 0;
   int64_t memo_entries = 0;
   std::vector<std::pair<std::string, double>> phase_seconds;
+  std::string metrics_json;  // --metrics: deterministic snapshot
 };
 
 // Runs one (scenario, params, mode, threads, sharing) cell `reps` times
@@ -50,7 +51,8 @@ struct CellResult {
 // regression gate compares across runs.
 CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
                    EvaluatorMode mode, int32_t threads, bool sharing,
-                   bool compiled, int64_t ticks, int32_t reps) {
+                   bool compiled, int64_t ticks, int32_t reps,
+                   bool want_metrics) {
   CellResult best;
   for (int32_t rep = 0; rep < reps; ++rep) {
     SimulationConfig config;
@@ -79,10 +81,16 @@ CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
     cell.rows = (*sim)->table().NumRows();
     cell.shared_hits = (*sim)->shared_hits();
     cell.memo_entries = (*sim)->memo_entries();
+    if (want_metrics) {
+      // Deterministic subset only: identical seeds make the snapshot
+      // identical across reps and thread-count-independent, so diffs in
+      // bench_compare.py reflect code changes, not schedules.
+      cell.metrics_json = (*sim)->MetricsJson(/*deterministic_only=*/true);
+    }
     for (const auto& [name, stats] : (*sim)->stats().stats()) {
-      cell.rows_scanned += stats.rows_scanned;
-      cell.index_probes += stats.index_probes;
-      cell.phase_seconds.push_back({name, stats.seconds});
+      cell.rows_scanned += stats.rows_scanned();
+      cell.index_probes += stats.index_probes();
+      cell.phase_seconds.push_back({name, stats.seconds()});
     }
     st = ScenarioRegistry::Global().CheckInvariants(scenario, params, **sim);
     if (!st.ok()) {
@@ -120,7 +128,9 @@ std::string CellJson(const std::string& scenario, const char* mode,
        << static_cast<int64_t>(seconds / static_cast<double>(ticks) * 1e9)
        << "}";
   }
-  os << "]}";
+  os << "]";
+  if (!cell.metrics_json.empty()) os << ", \"metrics\": " << cell.metrics_json;
+  os << "}";
   return os.str();
 }
 
@@ -217,8 +227,9 @@ int main(int argc, char** argv) {
             for (const std::string& compiled_name : compiled_sweep) {
               const bool sharing = sharing_name == "on";
               const bool compiled = compiled_name == "on";
-              CellResult cell = RunCell(scenario, params, mode, threads,
-                                        sharing, compiled, ticks, reps);
+              CellResult cell =
+                  RunCell(scenario, params, mode, threads, sharing, compiled,
+                          ticks, reps, args.metrics);
               if (!have_reference) {
                 have_reference = true;
                 reference = cell.table.Clone();

@@ -46,8 +46,8 @@ const PhaseTimes& Engine::phase_times() const {
   legacy_times_.Clear();
   for (const auto& [name, stats] : sim_->stats().stats()) {
     const char* legacy = LegacyPhaseName(name);
-    legacy_times_.Add(legacy != nullptr ? legacy : name.c_str(), stats.seconds,
-                      stats.invocations);
+    legacy_times_.Add(legacy != nullptr ? legacy : name.c_str(),
+                      stats.seconds(), stats.invocations());
   }
   return legacy_times_;
 }

@@ -30,11 +30,43 @@ int64_t TotalProbes(Simulation* sim) {
 
 }  // namespace
 
+void PhaseStats::Bind(obs::MetricsRegistry* metrics, const std::string& phase,
+                      uint32_t probe_flags) {
+  const std::string prefix = "phase." + phase + ".";
+  ns_ = metrics->GetCounter(prefix + "ns", obs::kMetricExecDependent);
+  invocations_ = metrics->GetCounter(prefix + "invocations");
+  rows_scanned_ = metrics->GetCounter(prefix + "rows_scanned");
+  index_probes_ = metrics->GetCounter(prefix + "index_probes", probe_flags);
+  workers_ = metrics->GetGauge(prefix + "workers", obs::kMetricExecDependent);
+  max_worker_ns_ =
+      metrics->GetCounter(prefix + "max_worker_ns", obs::kMetricExecDependent);
+}
+
+void PhaseStats::ResetValues() {
+  ns_->Reset();
+  invocations_->Reset();
+  rows_scanned_->Reset();
+  index_probes_->Reset();
+  workers_->Reset();
+  max_worker_ns_->Reset();
+}
+
+void PhaseStatsRegistry::Attach(obs::MetricsRegistry* registry,
+                                uint32_t probe_flags) {
+  metrics_ = registry;
+  probe_flags_ = probe_flags;
+}
+
 PhaseStats& PhaseStatsRegistry::Slot(const std::string& phase) {
   for (auto& [name, stats] : stats_) {
     if (name == phase) return stats;
   }
+  if (metrics_ == nullptr) {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = own_metrics_.get();
+  }
   stats_.emplace_back(phase, PhaseStats{});
+  stats_.back().second.Bind(metrics_, phase, probe_flags_);
   return stats_.back().second;
 }
 
@@ -45,25 +77,38 @@ const PhaseStats* PhaseStatsRegistry::Find(const std::string& phase) const {
   return nullptr;
 }
 
+void PhaseStatsRegistry::Clear() {
+  for (auto& [name, stats] : stats_) stats.ResetValues();
+  stats_.clear();
+}
+
 std::string PhaseStatsRegistry::ToString() const {
   std::ostringstream os;
   os << "phase                 ticks   total(s)  ms/tick       rows     probes"
-        "  workers  maxw-ms/tick\n";
+        "  workers  maxw-ms/tick   %time\n";
+  double total_seconds = 0.0;
+  for (const auto& [name, s] : stats_) total_seconds += s.seconds();
   for (const auto& [name, s] : stats_) {
     char line[200];
+    const int64_t invocations = s.invocations();
+    const double seconds = s.seconds();
     double per_tick =
-        s.invocations > 0 ? s.seconds * 1e3 / static_cast<double>(s.invocations)
-                          : 0.0;
+        invocations > 0 ? seconds * 1e3 / static_cast<double>(invocations)
+                        : 0.0;
     double max_worker_ms =
-        s.invocations > 0 ? static_cast<double>(s.max_worker_ns) * 1e-6 /
-                                static_cast<double>(s.invocations)
-                          : 0.0;
+        invocations > 0 ? static_cast<double>(s.max_worker_ns()) * 1e-6 /
+                              static_cast<double>(invocations)
+                        : 0.0;
+    // Guard the share-of-total divide: a run whose phases all finished in
+    // sub-tick-resolution time has total_seconds == 0, which would print
+    // nan for every row.
+    double pct = total_seconds > 0.0 ? 100.0 * seconds / total_seconds : 0.0;
     std::snprintf(line, sizeof(line),
-                  "%-20s %6lld %10.4f %8.3f %10lld %10lld %8lld %13.3f\n",
-                  name.c_str(), static_cast<long long>(s.invocations),
-                  s.seconds, per_tick, static_cast<long long>(s.rows_scanned),
-                  static_cast<long long>(s.index_probes),
-                  static_cast<long long>(s.workers), max_worker_ms);
+                  "%-20s %6lld %10.4f %8.3f %10lld %10lld %8lld %13.3f %7.1f\n",
+                  name.c_str(), static_cast<long long>(invocations), seconds,
+                  per_tick, static_cast<long long>(s.rows_scanned()),
+                  static_cast<long long>(s.index_probes()),
+                  static_cast<long long>(s.workers()), max_worker_ms, pct);
     os << line;
   }
   return os.str();
@@ -75,14 +120,14 @@ Status IndexBuildPhase::Run(TickContext* ctx) {
     if (session->provider == nullptr) continue;
     SGL_RETURN_NOT_OK(session->provider->BuildIndexes(*ctx->table, *ctx->rnd,
                                                       ctx->pool, &pstats));
-    ctx->stats->rows_scanned += ctx->table->NumRows();
+    ctx->stats->AddRowsScanned(ctx->table->NumRows());
   }
   // All sessions have consumed this change window (the writes since the
   // previous index build); open the next one. No-op unless the adaptive
   // evaluator enabled tracking.
   if (ctx->table->change_tracking_enabled()) ctx->table->ClearChanges();
-  ctx->stats->workers = std::max(ctx->stats->workers, pstats.workers);
-  ctx->stats->max_worker_ns += pstats.max_worker_ns;
+  ctx->stats->NoteWorkers(pstats.workers);
+  ctx->stats->AddMaxWorkerNs(pstats.max_worker_ns);
   return Status::OK();
 }
 
@@ -136,8 +181,9 @@ Status DecisionActionPhase::Run(TickContext* ctx) {
   if (chunks <= 1) {
     // Sequential: stream effects straight into the tick buffer (shard 0).
     EnsureExecutors(1);
+    SetExecutorTracers(ctx->tracer);
     SGL_RETURN_NOT_OK(RunRange(ctx, 0, n, ctx->buffer, 0));
-    if (n > 0) ctx->stats->workers = std::max<int64_t>(ctx->stats->workers, 1);
+    if (n > 0) ctx->stats->NoteWorkers(1);
   } else {
     // Parallel: chunk c evaluates its contiguous row range [lo, hi) in
     // ascending order into its own effect-log shard; replaying shards in
@@ -148,22 +194,34 @@ Status DecisionActionPhase::Run(TickContext* ctx) {
     sharded_.EnsureShards(chunks);
     sharded_.ClearAll();  // on entry: robust even if a prior tick errored
     EnsureExecutors(chunks);
+    SetExecutorTracers(ctx->tracer);
     exec::ShardedEffectBuffer& sharded = sharded_;
     exec::ParallelStats pstats;
     SGL_RETURN_NOT_OK(pool->ParallelFor(
         n, kDecisionGrain,
         [&](int32_t chunk, int64_t lo, int64_t hi) -> Status {
+          // Worker span on the chunk's own track and shard sink: chunk c
+          // is evaluated by exactly one worker, so shard c never races.
+          obs::SpanScope span(ctx->tracer, "chunk", 1 + chunk, chunk);
+          if (ctx->tracer != nullptr) {
+            char args[96];
+            std::snprintf(args, sizeof(args),
+                          "{\"chunk\":%d,\"row_lo\":%lld,\"rows\":%lld}",
+                          chunk, static_cast<long long>(lo),
+                          static_cast<long long>(hi - lo));
+            span.set_args_json(args);
+          }
           return RunRange(ctx, static_cast<RowId>(lo), static_cast<RowId>(hi),
                           sharded.shard(chunk), chunk);
         },
         &pstats));
     sharded.MergeInto(ctx->buffer);
-    ctx->stats->workers = std::max(ctx->stats->workers, pstats.workers);
-    ctx->stats->max_worker_ns += pstats.max_worker_ns;
+    ctx->stats->NoteWorkers(pstats.workers);
+    ctx->stats->AddMaxWorkerNs(pstats.max_worker_ns);
   }
 
-  ctx->stats->rows_scanned += n;
-  ctx->stats->index_probes += TotalProbes(sim) - probes_before;
+  ctx->stats->AddRowsScanned(n);
+  ctx->stats->AddIndexProbes(TotalProbes(sim) - probes_before);
   return Status::OK();
 }
 
@@ -181,7 +239,7 @@ Status ApplyPhase::Run(TickContext* ctx) {
   for (const ApplyEffectsHook& hook : ctx->sim->apply_hooks()) {
     SGL_RETURN_NOT_OK(hook(ctx->table, *ctx->buffer, *ctx->rnd));
   }
-  ctx->stats->rows_scanned += ctx->table->NumRows();
+  ctx->stats->AddRowsScanned(ctx->table->NumRows());
   return Status::OK();
 }
 
@@ -196,7 +254,7 @@ Status MovementPhase::Run(TickContext* ctx) {
   EnvironmentTable& table = *ctx->table;
   const TickRandom& rnd = *ctx->rnd;
   const int32_t n = table.NumRows();
-  ctx->stats->rows_scanned += n;
+  ctx->stats->AddRowsScanned(n);
 
   // Occupancy of every unit's current cell.
   std::unordered_set<int64_t> occupied;

@@ -25,6 +25,8 @@
 #include "env/table.h"
 #include "exec/sharded_effect_buffer.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "vm/vm.h"
@@ -44,20 +46,61 @@ inline constexpr const char kMovement[] = "movement";
 inline constexpr const char kMechanics[] = "mechanics";
 }  // namespace phase_names
 
-/// Counters one phase accumulates across ticks.
-struct PhaseStats {
-  double seconds = 0.0;       ///< total wall-clock time spent in the phase
-  int64_t invocations = 0;    ///< number of ticks the phase ran
-  int64_t rows_scanned = 0;   ///< environment rows the phase visited
-  int64_t index_probes = 0;   ///< aggregate-index probes issued
-  int64_t workers = 0;        ///< max parallel chunks one invocation used
-  int64_t max_worker_ns = 0;  ///< accumulated slowest-worker wall time
+/// Counters one phase accumulates across ticks. Each slot is a bundle of
+/// handles into a metrics registry ("phase.<name>.*" metrics), so the
+/// stats table, Explain(), the flight recorder, and exported snapshots
+/// all read the same storage. Timing fields (ns, max_worker_ns, workers)
+/// are execution-dependent; invocations and rows_scanned are
+/// deterministic counts, and index_probes is deterministic unless
+/// aggregate sharing is on (the decorated providers only see memo
+/// misses, whose split across shards races).
+class PhaseStats {
+ public:
+  // Writers — called by the tick runner, or with per-worker values folded
+  // in after a ParallelFor has joined.
+  void AddNanos(int64_t ns) { ns_->Add(ns); }
+  void AddInvocation() { invocations_->Add(1); }
+  void AddRowsScanned(int64_t rows) { rows_scanned_->Add(rows); }
+  void AddIndexProbes(int64_t probes) { index_probes_->Add(probes); }
+  void NoteWorkers(int64_t workers) { workers_->SetMax(workers); }
+  void AddMaxWorkerNs(int64_t ns) { max_worker_ns_->Add(ns); }
+
+  // Readers.
+  double seconds() const {
+    return static_cast<double>(ns_->value()) * 1e-9;
+  }
+  int64_t invocations() const { return invocations_->value(); }
+  int64_t rows_scanned() const { return rows_scanned_->value(); }
+  int64_t index_probes() const { return index_probes_->value(); }
+  int64_t workers() const { return workers_->value(); }
+  int64_t max_worker_ns() const { return max_worker_ns_->value(); }
+
+ private:
+  friend class PhaseStatsRegistry;
+
+  void Bind(obs::MetricsRegistry* metrics, const std::string& phase,
+            uint32_t probe_flags);
+  void ResetValues();
+
+  obs::Counter* ns_ = nullptr;
+  obs::Counter* invocations_ = nullptr;
+  obs::Counter* rows_scanned_ = nullptr;
+  obs::Counter* index_probes_ = nullptr;
+  obs::Gauge* workers_ = nullptr;
+  obs::Counter* max_worker_ns_ = nullptr;
 };
 
 /// Per-phase stats, keyed by phase name in first-registration (pipeline)
 /// order.
 class PhaseStatsRegistry {
  public:
+  /// Bind future slots into `registry` (SimulationBuilder calls this with
+  /// the simulation's registry before any tick; a detached
+  /// PhaseStatsRegistry lazily creates a private one). `probe_flags` is
+  /// applied to the index_probes counters — kMetricExecDependent when
+  /// aggregate sharing makes probe splits race.
+  void Attach(obs::MetricsRegistry* registry, uint32_t probe_flags);
+
   /// The (created-on-demand) slot for `phase`. References stay valid for
   /// the registry's lifetime (deque storage), so phases may create slots
   /// while the runner holds a reference to another one.
@@ -70,13 +113,17 @@ class PhaseStatsRegistry {
     return stats_;
   }
 
-  void Clear() { stats_.clear(); }
+  /// Zero every slot's metrics and forget the slots.
+  void Clear();
 
   /// Multi-line table: per phase, invocations, total seconds, ms/tick,
-  /// rows scanned and index probes.
+  /// rows scanned, index probes, parallelism, and share of total time.
   std::string ToString() const;
 
  private:
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  uint32_t probe_flags_ = obs::kMetricNone;
   std::deque<std::pair<std::string, PhaseStats>> stats_;
 };
 
@@ -90,6 +137,7 @@ struct TickContext {
   exec::ThreadPool* pool = nullptr;  ///< worker pool; null = single thread
   int64_t tick = 0;                  ///< tick number being executed
   PhaseStats* stats = nullptr;       ///< the running phase's own slot
+  obs::Tracer* tracer = nullptr;     ///< span/instant sink; null = off
 };
 
 /// One stage of the per-tick pipeline. Subclass and register through
@@ -146,6 +194,10 @@ class DecisionActionPhase : public TickPhase {
     while (static_cast<int32_t>(executors_.size()) < count) {
       executors_.push_back(std::make_unique<vm::BatchExecutor>());
     }
+  }
+
+  void SetExecutorTracers(obs::Tracer* tracer) {
+    for (auto& executor : executors_) executor->set_tracer(tracer);
   }
 
   // Reused across ticks so shard logs keep their capacity instead of

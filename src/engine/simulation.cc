@@ -1,6 +1,8 @@
 #include "engine/simulation.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <unordered_set>
 
@@ -75,19 +77,14 @@ void DescribeBytecode(const ScriptSession& session, std::ostream& os) {
        << prog.action_scans.size() - vectorized << " interpreted exec(s)\n";
   }
   os << prog.Disassemble();
-  const int64_t batches = prog.batches.load(std::memory_order_relaxed);
+  const int64_t batches = prog.batches->value();
   if (batches > 0) {
     os << "executed: " << batches << " batches, "
-       << prog.batch_dispatches.load(std::memory_order_relaxed)
-       << " batch dispatches, "
-       << prog.scalar_lane_ops.load(std::memory_order_relaxed)
-       << " scalar lane-ops, "
-       << prog.agg_scan_probes.load(std::memory_order_relaxed)
-       << " vectorized agg probes, "
-       << prog.action_scan_execs.load(std::memory_order_relaxed)
-       << " vectorized action execs, "
-       << prog.interp_fallbacks.load(std::memory_order_relaxed)
-       << " interpreter fallbacks\n";
+       << prog.batch_dispatches->value() << " batch dispatches, "
+       << prog.scalar_lane_ops->value() << " scalar lane-ops, "
+       << prog.agg_scan_probes->value() << " vectorized agg probes, "
+       << prog.action_scan_execs->value() << " vectorized action execs, "
+       << prog.interp_fallbacks->value() << " interpreter fallbacks\n";
   }
 }
 
@@ -95,8 +92,26 @@ void DescribeBytecode(const ScriptSession& session, std::ostream& os) {
 
 // --------------------------------------------------------------- Simulation
 
+Simulation::~Simulation() {
+  // Persist the trace where the config asked for it, even if the caller
+  // never called WriteTrace explicitly (best-effort: a destructor cannot
+  // surface the status).
+  if (tracer_ != nullptr && !config_.trace_path.empty()) {
+    (void)tracer_->WriteJson(config_.trace_path);
+  }
+}
+
 Status Simulation::Tick() {
   TickRandom rnd(config_.seed, static_cast<uint64_t>(tick_count_));
+
+  obs::SpanScope tick_span(tracer_.get(), "tick", 0, 0);
+  if (tracer_ != nullptr) {
+    char args[48];
+    std::snprintf(args, sizeof(args), "{\"tick\":%lld}",
+                  static_cast<long long>(tick_count_));
+    tick_span.set_args_json(args);
+  }
+  Timer tick_timer;
 
   // Tick prologue: initialize the auxiliary (effect) attributes and
   // snapshot them as the base contribution of the incremental ⊕. The
@@ -113,16 +128,79 @@ Status Simulation::Tick() {
   ctx.rnd = &rnd;
   ctx.pool = pool_.get();
   ctx.tick = tick_count_;
+  ctx.tracer = tracer_.get();
   for (const std::unique_ptr<TickPhase>& phase : pipeline_) {
     PhaseStats& slot = stats_.Slot(phase->name());
     ctx.stats = &slot;
-    Timer timer;
-    Status st = phase->Run(&ctx);
-    slot.seconds += timer.Seconds();
-    slot.invocations += 1;
-    if (!st.ok()) return st;
+    Status st;
+    {
+      obs::SpanScope phase_span(tracer_.get(), phase->name().c_str(), 0, 0);
+      Timer timer;
+      st = phase->Run(&ctx);
+      slot.AddNanos(timer.Nanos());
+    }
+    slot.AddInvocation();
+    if (!st.ok()) {
+      if (tracer_ != nullptr) {
+        tracer_->Instant("error", 0, 0,
+                         "{\"phase\":\"" + obs::JsonEscape(phase->name()) +
+                             "\",\"status\":\"" +
+                             obs::JsonEscape(st.ToString()) + "\"}");
+      }
+      if (recorder_ != nullptr) {
+        (void)recorder_->Dump(config_.flight_recorder_path,
+                              "tick " + std::to_string(tick_count_) +
+                                  " failed in phase '" + phase->name() +
+                                  "': " + st.ToString());
+      }
+      return st;
+    }
+  }
+  ticks_counter_->Add(1);
+  tick_ns_hist_->Record(tick_timer.Nanos());
+  if (recorder_ != nullptr) {
+    recorder_->RecordTick(tick_count_, tick_timer.Nanos(), table_.NumRows());
+  }
+  if (!config_.metrics_path.empty()) {
+    SGL_RETURN_NOT_OK(AppendMetricsLine());
   }
   ++tick_count_;
+  return Status::OK();
+}
+
+Status Simulation::WriteTrace(const std::string& path) const {
+  if (tracer_ == nullptr) {
+    return Status::Invalid(
+        "tracing is off (set SimulationConfig::trace_path)");
+  }
+  return tracer_->WriteJson(path);
+}
+
+Status Simulation::DumpFlightRecorder(const std::string& path,
+                                      const std::string& reason) const {
+  if (recorder_ == nullptr) {
+    return Status::Invalid(
+        "flight recorder is off "
+        "(set SimulationConfig::flight_recorder_ticks)");
+  }
+  return recorder_->Dump(path, reason);
+}
+
+Status Simulation::AppendMetricsLine() const {
+  std::ofstream out(config_.metrics_path,
+                    metrics_file_started_ ? std::ios::app : std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open metrics output file: ",
+                            config_.metrics_path);
+  }
+  metrics_file_started_ = true;
+  out << "{\"tick\":" << tick_count_ << ",\"metrics\":" << metrics_.ToJson()
+      << "}\n";
+  out.close();
+  if (!out.good()) {
+    return Status::Internal("failed writing metrics output file: ",
+                            config_.metrics_path);
+  }
   return Status::OK();
 }
 
@@ -466,6 +544,26 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
     } else {
       session.compile_note = "disabled by config";
     }
+
+    // Rebind the session's counters into the simulation's registry (all
+    // still zero — no tick has run). Behind an active sharing decorator
+    // the physical provider only sees memo misses, and which probing unit
+    // misses first races across shards, so those counts become
+    // execution-dependent.
+    const uint32_t provider_flags =
+        session.sharing != nullptr && session.sharing->any_shared()
+            ? obs::kMetricExecDependent
+            : obs::kMetricNone;
+    if (session.provider != nullptr) {
+      session.provider->BindMetrics(&sim->metrics_,
+                                    "script." + session.name + ".agg.",
+                                    provider_flags);
+    }
+    if (session.compiled != nullptr) {
+      session.compiled->BindMetrics(&sim->metrics_,
+                                    "script." + session.name + ".vm.",
+                                    obs::kMetricNone);
+    }
   }
   if (sim->sharing_ != nullptr) sim->sharing_->set_num_shards(sim->threads_);
   if (any_dispatch_value) {
@@ -491,6 +589,43 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
         "multiple scripts require dispatch values and DispatchBy(attr)");
   }
   sim->sessions_ = std::move(sessions_);
+
+  // --- observability -----------------------------------------------------
+  // One registry serves every subsystem; phase slots bind lazily on first
+  // Tick. With sharing on, the probe totals the decision phase folds in
+  // come from decorated providers, so they inherit the same
+  // execution-dependence as the provider counters.
+  if (sim->sharing_ != nullptr) {
+    sim->sharing_->BindMetrics(&sim->metrics_, "sharing.");
+  }
+  sim->stats_.Attach(&sim->metrics_, config_.sharing
+                                         ? obs::kMetricExecDependent
+                                         : obs::kMetricNone);
+  sim->ticks_counter_ = sim->metrics_.GetCounter("engine.ticks");
+  sim->tick_ns_hist_ = sim->metrics_.GetHistogram(
+      "engine.tick.ns",
+      {10000, 100000, 1000000, 10000000, 100000000, 1000000000},
+      obs::kMetricExecDependent);
+  // Size every sharded metric once, after all bindings: chunk ids of the
+  // parallel phases are the shard ids, and NumChunks never exceeds the
+  // thread count.
+  sim->metrics_.SetNumShards(sim->threads_);
+  if (!config_.trace_path.empty()) {
+    sim->tracer_ = std::make_unique<obs::Tracer>();
+    sim->tracer_->SetNumShards(sim->threads_);
+    if (sim->sharing_ != nullptr) {
+      sim->sharing_->set_tracer(sim->tracer_.get());
+    }
+    for (auto& session : sim->sessions_) {
+      if (session->provider != nullptr) {
+        session->provider->set_tracer(sim->tracer_.get());
+      }
+    }
+  }
+  if (config_.flight_recorder_ticks > 0) {
+    sim->recorder_ = std::make_unique<obs::FlightRecorder>(
+        &sim->metrics_, config_.flight_recorder_ticks);
+  }
 
   // --- mechanics ---------------------------------------------------------
   sim->mechanics_ = std::move(mechanics_);

@@ -41,6 +41,9 @@
 #include "env/effect_buffer.h"
 #include "env/table.h"
 #include "exec/thread_pool.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/action_sink.h"
 #include "opt/indexed_provider.h"
 #include "opt/sharing.h"
@@ -134,6 +137,26 @@ struct SimulationConfig {
   int64_t grid_height = 256;
   double step_per_tick = 3.0;  // the paper's _WALK_DIST_PER_TICK
   bool collisions = true;
+
+  /// Observability (src/obs/). `trace_path`: when non-empty, record
+  /// span/instant events (tick → phase → per-chunk worker spans, plus
+  /// adaptive-choice / memo-demotion / VM-bail / error instants) and
+  /// write them as Chrome trace-event JSON — Perfetto-loadable — to this
+  /// path when the simulation is destroyed (or earlier via WriteTrace).
+  /// Empty disables tracing entirely: every emit site reduces to one
+  /// branch on a null pointer.
+  std::string trace_path;
+
+  /// When non-empty, append one JSON-lines metrics snapshot
+  /// ({"tick":N,"metrics":{...}}) to this path after every tick.
+  std::string metrics_path;
+
+  /// Flight recorder: keep summaries (phase timings, row counts, metric
+  /// deltas) of the last N ticks and dump them as JSON to
+  /// `flight_recorder_path` when Tick() fails or a scenario invariant
+  /// trips. 0 disables.
+  int32_t flight_recorder_ticks = 0;
+  std::string flight_recorder_path = "flight_record.json";
 };
 
 /// One registered script with its per-script evaluation machinery. With a
@@ -174,6 +197,8 @@ class SimulationBuilder;
 
 class Simulation {
  public:
+  ~Simulation();
+
   /// Advance the simulation one clock tick through the phase pipeline.
   Status Tick();
 
@@ -208,6 +233,37 @@ class Simulation {
 
   /// Resolved worker-thread count (config threads after auto-detection).
   int32_t threads() const { return threads_; }
+
+  /// The unified metrics registry every subsystem counter lives in
+  /// (phase stats, probe tallies, sharing memo counters, adaptive
+  /// decisions, VM execution counters). Read between ticks.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::MetricsRegistry* mutable_metrics() { return &metrics_; }
+
+  /// One-line JSON snapshot of the registry. With `deterministic_only`,
+  /// only metrics whose values are bit-identical across thread counts —
+  /// the form the determinism tests compare.
+  std::string MetricsJson(bool deterministic_only = false) const {
+    return metrics_.ToJson(deterministic_only);
+  }
+
+  /// The tracer, or null when SimulationConfig::trace_path is empty.
+  const obs::Tracer* tracer() const { return tracer_.get(); }
+
+  /// Write the trace collected so far as Chrome trace-event JSON.
+  /// Fails unless tracing is enabled. The destructor also writes to
+  /// config().trace_path automatically.
+  Status WriteTrace(const std::string& path) const;
+
+  /// The flight recorder, or null when flight_recorder_ticks == 0.
+  const obs::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+
+  /// Dump the flight recorder ring (scenario invariant checkers call this
+  /// on failure; Tick() calls it on error automatically).
+  Status DumpFlightRecorder(const std::string& path,
+                            const std::string& reason) const;
 
   /// Pipeline order, by phase name.
   std::vector<std::string> PhaseNames() const;
@@ -246,6 +302,9 @@ class Simulation {
   friend class SimulationBuilder;
   explicit Simulation(EnvironmentTable table) : table_(std::move(table)) {}
 
+  /// Append one {"tick":N,"metrics":{...}} line to config_.metrics_path.
+  Status AppendMetricsLine() const;
+
   std::string name_;
   SimulationConfig config_;
   EnvironmentTable table_;
@@ -260,6 +319,14 @@ class Simulation {
   std::unique_ptr<SharingContext> sharing_;  // null when sharing is off
   EffectBuffer buffer_;
   PhaseStatsRegistry stats_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;        // null = tracing off
+  std::unique_ptr<obs::FlightRecorder> recorder_;  // null = recorder off
+  obs::Counter* ticks_counter_ = nullptr;
+  obs::Histogram* tick_ns_hist_ = nullptr;
+  // This simulation's first metrics write truncates any stale file at
+  // metrics_path; later writes append (one line per tick).
+  mutable bool metrics_file_started_ = false;
   int64_t tick_count_ = 0;
   int32_t threads_ = 1;
   std::unique_ptr<exec::ThreadPool> pool_;  // null when threads_ == 1

@@ -1,0 +1,90 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace sgl {
+namespace obs {
+
+FlightRecorder::FlightRecorder(const MetricsRegistry* metrics,
+                               int32_t capacity)
+    : metrics_(metrics),
+      capacity_(static_cast<size_t>(std::max<int32_t>(1, capacity))) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::RecordTick(int64_t tick, int64_t ns, int64_t rows) {
+  TickRecord rec;
+  rec.tick = tick;
+  rec.ns = ns;
+  rec.rows = rows;
+  // Both snapshots are name-sorted, so a merge walk yields the deltas.
+  // New metrics appear mid-run (lazily registered) with prev value 0.
+  std::vector<std::pair<std::string, int64_t>> cur = metrics_->Values();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < cur.size()) {
+    int64_t before = 0;
+    if (j < prev_.size()) {
+      const int cmp = prev_[j].first.compare(cur[i].first);
+      if (cmp < 0) {
+        ++j;
+        continue;
+      }
+      if (cmp == 0) {
+        before = prev_[j].second;
+        ++j;
+      }
+    }
+    const int64_t delta = cur[i].second - before;
+    if (delta != 0) rec.deltas.emplace_back(cur[i].first, delta);
+    ++i;
+  }
+  prev_ = std::move(cur);
+
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[start_] = std::move(rec);
+    start_ = (start_ + 1) % capacity_;
+  }
+}
+
+std::string FlightRecorder::ToJson(const std::string& reason) const {
+  std::ostringstream os;
+  os << "{\"reason\":\"" << JsonEscape(reason) << "\",\"ticks\":[";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const TickRecord& rec = ring_[(start_ + i) % ring_.size()];
+    if (i > 0) os << ",";
+    os << "\n{\"tick\":" << rec.tick << ",\"ns\":" << rec.ns
+       << ",\"rows\":" << rec.rows << ",\"deltas\":{";
+    for (size_t d = 0; d < rec.deltas.size(); ++d) {
+      if (d > 0) os << ",";
+      os << "\"" << JsonEscape(rec.deltas[d].first)
+         << "\":" << rec.deltas[d].second;
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Status FlightRecorder::Dump(const std::string& path,
+                            const std::string& reason) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open flight recorder output file: ",
+                            path);
+  }
+  out << ToJson(reason);
+  out.close();
+  if (!out.good()) {
+    return Status::Internal("failed writing flight recorder output file: ",
+                            path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace sgl

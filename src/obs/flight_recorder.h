@@ -1,0 +1,58 @@
+// Flight recorder: a fixed-size ring of recent per-tick summaries,
+// dumped to a JSON artifact when something goes wrong (a Tick() error or
+// a scenario invariant violation). It answers "what was the engine doing
+// just before the failure" without paying tracing overhead during
+// normal runs: each RecordTick snapshots the metrics registry and keeps
+// only the nonzero deltas against the previous tick, so every record
+// carries the tick's phase timings, probe/memo/VM activity, and row
+// count in a few hundred bytes.
+#ifndef SGL_OBS_FLIGHT_RECORDER_H_
+#define SGL_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace sgl {
+namespace obs {
+
+class FlightRecorder {
+ public:
+  /// Keeps summaries of the last `capacity` ticks; `metrics` must
+  /// outlive the recorder.
+  FlightRecorder(const MetricsRegistry* metrics, int32_t capacity);
+
+  /// Record one completed tick. Called by the runner thread after the
+  /// phase pipeline finishes (never concurrently with metric writers).
+  void RecordTick(int64_t tick, int64_t ns, int64_t rows);
+
+  /// Records currently held, oldest first.
+  int32_t size() const { return static_cast<int32_t>(ring_.size()); }
+
+  std::string ToJson(const std::string& reason) const;
+  Status Dump(const std::string& path, const std::string& reason) const;
+
+ private:
+  struct TickRecord {
+    int64_t tick = 0;
+    int64_t ns = 0;
+    int64_t rows = 0;
+    // Nonzero metric deltas vs the previous recorded tick, name-sorted.
+    std::vector<std::pair<std::string, int64_t>> deltas;
+  };
+
+  const MetricsRegistry* metrics_;
+  size_t capacity_;
+  std::vector<TickRecord> ring_;  // ring_[ (start_ + i) % capacity_ ]
+  size_t start_ = 0;
+  std::vector<std::pair<std::string, int64_t>> prev_;
+};
+
+}  // namespace obs
+}  // namespace sgl
+
+#endif  // SGL_OBS_FLIGHT_RECORDER_H_

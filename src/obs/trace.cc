@@ -1,0 +1,109 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace sgl {
+namespace obs {
+
+Tracer::Tracer(int64_t max_events_per_shard)
+    : epoch_(std::chrono::steady_clock::now()),
+      max_events_per_shard_(std::max<int64_t>(1, max_events_per_shard)),
+      shards_(1) {}
+
+void Tracer::SetNumShards(int32_t num_shards) {
+  const size_t n = static_cast<size_t>(std::max<int32_t>(1, num_shards));
+  if (n > shards_.size()) shards_.resize(n);
+}
+
+void Tracer::Emit(int32_t shard, TraceEvent event) {
+  const size_t s = static_cast<size_t>(shard);
+  Shard& sink = shards_[s < shards_.size() ? s : 0];
+  if (static_cast<int64_t>(sink.events.size()) >= max_events_per_shard_) {
+    ++sink.dropped;
+    return;
+  }
+  sink.events.push_back(std::move(event));
+}
+
+void Tracer::Instant(const char* name, int32_t tid, int32_t shard,
+                     std::string args_json) {
+  TraceEvent e;
+  e.name = name;
+  e.ts_ns = NowNs();
+  e.dur_ns = -1;
+  e.tid = tid;
+  e.args_json = std::move(args_json);
+  Emit(shard, std::move(e));
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  std::vector<TraceEvent> out;
+  size_t total = 0;
+  for (const Shard& s : shards_) total += s.events.size();
+  out.reserve(total);
+  for (const Shard& s : shards_) {
+    out.insert(out.end(), s.events.begin(), s.events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.dur_ns > b.dur_ns;
+                   });
+  return out;
+}
+
+int64_t Tracer::dropped() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) total += s.dropped;
+  return total;
+}
+
+std::string Tracer::ToJson() const {
+  std::vector<TraceEvent> events = Collect();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  char buf[64];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) os << ",";
+    os << "\n{\"name\":\"" << JsonEscape(e.name) << "\",";
+    // Chrome trace-event timestamps are microseconds; keep ns precision
+    // through the fractional part.
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.ts_ns) / 1e3);
+    if (e.dur_ns >= 0) {
+      os << "\"ph\":\"X\",\"ts\":" << buf << ",";
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    static_cast<double>(e.dur_ns) / 1e3);
+      os << "\"dur\":" << buf << ",";
+    } else {
+      os << "\"ph\":\"i\",\"ts\":" << buf << ",\"s\":\"t\",";
+    }
+    os << "\"pid\":0,\"tid\":" << e.tid;
+    if (!e.args_json.empty()) os << ",\"args\":" << e.args_json;
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open trace output file: ", path);
+  }
+  out << ToJson();
+  out.close();
+  if (!out.good()) {
+    return Status::Internal("failed writing trace output file: ", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace sgl

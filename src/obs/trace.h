@@ -1,0 +1,127 @@
+// Structured tracing: bounded in-memory span/instant events exported as
+// Chrome trace-event JSON, which loads directly in Perfetto or
+// chrome://tracing.
+//
+// Cost model: the engine holds a Tracer* that is null unless
+// SimulationConfig::trace_path is set, and every emit site — including
+// SpanScope's constructor and destructor — is a branch on that pointer,
+// so the disabled path is a compare-against-null per site and nothing
+// else (no clock reads, no string construction). When enabled, each
+// shard appends to its own bounded event vector: shard s is written only
+// by the worker running chunk s inside a ParallelFor (which joins before
+// the runner touches anything), and by the tick runner for shard 0
+// outside parallel regions, so the hot path takes no locks. A full shard
+// drops the event and counts the drop instead of growing without bound.
+//
+// Track layout: the tick runner emits tick and phase spans on tid 0;
+// chunk c of the parallel decision phase emits its span on tid 1 + c, so
+// the Perfetto view reads as one coordinator track over per-worker
+// tracks. Timestamps are steady_clock ns since the tracer's epoch.
+#ifndef SGL_OBS_TRACE_H_
+#define SGL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sgl {
+namespace obs {
+
+struct TraceEvent {
+  std::string name;
+  int64_t ts_ns = 0;   // steady ns since the tracer epoch
+  int64_t dur_ns = -1; // complete ("X") span; -1 marks an instant ("i")
+  int32_t tid = 0;     // 0 = tick runner; 1 + chunk for worker spans
+  std::string args_json;  // preformatted JSON object, or empty
+};
+
+class Tracer {
+ public:
+  static constexpr int64_t kDefaultMaxEventsPerShard = 1 << 16;
+
+  explicit Tracer(int64_t max_events_per_shard = kDefaultMaxEventsPerShard);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Size the per-shard sinks; build-time only (shard 0 always exists).
+  void SetNumShards(int32_t num_shards);
+
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Append to `shard`'s sink (bounded; drops and counts when full).
+  /// Out-of-range shards fold into shard 0.
+  void Emit(int32_t shard, TraceEvent event);
+
+  void Instant(const char* name, int32_t tid, int32_t shard,
+               std::string args_json = std::string());
+
+  /// Merged events across shards, ordered ts ascending with longer spans
+  /// first at equal timestamps (parents before children). Call between
+  /// ticks or after the run — never while workers are emitting.
+  std::vector<TraceEvent> Collect() const;
+
+  int64_t dropped() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}).
+  std::string ToJson() const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<TraceEvent> events;
+    int64_t dropped = 0;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  int64_t max_events_per_shard_;
+  std::vector<Shard> shards_;
+};
+
+/// RAII span: records the start time at construction and emits one
+/// complete event at destruction. A null tracer makes every member a
+/// no-op branch — the disabled-tracing fast path.
+class SpanScope {
+ public:
+  /// `name` must outlive the scope (phase names and string literals do).
+  SpanScope(Tracer* tracer, const char* name, int32_t tid, int32_t shard)
+      : tracer_(tracer), name_(name), tid_(tid), shard_(shard) {
+    if (tracer_ != nullptr) start_ns_ = tracer_->NowNs();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() {
+    if (tracer_ == nullptr) return;
+    TraceEvent e;
+    e.name = name_;
+    e.ts_ns = start_ns_;
+    e.dur_ns = tracer_->NowNs() - start_ns_;
+    e.tid = tid_;
+    e.args_json = std::move(args_json_);
+    tracer_->Emit(shard_, std::move(e));
+  }
+
+  void set_args_json(std::string args_json) {
+    if (tracer_ != nullptr) args_json_ = std::move(args_json);
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  std::string args_json_;
+  int64_t start_ns_ = 0;
+  int32_t tid_;
+  int32_t shard_;
+};
+
+}  // namespace obs
+}  // namespace sgl
+
+#endif  // SGL_OBS_TRACE_H_

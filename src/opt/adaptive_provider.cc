@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace sgl {
 
@@ -22,6 +23,20 @@ AdaptiveAggregateProvider::Create(const Script& script,
         family.sig->kind == IndexKind::kDivisibleRangeTree;
   }
   return provider;
+}
+
+void AdaptiveAggregateProvider::BindMetrics(obs::MetricsRegistry* registry,
+                                            const std::string& prefix,
+                                            uint32_t extra_flags) {
+  IndexedAggregateProvider::BindMetrics(registry, prefix, extra_flags);
+  // Decisions derive from the family call counts; they inherit whatever
+  // execution-dependence those carry.
+  scan_decisions_ =
+      registry->GetCounter(prefix + "decisions.scan", extra_flags);
+  rebuild_decisions_ =
+      registry->GetCounter(prefix + "decisions.rebuild", extra_flags);
+  incremental_decisions_ =
+      registry->GetCounter(prefix + "decisions.incremental", extra_flags);
 }
 
 std::vector<RowId> AdaptiveAggregateProvider::DirtyRowsFor(
@@ -96,22 +111,35 @@ Status AdaptiveAggregateProvider::BuildIndexes(const EnvironmentTable& table,
         decision.choice = forced_choice_;
       }
     }
+    // One instant per strategy switch (and per family's first decision):
+    // the timeline shows when the cost model re-planned, without a
+    // per-tick event flood for stable plans. The decision pass runs on
+    // the tick runner before any parallel build, so shard 0 is safe.
+    const bool choice_changed =
+        !first_build_done_ || st.last.choice != decision.choice;
     st.last = decision;
     st.last_dirty = in.dirty_rows;
     family_mode_[f] = decision.choice;
+    if (choice_changed && tracer_ != nullptr) {
+      char args[96];
+      std::snprintf(args, sizeof(args), "{\"family\":%d,\"choice\":\"%s\"}",
+                    static_cast<int32_t>(f),
+                    PhysicalChoiceName(decision.choice));
+      tracer_->Instant("adaptive.choice", 0, 0, args);
+    }
     switch (decision.choice) {
       case PhysicalChoice::kScan:
         // The trees (if any) will be stale after this tick's writes.
         family.tree_valid = false;
-        ++decision_counts_.scan;
+        scan_decisions_->Add(1);
         break;
       case PhysicalChoice::kRebuild:
         rebuilds.push_back(&family);
-        ++decision_counts_.rebuild;
+        rebuild_decisions_->Add(1);
         break;
       case PhysicalChoice::kIncremental:
         deltas.push_back(DeltaJob{&family, std::move(dirty)});
-        ++decision_counts_.incremental;
+        incremental_decisions_->Add(1);
         break;
     }
   }
@@ -256,9 +284,9 @@ std::string AdaptiveAggregateProvider::DescribePlan() const {
        << " last " << st.last_observed << ", dirty rows " << st.last_dirty
        << ", overlay " << family.overlay_points << "}\n";
   }
-  os << "  lifetime decisions: " << decision_counts_.rebuild << " rebuild, "
-     << decision_counts_.incremental << " incremental, "
-     << decision_counts_.scan << " scan\n";
+  os << "  lifetime decisions: " << rebuild_decisions_->value()
+     << " rebuild, " << incremental_decisions_->value() << " incremental, "
+     << scan_decisions_->value() << " scan\n";
   return os.str();
 }
 

@@ -67,13 +67,10 @@ class AdaptiveAggregateProvider : public IndexedAggregateProvider {
     if (choice != nullptr) forced_choice_ = *choice;
   }
 
-  /// Decision counters since construction (bench/test observability).
-  struct DecisionCounts {
-    int64_t scan = 0;
-    int64_t rebuild = 0;
-    int64_t incremental = 0;
-  };
-  const DecisionCounts& decision_counts() const { return decision_counts_; }
+  /// Extends the base binding with the per-strategy decision counters
+  /// ("decisions.scan" / "decisions.rebuild" / "decisions.incremental").
+  void BindMetrics(obs::MetricsRegistry* registry, const std::string& prefix,
+                   uint32_t extra_flags) override;
 
  private:
   AdaptiveAggregateProvider(const Script& script, const Interpreter& interp)
@@ -104,7 +101,13 @@ class AdaptiveAggregateProvider : public IndexedAggregateProvider {
   };
 
   std::vector<FamilyState> states_;
-  DecisionCounts decision_counts_;
+  // Lifetime decision counters (bench/test observability; DescribePlan).
+  // Cost decisions are pure count functions, so without a sharing
+  // decorator upstream they are deterministic across thread counts; the
+  // BindMetrics caller's extra_flags say which case applies.
+  obs::Counter* scan_decisions_ = nullptr;
+  obs::Counter* rebuild_decisions_ = nullptr;
+  obs::Counter* incremental_decisions_ = nullptr;
   CostModel model_;
   bool has_forced_choice_ = false;  // test hook
   PhysicalChoice forced_choice_ = PhysicalChoice::kRebuild;

@@ -71,19 +71,28 @@ Status IndexedAggregateProvider::Init() {
     family.sig = &signatures_[family.member_aggs[0]];
   }
   family_mode_.assign(families_.size(), PhysicalChoice::kRebuild);
+  own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+  BindMetrics(own_metrics_.get(), "agg.", obs::kMetricNone);
   set_num_shards(1);
   return Status::OK();
 }
 
+void IndexedAggregateProvider::BindMetrics(obs::MetricsRegistry* registry,
+                                           const std::string& prefix,
+                                           uint32_t extra_flags) {
+  metrics_ = registry;
+  probes_ = metrics_->GetCounter(prefix + "probes", extra_flags);
+  family_calls_.clear();
+  family_calls_.reserve(families_.size());
+  for (size_t f = 0; f < families_.size(); ++f) {
+    family_calls_.push_back(metrics_->GetCounter(
+        prefix + "family" + std::to_string(f) + ".calls", extra_flags));
+  }
+}
+
 void IndexedAggregateProvider::set_num_shards(int32_t num_shards) {
-  const size_t shards = static_cast<size_t>(std::max(1, num_shards));
-  probe_tallies_.resize(shards);
-  // Pad each shard's per-family region to a whole cache line plus one
-  // (8 int64s = 64 bytes): wherever the vector's storage happens to be
-  // aligned, two shards' active slots can never fall on one line.
-  const size_t line = 64 / sizeof(int64_t);
-  family_stride_ = (families_.size() + line - 1) / line * line + line;
-  family_tallies_.assign(shards * family_stride_, 0);
+  num_shards_ = std::max(1, num_shards);
+  metrics_->SetNumShards(num_shards_);
 }
 
 Status IndexedAggregateProvider::BuildIndexes(const EnvironmentTable& table,
@@ -341,26 +350,25 @@ Result<Value> IndexedAggregateProvider::Eval(
   if (sig.kind == IndexKind::kNaive) {
     return interp_->EvalAggregate(agg_index, scalar_args, u_row, table, rnd);
   }
-  // Per-shard tally: concurrent probes never contend on one counter. An
+  // Per-shard counters: concurrent probes never contend on one slot. An
   // out-of-range shard means the caller skipped set_num_shards — fail
   // deterministically rather than silently race on a shared slot.
-  if (shard < 0 || shard >= static_cast<int32_t>(probe_tallies_.size())) {
+  if (shard < 0 || shard >= num_shards_) {
     return Status::Internal("aggregate probe from shard ", shard,
-                            " but only ", probe_tallies_.size(),
+                            " but only ", num_shards_,
                             " shards configured (set_num_shards)");
   }
   const int32_t family_index = family_of_agg_[agg_index];
-  ++family_tallies_[static_cast<size_t>(shard) * family_stride_ +
-                    family_index];
+  family_calls_[family_index]->Add(1, shard);
   // A family the cost model put in scan mode this tick has no (current)
-  // index; answer through the reference evaluator. The demand tally
+  // index; answer through the reference evaluator. The demand counter
   // above still counts the call — it is the signal that flips the family
   // back to an index once calls outnumber what a scan justifies — but
   // the externally reported probe_count() does not: no index served it.
   if (family_mode_[family_index] == PhysicalChoice::kScan) {
     return interp_->EvalAggregate(agg_index, scalar_args, u_row, table, rnd);
   }
-  ++probe_tallies_[shard].count;
+  probes_->Add(1, shard);
   const AggregateDecl& decl = script_->program.aggregates[agg_index];
   const Family& family = families_[family_index];
   const std::string* u_name = &decl.params[0];

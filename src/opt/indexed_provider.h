@@ -28,6 +28,8 @@
 #include "geom/kd_tree.h"
 #include "geom/minmax_tree.h"
 #include "geom/range_tree.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/cost.h"
 #include "opt/signature.h"
 #include "sgl/interpreter.h"
@@ -61,9 +63,23 @@ class IndexedAggregateProvider : public AggregateProvider {
                      RowId u_row, const EnvironmentTable& table,
                      const TickRandom& rnd, int32_t shard = 0) override;
 
-  /// Size the per-shard probe tallies for up to `num_shards` concurrent
+  /// Size the per-shard probe counters for up to `num_shards` concurrent
   /// callers (SimulationBuilder sets this to the thread count).
   void set_num_shards(int32_t num_shards);
+
+  /// Rebind the probe counters into `registry` under `prefix` (e.g.
+  /// "script.battle.agg."). SimulationBuilder calls this once before any
+  /// tick, while all counters are still zero; a standalone provider keeps
+  /// the private registry Init() bound. `extra_flags` is OR-ed into every
+  /// counter — kMetricExecDependent when a sharing decorator feeds this
+  /// provider only memo misses. The adaptive subclass extends the binding
+  /// with its decision counters.
+  virtual void BindMetrics(obs::MetricsRegistry* registry,
+                           const std::string& prefix, uint32_t extra_flags);
+
+  /// Emit adaptive-choice instants to `tracer` (null = off; the base
+  /// provider records nothing).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// EXPLAIN: one line per aggregate, plus sharing information.
   virtual std::string DescribePlan() const;
@@ -80,26 +96,18 @@ class IndexedAggregateProvider : public AggregateProvider {
   }
 
   /// Aggregate probes answered *by an index* since construction
-  /// (PhaseStats feed): the sum of the per-shard tallies. Calls served by
-  /// a scan fallback — naive signatures, or a family the adaptive model
+  /// (PhaseStats feed): the merged "probes" counter. Calls served by a
+  /// scan fallback — naive signatures, or a family the adaptive model
   /// put in scan mode — are not probes and are excluded. Not meaningful
   /// mid-ParallelFor; the engine reads it only between phases.
-  int64_t probe_count() const {
-    int64_t total = 0;
-    for (const ShardTally& t : probe_tallies_) total += t.count;
-    return total;
-  }
+  int64_t probe_count() const { return probes_->value(); }
 
   /// Aggregate calls routed to family `f` since construction, scan-mode
   /// fallbacks included — the adaptive cost model's demand signal
   /// (thread-count independent by construction: every call increments
   /// exactly one slot).
   int64_t family_probe_count(int32_t f) const {
-    int64_t total = 0;
-    for (size_t shard = 0; shard < probe_tallies_.size(); ++shard) {
-      total += family_tallies_[shard * family_stride_ + f];
-    }
-    return total;
+    return family_calls_[f]->value();
   }
 
   const AggregateSignature& signature(int32_t agg_index) const {
@@ -149,12 +157,6 @@ class IndexedAggregateProvider : public AggregateProvider {
     int64_t overlay_points = 0;    // outstanding delta points, all trees
   };
 
-  /// One cache line per shard: workers bump their own tally without
-  /// false sharing (the satellite fix for the old shared probe_count_).
-  struct alignas(64) ShardTally {
-    int64_t count = 0;
-  };
-
   Status BuildFamily(Family* family, const EnvironmentTable& table,
                      const TickRandom& rnd, exec::ThreadPool* pool,
                      exec::ParallelStats* stats);
@@ -182,13 +184,16 @@ class IndexedAggregateProvider : public AggregateProvider {
   std::vector<AggregateSignature> signatures_;   // one per aggregate decl
   std::vector<int32_t> family_of_agg_;           // aggregate -> family
   std::vector<Family> families_;
-  std::vector<ShardTally> probe_tallies_;        // indexed by shard
-  /// Per-(shard, family) call tallies in one flat array. The per-shard
-  /// stride is padded to a full cache line plus one (so shards' active
-  /// regions never share a line whatever the base alignment); slot
-  /// [shard * family_stride_ + family] is written by that shard alone.
-  std::vector<int64_t> family_tallies_;
-  size_t family_stride_ = 0;
+  /// Probe bookkeeping lives in a metrics registry: Init() binds to a
+  /// private one so standalone providers work unchanged, and the builder
+  /// rebinds into the simulation's via BindMetrics. The counters are
+  /// per-shard padded, so concurrent probes never contend on one slot.
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* probes_ = nullptr;              // index-served probes
+  std::vector<obs::Counter*> family_calls_;     // calls routed per family
+  int32_t num_shards_ = 1;
+  obs::Tracer* tracer_ = nullptr;
   /// Physical strategy per family this tick. The base provider always
   /// rebuilds (the constructor default); the adaptive subclass re-decides
   /// each tick, and Eval falls back to the reference scan for kScan.

@@ -1,5 +1,6 @@
 #include "opt/sharing.h"
 
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <sstream>
@@ -177,6 +178,24 @@ size_t SharingContext::KeyHash::operator()(const Key& key) const {
   return static_cast<size_t>(h);
 }
 
+SharingContext::SharingContext()
+    : own_metrics_(std::make_unique<obs::MetricsRegistry>()),
+      metrics_(own_metrics_.get()),
+      prefix_("sharing.") {
+  demotions_ = metrics_->GetCounter(prefix_ + "demotions", obs::kMetricNone);
+}
+
+void SharingContext::BindGroup(int32_t g) {
+  const std::string base = prefix_ + "group" + std::to_string(g) + ".";
+  Group& group = *groups_[g];
+  // Calls and entries are pure per-probe / distinct-key counts —
+  // deterministic for any thread count. Hits are not: see BindMetrics.
+  group.calls = metrics_->GetCounter(base + "calls", obs::kMetricNone);
+  group.hits =
+      metrics_->GetCounter(base + "hits", obs::kMetricExecDependent);
+  group.entries = metrics_->GetCounter(base + "entries", obs::kMetricNone);
+}
+
 int32_t SharingContext::RegisterAggregate(const std::string& member,
                                           const std::string& canonical_key,
                                           SharingClass cls,
@@ -189,54 +208,48 @@ int32_t SharingContext::RegisterAggregate(const std::string& member,
     group->reason = reason;
     group->active = cls != SharingClass::kPerUnit;
     groups_.push_back(std::move(group));
-    group_entries_.push_back(0);
+    BindGroup(it->second);
   }
   groups_[it->second]->members.push_back(member);
   return it->second;
 }
 
 void SharingContext::set_num_shards(int32_t num_shards) {
-  const size_t shards = static_cast<size_t>(num_shards < 1 ? 1 : num_shards);
-  // Stride-pad each shard's region to a whole cache line plus one, so two
-  // shards' active slots never land on one line (same layout rationale as
-  // IndexedAggregateProvider::set_num_shards).
-  const size_t line = 64 / sizeof(int64_t);
-  group_stride_ = (groups_.size() + line - 1) / line * line + line;
-  call_tallies_.assign(shards * group_stride_, 0);
-  hit_tallies_.assign(shards * group_stride_, 0);
+  num_shards_ = num_shards < 1 ? 1 : num_shards;
+  metrics_->SetNumShards(num_shards_);
+}
+
+void SharingContext::BindMetrics(obs::MetricsRegistry* registry,
+                                 const std::string& prefix) {
+  metrics_ = registry;
+  prefix_ = prefix;
+  demotions_ = metrics_->GetCounter(prefix_ + "demotions", obs::kMetricNone);
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    BindGroup(static_cast<int32_t>(g));
+  }
 }
 
 int64_t SharingContext::GroupCalls(int32_t group) const {
-  if (group_stride_ == 0) return 0;
-  int64_t total = 0;
-  for (size_t base = 0; base < call_tallies_.size(); base += group_stride_) {
-    total += call_tallies_[base + group];
-  }
-  return total;
+  return groups_[group]->calls->value();
 }
 
 int64_t SharingContext::GroupHits(int32_t group) const {
-  if (group_stride_ == 0) return 0;
-  int64_t total = 0;
-  for (size_t base = 0; base < hit_tallies_.size(); base += group_stride_) {
-    total += hit_tallies_[base + group];
-  }
-  return total;
+  return groups_[group]->hits->value();
 }
 
 int64_t SharingContext::GroupEntries(int32_t group) const {
-  return group_entries_[group];
+  return groups_[group]->entries->value();
 }
 
 int64_t SharingContext::shared_hits() const {
   int64_t total = 0;
-  for (int64_t t : hit_tallies_) total += t;
+  for (const auto& group : groups_) total += group->hits->value();
   return total;
 }
 
 int64_t SharingContext::memo_entries() const {
   int64_t total = 0;
-  for (int64_t t : group_entries_) total += t;
+  for (const auto& group : groups_) total += group->entries->value();
   return total;
 }
 
@@ -250,7 +263,7 @@ void SharingContext::BeginTick() {
     // key fresh) get caught too, and they are pure per-tick totals, so
     // the verdict is identical for any worker-thread count.
     const int64_t calls = GroupCalls(static_cast<int32_t>(g));
-    const int64_t entries = group_entries_[g];
+    const int64_t entries = group.entries->value();
     if (group.cls == SharingClass::kPartitionKeyed &&
         calls >= kDemotionMinCalls && entries * 4 > calls * 3) {
       group.active = false;
@@ -259,6 +272,15 @@ void SharingContext::BeginTick() {
       os << "demoted: keys nearly unique per probe (" << entries
          << " distinct keys over " << calls << " calls)";
       group.reason = os.str();
+      demotions_->Add(1);
+      if (tracer_ != nullptr) {
+        char args[128];
+        std::snprintf(args, sizeof(args),
+                      "{\"group\":%d,\"entries\":%lld,\"calls\":%lld}",
+                      static_cast<int32_t>(g), static_cast<long long>(entries),
+                      static_cast<long long>(calls));
+        tracer_->Instant("sharing.demote", 0, 0, args);
+      }
     }
     // Memoized results are only valid against the frozen state of the
     // tick that computed them. Single-threaded here (tick prologue), so
@@ -270,15 +292,14 @@ void SharingContext::BeginTick() {
 bool SharingContext::Lookup(int32_t group_id, const Key& key, Value* out,
                             int32_t shard) {
   Group& group = *groups_[group_id];
-  const size_t slot = static_cast<size_t>(shard) * group_stride_ + group_id;
-  ++call_tallies_[slot];
+  group.calls->Add(1, shard);
   {
     std::shared_lock<std::shared_mutex> lock(group.mu);
     auto it = group.memo.find(key);
     if (it == group.memo.end()) return false;
     *out = it->second;
   }
-  ++hit_tallies_[slot];
+  group.hits->Add(1, shard);
   return true;
 }
 
@@ -289,7 +310,7 @@ void SharingContext::Publish(int32_t group_id, const Key& key, Value value) {
   // is bit-identical (aggregates are deterministic in (key, table)) and
   // this copy is simply dropped.
   auto [it, inserted] = group.memo.emplace(key, std::move(value));
-  if (inserted) ++group_entries_[group_id];
+  if (inserted) group.entries->Add(1);
 }
 
 std::string SharingContext::Describe() const {

@@ -61,6 +61,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/signature.h"
 #include "sgl/interpreter.h"
 
@@ -107,6 +109,11 @@ class SharingContext {
  public:
   using Key = std::vector<double>;
 
+  /// A fresh context binds its counters to a private metrics registry so
+  /// standalone use (tests, tools) works unchanged; SimulationBuilder
+  /// rebinds into the simulation's via BindMetrics.
+  SharingContext();
+
   /// Join (or create) the dedup group for `canonical_key`, recording
   /// `member` ("script.aggregate") for EXPLAIN. All members of a group
   /// share classification by construction (the class is derived from the
@@ -120,6 +127,19 @@ class SharingContext {
   /// (SimulationBuilder sets this to the thread count after every
   /// session has registered its aggregates).
   void set_num_shards(int32_t num_shards);
+
+  /// Rebind every group's call/hit/entry counters (and the demotion
+  /// counter) into `registry` under `prefix` (e.g. "sharing."). Counter
+  /// names are "group<g>.calls" / ".hits" / ".entries" plus "demotions".
+  /// Hits are flagged execution-dependent: a racing shard may compute a
+  /// value another shard published first, so the hit/compute split can
+  /// vary by a few counts across thread counts (calls and entries never
+  /// do). SimulationBuilder calls this once, after registration and
+  /// before any tick, while all counters are still zero.
+  void BindMetrics(obs::MetricsRegistry* registry, const std::string& prefix);
+
+  /// Emit "sharing.demote" instants to `tracer` (null = off).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Tick prologue: demote groups whose cumulative counts show
   /// near-unique keys, then clear every memo table (results are only
@@ -139,11 +159,7 @@ class SharingContext {
   void Publish(int32_t group, const Key& key, Value value);
 
   int32_t NumGroups() const { return static_cast<int32_t>(groups_.size()); }
-  int32_t num_shards() const {
-    return group_stride_ == 0
-               ? 0
-               : static_cast<int32_t>(call_tallies_.size() / group_stride_);
-  }
+  int32_t num_shards() const { return num_shards_; }
   SharingClass GroupClass(int32_t group) const { return groups_[group]->cls; }
   const std::vector<std::string>& GroupMembers(int32_t group) const {
     return groups_[group]->members;
@@ -177,9 +193,19 @@ class SharingContext {
     bool active = false;
     bool demoted = false;
 
+    /// Counter handles into metrics_ (per-shard padded, so concurrent
+    /// shards never contend on one slot). `entries` is bumped only under
+    /// the group's unique lock, so its single slot 0 never races.
+    obs::Counter* calls = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* entries = nullptr;
+
     std::shared_mutex mu;                       // guards memo
     std::unordered_map<Key, Value, KeyHash> memo;
   };
+
+  /// (Re)bind group `g`'s counters into metrics_ under prefix_.
+  void BindGroup(int32_t g);
 
   int64_t GroupCalls(int32_t group) const;
   int64_t GroupHits(int32_t group) const;
@@ -187,16 +213,14 @@ class SharingContext {
 
   std::unordered_map<std::string, int32_t> group_by_key_;
   std::vector<std::unique_ptr<Group>> groups_;
-  /// Per-(shard, group) call/hit tallies, stride-padded so shards' active
-  /// regions never share a cache line (same layout as the provider's
-  /// family tallies).
-  std::vector<int64_t> call_tallies_;
-  std::vector<int64_t> hit_tallies_;
-  size_t group_stride_ = 0;
-  /// Published-entry counts are bumped under each group's unique lock;
-  /// per-group persistent totals live here (indexed by group), so two
-  /// groups publishing concurrently touch distinct slots.
-  std::vector<int64_t> group_entries_;
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string prefix_;
+  obs::Counter* demotions_ = nullptr;
+  /// 0 until set_num_shards: Eval's shard bounds check then bypasses the
+  /// memo entirely, preserving the unsized-context behavior.
+  int32_t num_shards_ = 0;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 /// The sharing decorator installed between the interpreter and the

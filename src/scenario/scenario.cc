@@ -84,7 +84,16 @@ Status ScenarioRegistry::CheckInvariants(const std::string& name,
                                          const ScenarioParams& params,
                                          const Simulation& sim) const {
   SGL_ASSIGN_OR_RETURN(const ScenarioDef* def, Get(name));
-  return def->invariant(params, sim);
+  Status st = def->invariant(params, sim);
+  if (!st.ok() && sim.flight_recorder() != nullptr) {
+    // Best-effort: the invariant failure is the interesting error; a
+    // dump failure must not mask it.
+    const Status dump_st = sim.DumpFlightRecorder(
+        sim.config().flight_recorder_path,
+        "invariant failure: " + st.ToString());
+    (void)dump_st;
+  }
+  return st;
 }
 
 Status RegisterBuiltinScenarios(ScenarioRegistry* registry) {

@@ -37,6 +37,24 @@ const char* OpName(Op op) {
   return "?";
 }
 
+void CompiledProgram::BindMetrics(obs::MetricsRegistry* registry,
+                                  const std::string& prefix,
+                                  uint32_t extra_flags) {
+  // Batch boundaries move with the chunking (thread count / grain), so
+  // everything counted per batch or per dispatch is execution-dependent;
+  // the per-unit tallies are not.
+  const uint32_t exec = obs::kMetricExecDependent | extra_flags;
+  batches = registry->GetCounter(prefix + "batches", exec);
+  batch_dispatches = registry->GetCounter(prefix + "batch_dispatches", exec);
+  scalar_lane_ops =
+      registry->GetCounter(prefix + "scalar_lane_ops", extra_flags);
+  agg_scan_probes =
+      registry->GetCounter(prefix + "agg_scan_probes", extra_flags);
+  action_scan_execs =
+      registry->GetCounter(prefix + "action_scan_execs", extra_flags);
+  interp_fallbacks = registry->GetCounter(prefix + "interp_fallbacks", exec);
+}
+
 bool OpIsScalar(Op op) {
   return op == Op::kRandom || op == Op::kAgg || op == Op::kPerform;
 }

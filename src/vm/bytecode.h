@@ -30,13 +30,13 @@
 #ifndef SGL_VM_BYTECODE_H_
 #define SGL_VM_BYTECODE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "env/value.h"
+#include "obs/metrics.h"
 #include "sgl/analyzer.h"
 
 namespace sgl {
@@ -192,7 +192,8 @@ struct ActionScanProgram {
 
 /// A compiled decision program for one script session. Immutable after
 /// compilation except for the execution counters, which many batch
-/// executors (one per ParallelFor chunk) bump concurrently.
+/// executors (one per ParallelFor chunk) bump concurrently on their own
+/// per-shard counter slots.
 struct CompiledProgram {
   const Script* script = nullptr;  // names for the disassembler; not owned
   int32_t num_regs = 0;
@@ -216,19 +217,31 @@ struct CompiledProgram {
   std::vector<std::unique_ptr<ActionScanProgram>> action_scans;
   std::vector<std::string> action_notes;
 
-  // Execution counters (relaxed; totals only). A "batch dispatch" is one
-  // batch opcode executed over one batch (decision batches and scan
-  // sub-batches both count); a "scalar lane-op" is one active lane of
-  // a scalar opcode; an "agg scan probe" is one aggregate evaluated via
-  // its vectorized scan; an "action scan exec" is one performed action
-  // applied via its vectorized scan; a fallback is one batch re-run
-  // through the interpreter after a flagged lane error.
-  mutable std::atomic<int64_t> batches{0};
-  mutable std::atomic<int64_t> batch_dispatches{0};
-  mutable std::atomic<int64_t> scalar_lane_ops{0};
-  mutable std::atomic<int64_t> agg_scan_probes{0};
-  mutable std::atomic<int64_t> action_scan_execs{0};
-  mutable std::atomic<int64_t> interp_fallbacks{0};
+  // Execution counter handles (per-shard padded; totals only). A "batch
+  // dispatch" is one batch opcode executed over one batch (decision
+  // batches and scan sub-batches both count); a "scalar lane-op" is one
+  // active lane of a scalar opcode; an "agg scan probe" is one aggregate
+  // evaluated via its vectorized scan; an "action scan exec" is one
+  // performed action applied via its vectorized scan; a fallback is one
+  // batch re-run through the interpreter after a flagged lane error.
+  // CompileProgram binds them to `own_metrics`; SimulationBuilder rebinds
+  // into the simulation's registry before any tick.
+  obs::Counter* batches = nullptr;
+  obs::Counter* batch_dispatches = nullptr;
+  obs::Counter* scalar_lane_ops = nullptr;
+  obs::Counter* agg_scan_probes = nullptr;
+  obs::Counter* action_scan_execs = nullptr;
+  obs::Counter* interp_fallbacks = nullptr;
+  std::unique_ptr<obs::MetricsRegistry> own_metrics;
+
+  /// Rebind the execution counters into `registry` under `prefix` (e.g.
+  /// "script.battle.vm."). Batch/dispatch/fallback counts depend on where
+  /// chunk boundaries fall and are flagged execution-dependent; lane-op,
+  /// scan-probe, and action-exec counts tally per-unit work and are
+  /// deterministic for any thread count. `extra_flags` is OR-ed into
+  /// every counter.
+  void BindMetrics(obs::MetricsRegistry* registry, const std::string& prefix,
+                   uint32_t extra_flags);
 
   /// Annotated listing: one line per instruction, hoisted constants
   /// marked, aggregate/action/attribute operands named via `script`.

@@ -814,6 +814,10 @@ Result<std::unique_ptr<CompiledProgram>> CompileProgram(const Script& script) {
       prog->action_notes[i] = scan.status().message();
     }
   }
+  // Standalone programs count executions against a private registry;
+  // SimulationBuilder rebinds into the simulation's (all still zero).
+  prog->own_metrics = std::make_unique<obs::MetricsRegistry>();
+  prog->BindMetrics(prog->own_metrics.get(), "vm.", obs::kMetricNone);
   return prog;
 }
 

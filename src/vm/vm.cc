@@ -1,8 +1,8 @@
 #include "vm/vm.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 
@@ -74,13 +74,12 @@ Status BatchExecutor::Run(const CompiledProgram& prog,
   }
 
   if (n_batches_ != 0) {
-    prog.batches.fetch_add(n_batches_, std::memory_order_relaxed);
-    prog.batch_dispatches.fetch_add(n_dispatch_, std::memory_order_relaxed);
-    prog.scalar_lane_ops.fetch_add(n_scalar_, std::memory_order_relaxed);
-    prog.agg_scan_probes.fetch_add(n_scan_probes_, std::memory_order_relaxed);
-    prog.action_scan_execs.fetch_add(n_action_execs_,
-                                     std::memory_order_relaxed);
-    prog.interp_fallbacks.fetch_add(n_fallback_, std::memory_order_relaxed);
+    prog.batches->Add(n_batches_, shard);
+    prog.batch_dispatches->Add(n_dispatch_, shard);
+    prog.scalar_lane_ops->Add(n_scalar_, shard);
+    prog.agg_scan_probes->Add(n_scan_probes_, shard);
+    prog.action_scan_execs->Add(n_action_execs_, shard);
+    prog.interp_fallbacks->Add(n_fallback_, shard);
     n_batches_ = n_dispatch_ = n_scalar_ = n_scan_probes_ = 0;
     n_action_execs_ = n_fallback_ = 0;
   }
@@ -417,6 +416,12 @@ Status BatchExecutor::RunBatch(const CompiledProgram& prog,
     pending_.clear();
     pending_args_.clear();
     ++n_fallback_;
+    if (tracer_ != nullptr) {
+      char args[96];
+      std::snprintf(args, sizeof(args), "{\"row_lo\":%lld,\"rows\":%d}",
+                    static_cast<long long>(lo), n);
+      tracer_->Instant("vm.bail", 1 + shard, shard, args);
+    }
     for (int32_t i = 0; i < n; ++i) {
       SGL_RETURN_NOT_OK(interp.RunUnit(table, lo + i, rnd, sink, shard));
     }

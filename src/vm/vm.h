@@ -23,8 +23,9 @@
 //     reproduces the identical per-unit error and partial effect log.
 //
 // One executor serves one ParallelFor chunk (a batch = a chunk), so all
-// scratch state is private and the only shared writes are the relaxed
-// execution counters on the program.
+// scratch state is private and the only shared writes — the program's
+// execution counters and the tracer's event buffers — land in the
+// executor's own per-shard slots.
 #ifndef SGL_VM_VM_H_
 #define SGL_VM_VM_H_
 
@@ -34,6 +35,7 @@
 #include "env/effect_buffer.h"
 #include "env/table.h"
 #include "env/value.h"
+#include "obs/trace.h"
 #include "sgl/interpreter.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -56,6 +58,10 @@ class BatchExecutor {
   Status Run(const CompiledProgram& prog, const Interpreter& interp,
              const EnvironmentTable& table, RowId lo, RowId hi,
              const TickRandom& rnd, EffectSink* sink, int32_t shard);
+
+  /// Emit "vm.bail" instants (interpreter fallbacks) to `tracer` (null =
+  /// off; the engine wires this only when tracing is enabled).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
   /// One queued `perform`: flush re-boxes its argument Values (stored flat
@@ -142,8 +148,10 @@ class BatchExecutor {
   std::vector<Value> pending_args_;
   std::vector<Value> call_args_;  // scratch for plugin calls
 
-  // Locally accumulated counters, flushed to the program's atomics once
-  // per Run call.
+  obs::Tracer* tracer_ = nullptr;
+
+  // Locally accumulated counters, flushed to the program's per-shard
+  // counter slots once per Run call.
   int64_t n_batches_ = 0;
   int64_t n_dispatch_ = 0;
   int64_t n_scalar_ = 0;

@@ -238,8 +238,8 @@ TEST(ParallelBattle, BitExactAcrossThreadCounts) {
     const PhaseStats* decision =
         parallel->sim->stats().Find(phase_names::kDecisionAction);
     ASSERT_NE(nullptr, decision);
-    EXPECT_GT(decision->workers, 1) << "threads=" << threads;
-    EXPECT_GT(decision->max_worker_ns, 0) << "threads=" << threads;
+    EXPECT_GT(decision->workers(), 1) << "threads=" << threads;
+    EXPECT_GT(decision->max_worker_ns(), 0) << "threads=" << threads;
   }
 }
 

@@ -302,8 +302,8 @@ TEST(Simulation, TwoScriptNaiveAndIndexedBitIdentical100Ticks) {
   const PhaseStats* decision =
       (*indexed)->stats().Find(phase_names::kDecisionAction);
   ASSERT_NE(nullptr, decision);
-  EXPECT_EQ(100 * (*indexed)->table().NumRows(), decision->rows_scanned);
-  EXPECT_GT(decision->index_probes, 0);
+  EXPECT_EQ(100 * (*indexed)->table().NumRows(), decision->rows_scanned());
+  EXPECT_GT(decision->index_probes(), 0);
 }
 
 TEST(Simulation, MultiScriptDispatchRunsTheRightScript) {
@@ -370,7 +370,7 @@ class CensusPhase : public TickPhase {
   Status Run(TickContext* ctx) override {
     ticks_seen_->push_back(ctx->tick);
     rows_seen_->push_back(ctx->table->NumRows());
-    ctx->stats->rows_scanned += ctx->table->NumRows();
+    ctx->stats->AddRowsScanned(ctx->table->NumRows());
     return Status::OK();
   }
 
@@ -402,8 +402,8 @@ TEST(Simulation, CustomPhaseObservesEveryTick) {
 
   const PhaseStats* census = (*sim)->stats().Find("census");
   ASSERT_NE(nullptr, census);
-  EXPECT_EQ(7, census->invocations);
-  EXPECT_EQ(7 * 37, census->rows_scanned);
+  EXPECT_EQ(7, census->invocations());
+  EXPECT_EQ(7 * 37, census->rows_scanned());
 }
 
 TEST(Simulation, CustomPhaseDoesNotPerturbDeterminism) {
@@ -568,7 +568,7 @@ TEST(Simulation, StatsRecordEveryBuiltInPhase) {
         phase_names::kMovement, phase_names::kMechanics}) {
     const PhaseStats* stats = (*sim)->stats().Find(name);
     ASSERT_NE(nullptr, stats) << name;
-    EXPECT_EQ(4, stats->invocations) << name;
+    EXPECT_EQ(4, stats->invocations()) << name;
   }
   // The registry renders in pipeline order.
   std::string rendered = (*sim)->stats().ToString();

@@ -82,8 +82,8 @@ TEST_P(VmLockstepTest, CompiledMatchesInterpretedBitExactly) {
     int64_t fallbacks = 0;
     for (int32_t i = 0; i < compiled->NumScripts(); ++i) {
       const auto& prog = *compiled->session(i).compiled;
-      batches += prog.batches.load(std::memory_order_relaxed);
-      fallbacks += prog.interp_fallbacks.load(std::memory_order_relaxed);
+      batches += prog.batches->value();
+      fallbacks += prog.interp_fallbacks->value();
     }
     EXPECT_GT(batches, 0) << name << ": the batch VM never executed";
     EXPECT_EQ(fallbacks, 0) << name << ": unexpected interpreter fallbacks";
@@ -245,8 +245,8 @@ TEST(VmLockstepTest, RowAggregatesAndActionScansVectorize) {
         << "diverged at tick " << tick << ":\n"
         << compiled->table().DiffString(interpreted->table());
   }
-  EXPECT_GT(prog.agg_scan_probes.load(std::memory_order_relaxed), 0);
-  EXPECT_GT(prog.action_scan_execs.load(std::memory_order_relaxed), 0);
+  EXPECT_GT(prog.agg_scan_probes->value(), 0);
+  EXPECT_GT(prog.action_scan_execs->value(), 0);
   const std::string disasm = prog.Disassemble();
   EXPECT_NE(disasm.find("best nearest"), std::string::npos) << disasm;
   EXPECT_NE(disasm.find("vectorized update scan"), std::string::npos)

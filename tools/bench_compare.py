@@ -9,9 +9,15 @@ measurement and a per-phase breakdown
 Cells recorded before the aggregate-sharing or compiled-evaluation sweeps
 existed carry no "sharing" / "compiled" field and default to "on" (the
 engine's defaults for both). Cells may
-also carry informational counters (shared_hits, memo_entries); they ride
-along into refreshed baselines but are never compared — only ns_per_tick
-can regress a cell.
+also carry informational counters (shared_hits, memo_entries) and — when
+produced with bench_suite --metrics — a "metrics" object holding the
+deterministic metrics-registry snapshot. Both ride along into refreshed
+baselines but are never compared as a gate — only ns_per_tick can
+regress a cell. When both sides of a regressed cell carry metrics, the
+changed deterministic counters (index probes, memo hits, VM lane ops,
+...) are printed next to the phase deltas as diagnostic context: "25%
+slower, and the probe count doubled" usually names the causal change
+outright.
 
 Absolute ns/tick is machine-dependent, so raw ratios against a baseline
 recorded on different hardware would trip on machine speed, not code.
@@ -114,6 +120,42 @@ def print_phase_deltas(base_cell, cur_cell, drift, indent="    "):
             f"{indent}{name:<16} {base:>12} -> {cur:>12} ns/tick"
             f"  norm {norm_str}{flag}"
         )
+
+
+def metric_deltas(base_cell, cur_cell):
+    """Changed deterministic counters as (name, base, cur), biggest first.
+
+    Cells recorded without bench_suite --metrics carry no "metrics"
+    object; unless BOTH sides have one there is nothing meaningful to
+    diff (every counter would read as new) and the result is empty. The
+    snapshot holds only the deterministic counter subset, so any delta
+    reflects a code change, never scheduling noise.
+    """
+    if "metrics" not in base_cell or "metrics" not in cur_cell:
+        return []
+    base = base_cell["metrics"].get("counters", {})
+    cur = cur_cell["metrics"].get("counters", {})
+    rows = [
+        (name, base.get(name, 0), cur.get(name, 0))
+        for name in sorted(set(base) | set(cur))
+        if base.get(name, 0) != cur.get(name, 0)
+    ]
+    rows.sort(key=lambda r: -abs(r[2] - r[1]))
+    return rows
+
+
+def print_metric_deltas(base_cell, cur_cell, indent="    ", limit=12):
+    """Diagnostic context only — metric deltas annotate a regression
+    report but never affect the exit status."""
+    rows = metric_deltas(base_cell, cur_cell)
+    if not rows:
+        if "metrics" in base_cell and "metrics" in cur_cell:
+            print(f"{indent}deterministic counters unchanged")
+        return
+    for name, base, cur in rows[:limit]:
+        print(f"{indent}{name:<36} {base:>14} -> {cur:>14}")
+    if len(rows) > limit:
+        print(f"{indent}... {len(rows) - limit} more changed counter(s)")
 
 
 def main():
@@ -229,6 +271,7 @@ def main():
         )
         if args.phases or flag:
             print_phase_deltas(baseline[k], current[k], drift)
+            print_metric_deltas(baseline[k], current[k])
 
     if new_cells:
         print(f"{len(new_cells)} new cell(s) not in the baseline (ok)")

@@ -18,10 +18,12 @@ declare -A example_args=(
   [formation]=""
   [skeleton_fear]=""
   [scenarios]="market 200 20"
+  [trace]="$(mktemp -d)"
 )
 
 failures=0
-for example in quickstart battle explain formation skeleton_fear scenarios; do
+for example in quickstart battle explain formation skeleton_fear scenarios \
+               trace; do
   bin="$BUILD_DIR/$example"
   if [[ ! -x "$bin" ]]; then
     echo "FAIL: $example: binary not found at $bin" >&2
