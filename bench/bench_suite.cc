@@ -1,6 +1,7 @@
 // The unified benchmark suite: every registered scenario, swept across
-// {naive, indexed, adaptive} evaluators x worker-thread counts x unit
-// scales x aggregate sharing {on, off} x compiled evaluation {on, off}.
+// {naive, indexed, adaptive} evaluators x worker-thread counts x shard
+// counts x unit scales x aggregate sharing {on, off} x compiled
+// evaluation {on, off}.
 //
 // Each (scenario, units) group elects the first completed cell as its
 // reference; every other cell's final environment table must be
@@ -50,14 +51,15 @@ struct CellResult {
 // out of the timing, which matters for the sub-millisecond CI cells the
 // regression gate compares across runs.
 CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
-                   EvaluatorMode mode, int32_t threads, bool sharing,
-                   bool compiled, int64_t ticks, int32_t reps,
+                   EvaluatorMode mode, int32_t threads, int32_t shards,
+                   bool sharing, bool compiled, int64_t ticks, int32_t reps,
                    bool want_metrics) {
   CellResult best;
   for (int32_t rep = 0; rep < reps; ++rep) {
     SimulationConfig config;
     config.eval_mode = mode;
     config.threads = threads;
+    config.shards = shards;
     config.sharing = sharing;
     config.compiled = compiled;
     auto sim = ScenarioRegistry::Global().BuildSimulation(scenario, params,
@@ -104,12 +106,14 @@ CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
 }
 
 std::string CellJson(const std::string& scenario, const char* mode,
-                     int32_t units, int32_t threads, bool sharing,
-                     bool compiled, int64_t ticks, const CellResult& cell) {
+                     int32_t units, int32_t threads, int32_t shards,
+                     bool sharing, bool compiled, int64_t ticks,
+                     const CellResult& cell) {
   const double ns_per_tick = cell.seconds / static_cast<double>(ticks) * 1e9;
   std::ostringstream os;
   os << "{\"scenario\": \"" << scenario << "\", \"mode\": \"" << mode
      << "\", \"units\": " << units << ", \"threads\": " << threads
+     << ", \"shards\": " << shards
      << ", \"sharing\": \"" << (sharing ? "on" : "off") << "\""
      << ", \"compiled\": \"" << (compiled ? "on" : "off") << "\""
      << ", \"ticks\": " << ticks << ", \"seconds\": " << cell.seconds
@@ -168,6 +172,12 @@ int main(int argc, char** argv) {
   const std::vector<int32_t> thread_counts =
       args.ThreadsOr(args.quick ? std::vector<int32_t>{1, 2}
                                 : std::vector<int32_t>{1, 4});
+  // Sharded cells ride in the same file: shards=1 is the classic
+  // single-table engine (and the key legacy baselines carry implicitly);
+  // shards=2 keeps a perf trajectory on the multi-shard tick pipeline,
+  // whose cells are bit-checked against the same group reference.
+  const std::vector<int32_t> shard_counts =
+      args.ShardsOr(std::vector<int32_t>{1, 2});
   std::vector<std::string> scenarios =
       args.scenarios.empty() ? registry.List() : args.scenarios;
   const std::vector<std::string> modes =
@@ -204,8 +214,9 @@ int main(int argc, char** argv) {
     json.WriteLine(meta.str());
   }
 
-  std::printf("%-14s %-8s %7s %8s %8s %9s %14s %9s\n", "scenario", "mode",
-              "units", "threads", "sharing", "compiled", "ns/tick", "speedup");
+  std::printf("%-14s %-8s %7s %8s %7s %8s %9s %14s %9s\n", "scenario", "mode",
+              "units", "threads", "shards", "sharing", "compiled", "ns/tick",
+              "speedup");
   for (const std::string& scenario : scenarios) {
     for (int32_t units : unit_counts) {
       ScenarioParams params;
@@ -223,38 +234,41 @@ int main(int argc, char** argv) {
         EvaluatorMode mode = *parsed;
         if (mode == EvaluatorMode::kNaive && units > naive_max) continue;
         for (int32_t threads : thread_counts) {
-          for (const std::string& sharing_name : sharing_sweep) {
-            for (const std::string& compiled_name : compiled_sweep) {
-              const bool sharing = sharing_name == "on";
-              const bool compiled = compiled_name == "on";
-              CellResult cell =
-                  RunCell(scenario, params, mode, threads, sharing, compiled,
-                          ticks, reps, args.metrics);
-              if (!have_reference) {
-                have_reference = true;
-                reference = cell.table.Clone();
-                base_ns = cell.seconds / static_cast<double>(ticks) * 1e9;
-              } else if (!reference.Equals(cell.table)) {
-                std::fprintf(
-                    stderr,
-                    "DETERMINISM VIOLATION: %s units=%d %s threads=%d "
-                    "sharing=%s compiled=%s diverged from the group "
-                    "reference:\n%s\n",
-                    scenario.c_str(), units, mode_name.c_str(), threads,
-                    sharing_name.c_str(), compiled_name.c_str(),
-                    reference.DiffString(cell.table).c_str());
-                return 1;
+          for (int32_t shards : shard_counts) {
+            for (const std::string& sharing_name : sharing_sweep) {
+              for (const std::string& compiled_name : compiled_sweep) {
+                const bool sharing = sharing_name == "on";
+                const bool compiled = compiled_name == "on";
+                CellResult cell =
+                    RunCell(scenario, params, mode, threads, shards, sharing,
+                            compiled, ticks, reps, args.metrics);
+                if (!have_reference) {
+                  have_reference = true;
+                  reference = cell.table.Clone();
+                  base_ns = cell.seconds / static_cast<double>(ticks) * 1e9;
+                } else if (!reference.Equals(cell.table)) {
+                  std::fprintf(
+                      stderr,
+                      "DETERMINISM VIOLATION: %s units=%d %s threads=%d "
+                      "shards=%d sharing=%s compiled=%s diverged from the "
+                      "group reference:\n%s\n",
+                      scenario.c_str(), units, mode_name.c_str(), threads,
+                      shards, sharing_name.c_str(), compiled_name.c_str(),
+                      reference.DiffString(cell.table).c_str());
+                  return 1;
+                }
+                const double ns =
+                    cell.seconds / static_cast<double>(ticks) * 1e9;
+                std::printf("%-14s %-8s %7d %8d %7d %8s %9s %14.0f %8.2fx\n",
+                            scenario.c_str(), mode_name.c_str(), units,
+                            threads, shards, sharing_name.c_str(),
+                            compiled_name.c_str(), ns,
+                            ns > 0 ? base_ns / ns : 0.0);
+                std::fflush(stdout);
+                json.WriteLine(CellJson(scenario, mode_name.c_str(), units,
+                                        threads, shards, sharing, compiled,
+                                        ticks, cell));
               }
-              const double ns =
-                  cell.seconds / static_cast<double>(ticks) * 1e9;
-              std::printf("%-14s %-8s %7d %8d %8s %9s %14.0f %8.2fx\n",
-                          scenario.c_str(), mode_name.c_str(), units, threads,
-                          sharing_name.c_str(), compiled_name.c_str(), ns,
-                          ns > 0 ? base_ns / ns : 0.0);
-              std::fflush(stdout);
-              json.WriteLine(CellJson(scenario, mode_name.c_str(), units,
-                                      threads, sharing, compiled, ticks,
-                                      cell));
             }
           }
         }

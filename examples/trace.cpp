@@ -1,7 +1,12 @@
 // Observability tour: run the battle scenario with every instrument on
 // and leave the artifacts behind for inspection.
 //
-//   trace [OUT_DIR]           # default: current directory
+//   trace [--shards N] [OUT_DIR]   # default: shards 1, current directory
+//
+// With --shards N the battle runs on the multi-shard tick pipeline and
+// the trace additionally shows the per-shard worker tracks ("shard" /
+// "shard-build" spans at tid 1+shard) inside the decision and
+// index-build phases.
 //
 // Produces in OUT_DIR:
 //   trace.json      Chrome trace-event JSON — open in Perfetto
@@ -11,6 +16,7 @@
 //   flight.json     the flight recorder's last-16-ticks ring, dumped
 //                   here on demand (normally written only on failure)
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "scenario/scenario.h"
@@ -18,7 +24,16 @@
 using namespace sgl;
 
 int main(int argc, char** argv) {
-  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  std::string out_dir = ".";
+  int32_t shards = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+    } else {
+      out_dir = arg;
+    }
+  }
 
   ScenarioParams params;
   params.units = 300;
@@ -28,6 +43,7 @@ int main(int argc, char** argv) {
   SimulationConfig config;
   config.eval_mode = EvaluatorMode::kAdaptive;
   config.threads = 4;
+  config.shards = shards;
   config.trace_path = out_dir + "/trace.json";
   config.metrics_path = out_dir + "/metrics.jsonl";
   config.flight_recorder_ticks = 16;
@@ -54,9 +70,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%s: %lld ticks over %d rows, %d threads\n\n",
+  std::printf("%s: %lld ticks over %d rows, %d threads, %d shard(s)\n\n",
               (*sim)->name().c_str(), static_cast<long long>(ticks),
-              (*sim)->table().NumRows(), (*sim)->threads());
+              (*sim)->table().NumRows(), (*sim)->threads(),
+              (*sim)->config().shards);
   std::printf("%s\n", (*sim)->stats().ToString().c_str());
 
   // The destructor would write the trace too; writing it now lets us

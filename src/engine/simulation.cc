@@ -8,6 +8,7 @@
 
 #include "algebra/plan.h"
 #include "opt/adaptive_provider.h"
+#include "shard/runtime.h"
 #include "util/timer.h"
 #include "vm/compiler.h"
 
@@ -92,6 +93,8 @@ void DescribeBytecode(const ScriptSession& session, std::ostream& os) {
 
 // --------------------------------------------------------------- Simulation
 
+Simulation::Simulation(EnvironmentTable table) : table_(std::move(table)) {}
+
 Simulation::~Simulation() {
   // Persist the trace where the config asked for it, even if the caller
   // never called WriteTrace explicitly (best-effort: a destructor cannot
@@ -168,6 +171,16 @@ Status Simulation::Tick() {
   return Status::OK();
 }
 
+int64_t Simulation::shared_hits() const {
+  if (shard_runtime_ != nullptr) return shard_runtime_->shared_hits();
+  return sharing_ != nullptr ? sharing_->shared_hits() : 0;
+}
+
+int64_t Simulation::memo_entries() const {
+  if (shard_runtime_ != nullptr) return shard_runtime_->memo_entries();
+  return sharing_ != nullptr ? sharing_->memo_entries() : 0;
+}
+
 Status Simulation::WriteTrace(const std::string& path) const {
   if (tracer_ == nullptr) {
     return Status::Invalid(
@@ -238,7 +251,8 @@ std::string Simulation::Explain() const {
      << (pool_ != nullptr ? " (parallel tick pipeline, deterministic)" : "")
      << ", evaluator: " << EvaluatorModeName(config_.eval_mode)
      << ", sharing: " << (sharing_ != nullptr ? "on" : "off")
-     << ", compiled: " << (config_.compiled ? "on" : "off") << "\n\n";
+     << ", compiled: " << (config_.compiled ? "on" : "off")
+     << ", shards: " << config_.shards << "\n\n";
   for (const auto& session : sessions_) {
     os << "== script '" << session->name << "'";
     if (dispatch_attr_ != Schema::kInvalidAttr) {
@@ -287,6 +301,7 @@ std::string Simulation::Explain() const {
     os << "\n";
   }
   if (sharing_ != nullptr) os << sharing_->Describe();
+  if (shard_runtime_ != nullptr) os << shard_runtime_->Describe();
   return os.str();
 }
 
@@ -310,9 +325,11 @@ Status Simulation::Restore(const SimulationSnapshot& snapshot) {
   }
   table_ = snapshot.table.Clone();
   tick_count_ = snapshot.tick_count;
-  if (config_.eval_mode == EvaluatorMode::kAdaptive) {
-    // The replaced table invalidates every delta-maintained structure;
-    // a structural change forces full rebuilds on the next tick.
+  if (config_.eval_mode == EvaluatorMode::kAdaptive || config_.shards > 1) {
+    // The replaced table invalidates every delta-maintained structure —
+    // adaptive index families and shard-worker local tables alike; a
+    // structural change forces full rebuilds (and a repartition) on the
+    // next tick.
     table_.EnableChangeTracking();
     table_.ClearChanges();
     table_.MarkStructuralChange();
@@ -436,9 +453,14 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
   sim->name_ = std::move(name_);
   sim->config_ = config_;
   const Schema& schema = sim->table_.schema();
-  if (config_.eval_mode == EvaluatorMode::kAdaptive) {
+  if (config_.shards < 1 || config_.shards > 64) {
+    return Status::Invalid("SimulationBuilder: shards must be in [1, 64], got ",
+                           config_.shards);
+  }
+  if (config_.eval_mode == EvaluatorMode::kAdaptive || config_.shards > 1) {
     // The adaptive evaluator consumes the table's delta log each tick
-    // (IndexBuildPhase clears it after every session has built).
+    // (IndexBuildPhase clears it after every session has built), and the
+    // shard runtime drives ghost refreshes from the same log.
     sim->table_.EnableChangeTracking();
   }
 
@@ -606,13 +628,23 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
       "engine.tick.ns",
       {10000, 100000, 1000000, 10000000, 100000000, 1000000000},
       obs::kMetricExecDependent);
+  // The shard runtime assembles after sessions and dispatch are final
+  // (workers mirror both) and before the registry is sized: worker
+  // providers and programs rebind into the same counters as the driver
+  // sessions', and the sizing below must cover them too.
+  if (config_.shards > 1) {
+    SGL_ASSIGN_OR_RETURN(sim->shard_runtime_,
+                         shard::ShardRuntime::Create(sim.get()));
+  }
+
   // Size every sharded metric once, after all bindings: chunk ids of the
-  // parallel phases are the shard ids, and NumChunks never exceeds the
-  // thread count.
-  sim->metrics_.SetNumShards(sim->threads_);
+  // parallel phases are the shard ids (NumChunks never exceeds the
+  // thread count), and shard-worker ids key their own slots.
+  const int32_t metric_shards = std::max(sim->threads_, config_.shards);
+  sim->metrics_.SetNumShards(metric_shards);
   if (!config_.trace_path.empty()) {
     sim->tracer_ = std::make_unique<obs::Tracer>();
-    sim->tracer_->SetNumShards(sim->threads_);
+    sim->tracer_->SetNumShards(metric_shards);
     if (sim->sharing_ != nullptr) {
       sim->sharing_->set_tracer(sim->tracer_.get());
     }
@@ -647,9 +679,18 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
   }
 
   // --- the phase pipeline ------------------------------------------------
+  // Under sharding the first two phases are replaced by shard-runtime
+  // equivalents with the same names (same stats slots, same anchors for
+  // phase edits); the rest of the pipeline runs unchanged against the
+  // authoritative table.
   std::vector<std::unique_ptr<TickPhase>> pipeline;
-  pipeline.push_back(std::make_unique<IndexBuildPhase>());
-  pipeline.push_back(std::make_unique<DecisionActionPhase>());
+  if (config_.shards > 1) {
+    pipeline.push_back(std::make_unique<shard::ShardIndexBuildPhase>());
+    pipeline.push_back(std::make_unique<shard::ShardDecisionPhase>());
+  } else {
+    pipeline.push_back(std::make_unique<IndexBuildPhase>());
+    pipeline.push_back(std::make_unique<DecisionActionPhase>());
+  }
   pipeline.push_back(std::make_unique<DeferredIndexPhase>());
   pipeline.push_back(std::make_unique<ApplyPhase>());
   if (!config_.move_x_attr.empty()) {

@@ -106,6 +106,19 @@ struct SimulationConfig {
   /// determinism contract the parallel test suite enforces.
   int32_t threads = 1;
 
+  /// In-process shard workers (src/shard/). 1 runs the classic
+  /// single-table engine. N in [2, 64] partitions the environment table
+  /// across N workers — spatial stripes with ghost margins sized by
+  /// script reach analysis when every probe and action footprint is
+  /// bounded, replicated otherwise — each evaluating the decision phase
+  /// of the rows it owns against its own local table, with cross-shard
+  /// effects exchanged as canonical actor-ordered operation logs. Any
+  /// value produces bit-identical simulations for every scenario,
+  /// evaluator mode, thread count, and sharing/compiled setting (the
+  /// shard test suite enforces it). Orthogonal to `threads`: the same
+  /// pool that runs the parallel phases runs the shard workers.
+  int32_t shards = 1;
+
   /// Ablation switches for kIndexed mode: disable the Section 5.3
   /// aggregate indexes or the Section 5.4 action batching independently
   /// (bench_optimizer measures each contribution).
@@ -195,6 +208,10 @@ struct SimulationSnapshot {
 
 class SimulationBuilder;
 
+namespace shard {
+class ShardRuntime;
+}  // namespace shard
+
 class Simulation {
  public:
   ~Simulation();
@@ -223,13 +240,11 @@ class Simulation {
   const SharingContext* sharing() const { return sharing_.get(); }
 
   /// Sharing counters for benches/tests (0 with sharing off). Read them
-  /// between ticks or after a run, not mid-phase.
-  int64_t shared_hits() const {
-    return sharing_ != nullptr ? sharing_->shared_hits() : 0;
-  }
-  int64_t memo_entries() const {
-    return sharing_ != nullptr ? sharing_->memo_entries() : 0;
-  }
+  /// between ticks or after a run, not mid-phase. Under sharding these
+  /// sum the worker-private contexts (the driver context sees no
+  /// decision traffic when shard workers evaluate).
+  int64_t shared_hits() const;
+  int64_t memo_entries() const;
 
   /// Resolved worker-thread count (config threads after auto-detection).
   int32_t threads() const { return threads_; }
@@ -291,6 +306,21 @@ class Simulation {
 
   // --- accessors used by TickPhase implementations -----------------------
   std::vector<std::unique_ptr<ScriptSession>>& sessions() { return sessions_; }
+
+  /// The shard runtime, or null when config().shards == 1.
+  shard::ShardRuntime* shard_runtime() { return shard_runtime_.get(); }
+  const shard::ShardRuntime* shard_runtime() const {
+    return shard_runtime_.get();
+  }
+
+  // Dispatch state, mirrored by shard workers so local tables resolve
+  // sessions exactly as SessionForRow would.
+  AttrId dispatch_attr() const { return dispatch_attr_; }
+  const std::map<double, int32_t>& dispatch_map() const {
+    return dispatch_map_;
+  }
+  int32_t default_session() const { return default_session_; }
+
   const std::vector<ApplyEffectsHook>& apply_hooks() const {
     return apply_hooks_;
   }
@@ -300,7 +330,8 @@ class Simulation {
 
  private:
   friend class SimulationBuilder;
-  explicit Simulation(EnvironmentTable table) : table_(std::move(table)) {}
+  // Out of line: members hold unique_ptrs to types fwd-declared here.
+  explicit Simulation(EnvironmentTable table);
 
   /// Append one {"tick":N,"metrics":{...}} line to config_.metrics_path.
   Status AppendMetricsLine() const;
@@ -316,6 +347,7 @@ class Simulation {
   std::vector<ApplyEffectsHook> apply_hooks_;
   std::vector<EndTickHook> end_tick_hooks_;
   std::vector<std::unique_ptr<TickPhase>> pipeline_;
+  std::unique_ptr<shard::ShardRuntime> shard_runtime_;  // null: shards == 1
   std::unique_ptr<SharingContext> sharing_;  // null when sharing is off
   EffectBuffer buffer_;
   PhaseStatsRegistry stats_;

@@ -1,0 +1,58 @@
+#include "env/partition_map.h"
+
+#include <algorithm>
+
+namespace sgl {
+
+int32_t StripeOwner(double posx, double world_width, int32_t num_shards) {
+  const double width = world_width / num_shards;
+  int32_t w = static_cast<int32_t>(posx / width);
+  return std::min(std::max(w, 0), num_shards - 1);
+}
+
+uint64_t StripeMembership(double posx, double world_width,
+                          int32_t num_shards, double margin) {
+  const double width = world_width / num_shards;
+  uint64_t mask = uint64_t{1} << StripeOwner(posx, world_width, num_shards);
+  for (int32_t w = 0; w < num_shards; ++w) {
+    const double lo = w * width - margin;
+    const double hi = (w + 1) * width + margin;
+    if (posx >= lo && posx <= hi) mask |= uint64_t{1} << w;
+  }
+  return mask;
+}
+
+ShardAssignment BuildSpatialStripes(const EnvironmentTable& table,
+                                    AttrId posx, double world_width,
+                                    int32_t num_shards, double margin) {
+  ShardAssignment assign;
+  assign.num_shards = num_shards;
+  const int32_t n = table.NumRows();
+  assign.owner.resize(n);
+  assign.member.resize(n);
+  for (RowId r = 0; r < n; ++r) {
+    const double x = table.Get(r, posx);
+    assign.owner[r] = StripeOwner(x, world_width, num_shards);
+    assign.member[r] = StripeMembership(x, world_width, num_shards, margin);
+  }
+  return assign;
+}
+
+ShardAssignment BuildReplicated(const EnvironmentTable& table,
+                                int32_t num_shards) {
+  ShardAssignment assign;
+  assign.num_shards = num_shards;
+  const int64_t n = table.NumRows();
+  assign.owner.resize(n);
+  assign.member.resize(n);
+  const uint64_t all = num_shards >= 64 ? ~uint64_t{0}
+                                        : (uint64_t{1} << num_shards) - 1;
+  for (int64_t r = 0; r < n; ++r) {
+    // Monotone contiguous blocks of near-equal size.
+    assign.owner[r] = static_cast<int32_t>((r * num_shards) / n);
+    assign.member[r] = all;
+  }
+  return assign;
+}
+
+}  // namespace sgl

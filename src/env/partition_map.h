@@ -1,0 +1,56 @@
+// Row → shard-worker assignment maps for the sharded tick pipeline.
+//
+// Two partitioning schemes, both producing the same structure: an owner
+// per row (exactly one worker evaluates each unit's decisions) and a
+// per-row membership bitmask (which workers hold a copy of the row in
+// their local tables — the owner plus any worker that needs it as a
+// read-only ghost).
+//
+//  * Spatial stripes: the world's x axis splits into `num_shards` equal
+//    stripes; a worker owns the rows whose posx falls in its stripe and
+//    ghosts every row within `margin` of it. Valid only when script reach
+//    analysis (opt/reach.h) bounded every aggregate probe and action
+//    footprint by that margin.
+//  * Replicated: every worker holds every row (ghost = rest of world) and
+//    owns a contiguous block of global row indices. Always correct; this
+//    is the fallback for unbounded scripts and non-spatial worlds, and
+//    still splits decision evaluation S ways.
+#ifndef SGL_ENV_PARTITION_MAP_H_
+#define SGL_ENV_PARTITION_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "env/table.h"
+
+namespace sgl {
+
+/// The materialized assignment for one table state. Rebuilt on structural
+/// changes and whenever a dirty row's stripe membership drifts.
+struct ShardAssignment {
+  int32_t num_shards = 1;
+  std::vector<int32_t> owner;    // per global row
+  std::vector<uint64_t> member;  // per global row; bit w = in worker w
+};
+
+/// Owner stripe of `posx` for an S-way split of [0, world_width).
+int32_t StripeOwner(double posx, double world_width, int32_t num_shards);
+
+/// Membership mask of `posx`: the owner stripe plus every stripe whose
+/// `margin`-widened extent contains it.
+uint64_t StripeMembership(double posx, double world_width,
+                          int32_t num_shards, double margin);
+
+/// Assign every row of `table` by its posx stripe.
+ShardAssignment BuildSpatialStripes(const EnvironmentTable& table,
+                                    AttrId posx, double world_width,
+                                    int32_t num_shards, double margin);
+
+/// Every worker holds every row; owner blocks are contiguous in row order
+/// so per-worker effect journals concatenate into exact sequential order.
+ShardAssignment BuildReplicated(const EnvironmentTable& table,
+                                int32_t num_shards);
+
+}  // namespace sgl
+
+#endif  // SGL_ENV_PARTITION_MAP_H_

@@ -1,0 +1,42 @@
+#include "exec/exchange.h"
+
+namespace sgl {
+namespace exec {
+
+void MergeJournals(const std::vector<OpJournal*>& journals,
+                   EffectSink* sink) {
+  const size_t k = journals.size();
+  std::vector<size_t> cursor(k, 0);  // next segment per journal
+  for (;;) {
+    // Pick the journal whose next segment has the smallest actor. Ties
+    // cannot happen: every actor row has exactly one owning worker.
+    size_t best = k;
+    RowId best_actor = 0;
+    for (size_t j = 0; j < k; ++j) {
+      if (cursor[j] >= journals[j]->segments_.size()) continue;
+      RowId actor = journals[j]->segments_[cursor[j]].actor;
+      if (best == k || actor < best_actor) {
+        best = j;
+        best_actor = actor;
+      }
+    }
+    if (best == k) return;  // all journals drained
+    const OpJournal& jr = *journals[best];
+    const size_t seg = cursor[best]++;
+    const size_t lo = jr.segments_[seg].first_op;
+    const size_t hi = seg + 1 < jr.segments_.size()
+                          ? jr.segments_[seg + 1].first_op
+                          : jr.ops_.size();
+    for (size_t i = lo; i < hi; ++i) {
+      const OpJournal::Op& op = jr.ops_[i];
+      if (op.is_set) {
+        sink->AccumulateSet(op.row, op.attr, op.value, op.priority);
+      } else {
+        sink->Accumulate(op.row, op.attr, op.value);
+      }
+    }
+  }
+}
+
+}  // namespace exec
+}  // namespace sgl

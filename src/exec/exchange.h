@@ -1,0 +1,103 @@
+// Cross-shard effect exchange: per-worker operation journals with a
+// canonical actor-ordered merge.
+//
+// Same determinism problem as ShardedEffectBuffer, different geometry.
+// There, every worker's chunk covers a contiguous ascending row range, so
+// replaying whole logs in chunk order reproduces the sequential call
+// sequence. Shard workers own row SETS that may interleave in global row
+// order (spatial stripes assign rows by position, not index), so whole-log
+// concatenation is wrong. Instead each journal is split into SEGMENTS —
+// one per acting unit (interpreter path) or per contiguous own-row batch
+// (VM path) — tagged with the global row of the first actor. Within one
+// journal segments ascend by actor; across journals actor sets are
+// disjoint (each row has one owner). MergeJournals therefore k-way merges
+// segments by actor id and replays them in that order, which is exactly
+// the order a single-table engine evaluating rows 0..n-1 would have
+// issued the calls in. (VM batches group a batch's ops by instruction
+// rather than by row, but re-batching at worker boundaries is the same
+// reordering the engine already performs between thread counts — covered
+// by the integer-valued-aggregate determinism doctrine in env/table.h;
+// kMax/kMin/kSet are order-independent outright.)
+//
+// Journals also translate rows as they record: workers evaluate against
+// worker-local tables, so every op's row id is mapped local → global
+// through the worker's row map before it is stored. The merged replay
+// speaks pure global ids.
+#ifndef SGL_EXEC_EXCHANGE_H_
+#define SGL_EXEC_EXCHANGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "env/effect_buffer.h"
+
+namespace sgl {
+namespace exec {
+
+/// One shard worker's append-only, actor-segmented effect journal.
+class OpJournal : public EffectSink {
+ public:
+  /// Install the worker's local→global row map. Ops recorded afterwards
+  /// are translated on the way in. Null means ids are already global
+  /// (replicated partitioning, where local row == global row).
+  void set_row_map(const std::vector<RowId>* local_to_global) {
+    local_to_global_ = local_to_global;
+  }
+
+  /// Open a new segment for the unit at `global_actor` (interpreter path:
+  /// one per evaluated unit; VM path: one per contiguous own-row batch,
+  /// tagged with its first row). Actors must ascend within a journal.
+  void BeginActor(RowId global_actor) {
+    segments_.push_back(Segment{global_actor, ops_.size()});
+  }
+
+  void Accumulate(RowId row, AttrId attr, double value) override {
+    ops_.push_back(Op{Translate(row), attr, false, value, 0.0});
+  }
+
+  void AccumulateSet(RowId row, AttrId attr, double value,
+                     double priority) override {
+    ops_.push_back(Op{Translate(row), attr, true, value, priority});
+  }
+
+  void Clear() {
+    ops_.clear();
+    segments_.clear();
+  }
+
+  int64_t num_ops() const { return static_cast<int64_t>(ops_.size()); }
+
+ private:
+  friend void MergeJournals(const std::vector<OpJournal*>& journals,
+                            EffectSink* sink);
+
+  struct Op {
+    RowId row;
+    AttrId attr;
+    bool is_set;
+    double value;
+    double priority;  // is_set only
+  };
+  struct Segment {
+    RowId actor;       // global row of the first acting unit
+    size_t first_op;   // index into ops_
+  };
+
+  RowId Translate(RowId row) const {
+    return local_to_global_ == nullptr ? row : (*local_to_global_)[row];
+  }
+
+  const std::vector<RowId>* local_to_global_ = nullptr;
+  std::vector<Op> ops_;
+  std::vector<Segment> segments_;
+};
+
+/// Replay every journal's segments into `sink`, k-way merged by ascending
+/// actor row — the canonical single-table call order. Actor sets must be
+/// disjoint across journals (guaranteed by single-owner partitioning).
+void MergeJournals(const std::vector<OpJournal*>& journals, EffectSink* sink);
+
+}  // namespace exec
+}  // namespace sgl
+
+#endif  // SGL_EXEC_EXCHANGE_H_

@@ -54,6 +54,34 @@ class IndexedActionSink : public ActionSink {
   /// performers (SimulationBuilder sets this to the thread count).
   void set_num_shards(int32_t num_shards);
 
+  /// One deferred AOE perform. `actor` is the performing row: in-process
+  /// the batch order implies it, but shard workers defer against
+  /// worker-local tables, so they record it explicitly and the driver
+  /// remaps it to a global row before re-injecting the batches.
+  struct Pending {
+    RowId actor = -1;
+    double cx = 0.0, cy = 0.0;
+    std::vector<double> part_values;  // evaluated partition expressions
+    std::vector<double> set_values;   // evaluated set-item values
+    std::vector<double> set_prios;    // parallel (kSetPriority only)
+  };
+
+  /// Deferred AOE performs, indexed [action][update].
+  using PendingBatches = std::vector<std::vector<std::vector<Pending>>>;
+
+  /// Drain this sink's deferred batches (merged across its shards in
+  /// shard order) without flushing them. The shard runtime collects each
+  /// worker sink's batches with this, remaps actors local → global, and
+  /// injects the actor-ordered merge into the driver sink.
+  PendingBatches TakePending();
+
+  /// Append externally merged batches to this sink's pending set. Under
+  /// sharding the driver sink performs nothing itself, so the imported
+  /// batches are the whole of what FlushDeferred folds. Batch order is the
+  /// deterministic tie-break for nonstackable effects — callers must pass
+  /// the canonical (ascending-actor) merge.
+  void ImportPending(PendingBatches batches);
+
   /// EXPLAIN: strategy chosen per action update statement.
   std::string DescribePlan() const;
 
@@ -89,21 +117,10 @@ class IndexedActionSink : public ActionSink {
     std::vector<const Cond*> unit_filters;  // e-only residuals
   };
 
-  /// One deferred AOE perform.
-  struct Pending {
-    double cx = 0.0, cy = 0.0;
-    std::vector<double> part_values;  // evaluated partition expressions
-    std::vector<double> set_values;   // evaluated set-item values
-    std::vector<double> set_prios;    // parallel (kSetPriority only)
-  };
-
   struct ActionPlans {
     std::vector<UpdatePlan> updates;  // parallel to decl.updates
     bool all_handled = false;         // every update is non-fallback
   };
-
-  /// Deferred AOE performs, indexed [action][update].
-  using PendingBatches = std::vector<std::vector<std::vector<Pending>>>;
 
   Status ClassifyAction(int32_t action_index);
   Status ApplyDirectKey(const UpdatePlan& plan, const UpdateStmt& update,

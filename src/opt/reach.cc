@@ -1,0 +1,283 @@
+#include "opt/reach.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "opt/signature.h"
+#include "sgl/ast.h"
+
+namespace sgl {
+
+namespace {
+
+/// Fold an expression containing only numbers and arithmetic (constants
+/// were already substituted by the analyzer). Returns false otherwise.
+/// Mirrors action_sink.cc so both analyses agree on what "constant" means.
+bool FoldPure(const Expr& e, double* out) {
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      *out = e.number;
+      return true;
+    case ExprKind::kUnaryMinus: {
+      double v;
+      if (!FoldPure(*e.args[0], &v)) return false;
+      *out = -v;
+      return true;
+    }
+    case ExprKind::kBinary: {
+      double l, r;
+      if (!FoldPure(*e.args[0], &l) || !FoldPure(*e.args[1], &r)) return false;
+      switch (e.op) {
+        case BinaryOp::kAdd: *out = l + r; return true;
+        case BinaryOp::kSub: *out = l - r; return true;
+        case BinaryOp::kMul: *out = l * r; return true;
+        case BinaryOp::kDiv:
+          if (r == 0.0) return false;
+          *out = l / r;
+          return true;
+        case BinaryOp::kMod:
+          if (r == 0.0) return false;
+          *out = std::fmod(l, r);
+          return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Match `u.<pos> + c` / `u.<pos> - c` / plain `u.<pos>`; returns the
+/// signed constant offset c.
+bool MatchCenterOffset(const Expr& e, const std::string& u_name, AttrId pos,
+                       double* offset) {
+  AttrId attr;
+  if (IsPlainAttrRef(e, u_name, &attr)) {
+    if (attr != pos) return false;
+    *offset = 0.0;
+    return true;
+  }
+  if (e.kind != ExprKind::kBinary ||
+      (e.op != BinaryOp::kAdd && e.op != BinaryOp::kSub)) {
+    return false;
+  }
+  if (!IsPlainAttrRef(*e.args[0], u_name, &attr) || attr != pos) return false;
+  double c;
+  if (!FoldPure(*e.args[1], &c)) return false;
+  *offset = e.op == BinaryOp::kAdd ? c : -c;
+  return true;
+}
+
+bool ExprHasAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kCall && e.is_aggregate) return true;
+  for (const ExprPtr& arg : e.args) {
+    if (arg != nullptr && ExprHasAggregate(*arg)) return true;
+  }
+  return false;
+}
+
+bool CondHasAggregate(const Cond& c) {
+  switch (c.kind) {
+    case CondKind::kCompare:
+      return (c.lhs != nullptr && ExprHasAggregate(*c.lhs)) ||
+             (c.rhs != nullptr && ExprHasAggregate(*c.rhs));
+    case CondKind::kAnd:
+    case CondKind::kOr:
+      return CondHasAggregate(*c.left) || CondHasAggregate(*c.right);
+    case CondKind::kNot:
+      return CondHasAggregate(*c.left);
+    case CondKind::kTrue:
+      return false;
+  }
+  return false;
+}
+
+/// Grow `reach` to cover |offset| world units; keeps it bounded.
+void Cover(ScriptReach* reach, double offset) {
+  reach->radius = std::max(reach->radius, std::fabs(offset));
+}
+
+void MarkUnbounded(ScriptReach* reach, const std::string& why) {
+  if (reach->bounded) {
+    reach->bounded = false;
+    reach->note = why;
+  }
+}
+
+/// The x-extent of one aggregate probe. Stripes partition on posx alone,
+/// so only the x dimension must be a constant-offset interval around
+/// u.posx; y may span the world.
+void CoverAggregate(const Script& script, int32_t agg_index, AttrId posx,
+                    ScriptReach* reach) {
+  const AggregateDecl& decl = script.program.aggregates[agg_index];
+  auto sig = ExtractSignature(script, agg_index);
+  if (!sig.ok()) {
+    MarkUnbounded(reach, "aggregate " + decl.name + ": " +
+                             sig.status().ToString());
+    return;
+  }
+  if (sig->kind == IndexKind::kKdNearest) {
+    MarkUnbounded(reach, "aggregate " + decl.name +
+                             ": nearest-neighbour probes have no radius");
+    return;
+  }
+  if (sig->kind == IndexKind::kNaive) {
+    MarkUnbounded(reach, "aggregate " + decl.name +
+                             ": unindexable shape (" + sig->reason + ")");
+    return;
+  }
+  const std::string& u = sig->u_name;
+  for (const RangeDim& dim : sig->ranges) {
+    if (dim.attr != posx) continue;
+    double lo_off, hi_off;
+    if (dim.lo == nullptr || dim.hi == nullptr ||
+        !MatchCenterOffset(*dim.lo, u, posx, &lo_off) ||
+        !MatchCenterOffset(*dim.hi, u, posx, &hi_off)) {
+      break;  // x range exists but is not u.posx ± const
+    }
+    Cover(reach, lo_off);
+    Cover(reach, hi_off);
+    return;
+  }
+  MarkUnbounded(reach, "aggregate " + decl.name +
+                           ": no closed u.posx ± const range on posx");
+}
+
+/// The x-extent of one action update. Self-targeted direct-key updates
+/// reach nothing beyond the performer; AOE-style wheres need a closed
+/// constant-offset x interval. Everything else can touch any row.
+void CoverUpdate(const ActionDecl& decl, const UpdateStmt& update,
+                 AttrId posx, ScriptReach* reach) {
+  const std::string& u = decl.params[0];
+  const std::string& e = update.row_var;
+
+  std::vector<const Cond*> conjuncts;
+  FlattenWhere(*update.where, &conjuncts);
+
+  // Direct-key shape first: `e.key = <expr>` pins one target row.
+  for (const Cond* c : conjuncts) {
+    if (c->kind != CondKind::kCompare || c->op != CompareOp::kEq) continue;
+    AttrId attr;
+    const Expr* other = nullptr;
+    if (IsPlainAttrRef(*c->lhs, e, &attr) && attr == kKeyAttrId) {
+      other = c->rhs.get();
+    } else if (IsPlainAttrRef(*c->rhs, e, &attr) && attr == kKeyAttrId) {
+      other = c->lhs.get();
+    }
+    if (other == nullptr) continue;
+    AttrId u_attr;
+    if (IsPlainAttrRef(*other, u, &u_attr) && u_attr == kKeyAttrId) {
+      return;  // e.key = u.key: the performer updates itself, reach 0
+    }
+    MarkUnbounded(reach, "action " + decl.name +
+                             ": direct-key update may target any unit");
+    return;
+  }
+
+  // AOE shape: hunt for a closed x interval around u.posx. Additional
+  // conjuncts (partition equalities, e-only or u-only filters, y bounds)
+  // only shrink the affected set, so they never extend reach.
+  bool has_lo = false, has_hi = false;
+  for (const Cond* c : conjuncts) {
+    if (c->kind != CondKind::kCompare) continue;
+    CompareOp op = c->op;
+    const Expr* e_side = c->lhs.get();
+    const Expr* u_side = c->rhs.get();
+    AttrId attr;
+    if (!IsPlainAttrRef(*e_side, e, &attr) || attr != posx) {
+      // Try the mirrored orientation (`u.posx - r <= e.posx`).
+      e_side = c->rhs.get();
+      u_side = c->lhs.get();
+      if (!IsPlainAttrRef(*e_side, e, &attr) || attr != posx) continue;
+      switch (op) {
+        case CompareOp::kLt: op = CompareOp::kGt; break;
+        case CompareOp::kLe: op = CompareOp::kGe; break;
+        case CompareOp::kGt: op = CompareOp::kLt; break;
+        case CompareOp::kGe: op = CompareOp::kLe; break;
+        default: break;
+      }
+    }
+    double off;
+    if (!MatchCenterOffset(*u_side, u, posx, &off)) continue;
+    switch (op) {
+      case CompareOp::kEq:
+        has_lo = has_hi = true;
+        Cover(reach, off);
+        break;
+      case CompareOp::kLe:
+      case CompareOp::kLt:
+        has_hi = true;
+        Cover(reach, off);
+        break;
+      case CompareOp::kGe:
+      case CompareOp::kGt:
+        has_lo = true;
+        Cover(reach, off);
+        break;
+      case CompareOp::kNe:
+        break;
+    }
+  }
+  if (!has_lo || !has_hi) {
+    MarkUnbounded(reach, "action " + decl.name +
+                             ": update has no closed u.posx ± const box");
+  }
+}
+
+}  // namespace
+
+ScriptReach ComputeScriptReach(const Script& script) {
+  ScriptReach reach;
+  reach.bounded = true;
+
+  // Aggregates inside action declarations are evaluated by the driver
+  // when deferred AOE batches flush, where no shard-local indexes exist;
+  // refuse sharding outright rather than answer wrong.
+  for (const ActionDecl& action : script.program.actions) {
+    for (const UpdateStmt& update : action.updates) {
+      bool has_agg = CondHasAggregate(*update.where);
+      for (const SetItem& item : update.sets) {
+        if (item.value != nullptr) has_agg |= ExprHasAggregate(*item.value);
+        if (item.priority != nullptr) {
+          has_agg |= ExprHasAggregate(*item.priority);
+        }
+      }
+      if (has_agg) {
+        reach.supported = false;
+        reach.bounded = false;
+        reach.note = "action " + action.name +
+                     " nests an aggregate call; sharding cannot replay its "
+                     "deferred updates";
+        return reach;
+      }
+    }
+  }
+
+  const AttrId posx = script.schema.Find("posx");
+  if (posx == Schema::kInvalidAttr) {
+    MarkUnbounded(&reach, "schema has no posx: world is not spatial");
+  }
+
+  for (size_t a = 0; reach.bounded && a < script.program.aggregates.size();
+       ++a) {
+    CoverAggregate(script, static_cast<int32_t>(a), posx, &reach);
+  }
+  for (size_t a = 0; reach.bounded && a < script.program.actions.size();
+       ++a) {
+    const ActionDecl& decl = script.program.actions[a];
+    for (const UpdateStmt& update : decl.updates) {
+      if (!reach.bounded) break;
+      CoverUpdate(decl, update, posx, &reach);
+    }
+  }
+
+  if (reach.bounded) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "bounded, radius %.3g", reach.radius);
+    reach.note = buf;
+  }
+  return reach;
+}
+
+}  // namespace sgl

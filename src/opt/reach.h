@@ -1,0 +1,46 @@
+// Script reach analysis for spatial sharding (ROADMAP item 3).
+//
+// A shard worker that owns a stripe of the world can evaluate a unit's
+// decisions locally only if everything the script reads or writes lies
+// within a constant-radius box around the unit: every aggregate probe box
+// (the u.pos ± const range dims already extracted by signature.cc) and
+// every action footprint (self-targeted direct-key updates, or the
+// constant-extent AOE boxes action_sink.cc classifies). The maximum such
+// offset is the ghost-margin radius. Anything else — global aggregates,
+// nearest-neighbor probes, direct-key updates aimed at arbitrary units —
+// can touch any row, so the runtime falls back to replicated (full-ghost)
+// partitioning, which is always correct.
+#ifndef SGL_OPT_REACH_H_
+#define SGL_OPT_REACH_H_
+
+#include <string>
+
+#include "sgl/analyzer.h"
+#include "util/status.h"
+
+namespace sgl {
+
+/// How far one unit's tick can see or touch, in world units.
+struct ScriptReach {
+  /// False when the script cannot run under shards > 1 at all (today:
+  /// aggregate calls inside action declarations, whose deferred unit
+  /// filters are evaluated driver-side where no indexes exist).
+  bool supported = true;
+  /// True when every aggregate probe and action footprint fits a constant
+  /// box around (u.posx, u.posy); then `radius` bounds all of them.
+  bool bounded = false;
+  double radius = 0.0;
+  /// Why the script is unbounded / unsupported (first reason found), or a
+  /// summary of the bounded footprint.
+  std::string note;
+};
+
+/// Analyze every aggregate and action of `script`. Never fails for
+/// analyzable scripts — an inscrutable construct just yields
+/// bounded=false; supported=false is reserved for shapes sharding must
+/// refuse outright.
+ScriptReach ComputeScriptReach(const Script& script);
+
+}  // namespace sgl
+
+#endif  // SGL_OPT_REACH_H_

@@ -1,0 +1,329 @@
+#include "shard/runtime.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "exec/exchange.h"
+
+namespace sgl {
+namespace shard {
+
+namespace {
+
+/// Total index probes issued so far, read off the driver sessions'
+/// counters. Under sharding the worker providers bind the same counters
+/// (one shard slot per worker), so the driver-session read covers every
+/// worker's probes.
+int64_t TotalProbes(Simulation* sim) {
+  int64_t probes = 0;
+  for (const auto& session : sim->sessions()) {
+    if (session->provider != nullptr) {
+      probes += session->provider->probe_count();
+    }
+  }
+  return probes;
+}
+
+/// K-way merge of per-worker deferred-AOE batches by ascending actor row.
+/// Each worker's per-update list already ascends (owned rows are evaluated
+/// in ascending local — hence global — order), and actor sets are disjoint
+/// across workers, so the merge reproduces the exact batch order a
+/// sequential single-table run would have deferred in.
+IndexedActionSink::PendingBatches MergePendingByActor(
+    std::vector<IndexedActionSink::PendingBatches> per_worker,
+    int64_t* total) {
+  IndexedActionSink::PendingBatches merged;
+  for (const auto& batches : per_worker) {
+    if (batches.empty()) continue;
+    merged.resize(batches.size());
+    for (size_t a = 0; a < batches.size(); ++a) {
+      merged[a].resize(batches[a].size());
+    }
+    break;
+  }
+  for (size_t a = 0; a < merged.size(); ++a) {
+    for (size_t s = 0; s < merged[a].size(); ++s) {
+      std::vector<size_t> cursor(per_worker.size(), 0);
+      for (;;) {
+        int best = -1;
+        RowId best_actor = 0;
+        for (size_t w = 0; w < per_worker.size(); ++w) {
+          if (per_worker[w].empty()) continue;
+          const auto& list = per_worker[w][a][s];
+          if (cursor[w] >= list.size()) continue;
+          const RowId actor = list[cursor[w]].actor;
+          if (best < 0 || actor < best_actor) {
+            best = static_cast<int>(w);
+            best_actor = actor;
+          }
+        }
+        if (best < 0) break;
+        merged[a][s].push_back(
+            std::move(per_worker[best][a][s][cursor[best]]));
+        ++cursor[best];
+        if (total != nullptr) ++*total;
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardRuntime>> ShardRuntime::Create(Simulation* sim) {
+  const SimulationConfig& config = sim->config();
+  std::unique_ptr<ShardRuntime> runtime(
+      new ShardRuntime(sim, config.shards));
+
+  // Reach analysis decides the partitioning scheme (see runtime.h).
+  bool all_bounded = true;
+  double max_radius = 0.0;
+  for (const auto& session : sim->sessions()) {
+    ScriptReach reach = ComputeScriptReach(session->script);
+    if (!reach.supported) {
+      return Status::Invalid("script '", session->name,
+                             "' cannot run with shards > 1: ", reach.note);
+    }
+    if (reach.bounded) {
+      max_radius = std::max(max_radius, reach.radius);
+    } else {
+      all_bounded = false;
+    }
+    runtime->reaches_.push_back(std::move(reach));
+  }
+  runtime->posx_ = sim->table().schema().Find("posx");
+  runtime->world_width_ = static_cast<double>(config.grid_width);
+  runtime->replicated_ = config.eval_mode == EvaluatorMode::kAdaptive ||
+                         !all_bounded ||
+                         runtime->posx_ == Schema::kInvalidAttr ||
+                         runtime->world_width_ <= 0.0;
+  runtime->margin_ = runtime->replicated_ ? 0.0 : max_radius;
+
+  for (int32_t w = 0; w < runtime->num_shards_; ++w) {
+    SGL_ASSIGN_OR_RETURN(auto worker,
+                         ShardWorker::Create(sim, w, runtime->num_shards_));
+    runtime->workers_.push_back(std::move(worker));
+  }
+
+  obs::MetricsRegistry* metrics = sim->mutable_metrics();
+  const uint32_t exec_dep = obs::kMetricExecDependent;
+  runtime->repartitions_ =
+      metrics->GetCounter("shard.repartitions", exec_dep);
+  runtime->refresh_rows_ =
+      metrics->GetCounter("shard.refresh_rows", exec_dep);
+  runtime->exchange_ops_ =
+      metrics->GetCounter("shard.exchange.ops", exec_dep);
+  runtime->exchange_pending_ =
+      metrics->GetCounter("shard.exchange.pending", exec_dep);
+  runtime->workers_gauge_ = metrics->GetGauge("shard.workers", exec_dep);
+  runtime->workers_gauge_->Set(runtime->num_shards_);
+  return runtime;
+}
+
+Status ShardRuntime::ForEachWorker(
+    exec::ThreadPool* pool, exec::ParallelStats* stats,
+    const std::function<Status(ShardWorker*)>& fn) {
+  if (pool == nullptr) {
+    for (auto& worker : workers_) SGL_RETURN_NOT_OK(fn(worker.get()));
+    if (stats != nullptr) stats->workers = std::max<int64_t>(stats->workers, 1);
+    return Status::OK();
+  }
+  return pool->ParallelFor(
+      num_shards_, /*grain=*/1,
+      [&](int32_t, int64_t lo, int64_t hi) -> Status {
+        for (int64_t w = lo; w < hi; ++w) {
+          SGL_RETURN_NOT_OK(fn(workers_[w].get()));
+        }
+        return Status::OK();
+      },
+      stats);
+}
+
+Status ShardRuntime::Refresh(TickContext* ctx) {
+  EnvironmentTable& global = *ctx->table;
+  const TableChanges& changes = global.changes();
+
+  bool full = !assigned_ || changes.structural;
+  if (!full && !replicated_) {
+    // Stripe drift: a dirty row whose position left its recorded stripe
+    // (or margin band) invalidates the assignment.
+    for (RowId g : changes.dirty_rows) {
+      const double x = global.Get(g, posx_);
+      if (StripeOwner(x, world_width_, num_shards_) != assign_.owner[g] ||
+          StripeMembership(x, world_width_, num_shards_, margin_) !=
+              assign_.member[g]) {
+        full = true;
+        break;
+      }
+    }
+  }
+
+  exec::ParallelStats pstats;
+  if (full) {
+    assign_ = replicated_
+                  ? BuildReplicated(global, num_shards_)
+                  : BuildSpatialStripes(global, posx_, world_width_,
+                                        num_shards_, margin_);
+    assigned_ = true;
+    repartitions_->Add(1);
+    SGL_RETURN_NOT_OK(ForEachWorker(
+        ctx->pool, &pstats, [&](ShardWorker* worker) -> Status {
+          obs::SpanScope span(ctx->tracer, "shard-build", 1 + worker->id(),
+                              worker->id());
+          if (ctx->tracer != nullptr) {
+            char args[64];
+            std::snprintf(args, sizeof(args), "{\"shard\":%d,\"full\":1}",
+                          worker->id());
+            span.set_args_json(args);
+          }
+          SGL_RETURN_NOT_OK(worker->Rebuild(global, assign_));
+          SGL_RETURN_NOT_OK(worker->BuildLocalIndexes(*ctx->rnd));
+          worker->ClearLocalChanges();
+          return Status::OK();
+        }));
+  } else {
+    refresh_rows_->Add(static_cast<int64_t>(changes.dirty_rows.size()));
+    SGL_RETURN_NOT_OK(ForEachWorker(
+        ctx->pool, &pstats, [&](ShardWorker* worker) -> Status {
+          obs::SpanScope span(ctx->tracer, "shard-build", 1 + worker->id(),
+                              worker->id());
+          if (ctx->tracer != nullptr) {
+            char args[64];
+            std::snprintf(args, sizeof(args), "{\"shard\":%d,\"full\":0}",
+                          worker->id());
+            span.set_args_json(args);
+          }
+          for (RowId g : changes.dirty_rows) {
+            worker->RefreshRow(global, g, changes.attr_mask(g));
+          }
+          SGL_RETURN_NOT_OK(worker->BuildLocalIndexes(*ctx->rnd));
+          worker->ClearLocalChanges();
+          return Status::OK();
+        }));
+  }
+  // Every worker consumed this change window; open the next one (the
+  // single-table IndexBuildPhase does the same after its builds).
+  global.ClearChanges();
+
+  // Deterministic stat parity with IndexBuildPhase: one whole-table
+  // rows-scanned tally per provider-backed session.
+  for (const auto& session : sim_->sessions()) {
+    if (session->provider != nullptr) {
+      ctx->stats->AddRowsScanned(global.NumRows());
+    }
+  }
+  ctx->stats->NoteWorkers(pstats.workers);
+  ctx->stats->AddMaxWorkerNs(pstats.max_worker_ns);
+  return Status::OK();
+}
+
+Status ShardRuntime::RunDecisions(TickContext* ctx) {
+  Simulation* sim = ctx->sim;
+  const int64_t probes_before = TotalProbes(sim);
+  const RowId n = ctx->table->NumRows();
+
+  // Sharing prologue for the worker-private contexts, sequentially on the
+  // driver thread (demotion decisions read cumulative counts).
+  for (auto& worker : workers_) worker->BeginTick();
+
+  exec::ParallelStats pstats;
+  SGL_RETURN_NOT_OK(ForEachWorker(
+      ctx->pool, &pstats, [&](ShardWorker* worker) -> Status {
+        obs::SpanScope span(ctx->tracer, "shard", 1 + worker->id(),
+                            worker->id());
+        if (ctx->tracer != nullptr) {
+          char args[80];
+          std::snprintf(args, sizeof(args),
+                        "{\"shard\":%d,\"own_rows\":%lld}", worker->id(),
+                        static_cast<long long>(worker->own_rows()));
+          span.set_args_json(args);
+        }
+        return worker->RunDecisions(*ctx->rnd, ctx->tracer);
+      }));
+
+  // Canonical exchange: replay every journal into the tick buffer in
+  // ascending-actor order — the single-table call order.
+  std::vector<exec::OpJournal*> journals;
+  journals.reserve(workers_.size());
+  int64_t ops = 0;
+  for (auto& worker : workers_) {
+    journals.push_back(worker->journal());
+    ops += worker->journal()->num_ops();
+  }
+  exec::MergeJournals(journals, ctx->buffer);
+  exchange_ops_->Add(ops);
+
+  // Deferred-AOE exchange: drain every worker's pending batches (actors
+  // already remapped to global rows), merge by actor, and hand them to
+  // the driver sinks for the unchanged deferred-index phase.
+  const size_t num_sessions = sim->sessions().size();
+  for (size_t s = 0; s < num_sessions; ++s) {
+    auto& session = sim->sessions()[s];
+    if (session->sink == nullptr) continue;
+    std::vector<IndexedActionSink::PendingBatches> per_worker;
+    per_worker.reserve(workers_.size());
+    for (auto& worker : workers_) {
+      per_worker.push_back(
+          worker->TakePendingRemapped(static_cast<int32_t>(s)));
+    }
+    int64_t pending = 0;
+    session->sink->ImportPending(
+        MergePendingByActor(std::move(per_worker), &pending));
+    exchange_pending_->Add(pending);
+  }
+
+  ctx->stats->AddRowsScanned(n);
+  ctx->stats->AddIndexProbes(TotalProbes(sim) - probes_before);
+  ctx->stats->NoteWorkers(pstats.workers);
+  ctx->stats->AddMaxWorkerNs(pstats.max_worker_ns);
+  return Status::OK();
+}
+
+std::string ShardRuntime::Describe() const {
+  std::ostringstream os;
+  os << "-- Sharding --\n";
+  os << "workers: " << num_shards_ << ", partitioning: ";
+  if (replicated_) {
+    os << "replicated (full ghosts, contiguous owner blocks)";
+  } else {
+    os << "spatial stripes over posx, ghost margin " << margin_;
+  }
+  os << "\n";
+  const auto& sessions = sim_->sessions();
+  for (size_t i = 0; i < sessions.size() && i < reaches_.size(); ++i) {
+    os << "script '" << sessions[i]->name << "': reach "
+       << reaches_[i].note << "\n";
+  }
+  return os.str();
+}
+
+int64_t ShardRuntime::shared_hits() const {
+  int64_t hits = 0;
+  for (const auto& worker : workers_) {
+    const SharingContext* ctx = worker->sharing_context();
+    if (ctx != nullptr) hits += ctx->shared_hits();
+  }
+  return hits;
+}
+
+int64_t ShardRuntime::memo_entries() const {
+  int64_t entries = 0;
+  for (const auto& worker : workers_) {
+    const SharingContext* ctx = worker->sharing_context();
+    if (ctx != nullptr) entries += ctx->memo_entries();
+  }
+  return entries;
+}
+
+Status ShardIndexBuildPhase::Run(TickContext* ctx) {
+  return ctx->sim->shard_runtime()->Refresh(ctx);
+}
+
+Status ShardDecisionPhase::Run(TickContext* ctx) {
+  return ctx->sim->shard_runtime()->RunDecisions(ctx);
+}
+
+}  // namespace shard
+}  // namespace sgl

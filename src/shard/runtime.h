@@ -1,0 +1,126 @@
+// The shard runtime: N in-process workers ticking one world, bit-exactly.
+//
+// With SimulationConfig::shards > 1 the engine swaps the first two
+// pipeline phases for sharded equivalents driven by this runtime:
+//
+//   index-build      refresh every worker's local table from the
+//                    authoritative table's change log (full repartition
+//                    on structural changes or stripe drift, per-dirty-row
+//                    deltas otherwise), then build worker-local indexes;
+//   decision-action  every worker evaluates the decisions of the rows it
+//                    owns against its local table, streaming effects into
+//                    a per-worker OpJournal; the journals are k-way
+//                    merged by ascending actor row into the tick buffer,
+//                    and deferred AOE batches are remapped to global rows,
+//                    merged the same way, and re-injected into the driver
+//                    sinks for the unchanged deferred-index phase.
+//
+// Partitioning is chosen at Build() from script reach analysis
+// (opt/reach.h): spatial stripes over posx with ghost margins sized to
+// the maximum bounded radius when every aggregate probe and action
+// footprint is bounded and the evaluator is naive or indexed; replicated
+// (full-ghost, contiguous owner blocks) otherwise — including always
+// under the adaptive evaluator, where a worker-local table identical to
+// the global one guarantees per-family cost decisions (and with them
+// probe tallies) match the single-table engine exactly.
+//
+// The remaining phases (deferred-index, apply, movement, mechanics) run
+// unchanged on the authoritative table, whose change tracking feeds the
+// next refresh. The net contract, enforced by tests/shard_test.cc: a
+// shards=N run is bit-identical to shards=1 for every scenario, evaluator
+// mode, thread count, and sharing/compiled toggle.
+#ifndef SGL_SHARD_RUNTIME_H_
+#define SGL_SHARD_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/phase.h"
+#include "engine/simulation.h"
+#include "env/partition_map.h"
+#include "opt/reach.h"
+#include "shard/worker.h"
+#include "util/status.h"
+
+namespace sgl {
+namespace shard {
+
+class ShardRuntime {
+ public:
+  /// Validate every session's reach and assemble config().shards workers.
+  /// Fails when a script cannot run sharded at all (ScriptReach
+  /// supported == false). `sim` must have its sessions and dispatch state
+  /// finalized, and must outlive the runtime.
+  static Result<std::unique_ptr<ShardRuntime>> Create(Simulation* sim);
+
+  /// The sharded index-build phase body (see file comment).
+  Status Refresh(TickContext* ctx);
+
+  /// The sharded decision-action phase body (see file comment).
+  Status RunDecisions(TickContext* ctx);
+
+  /// EXPLAIN block: partitioning scheme, margin, per-script reach.
+  std::string Describe() const;
+
+  int32_t num_shards() const { return num_shards_; }
+  bool replicated() const { return replicated_; }
+  double margin() const { return margin_; }
+
+  /// Sharing counters summed across the worker-private contexts (the
+  /// driver context sees no decision traffic under sharding).
+  int64_t shared_hits() const;
+  int64_t memo_entries() const;
+
+ private:
+  ShardRuntime(Simulation* sim, int32_t num_shards)
+      : sim_(sim), num_shards_(num_shards) {}
+
+  /// Run `fn` once per worker — S ways across the tick pool, or
+  /// sequentially without one. Results are independent of the split:
+  /// every worker writes only worker-private state and its own metric
+  /// shard slots.
+  Status ForEachWorker(exec::ThreadPool* pool, exec::ParallelStats* stats,
+                       const std::function<Status(ShardWorker*)>& fn);
+
+  Simulation* sim_;
+  const int32_t num_shards_;
+  bool replicated_ = true;
+  double margin_ = 0.0;
+  double world_width_ = 0.0;
+  AttrId posx_ = Schema::kInvalidAttr;
+  std::vector<ScriptReach> reaches_;  // parallel to sim sessions
+
+  ShardAssignment assign_;
+  bool assigned_ = false;
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+
+  // Runtime observability ("shard.*", all execution-dependent: they only
+  // exist under sharding, so they must stay out of the deterministic
+  // snapshot a shards=1 run is compared against).
+  obs::Counter* repartitions_ = nullptr;
+  obs::Counter* refresh_rows_ = nullptr;
+  obs::Counter* exchange_ops_ = nullptr;
+  obs::Counter* exchange_pending_ = nullptr;
+  obs::Gauge* workers_gauge_ = nullptr;
+};
+
+/// Sharded replacement for IndexBuildPhase (same name, same stats slot).
+class ShardIndexBuildPhase : public TickPhase {
+ public:
+  ShardIndexBuildPhase() : TickPhase(phase_names::kIndexBuild) {}
+  Status Run(TickContext* ctx) override;
+};
+
+/// Sharded replacement for DecisionActionPhase (same name and stats slot).
+class ShardDecisionPhase : public TickPhase {
+ public:
+  ShardDecisionPhase() : TickPhase(phase_names::kDecisionAction) {}
+  Status Run(TickContext* ctx) override;
+};
+
+}  // namespace shard
+}  // namespace sgl
+
+#endif  // SGL_SHARD_RUNTIME_H_

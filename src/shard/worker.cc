@@ -1,0 +1,235 @@
+#include "shard/worker.h"
+
+#include <utility>
+
+#include "opt/adaptive_provider.h"
+#include "vm/compiler.h"
+
+namespace sgl {
+namespace shard {
+
+ShardWorker::ShardWorker(Simulation* sim, int32_t id, int32_t num_shards)
+    : sim_(sim),
+      id_(id),
+      num_shards_(num_shards),
+      local_(sim->table().schema()) {}
+
+Result<std::unique_ptr<ShardWorker>> ShardWorker::Create(Simulation* sim,
+                                                         int32_t id,
+                                                         int32_t num_shards) {
+  std::unique_ptr<ShardWorker> worker(new ShardWorker(sim, id, num_shards));
+  const SimulationConfig& config = sim->config();
+  worker->adaptive_ = config.eval_mode == EvaluatorMode::kAdaptive;
+  worker->dispatch_attr_ = sim->dispatch_attr();
+  worker->dispatch_map_ = sim->dispatch_map();
+  worker->default_session_ = sim->default_session();
+  if (config.sharing) {
+    // Worker-private context: memo hits stay local to the worker (cross-
+    // worker publication would race), and its counters stay in the
+    // context's private registry — the driver context's bound "sharing.*"
+    // counters are all execution-dependent, so the split is observable
+    // only through exec-dependent metrics.
+    worker->sharing_ctx_ = std::make_unique<SharingContext>();
+  }
+
+  for (auto& driver : sim->sessions()) {
+    auto ws = std::make_unique<WorkerSession>();
+    ws->driver = driver.get();
+    ws->interp = std::make_unique<Interpreter>(driver->script);
+    if (config.eval_mode != EvaluatorMode::kNaive) {
+      if (config.index_aggregates) {
+        if (config.eval_mode == EvaluatorMode::kAdaptive) {
+          SGL_ASSIGN_OR_RETURN(auto adaptive,
+                               AdaptiveAggregateProvider::Create(
+                                   driver->script, *ws->interp));
+          adaptive->set_metrics_shard(id);
+          ws->provider = std::move(adaptive);
+        } else {
+          SGL_ASSIGN_OR_RETURN(ws->provider,
+                               IndexedAggregateProvider::Create(
+                                   driver->script, *ws->interp));
+        }
+        // Size the counters for this worker's shard slot while they still
+        // live in the provider's private registry: set_num_shards resizes
+        // whichever registry is currently bound, and the simulation's is
+        // sized once by the builder after every worker has bound.
+        ws->provider->set_num_shards(num_shards);
+        ws->interp->set_aggregate_provider(ws->provider.get());
+      }
+      if (config.index_actions) {
+        SGL_ASSIGN_OR_RETURN(
+            ws->sink, IndexedActionSink::Create(driver->script, *ws->interp));
+        ws->sink->set_num_shards(num_shards);
+        ws->interp->set_action_sink(ws->sink.get());
+      }
+    }
+    if (config.sharing) {
+      SGL_ASSIGN_OR_RETURN(
+          auto sharing,
+          SharingAggregateProvider::Create(driver->script, *ws->interp,
+                                           ws->provider.get(),
+                                           worker->sharing_ctx_.get(),
+                                           driver->name));
+      if (sharing->any_shared()) {
+        ws->sharing = std::move(sharing);
+        ws->interp->set_aggregate_provider(ws->sharing.get());
+      }
+    }
+    if (config.compiled && driver->compiled != nullptr) {
+      // The driver compiled this script, so the (deterministic) compiler
+      // accepts it here too; the worker runs its own program copy.
+      SGL_ASSIGN_OR_RETURN(ws->compiled, vm::CompileProgram(driver->script));
+    }
+
+    // Rebind into the simulation's registry under the driver session's
+    // names: GetCounter returns the existing counters, so worker tallies
+    // accumulate into the same metrics the single-table engine writes —
+    // each unit has exactly one owner, so the totals match.
+    const uint32_t provider_flags = ws->sharing != nullptr
+                                        ? obs::kMetricExecDependent
+                                        : obs::kMetricNone;
+    if (ws->provider != nullptr) {
+      ws->provider->BindMetrics(sim->mutable_metrics(),
+                                "script." + driver->name + ".agg.",
+                                provider_flags);
+    }
+    if (ws->compiled != nullptr) {
+      ws->compiled->BindMetrics(sim->mutable_metrics(),
+                                "script." + driver->name + ".vm.",
+                                obs::kMetricNone);
+    }
+    worker->sessions_.push_back(std::move(ws));
+  }
+  if (worker->sharing_ctx_ != nullptr) {
+    worker->sharing_ctx_->set_num_shards(num_shards);
+  }
+  return worker;
+}
+
+Status ShardWorker::Rebuild(const EnvironmentTable& global,
+                            const ShardAssignment& assign) {
+  local_ = EnvironmentTable(global.schema());
+  const RowId n = global.NumRows();
+  local_to_global_.clear();
+  is_own_.clear();
+  own_rows_ = 0;
+  global_to_local_.assign(n, -1);
+  const uint64_t bit = uint64_t{1} << id_;
+  const int32_t num_attrs = global.schema().NumAttrs();
+  std::vector<double> values(static_cast<size_t>(num_attrs) - 1);
+  for (RowId g = 0; g < n; ++g) {
+    if ((assign.member[g] & bit) == 0) continue;
+    for (AttrId a = 1; a < num_attrs; ++a) values[a - 1] = global.Get(g, a);
+    SGL_RETURN_NOT_OK(local_.AddRowWithKey(global.KeyAt(g), values));
+    global_to_local_[g] = static_cast<RowId>(local_to_global_.size());
+    local_to_global_.push_back(g);
+    const bool own = assign.owner[g] == id_;
+    is_own_.push_back(own ? 1 : 0);
+    if (own) ++own_rows_;
+  }
+  if (adaptive_) {
+    // A fresh log opens structural, exactly like the global table's first
+    // window (and like every rebuild-triggering window): the adaptive
+    // providers full-rebuild next, as the single-table engine would.
+    local_.EnableChangeTracking();
+  }
+  journal_.set_row_map(&local_to_global_);
+  return Status::OK();
+}
+
+void ShardWorker::RefreshRow(const EnvironmentTable& global, RowId global_row,
+                             uint64_t mask) {
+  const RowId l = global_to_local_[global_row];
+  if (l < 0) return;
+  const int32_t num_attrs = global.schema().NumAttrs();
+  for (AttrId a = 1; a < num_attrs; ++a) {
+    local_.Set(l, a, global.Get(global_row, a));
+  }
+  // Mirror the authoritative mask even where the local value happened to
+  // round-trip back (written and reverted attrs are dirty globally too):
+  // adaptive churn signals must match the single-table engine's bit for
+  // bit, or cost decisions — and with them probe tallies — could drift.
+  local_.MarkRowDirty(l, mask);
+}
+
+Status ShardWorker::BuildLocalIndexes(const TickRandom& rnd) {
+  for (auto& ws : sessions_) {
+    if (ws->provider == nullptr) continue;
+    SGL_RETURN_NOT_OK(ws->provider->BuildIndexes(local_, rnd,
+                                                 /*pool=*/nullptr,
+                                                 /*stats=*/nullptr));
+  }
+  return Status::OK();
+}
+
+void ShardWorker::ClearLocalChanges() {
+  if (local_.change_tracking_enabled()) local_.ClearChanges();
+}
+
+void ShardWorker::BeginTick() {
+  if (sharing_ctx_ != nullptr) sharing_ctx_->BeginTick();
+}
+
+Status ShardWorker::RunDecisions(const TickRandom& rnd, obs::Tracer* tracer) {
+  journal_.Clear();
+  executor_.set_tracer(tracer);
+  const RowId n = local_.NumRows();
+  RowId r = 0;
+  while (r < n) {
+    if (is_own_[r] == 0) {
+      ++r;
+      continue;
+    }
+    SGL_ASSIGN_OR_RETURN(const int32_t si, SessionIndexForRow(r));
+    WorkerSession& ws = *sessions_[si];
+    if (ws.compiled != nullptr) {
+      // Extend the batch while consecutive local rows are owned here and
+      // dispatch to the same session. A dispatch error breaks the run and
+      // surfaces on a later iteration, after this run's effects — the
+      // interpreter's order.
+      RowId end = r + 1;
+      while (end < n && is_own_[end] != 0) {
+        auto next = SessionIndexForRow(end);
+        if (!next.ok() || next.value() != si) break;
+        ++end;
+      }
+      journal_.BeginActor(ToGlobal(r));
+      SGL_RETURN_NOT_OK(executor_.Run(*ws.compiled, *ws.interp, local_, r, end,
+                                      rnd, &journal_, id_));
+      r = end;
+    } else {
+      journal_.BeginActor(ToGlobal(r));
+      SGL_RETURN_NOT_OK(ws.interp->RunUnit(local_, r, rnd, &journal_, id_));
+      ++r;
+    }
+  }
+  return Status::OK();
+}
+
+IndexedActionSink::PendingBatches ShardWorker::TakePendingRemapped(int32_t s) {
+  WorkerSession& ws = *sessions_[s];
+  if (ws.sink == nullptr) return {};
+  IndexedActionSink::PendingBatches batches = ws.sink->TakePending();
+  for (auto& per_action : batches) {
+    for (auto& per_update : per_action) {
+      for (auto& pending : per_update) {
+        pending.actor = local_to_global_[pending.actor];
+      }
+    }
+  }
+  return batches;
+}
+
+Result<int32_t> ShardWorker::SessionIndexForRow(RowId row) const {
+  if (dispatch_attr_ == Schema::kInvalidAttr) return default_session_;
+  const double value = local_.Get(row, dispatch_attr_);
+  auto it = dispatch_map_.find(value);
+  if (it != dispatch_map_.end()) return it->second;
+  if (default_session_ >= 0) return default_session_;
+  return Status::ExecutionError(
+      "no script registered for ", local_.schema().attr(dispatch_attr_).name,
+      " = ", value, " (unit key ", local_.KeyAt(row), ")");
+}
+
+}  // namespace shard
+}  // namespace sgl

@@ -1,0 +1,134 @@
+// One in-process shard worker: a local slice of the environment table
+// plus a full per-script evaluation stack mirroring the driver's.
+//
+// A worker owns the rows its ShardAssignment says it owns and holds
+// read-only ghost copies of every other row its membership mask includes
+// (the margin rows its scripts may read, or the whole world under
+// replicated partitioning). Local rows are stored in ascending global row
+// order with their global keys, so unit-keyed randomness, dispatch, and
+// naive scans behave exactly as they would against the authoritative
+// table; effect rows are translated back to global ids by the worker's
+// OpJournal as they are recorded.
+//
+// Per session the worker builds its own Interpreter, aggregate provider
+// (indexed or adaptive, matching SimulationConfig::eval_mode), action
+// sink, sharing decorator, and compiled program. Providers and compiled
+// programs bind their counters into the simulation's metrics registry
+// under the same names as the driver sessions' — the counters are shared,
+// and every worker accumulates into its own shard slot, so totals across
+// workers reproduce the single-table tallies (each unit is evaluated by
+// exactly one owner).
+#ifndef SGL_SHARD_WORKER_H_
+#define SGL_SHARD_WORKER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/simulation.h"
+#include "env/partition_map.h"
+#include "env/table.h"
+#include "exec/exchange.h"
+#include "opt/action_sink.h"
+#include "opt/indexed_provider.h"
+#include "opt/sharing.h"
+#include "sgl/interpreter.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "vm/vm.h"
+
+namespace sgl {
+namespace shard {
+
+/// A worker-side mirror of one driver ScriptSession.
+struct WorkerSession {
+  const ScriptSession* driver = nullptr;
+  std::unique_ptr<Interpreter> interp;
+  std::unique_ptr<IndexedAggregateProvider> provider;  // null under naive
+  std::unique_ptr<IndexedActionSink> sink;             // null under naive
+  std::unique_ptr<SharingAggregateProvider> sharing;   // null if per-unit
+  std::unique_ptr<vm::CompiledProgram> compiled;       // mirrors driver
+};
+
+class ShardWorker {
+ public:
+  /// Build worker `id` of `num_shards` against `sim`'s registered
+  /// sessions and configuration. The simulation must be fully assembled
+  /// (sessions, dispatch, metrics registry) and must outlive the worker.
+  static Result<std::unique_ptr<ShardWorker>> Create(Simulation* sim,
+                                                     int32_t id,
+                                                     int32_t num_shards);
+
+  /// Rebuild the local table from scratch: every global row whose
+  /// membership mask includes this worker, in ascending global order.
+  Status Rebuild(const EnvironmentTable& global, const ShardAssignment& assign);
+
+  /// Delta refresh: re-copy one dirty global row's attributes (no-op when
+  /// the row is not held locally) and mirror its dirty mask onto the
+  /// local change log so per-worker adaptive decisions see exactly the
+  /// churn the single-table engine would.
+  void RefreshRow(const EnvironmentTable& global, RowId global_row,
+                  uint64_t mask);
+
+  /// Phase-1 work: rebuild (or delta-maintain, per the adaptive cost
+  /// model) every session's index families over the local table.
+  Status BuildLocalIndexes(const TickRandom& rnd);
+
+  /// Close the local change window (after every session consumed it).
+  void ClearLocalChanges();
+
+  /// Tick prologue for the worker-private sharing context (demotions +
+  /// memo reset). Called sequentially on the driver thread.
+  void BeginTick();
+
+  /// Evaluate the decision phase for every owned row, streaming effects
+  /// into the worker's journal (one actor segment per unit, or per
+  /// contiguous own-row batch on the VM path).
+  Status RunDecisions(const TickRandom& rnd, obs::Tracer* tracer);
+
+  /// Drain session `s`'s deferred-AOE batches, with every recorded actor
+  /// remapped local -> global. Empty when the session has no sink.
+  IndexedActionSink::PendingBatches TakePendingRemapped(int32_t s);
+
+  exec::OpJournal* journal() { return &journal_; }
+  int32_t id() const { return id_; }
+  int64_t own_rows() const { return own_rows_; }
+  const EnvironmentTable& local_table() const { return local_; }
+  SharingContext* sharing_context() { return sharing_ctx_.get(); }
+
+ private:
+  ShardWorker(Simulation* sim, int32_t id, int32_t num_shards);
+
+  /// Local-dispatch mirror of Simulation::SessionForRow, resolving to the
+  /// worker session index for local row `row`.
+  Result<int32_t> SessionIndexForRow(RowId row) const;
+
+  RowId ToGlobal(RowId local) const { return local_to_global_[local]; }
+
+  Simulation* sim_;
+  const int32_t id_;
+  const int32_t num_shards_;
+  bool adaptive_ = false;  // local table tracks changes
+
+  EnvironmentTable local_;
+  std::vector<RowId> local_to_global_;
+  std::vector<RowId> global_to_local_;  // -1 = not held
+  std::vector<uint8_t> is_own_;
+  int64_t own_rows_ = 0;
+
+  // Dispatch state copied from the simulation (the local table holds the
+  // same dispatch attribute values, so lookups resolve identically).
+  AttrId dispatch_attr_ = Schema::kInvalidAttr;
+  std::map<double, int32_t> dispatch_map_;
+  int32_t default_session_ = -1;
+
+  std::unique_ptr<SharingContext> sharing_ctx_;  // null when sharing off
+  std::vector<std::unique_ptr<WorkerSession>> sessions_;
+  vm::BatchExecutor executor_;
+  exec::OpJournal journal_;
+};
+
+}  // namespace shard
+}  // namespace sgl
+
+#endif  // SGL_SHARD_WORKER_H_
