@@ -69,6 +69,7 @@ struct BenchArgs {
   std::vector<int32_t> units;
   std::vector<int32_t> threads;
   std::vector<int32_t> shards;  // shard-worker sweep (bench_suite)
+  std::vector<int32_t> sessions;  // co-scheduled session sweep (bench_suite)
   std::vector<std::string> scenarios;
   std::vector<std::string> modes;
   std::vector<std::string> sharing;   // "on" / "off" sweep (bench_suite)
@@ -103,6 +104,9 @@ struct BenchArgs {
   }
   std::vector<int32_t> ShardsOr(std::vector<int32_t> fallback) const {
     return shards.empty() ? fallback : shards;
+  }
+  std::vector<int32_t> SessionsOr(std::vector<int32_t> fallback) const {
+    return sessions.empty() ? fallback : sessions;
   }
 };
 
@@ -166,6 +170,8 @@ inline void PrintBenchUsage(const char* bench, const char* extra) {
                "(env SGL_BENCH_TICKS)\n"
                "  --threads A,B,...   worker-thread sweep\n"
                "  --shards A,B,...    shard-worker sweep (bench_suite)\n"
+               "  --sessions A,B,...  co-scheduled session sweep "
+               "(bench_suite)\n"
                "  --seed N            workload seed\n"
                "  --json PATH         write machine-readable results to PATH\n"
                "  --scenarios A,B,... restrict to named scenarios\n"
@@ -216,6 +222,9 @@ inline BenchArgs ParseBenchArgsOrExit(int argc, char** argv, const char* bench,
     } else if (is_flag(arg, "--shards")) {
       args.shards =
           bench_internal::SplitIntList("--shards", value_of(&i, "--shards"));
+    } else if (is_flag(arg, "--sessions")) {
+      args.sessions = bench_internal::SplitIntList(
+          "--sessions", value_of(&i, "--sessions"));
     } else if (is_flag(arg, "--seed")) {
       args.seed = static_cast<uint64_t>(
           bench_internal::ParseIntOrExit("--seed", value_of(&i, "--seed")));

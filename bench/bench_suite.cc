@@ -28,6 +28,7 @@
 #include "bench_common.h"
 #include "engine/simulation.h"
 #include "scenario/scenario.h"
+#include "serve/session_manager.h"
 #include "util/timer.h"
 
 namespace sgl {
@@ -105,15 +106,94 @@ CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
   return best;
 }
 
+// Runs one multi-tenant serving cell: `sessions` same-seed copies of the
+// scenario co-scheduled round-robin on one shared pool. ns/tick is per
+// session-tick, so a sessions=N row is directly comparable to the solo
+// rows — the gap is the cost (or win) of co-scheduling. Same seeds mean
+// every session must finish bit-identical to the first; that cross-check
+// rides on every benchmark run, like the solo determinism gate.
+CellResult RunServeCell(const std::string& scenario,
+                        const ScenarioParams& params, int32_t threads,
+                        int32_t sessions, int64_t ticks, int32_t reps,
+                        bool want_metrics) {
+  CellResult best;
+  for (int32_t rep = 0; rep < reps; ++rep) {
+    serve::SessionManagerOptions options;
+    options.threads = threads;
+    options.max_sessions = sessions;
+    options.max_total_rows = int64_t{1} << 40;  // admission is not the test
+    auto manager = serve::SessionManager::Create(options);
+    if (!manager.ok()) {
+      std::fprintf(stderr, "%s: serve setup failed: %s\n", scenario.c_str(),
+                   manager.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::vector<serve::SessionId> ids;
+    for (int32_t s = 0; s < sessions; ++s) {
+      SimulationConfig config;
+      config.eval_mode = EvaluatorMode::kIndexed;
+      SimulationBuilder builder;
+      Status st = ScenarioRegistry::Global().PrepareBuilder(scenario, params,
+                                                            config, &builder);
+      if (st.ok()) {
+        auto id = (*manager)->Open(builder);
+        st = id.status();
+        if (id.ok()) ids.push_back(*id);
+      }
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s: serve session open failed: %s\n",
+                     scenario.c_str(), st.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    Timer timer;
+    for (serve::SessionId id : ids) {
+      (void)(*manager)->ScheduleTicks(id, ticks);
+    }
+    Status st = (*manager)->RunUntilIdle();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: serve run failed: %s\n", scenario.c_str(),
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    CellResult cell;
+    cell.seconds = timer.Seconds();
+    const Simulation& first = *(*manager)->session(ids[0]);
+    for (size_t s = 1; s < ids.size(); ++s) {
+      const Simulation& other = *(*manager)->session(ids[s]);
+      if (!first.table().Equals(other.table())) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %s sessions=%d threads=%d: "
+                     "same-seed session %zu diverged:\n%s\n",
+                     scenario.c_str(), sessions, threads, s,
+                     first.table().DiffString(other.table()).c_str());
+        std::exit(1);
+      }
+    }
+    if (rep > 0 && cell.seconds >= best.seconds) continue;
+    cell.table = first.table().Clone();
+    cell.rows = first.table().NumRows();
+    cell.shared_hits = first.shared_hits();
+    cell.memo_entries = first.memo_entries();
+    if (want_metrics) {
+      cell.metrics_json = first.MetricsJson(/*deterministic_only=*/true);
+    }
+    best = std::move(cell);
+  }
+  return best;
+}
+
 std::string CellJson(const std::string& scenario, const char* mode,
                      int32_t units, int32_t threads, int32_t shards,
                      bool sharing, bool compiled, int64_t ticks,
-                     const CellResult& cell) {
-  const double ns_per_tick = cell.seconds / static_cast<double>(ticks) * 1e9;
+                     const CellResult& cell, int32_t sessions = 1) {
+  // Per session-tick, so multi-tenant rows compare against solo rows.
+  const double ns_per_tick =
+      cell.seconds / static_cast<double>(ticks * sessions) * 1e9;
   std::ostringstream os;
   os << "{\"scenario\": \"" << scenario << "\", \"mode\": \"" << mode
      << "\", \"units\": " << units << ", \"threads\": " << threads
-     << ", \"shards\": " << shards
+     << ", \"shards\": " << shards << ", \"sessions\": " << sessions
      << ", \"sharing\": \"" << (sharing ? "on" : "off") << "\""
      << ", \"compiled\": \"" << (compiled ? "on" : "off") << "\""
      << ", \"ticks\": " << ticks << ", \"seconds\": " << cell.seconds
@@ -197,6 +277,12 @@ int main(int argc, char** argv) {
   const std::vector<std::string> compiled_sweep =
       args.compiled.empty() ? std::vector<std::string>{"on", "off"}
                             : args.compiled;
+  // Multi-tenant serving rows (SessionManager round-robin over a shared
+  // pool). The solo sweep's rows carry sessions=1 implicitly; these add
+  // a perf trajectory on co-scheduling overhead per session-tick.
+  const std::vector<int32_t> session_counts =
+      args.SessionsOr(args.quick ? std::vector<int32_t>{2}
+                                 : std::vector<int32_t>{2, 4});
   for (const std::string& name : scenarios) {
     auto def = registry.Get(name);
     if (!def.ok()) {
@@ -271,6 +357,32 @@ int main(int argc, char** argv) {
               }
             }
           }
+        }
+      }
+    }
+  }
+  // ------------------------------------------------- multi-tenant sweep
+  std::printf("\nmulti-tenant serving (indexed, shards=1, per session-tick "
+              "ns):\n");
+  for (const std::string& scenario : scenarios) {
+    for (int32_t units : unit_counts) {
+      ScenarioParams params;
+      params.units = units;
+      params.seed = seed;
+      for (int32_t threads : thread_counts) {
+        for (int32_t sessions : session_counts) {
+          CellResult cell = RunServeCell(scenario, params, threads, sessions,
+                                         ticks, reps, args.metrics);
+          const double ns =
+              cell.seconds / static_cast<double>(ticks * sessions) * 1e9;
+          std::printf("%-14s %-8s %7d %8d %7d %8s %9s %14.0f %9s\n",
+                      scenario.c_str(), "serve", units, threads, 1, "on",
+                      "on", ns,
+                      ("s=" + std::to_string(sessions)).c_str());
+          std::fflush(stdout);
+          json.WriteLine(CellJson(scenario, "indexed", units, threads,
+                                  /*shards=*/1, /*sharing=*/true,
+                                  /*compiled=*/true, ticks, cell, sessions));
         }
       }
     }

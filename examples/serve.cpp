@@ -1,0 +1,113 @@
+// Serving demo: one SessionManager hosting several independent game
+// sessions on a shared thread pool, with live action injection.
+//
+//   serve                     # 3 battle sessions, 40 ticks each
+//   serve epidemic 4 60       # scenario, sessions, ticks-per-session
+//
+// Each session is a full Simulation: same scenario, different seed, so
+// the worlds diverge while sharing one executor. Mid-run we inject a
+// unit action into session 0 and show the inlet counters move.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "scenario/scenario.h"
+#include "serve/session_manager.h"
+
+using namespace sgl;
+
+int main(int argc, char** argv) {
+  const std::string scenario = argc > 1 ? argv[1] : "battle";
+  const int sessions = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int64_t ticks = argc > 3 ? std::atoll(argv[3]) : 40;
+
+  serve::SessionManagerOptions options;
+  options.threads = 4;
+  options.max_sessions = sessions;
+  options.tick_budget = 8;  // round-robin granularity
+  auto manager = serve::SessionManager::Create(options);
+  if (!manager.ok()) {
+    std::fprintf(stderr, "%s\n", manager.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<serve::SessionId> ids;
+  for (int s = 0; s < sessions; ++s) {
+    ScenarioParams params;
+    params.units = 300;
+    params.density = 0.02;
+    params.seed = 100 + s;  // distinct worlds
+    SimulationConfig config;
+    config.eval_mode = EvaluatorMode::kIndexed;
+    SimulationBuilder builder;
+    Status st = ScenarioRegistry::Global().PrepareBuilder(scenario, params,
+                                                          config, &builder);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto id = (*manager)->Open(builder);
+    if (!id.ok()) {
+      std::fprintf(stderr, "admission refused: %s\n",
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    ids.push_back(*id);
+  }
+  std::printf("serving %d '%s' sessions on %d shared threads\n",
+              (int)(*manager)->NumSessions(), scenario.c_str(),
+              options.threads);
+
+  // First half of the run, then a live injection, then the rest.
+  for (serve::SessionId id : ids) {
+    (void)(*manager)->ScheduleTicks(id, ticks / 2);
+  }
+  Status st = (*manager)->RunUntilIdle();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  serve::InjectedAction nudge;
+  nudge.unit_key = 1;
+  nudge.attr = "posx";
+  nudge.op = serve::InjectedAction::Op::kSet;
+  nudge.value = 5;
+  auto seq = (*manager)->Inject(ids[0], nudge);
+  if (!seq.ok()) {
+    std::fprintf(stderr, "%s\n", seq.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("injected posx nudge into session %lld (seq %lld)\n",
+              (long long)ids[0], (long long)*seq);
+
+  for (serve::SessionId id : ids) {
+    (void)(*manager)->ScheduleTicks(id, ticks - ticks / 2);
+  }
+  st = (*manager)->RunUntilIdle();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  for (serve::SessionId id : ids) {
+    const Simulation* sim = (*manager)->session(id);
+    std::printf("  session %lld: %lld ticks, %d rows, inlet applied=%lld\n",
+                (long long)id, (long long)sim->tick_count(),
+                sim->table().NumRows(), (long long)sim->inlet().applied());
+  }
+  std::printf("\nserving metrics:\n%s\n", (*manager)->MetricsJson().c_str());
+
+  // Graceful teardown: Close drains any pending ticks and releases the
+  // session back to the caller.
+  for (serve::SessionId id : ids) {
+    auto sim = (*manager)->Close(id);
+    if (!sim.ok()) {
+      std::fprintf(stderr, "%s\n", sim.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("all sessions closed; %lld still open\n",
+              (long long)(*manager)->NumSessions());
+  return 0;
+}

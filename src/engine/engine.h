@@ -1,18 +1,28 @@
-// Engine — the original single-script engine API, now a thin compatibility
-// shim over sgl::Simulation (see simulation.h, the current public facade).
+// Engine — the retired single-script engine API, kept one release as a
+// [[deprecated]] header-only shim over sgl::Simulation.
 //
-// Engine::Create wires one script, a borrowed GameMechanics* and an
-// EngineConfig into a SimulationBuilder with the default phase pipeline;
-// every member defers to the owned Simulation. New code should use
-// SimulationBuilder directly: it supports multiple named scripts per
-// session, owned mechanics registration, custom phases and
-// Snapshot()/Restore(). Engine remains so existing callers and tests keep
-// working unchanged.
+// Every caller in this repository has migrated to SimulationBuilder
+// (multiple named scripts, owned mechanics, custom phases, snapshots,
+// shared executors — see simulation.h); nothing in src/ includes this
+// header anymore. It remains so out-of-tree code gets a deprecation
+// warning with a migration note instead of a build break, and it is
+// scheduled for removal in the next release. Migration is mechanical:
+//
+//   Engine::Create(script, table, &mechanics, config)
+//     -->
+//   SimulationBuilder()
+//       .SetTable(std::move(table))
+//       .SetConfig(config)
+//       .AddScript("main", std::move(script))
+//       .OnApplyEffects(...)  // or SetMechanics for owned mechanics
+//       .OnEndTick(...)
+//       .Build()
 #ifndef SGL_ENGINE_ENGINE_H_
 #define SGL_ENGINE_ENGINE_H_
 
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "engine/simulation.h"
 #include "util/timer.h"
@@ -20,15 +30,38 @@
 namespace sgl {
 
 /// Engine-era alias; the configuration moved to the Simulation facade.
-using EngineConfig = SimulationConfig;
+using EngineConfig [[deprecated(
+    "use sgl::SimulationConfig (engine/simulation.h)")]] = SimulationConfig;
 
-class Engine {
+class [[deprecated(
+    "use sgl::SimulationBuilder / sgl::Simulation (engine/simulation.h); "
+    "this shim will be removed next release")]] Engine {
  public:
   /// `mechanics` must outlive the engine; `script` and `table` are owned.
   static Result<std::unique_ptr<Engine>> Create(Script script,
                                                 EnvironmentTable table,
                                                 GameMechanics* mechanics,
-                                                EngineConfig config);
+                                                SimulationConfig config) {
+    SimulationBuilder builder;
+    builder.SetTable(std::move(table))
+        .SetConfig(std::move(config))
+        .AddScript("main", std::move(script));
+    if (mechanics != nullptr) {
+      // The shim keeps the borrowed-pointer contract: the caller owns the
+      // mechanics and must outlive the engine.
+      builder
+          .OnApplyEffects([mechanics](EnvironmentTable* t,
+                                      const EffectBuffer& buffer,
+                                      const TickRandom& rnd) {
+            return mechanics->ApplyEffects(t, buffer, rnd);
+          })
+          .OnEndTick([mechanics](EnvironmentTable* t, const TickRandom& rnd) {
+            return mechanics->EndTick(t, rnd);
+          });
+    }
+    SGL_ASSIGN_OR_RETURN(std::unique_ptr<Simulation> sim, builder.Build());
+    return std::unique_ptr<Engine>(new Engine(std::move(sim)));
+  }
 
   /// Advance the simulation one clock tick.
   Status Tick() { return sim_->Tick(); }
@@ -44,7 +77,15 @@ class Engine {
   /// Legacy per-phase timings, re-keyed to the historical phase names
   /// ("1:index-build", ..., "6:end-of-tick"). Rebuilt from the
   /// simulation's PhaseStatsRegistry on every call.
-  const PhaseTimes& phase_times() const;
+  const PhaseTimes& phase_times() const {
+    legacy_times_.Clear();
+    for (const auto& [name, stats] : sim_->stats().stats()) {
+      const char* legacy = LegacyPhaseName(name);
+      legacy_times_.Add(legacy != nullptr ? legacy : name.c_str(),
+                        stats.seconds(), stats.invocations());
+    }
+    return legacy_times_;
+  }
 
   /// EXPLAIN: the physical plan chosen by the optimizer (indexed mode).
   std::string DescribePlan() const { return sim_->DescribePlan(); }
@@ -55,6 +96,17 @@ class Engine {
 
  private:
   explicit Engine(std::unique_ptr<Simulation> sim) : sim_(std::move(sim)) {}
+
+  /// Historical Engine phase keys for the built-in pipeline names.
+  static const char* LegacyPhaseName(const std::string& phase) {
+    if (phase == phase_names::kIndexBuild) return "1:index-build";
+    if (phase == phase_names::kDecisionAction) return "2:decision";
+    if (phase == phase_names::kDeferredIndex) return "3:index-build-2";
+    if (phase == phase_names::kApply) return "4:apply";
+    if (phase == phase_names::kMovement) return "5:movement";
+    if (phase == phase_names::kMechanics) return "6:end-of-tick";
+    return nullptr;
+  }
 
   std::unique_ptr<Simulation> sim_;
   mutable PhaseTimes legacy_times_;

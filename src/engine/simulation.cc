@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
@@ -29,6 +30,43 @@ Result<EvaluatorMode> ParseEvaluatorMode(const std::string& name) {
   if (name == "adaptive") return EvaluatorMode::kAdaptive;
   return Status::Invalid("unknown evaluator mode '", name,
                          "' (expected naive, indexed, or adaptive)");
+}
+
+Status SimulationConfig::Validate() const {
+  if (threads < 0) {
+    return Status::Invalid(
+        "SimulationConfig: threads must be >= 0 (0 = auto-detect), got ",
+        threads);
+  }
+  if (shards < 1 || shards > 64) {
+    return Status::Invalid("SimulationConfig: shards must be in [1, 64], got ",
+                           shards);
+  }
+  // Movement is keyed off move_x_attr: empty disables the phase (the
+  // historical idiom leaves move_y_attr at its default in that case).
+  if (!move_x_attr.empty()) {
+    if (move_y_attr.empty()) {
+      return Status::Invalid(
+          "SimulationConfig: move_x_attr is set but move_y_attr is empty "
+          "(movement needs both; clear move_x_attr to disable it)");
+    }
+    if (grid_width < 1 || grid_height < 1) {
+      return Status::Invalid(
+          "SimulationConfig: grid dimensions must be >= 1, got ", grid_width,
+          " x ", grid_height);
+    }
+    if (step_per_tick < 0.0) {
+      return Status::Invalid(
+          "SimulationConfig: step_per_tick must be >= 0, got ", step_per_tick);
+    }
+  }
+  if (flight_recorder_ticks < 0) {
+    return Status::Invalid(
+        "SimulationConfig: flight_recorder_ticks must be >= 0 (0 = off), "
+        "got ",
+        flight_recorder_ticks);
+  }
+  return Status::OK();
 }
 
 namespace {
@@ -115,6 +153,16 @@ Status Simulation::Tick() {
     tick_span.set_args_json(args);
   }
   Timer tick_timer;
+
+  // Drain externally injected actions first, before any phase observes
+  // the table: the inlet's sequence order is the only order, so a live
+  // run and a replay of its inlet log see identical pre-tick state. The
+  // writes go through EnvironmentTable::Set and therefore land in the
+  // change log that adaptive indexes and shard ghost refreshes consume.
+  serve::InletDrainStats drain;
+  SGL_RETURN_NOT_OK(inlet_.DrainInto(&table_, tick_count_, &drain));
+  if (drain.applied > 0) inlet_applied_->Add(drain.applied);
+  if (drain.dropped > 0) inlet_dropped_->Add(drain.dropped);
 
   // Tick prologue: initialize the auxiliary (effect) attributes and
   // snapshot them as the base contribution of the incremental ⊕. The
@@ -314,6 +362,168 @@ std::string Simulation::DescribePlan() const {
   return os.str();
 }
 
+namespace {
+
+// Snapshot wire format, version 1. Everything is explicit little-endian
+// bytes (never memcpy of structs), so the encoding is identical on any
+// platform:
+//   "SGLSNP" u16:version u64:tick_count
+//   u32:num_attrs { u8:combine u32:name_len name }...   (attr 0 = key)
+//   u32:num_rows { u64:key u64:bits(col 1) ... u64:bits(col k) }...
+constexpr char kSnapshotMagic[6] = {'S', 'G', 'L', 'S', 'N', 'P'};
+constexpr uint16_t kSnapshotVersion = 1;
+
+void AppendLE(std::string* out, uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// Bounds-checked little-endian cursor over the snapshot bytes.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(const std::string& bytes) : bytes_(bytes) {}
+
+  Status Read(uint64_t* out, int bytes) {
+    if (pos_ + static_cast<size_t>(bytes) > bytes_.size()) {
+      return Status::Invalid("snapshot truncated at byte ", pos_);
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<uint8_t>(bytes_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += static_cast<size_t>(bytes);
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out, size_t len) {
+    if (pos_ + len > bytes_.size()) {
+      return Status::Invalid("snapshot truncated at byte ", pos_);
+    }
+    out->assign(bytes_, pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status SimulationSnapshot::SerializeTo(std::string* out) const {
+  out->append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  AppendLE(out, kSnapshotVersion, 2);
+  AppendLE(out, static_cast<uint64_t>(tick_count), 8);
+  const Schema& schema = table.schema();
+  AppendLE(out, static_cast<uint64_t>(schema.NumAttrs()), 4);
+  for (AttrId a = 0; a < schema.NumAttrs(); ++a) {
+    const Attribute& attr = schema.attr(a);
+    AppendLE(out, static_cast<uint64_t>(attr.combine), 1);
+    AppendLE(out, static_cast<uint64_t>(attr.name.size()), 4);
+    out->append(attr.name);
+  }
+  const int32_t rows = table.NumRows();
+  AppendLE(out, static_cast<uint64_t>(rows), 4);
+  for (RowId row = 0; row < rows; ++row) {
+    AppendLE(out, static_cast<uint64_t>(table.KeyAt(row)), 8);
+    for (AttrId a = 1; a < schema.NumAttrs(); ++a) {
+      AppendLE(out, DoubleBits(table.Get(row, a)), 8);
+    }
+  }
+  return Status::OK();
+}
+
+Result<SimulationSnapshot> SimulationSnapshot::Parse(
+    const std::string& bytes) {
+  SnapshotReader reader(bytes);
+  std::string magic;
+  SGL_RETURN_NOT_OK(reader.ReadString(&magic, sizeof(kSnapshotMagic)));
+  if (std::memcmp(magic.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::Invalid("not a simulation snapshot (bad magic)");
+  }
+  uint64_t version = 0;
+  SGL_RETURN_NOT_OK(reader.Read(&version, 2));
+  if (version != kSnapshotVersion) {
+    return Status::Invalid("unsupported snapshot version ", version,
+                           " (this build reads version ", kSnapshotVersion,
+                           ")");
+  }
+  SimulationSnapshot snapshot;
+  uint64_t tick = 0;
+  SGL_RETURN_NOT_OK(reader.Read(&tick, 8));
+  snapshot.tick_count = static_cast<int64_t>(tick);
+
+  uint64_t num_attrs = 0;
+  SGL_RETURN_NOT_OK(reader.Read(&num_attrs, 4));
+  if (num_attrs < 1) {
+    return Status::Invalid("snapshot schema has no key attribute");
+  }
+  Schema schema;  // attr 0 (the key) is implicit in a fresh schema
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    uint64_t combine = 0;
+    SGL_RETURN_NOT_OK(reader.Read(&combine, 1));
+    if (combine > static_cast<uint64_t>(CombineType::kSet)) {
+      return Status::Invalid("snapshot attribute ", a,
+                             " has unknown combine tag ", combine);
+    }
+    uint64_t name_len = 0;
+    SGL_RETURN_NOT_OK(reader.Read(&name_len, 4));
+    std::string name;
+    SGL_RETURN_NOT_OK(reader.ReadString(&name, name_len));
+    if (a == 0) {
+      if (name != schema.attr(kKeyAttrId).name ||
+          static_cast<CombineType>(combine) != CombineType::kConst) {
+        return Status::Invalid("snapshot attribute 0 is '", name,
+                               "', expected the const key attribute");
+      }
+      continue;
+    }
+    SGL_RETURN_NOT_OK(
+        schema.AddAttribute(name, static_cast<CombineType>(combine)).status());
+  }
+
+  uint64_t num_rows = 0;
+  SGL_RETURN_NOT_OK(reader.Read(&num_rows, 4));
+  EnvironmentTable table{schema};
+  std::vector<double> values(num_attrs - 1);
+  for (uint64_t row = 0; row < num_rows; ++row) {
+    uint64_t key = 0;
+    SGL_RETURN_NOT_OK(reader.Read(&key, 8));
+    for (uint64_t a = 0; a + 1 < num_attrs; ++a) {
+      uint64_t bits = 0;
+      SGL_RETURN_NOT_OK(reader.Read(&bits, 8));
+      values[a] = BitsDouble(bits);
+    }
+    SGL_RETURN_NOT_OK(
+        table.AddRowWithKey(static_cast<int64_t>(key), values));
+  }
+  if (reader.remaining() != 0) {
+    return Status::Invalid("snapshot has ", reader.remaining(),
+                           " trailing byte(s)");
+  }
+  snapshot.table = std::move(table);
+  return snapshot;
+}
+
 SimulationSnapshot Simulation::Snapshot() const {
   return SimulationSnapshot{table_.Clone(), tick_count_};
 }
@@ -367,6 +577,12 @@ SimulationBuilder& SimulationBuilder::Apply(
 
 SimulationBuilder& SimulationBuilder::Threads(int32_t n) {
   config_.threads = n;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::Executor(
+    std::shared_ptr<exec::ThreadPool> pool) {
+  executor_ = std::move(pool);
   return *this;
 }
 
@@ -442,6 +658,7 @@ SimulationBuilder& SimulationBuilder::SetPhaseOrder(
 
 Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
   if (!deferred_error_.ok()) return deferred_error_;
+  SGL_RETURN_NOT_OK(config_.Validate());
   if (!has_table_) {
     return Status::Invalid("SimulationBuilder: SetTable was never called");
   }
@@ -453,10 +670,6 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
   sim->name_ = std::move(name_);
   sim->config_ = config_;
   const Schema& schema = sim->table_.schema();
-  if (config_.shards < 1 || config_.shards > 64) {
-    return Status::Invalid("SimulationBuilder: shards must be in [1, 64], got ",
-                           config_.shards);
-  }
   if (config_.eval_mode == EvaluatorMode::kAdaptive || config_.shards > 1) {
     // The adaptive evaluator consumes the table's delta log each tick
     // (IndexBuildPhase clears it after every session has built), and the
@@ -465,17 +678,20 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
   }
 
   // --- worker threads ----------------------------------------------------
-  if (config_.threads < 0) {
-    return Status::Invalid("SimulationBuilder: threads must be >= 0 (0 = "
-                           "auto-detect), got ",
-                           config_.threads);
+  // An injected shared executor (the serving layer's pool) wins over the
+  // config thread count; either way the resolved count is surfaced and
+  // results are bit-identical — pool chunking depends only on the size.
+  if (executor_ != nullptr) {
+    sim->threads_ = executor_->num_threads();
+    sim->pool_ = std::move(executor_);
+  } else {
+    sim->threads_ = config_.threads == 0 ? exec::ThreadPool::HardwareThreads()
+                                         : config_.threads;
+    if (sim->threads_ > 1) {
+      sim->pool_ = std::make_shared<exec::ThreadPool>(sim->threads_);
+    }
   }
-  sim->threads_ = config_.threads == 0 ? exec::ThreadPool::HardwareThreads()
-                                       : config_.threads;
   sim->config_.threads = sim->threads_;  // surface the resolved count
-  if (sim->threads_ > 1) {
-    sim->pool_ = std::make_unique<exec::ThreadPool>(sim->threads_);
-  }
 
   // --- scripts and dispatch ---------------------------------------------
   bool any_dispatch_value = false;
@@ -624,6 +840,8 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
                                          ? obs::kMetricExecDependent
                                          : obs::kMetricNone);
   sim->ticks_counter_ = sim->metrics_.GetCounter("engine.ticks");
+  sim->inlet_applied_ = sim->metrics_.GetCounter("inlet.applied");
+  sim->inlet_dropped_ = sim->metrics_.GetCounter("inlet.dropped");
   sim->tick_ns_hist_ = sim->metrics_.GetHistogram(
       "engine.tick.ns",
       {10000, 100000, 1000000, 10000000, 100000000, 1000000000},

@@ -47,6 +47,7 @@
 #include "opt/action_sink.h"
 #include "opt/indexed_provider.h"
 #include "opt/sharing.h"
+#include "serve/action_inlet.h"
 #include "sgl/analyzer.h"
 #include "sgl/interpreter.h"
 #include "util/rng.h"
@@ -170,6 +171,13 @@ struct SimulationConfig {
   /// trips. 0 disables.
   int32_t flight_recorder_ticks = 0;
   std::string flight_recorder_path = "flight_record.json";
+
+  /// Validate every field against the engine's limits, with one error
+  /// vocabulary (every message is an InvalidArgument starting with
+  /// "SimulationConfig:"). SimulationBuilder::Build and the serving
+  /// layer's SessionManager both call this — a config rejected here is
+  /// rejected identically at either entry point.
+  Status Validate() const;
 };
 
 /// One registered script with its per-script evaluation machinery. With a
@@ -201,9 +209,23 @@ struct ScriptSession {
 /// A checkpoint of the simulation state: the environment table plus the
 /// tick counter. Mechanics-internal state (e.g. a deaths counter) is not
 /// captured; the simulated world itself replays deterministically.
+///
+/// Snapshots have a stable byte encoding (SerializeTo / Parse) so a
+/// session can be checkpointed over a service boundary: the bytes are a
+/// pure function of (schema, rows, tick counter) — two equal snapshots
+/// serialize to identical bytes on any platform — and carry a version
+/// tag so future encodings can evolve without breaking stored
+/// checkpoints.
 struct SimulationSnapshot {
-  EnvironmentTable table;
+  EnvironmentTable table{Schema()};
   int64_t tick_count = 0;
+
+  /// Append the versioned byte encoding to `*out`.
+  Status SerializeTo(std::string* out) const;
+
+  /// Decode bytes produced by SerializeTo. Unknown magic, an unsupported
+  /// version, or truncated / trailing bytes are InvalidArgument errors.
+  static Result<SimulationSnapshot> Parse(const std::string& bytes);
 };
 
 class SimulationBuilder;
@@ -246,8 +268,22 @@ class Simulation {
   int64_t shared_hits() const;
   int64_t memo_entries() const;
 
-  /// Resolved worker-thread count (config threads after auto-detection).
+  /// Resolved worker-thread count (config threads after auto-detection,
+  /// or the shared executor's size when one was injected).
   int32_t threads() const { return threads_; }
+
+  /// The simulation's action inlet: externally injected unit actions,
+  /// drained at the start of every tick in sequence order (src/serve/).
+  /// Push is thread-safe; everything else follows the engine's
+  /// single-driver discipline. Never null.
+  serve::ActionInlet* inlet() { return &inlet_; }
+  const serve::ActionInlet& inlet() const { return inlet_; }
+
+  /// The executor the parallel phases run on — the injected shared pool
+  /// (SimulationBuilder::Executor) or the private pool built from
+  /// config().threads. Null when threads() == 1 and no executor was
+  /// injected (the classic sequential pipeline).
+  const std::shared_ptr<exec::ThreadPool>& executor() const { return pool_; }
 
   /// The unified metrics registry every subsystem counter lives in
   /// (phase stats, probe tallies, sharing memo counters, adaptive
@@ -361,7 +397,13 @@ class Simulation {
   mutable bool metrics_file_started_ = false;
   int64_t tick_count_ = 0;
   int32_t threads_ = 1;
-  std::unique_ptr<exec::ThreadPool> pool_;  // null when threads_ == 1
+  /// The private pool built from config threads, or the shared executor
+  /// injected through SimulationBuilder::Executor (the session layer
+  /// runs many simulations on one pool). Null = sequential pipeline.
+  std::shared_ptr<exec::ThreadPool> pool_;
+  serve::ActionInlet inlet_;
+  obs::Counter* inlet_applied_ = nullptr;
+  obs::Counter* inlet_dropped_ = nullptr;
 };
 
 /// Fluent assembly of a Simulation. All setters return *this; Build()
@@ -400,6 +442,14 @@ class SimulationBuilder {
   /// n == 0 auto-detect hardware concurrency, n > 1 a fixed pool.
   /// Shorthand for config.threads; bit-exact results either way.
   SimulationBuilder& Threads(int32_t n);
+
+  /// Run the parallel phases on an externally owned, shared thread pool
+  /// instead of building a private one. The serving layer uses this to
+  /// run many sessions on one pool (src/serve/session_manager.h); for a
+  /// standalone simulation, config threads keeps working unchanged.
+  /// When set, it overrides config.threads and the resolved threads()
+  /// becomes the pool's size — results stay bit-identical either way.
+  SimulationBuilder& Executor(std::shared_ptr<exec::ThreadPool> pool);
 
   /// Register the default script: units not matched by any dispatch value
   /// (or all units, when it is the only script) run its main.
@@ -451,6 +501,7 @@ class SimulationBuilder {
 
   bool has_table_ = false;
   std::string name_;
+  std::shared_ptr<exec::ThreadPool> executor_;  // null: build a private pool
   Status deferred_error_;  // first Apply() hook failure, surfaced by Build
   EnvironmentTable table_{Schema()};
   SimulationConfig config_;

@@ -437,30 +437,4 @@ Result<BattleSimSetup> MakeBattleSimWithConfig(const ScenarioConfig& scenario,
   return setup;
 }
 
-Result<BattleSetup> MakeBattle(const ScenarioConfig& scenario,
-                               EvaluatorMode mode, bool resurrect) {
-  EngineConfig config;
-  config.eval_mode = mode;
-  return MakeBattleWithConfig(scenario, config, resurrect);
-}
-
-Result<BattleSetup> MakeBattleWithConfig(const ScenarioConfig& scenario,
-                                         EngineConfig config, bool resurrect) {
-  SGL_ASSIGN_OR_RETURN(EnvironmentTable table, BuildScenario(scenario));
-  Schema schema = BattleSchema();
-  SGL_ASSIGN_OR_RETURN(Script script,
-                       CompileScript(BattleScriptSource(), schema));
-  BattleSetup setup;
-  const int64_t side = scenario.GridSide();
-  setup.mechanics = std::make_unique<BattleMechanics>(side, side, resurrect);
-  config.seed = scenario.seed;
-  config.grid_width = side;
-  config.grid_height = side;
-  config.step_per_tick = D20::kWalkPerTick;
-  SGL_ASSIGN_OR_RETURN(
-      setup.engine, Engine::Create(std::move(script), std::move(table),
-                                   setup.mechanics.get(), config));
-  return setup;
-}
-
 }  // namespace sgl

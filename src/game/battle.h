@@ -21,7 +21,7 @@
 #include <memory>
 #include <string>
 
-#include "engine/engine.h"
+#include "engine/simulation.h"
 #include "env/schema.h"
 #include "env/table.h"
 #include "util/rng.h"
@@ -125,20 +125,6 @@ Result<BattleSimSetup> MakeBattleSim(const ScenarioConfig& scenario,
 Result<BattleSimSetup> MakeBattleSimWithConfig(const ScenarioConfig& scenario,
                                                SimulationConfig config,
                                                bool resurrect = true);
-
-/// Engine-shim variant kept for existing callers (see engine.h).
-struct BattleSetup {
-  std::unique_ptr<Engine> engine;
-  std::unique_ptr<BattleMechanics> mechanics;
-};
-Result<BattleSetup> MakeBattle(const ScenarioConfig& scenario,
-                               EvaluatorMode mode, bool resurrect = true);
-
-/// As MakeBattle, but with full control of the engine configuration
-/// (grid size, seed and step are still derived from the scenario).
-Result<BattleSetup> MakeBattleWithConfig(const ScenarioConfig& scenario,
-                                         EngineConfig config,
-                                         bool resurrect = true);
 
 }  // namespace sgl
 

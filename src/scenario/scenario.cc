@@ -64,19 +64,28 @@ std::vector<std::string> ScenarioRegistry::List() const {
   return names;  // std::map iterates sorted
 }
 
-Result<std::unique_ptr<Simulation>> ScenarioRegistry::BuildSimulation(
-    const std::string& name, const ScenarioParams& params,
-    SimulationConfig config) const {
+Status ScenarioRegistry::PrepareBuilder(const std::string& name,
+                                        const ScenarioParams& params,
+                                        SimulationConfig config,
+                                        SimulationBuilder* builder) const {
   SGL_ASSIGN_OR_RETURN(const ScenarioDef* def, Get(name));
   SGL_ASSIGN_OR_RETURN(EnvironmentTable table, def->world(params));
   // The scenario seed governs both world generation (inside def->world)
   // and per-tick randomness, mirroring MakeBattleSimWithConfig.
   config.seed = params.seed;
-  SimulationBuilder builder;
-  builder.SetTable(std::move(table))
+  builder->SetTable(std::move(table))
       .SetName(def->name)
       .SetConfig(std::move(config))
       .Apply([&](SimulationBuilder& b) { return def->configure(params, b); });
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Simulation>> ScenarioRegistry::BuildSimulation(
+    const std::string& name, const ScenarioParams& params,
+    SimulationConfig config) const {
+  SimulationBuilder builder;
+  SGL_RETURN_NOT_OK(
+      PrepareBuilder(name, params, std::move(config), &builder));
   return builder.Build();
 }
 

@@ -91,9 +91,17 @@ class ScenarioRegistry {
   /// All registered names, sorted.
   std::vector<std::string> List() const;
 
-  /// One-call assembly: generate the world for `params`, stamp
-  /// config.seed from params.seed, run the scenario's configure hook,
-  /// and build the Simulation (named after the scenario).
+  /// Stage the scenario onto a caller-owned builder without building:
+  /// generate the world for `params`, stamp config.seed from params.seed,
+  /// set table/name/config, and run the scenario's configure hook. The
+  /// caller can then adjust the builder further — the serving layer uses
+  /// this to inject its shared Executor before SessionManager admits the
+  /// session — and finally call Build().
+  Status PrepareBuilder(const std::string& name, const ScenarioParams& params,
+                        SimulationConfig config,
+                        SimulationBuilder* builder) const;
+
+  /// One-call assembly: PrepareBuilder on a fresh builder, then Build.
   Result<std::unique_ptr<Simulation>> BuildSimulation(
       const std::string& name, const ScenarioParams& params,
       SimulationConfig config) const;

@@ -1,0 +1,114 @@
+#include "serve/action_inlet.h"
+
+#include <utility>
+
+namespace sgl {
+namespace serve {
+
+int64_t ActionInlet::Push(InjectedAction action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InletRecord record;
+  record.seq = next_seq_++;
+  record.action = std::move(action);
+  queue_.push_back(std::move(record));
+  return queue_.back().seq;
+}
+
+int64_t ActionInlet::QueuedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+Status ActionInlet::LoadReplay(std::vector<InletRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!queue_.empty()) {
+    return Status::Invalid(
+        "ActionInlet::LoadReplay: the queue still holds ", queue_.size(),
+        " undrained action(s)");
+  }
+  int64_t prev_tick = -1;
+  int64_t prev_seq = -1;
+  for (const InletRecord& record : records) {
+    if (record.tick < 0) {
+      return Status::Invalid(
+          "ActionInlet::LoadReplay: record seq ", record.seq,
+          " carries no tick (only applied-log records can replay)");
+    }
+    if (record.tick < prev_tick ||
+        (record.tick == prev_tick && record.seq <= prev_seq)) {
+      return Status::Invalid(
+          "ActionInlet::LoadReplay: records out of (tick, seq) order at seq ",
+          record.seq);
+    }
+    prev_tick = record.tick;
+    prev_seq = record.seq;
+  }
+  for (InletRecord& record : records) queue_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Status ActionInlet::DrainInto(EnvironmentTable* table, int64_t tick,
+                              InletDrainStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Eligible entries form a queue prefix: live entries always apply, and
+  // replay entries are pinned in ascending tick order. Stopping at the
+  // first future-pinned entry preserves sequence order for everything
+  // that does apply this tick.
+  while (!queue_.empty()) {
+    InletRecord& front = queue_.front();
+    if (front.tick != InletRecord::kUnpinned) {
+      if (front.tick > tick) break;
+      if (front.tick < tick) {
+        return Status::Internal(
+            "ActionInlet: replay record seq ", front.seq, " is pinned to tick ",
+            front.tick, " but the simulation is already at tick ", tick);
+      }
+    }
+    if (Apply(front.action, table)) {
+      ++applied_;
+      ++stats->applied;
+    } else {
+      ++dropped_;
+      ++stats->dropped;
+    }
+    front.tick = tick;
+    log_.push_back(std::move(front));
+    queue_.pop_front();
+  }
+  return Status::OK();
+}
+
+std::vector<InletRecord> ActionInlet::Log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+int64_t ActionInlet::applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_;
+}
+
+int64_t ActionInlet::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+bool ActionInlet::Apply(const InjectedAction& action,
+                        EnvironmentTable* table) {
+  const RowId row = table->RowOf(action.unit_key);
+  if (row < 0) return false;
+  const AttrId attr = table->schema().Find(action.attr);
+  if (attr == Schema::kInvalidAttr || attr == kKeyAttrId) return false;
+  switch (action.op) {
+    case InjectedAction::Op::kSet:
+      table->Set(row, attr, action.value);
+      return true;
+    case InjectedAction::Op::kAdd:
+      table->Set(row, attr, table->Get(row, attr) + action.value);
+      return true;
+  }
+  return false;
+}
+
+}  // namespace serve
+}  // namespace sgl

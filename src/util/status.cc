@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Already exists";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
     case StatusCode::kInternal:
       return "Internal error";
   }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kNotFound,          ///< lookup missed (attribute, function, index)
   kAlreadyExists,     ///< duplicate registration
   kUnimplemented,     ///< feature intentionally not supported
+  kResourceExhausted, ///< admission control refused: a capacity limit is full
   kInternal,          ///< invariant violation; indicates a library bug
 };
 
@@ -72,6 +73,10 @@ class Status {
   template <typename... Args>
   static Status Unimplemented(Args&&... args) {
     return Make(StatusCode::kUnimplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ResourceExhausted(Args&&... args) {
+    return Make(StatusCode::kResourceExhausted, std::forward<Args>(args)...);
   }
   template <typename... Args>
   static Status Internal(Args&&... args) {

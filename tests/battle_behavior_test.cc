@@ -42,28 +42,31 @@ class World {
     return *key;
   }
 
-  std::unique_ptr<Engine> MakeEngine(EvaluatorMode mode, int64_t side = 96) {
+  std::unique_ptr<Simulation> MakeEngine(EvaluatorMode mode,
+                                         int64_t side = 96) {
     auto script = CompileScript(BattleScriptSource(), BattleSchema());
     EXPECT_TRUE(script.ok()) << script.status().ToString();
-    mechanics_ = std::make_unique<BattleMechanics>(side, side,
-                                                   /*resurrect=*/false);
-    EngineConfig config;
+    SimulationConfig config;
     config.eval_mode = mode;
     config.seed = 77;
     config.grid_width = side;
     config.grid_height = side;
     config.step_per_tick = D20::kWalkPerTick;
-    auto engine = Engine::Create(script.MoveValue(), std::move(table_),
-                                 mechanics_.get(), config);
-    EXPECT_TRUE(engine.ok()) << engine.status().ToString();
-    return engine.MoveValue();
+    SimulationBuilder builder;
+    builder.SetTable(std::move(table_))
+        .SetConfig(config)
+        .AddScript("battle", script.MoveValue())
+        .SetMechanics(std::make_unique<BattleMechanics>(side, side,
+                                                        /*resurrect=*/false));
+    auto sim = builder.Build();
+    EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+    return sim.MoveValue();
   }
 
   EnvironmentTable table_;
-  std::unique_ptr<BattleMechanics> mechanics_;
 };
 
-double Attr(const Engine& e, int64_t key, const char* name) {
+double Attr(const Simulation& e, int64_t key, const char* name) {
   const EnvironmentTable& t = e.table();
   return t.Get(t.RowOf(key), t.schema().Find(name));
 }

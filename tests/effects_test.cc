@@ -4,7 +4,7 @@
 // in both evaluator modes and compared bit-for-bit.
 #include <gtest/gtest.h>
 
-#include "engine/engine.h"
+#include "engine/simulation.h"
 #include "sgl/analyzer.h"
 #include "util/rng.h"
 
@@ -81,8 +81,7 @@ class FreezeMechanics : public GameMechanics {
 };
 
 struct FreezeWorld {
-  std::unique_ptr<Engine> engine;
-  std::unique_ptr<FreezeMechanics> mechanics;
+  std::unique_ptr<Simulation> sim;
 };
 
 FreezeWorld MakeFreezeWorld(EvaluatorMode mode, int32_t walkers,
@@ -108,27 +107,30 @@ FreezeWorld MakeFreezeWorld(EvaluatorMode mode, int32_t walkers,
   auto script = CompileScript(kFreezeScript, schema);
   EXPECT_TRUE(script.ok()) << script.status().ToString();
   FreezeWorld setup;
-  setup.mechanics = std::make_unique<FreezeMechanics>();
-  EngineConfig config;
+  SimulationConfig config;
   config.eval_mode = mode;
   config.seed = seed;
   config.grid_width = 64;
   config.grid_height = 64;
   config.step_per_tick = 4.0;
-  auto engine = Engine::Create(script.MoveValue(), std::move(table),
-                               setup.mechanics.get(), config);
-  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
-  setup.engine = engine.MoveValue();
+  SimulationBuilder builder;
+  builder.SetTable(std::move(table))
+      .SetConfig(config)
+      .AddScript("freeze", script.MoveValue())
+      .SetMechanics(std::make_unique<FreezeMechanics>());
+  auto sim = builder.Build();
+  EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+  setup.sim = sim.MoveValue();
   return setup;
 }
 
 TEST(SetEffects, FrozenWalkerDoesNotMove) {
   FreezeWorld s = MakeFreezeWorld(EvaluatorMode::kIndexed, 1, 3);
-  const EnvironmentTable& t = s.engine->table();
+  const EnvironmentTable& t = s.sim->table();
   AttrId posx = t.schema().Find("posx");
   RowId walker = 4;  // the single player-1 unit
   double x0 = t.Get(walker, posx);
-  ASSERT_TRUE(s.engine->Tick().ok());
+  ASSERT_TRUE(s.sim->Tick().ok());
   // The walker is the nearest (only) enemy of all four mages: frozen at
   // speed 0 and slowed; it must not have moved.
   EXPECT_EQ(x0, t.Get(walker, posx));
@@ -141,11 +143,11 @@ TEST_P(FreezeEquivalence, NaiveAndIndexedAgree) {
   FreezeWorld indexed =
       MakeFreezeWorld(EvaluatorMode::kIndexed, 12, GetParam());
   for (int tick = 0; tick < 8; ++tick) {
-    ASSERT_TRUE(naive.engine->Tick().ok());
-    ASSERT_TRUE(indexed.engine->Tick().ok());
-    ASSERT_TRUE(naive.engine->table().Equals(indexed.engine->table()))
+    ASSERT_TRUE(naive.sim->Tick().ok());
+    ASSERT_TRUE(indexed.sim->Tick().ok());
+    ASSERT_TRUE(naive.sim->table().Equals(indexed.sim->table()))
         << "tick " << tick << ": "
-        << naive.engine->table().DiffString(indexed.engine->table());
+        << naive.sim->table().DiffString(indexed.sim->table());
   }
 }
 
@@ -161,7 +163,7 @@ TEST(SetEffects, IndexedSinkFallsBackForSetAOE) {
   auto script = CompileScript(kFreezeScript, schema);
   ASSERT_TRUE(script.ok());
   FreezeWorld s = MakeFreezeWorld(EvaluatorMode::kIndexed, 3, 1);
-  std::string plan = s.engine->DescribePlan();
+  std::string plan = s.sim->DescribePlan();
   EXPECT_NE(std::string::npos, plan.find("Freeze: update#0=direct-key"));
   EXPECT_NE(std::string::npos, plan.find("Sluggish: update#0=area-of-effect"));
 }

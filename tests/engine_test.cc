@@ -1,7 +1,7 @@
 // Engine integration tests: phases, movement, mechanics, determinism.
 #include <gtest/gtest.h>
 
-#include "engine/engine.h"
+#include "engine/phase.h"
 #include "game/battle.h"
 
 namespace sgl {
@@ -67,28 +67,27 @@ TEST(BattleEngine, RunsTicksAndKeepsInvariants) {
   ScenarioConfig config;
   config.num_units = 120;
   config.seed = 11;
-  auto setup = MakeBattle(config, EvaluatorMode::kIndexed);
+  auto setup = MakeBattleSim(config, EvaluatorMode::kIndexed);
   ASSERT_TRUE(setup.ok()) << setup.status().ToString();
-  Engine& engine = *setup->engine;
-  ASSERT_TRUE(engine.Run(20).ok());
-  EXPECT_EQ(20, engine.tick_count());
+  Simulation& sim = *setup->sim;
+  ASSERT_TRUE(sim.Run(20).ok());
+  EXPECT_EQ(20, sim.tick_count());
   // Resurrection keeps population constant.
-  EXPECT_EQ(120, engine.table().NumRows());
-  const Schema& s = engine.table().schema();
+  EXPECT_EQ(120, sim.table().NumRows());
+  const Schema& s = sim.table().schema();
   AttrId health = s.Find("health"), maxh = s.Find("maxhealth");
   AttrId posx = s.Find("posx"), posy = s.Find("posy");
   int64_t side = config.GridSide();
-  for (RowId r = 0; r < engine.table().NumRows(); ++r) {
-    double h = engine.table().Get(r, health);
-    EXPECT_GT(h, 0.0);                                // dead were resurrected
-    EXPECT_LE(h, engine.table().Get(r, maxh));        // heal capped
-    EXPECT_GE(engine.table().Get(r, posx), 0.0);      // in bounds
-    EXPECT_LT(engine.table().Get(r, posx), side);
-    EXPECT_GE(engine.table().Get(r, posy), 0.0);
-    EXPECT_LT(engine.table().Get(r, posy), side);
+  for (RowId r = 0; r < sim.table().NumRows(); ++r) {
+    double h = sim.table().Get(r, health);
+    EXPECT_GT(h, 0.0);                           // dead were resurrected
+    EXPECT_LE(h, sim.table().Get(r, maxh));      // heal capped
+    EXPECT_GE(sim.table().Get(r, posx), 0.0);    // in bounds
+    EXPECT_LT(sim.table().Get(r, posx), side);
+    EXPECT_GE(sim.table().Get(r, posy), 0.0);
+    EXPECT_LT(sim.table().Get(r, posy), side);
     // Positions stay on the integer grid.
-    EXPECT_EQ(engine.table().Get(r, posx),
-              std::floor(engine.table().Get(r, posx)));
+    EXPECT_EQ(sim.table().Get(r, posx), std::floor(sim.table().Get(r, posx)));
   }
 }
 
@@ -97,9 +96,9 @@ TEST(BattleEngine, CombatActuallyHappens) {
   config.num_units = 200;
   config.density = 0.05;  // tight grid: armies collide quickly
   config.seed = 3;
-  auto setup = MakeBattle(config, EvaluatorMode::kIndexed);
+  auto setup = MakeBattleSim(config, EvaluatorMode::kIndexed);
   ASSERT_TRUE(setup.ok()) << setup.status().ToString();
-  ASSERT_TRUE(setup->engine->Run(60).ok());
+  ASSERT_TRUE(setup->sim->Run(60).ok());
   EXPECT_GT(setup->mechanics->deaths(), 0) << "no unit ever died in 60 ticks";
 }
 
@@ -108,23 +107,24 @@ TEST(BattleEngine, RemovalModeShrinksArmies) {
   config.num_units = 150;
   config.density = 0.06;
   config.seed = 9;
-  auto setup = MakeBattle(config, EvaluatorMode::kIndexed, /*resurrect=*/false);
+  auto setup =
+      MakeBattleSim(config, EvaluatorMode::kIndexed, /*resurrect=*/false);
   ASSERT_TRUE(setup.ok()) << setup.status().ToString();
-  ASSERT_TRUE(setup->engine->Run(80).ok());
-  EXPECT_LT(setup->engine->table().NumRows(), 150);
+  ASSERT_TRUE(setup->sim->Run(80).ok());
+  EXPECT_LT(setup->sim->table().NumRows(), 150);
 }
 
 TEST(BattleEngine, DeterministicAcrossRuns) {
   ScenarioConfig config;
   config.num_units = 80;
   config.seed = 21;
-  auto a = MakeBattle(config, EvaluatorMode::kIndexed);
-  auto b = MakeBattle(config, EvaluatorMode::kIndexed);
+  auto a = MakeBattleSim(config, EvaluatorMode::kIndexed);
+  auto b = MakeBattleSim(config, EvaluatorMode::kIndexed);
   ASSERT_TRUE(a.ok() && b.ok());
-  ASSERT_TRUE(a->engine->Run(15).ok());
-  ASSERT_TRUE(b->engine->Run(15).ok());
-  EXPECT_TRUE(a->engine->table().Equals(b->engine->table()))
-      << a->engine->table().DiffString(b->engine->table());
+  ASSERT_TRUE(a->sim->Run(15).ok());
+  ASSERT_TRUE(b->sim->Run(15).ok());
+  EXPECT_TRUE(a->sim->table().Equals(b->sim->table()))
+      << a->sim->table().DiffString(b->sim->table());
 }
 
 TEST(BattleEngine, SeedChangesOutcome) {
@@ -133,34 +133,42 @@ TEST(BattleEngine, SeedChangesOutcome) {
   a_config.seed = 1;
   ScenarioConfig b_config = a_config;
   b_config.seed = 2;
-  auto a = MakeBattle(a_config, EvaluatorMode::kIndexed);
-  auto b = MakeBattle(b_config, EvaluatorMode::kIndexed);
+  auto a = MakeBattleSim(a_config, EvaluatorMode::kIndexed);
+  auto b = MakeBattleSim(b_config, EvaluatorMode::kIndexed);
   ASSERT_TRUE(a.ok() && b.ok());
-  ASSERT_TRUE(a->engine->Run(5).ok());
-  ASSERT_TRUE(b->engine->Run(5).ok());
-  EXPECT_FALSE(a->engine->table().Equals(b->engine->table()));
+  ASSERT_TRUE(a->sim->Run(5).ok());
+  ASSERT_TRUE(b->sim->Run(5).ok());
+  EXPECT_FALSE(a->sim->table().Equals(b->sim->table()));
 }
 
-TEST(BattleEngine, PhaseTimesAreRecorded) {
+TEST(BattleEngine, PhaseStatsAreRecorded) {
   ScenarioConfig config;
   config.num_units = 60;
-  auto setup = MakeBattle(config, EvaluatorMode::kIndexed);
+  auto setup = MakeBattleSim(config, EvaluatorMode::kIndexed);
   ASSERT_TRUE(setup.ok());
-  ASSERT_TRUE(setup->engine->Run(3).ok());
-  const PhaseTimes& times = setup->engine->phase_times();
-  EXPECT_EQ(3, times.Count("1:index-build"));
-  EXPECT_EQ(3, times.Count("2:decision"));
-  EXPECT_EQ(3, times.Count("3:index-build-2"));
-  EXPECT_EQ(3, times.Count("4:apply"));
-  EXPECT_EQ(3, times.Count("5:movement"));
+  ASSERT_TRUE(setup->sim->Run(3).ok());
+  const PhaseStatsRegistry& stats = setup->sim->stats();
+  for (const char* phase :
+       {phase_names::kIndexBuild, phase_names::kDecisionAction,
+        phase_names::kDeferredIndex, phase_names::kApply,
+        phase_names::kMovement, phase_names::kMechanics}) {
+    bool found = false;
+    for (const auto& [name, s] : stats.stats()) {
+      if (name == phase) {
+        EXPECT_EQ(3, s.invocations()) << phase;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "no stats slot for phase " << phase;
+  }
 }
 
 TEST(BattleEngine, ExplainDescribesPlan) {
   ScenarioConfig config;
   config.num_units = 40;
-  auto setup = MakeBattle(config, EvaluatorMode::kIndexed);
+  auto setup = MakeBattleSim(config, EvaluatorMode::kIndexed);
   ASSERT_TRUE(setup.ok());
-  std::string plan = setup->engine->DescribePlan();
+  std::string plan = setup->sim->DescribePlan();
   EXPECT_NE(std::string::npos, plan.find("divisible-range-tree"));
   EXPECT_NE(std::string::npos, plan.find("kd-nearest"));
   EXPECT_NE(std::string::npos, plan.find("minmax-range-tree"));
@@ -174,10 +182,10 @@ TEST(BattleEngine, ExplainDescribesPlan) {
 TEST(BattleEngine, NaiveModeAlsoRuns) {
   ScenarioConfig config;
   config.num_units = 50;
-  auto setup = MakeBattle(config, EvaluatorMode::kNaive);
+  auto setup = MakeBattleSim(config, EvaluatorMode::kNaive);
   ASSERT_TRUE(setup.ok()) << setup.status().ToString();
-  ASSERT_TRUE(setup->engine->Run(5).ok());
-  EXPECT_EQ(50, setup->engine->table().NumRows());
+  ASSERT_TRUE(setup->sim->Run(5).ok());
+  EXPECT_EQ(50, setup->sim->table().NumRows());
 }
 
 // The paper's core claim, as a correctness property: the indexed engine
@@ -192,16 +200,16 @@ TEST_P(Equivalence, NaiveAndIndexedBitIdentical) {
   config.num_units = units;
   config.density = density;
   config.seed = seed;
-  auto naive = MakeBattle(config, EvaluatorMode::kNaive);
-  auto indexed = MakeBattle(config, EvaluatorMode::kIndexed);
+  auto naive = MakeBattleSim(config, EvaluatorMode::kNaive);
+  auto indexed = MakeBattleSim(config, EvaluatorMode::kIndexed);
   ASSERT_TRUE(naive.ok()) << naive.status().ToString();
   ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
   for (int tick = 0; tick < 12; ++tick) {
-    ASSERT_TRUE(naive->engine->Tick().ok());
-    ASSERT_TRUE(indexed->engine->Tick().ok());
-    ASSERT_TRUE(naive->engine->table().Equals(indexed->engine->table()))
+    ASSERT_TRUE(naive->sim->Tick().ok());
+    ASSERT_TRUE(indexed->sim->Tick().ok());
+    ASSERT_TRUE(naive->sim->table().Equals(indexed->sim->table()))
         << "diverged at tick " << tick << ": "
-        << naive->engine->table().DiffString(indexed->engine->table());
+        << naive->sim->table().DiffString(indexed->sim->table());
   }
 }
 
@@ -216,3 +224,55 @@ INSTANTIATE_TEST_SUITE_P(
 
 }  // namespace
 }  // namespace sgl
+
+// The retired Engine shim (engine/engine.h) stays one release as a
+// [[deprecated]] header-only wrapper. This is its only remaining user:
+// a parity check that the shim still drives the exact simulation the
+// facade does, so out-of-tree code on the old API keeps exact behavior
+// until the header is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "engine/engine.h"
+
+namespace sgl {
+namespace {
+
+TEST(EngineShim, DeprecatedEngineMatchesSimulationFacade) {
+  ScenarioConfig config;
+  config.num_units = 60;
+  config.seed = 17;
+
+  auto table = BuildScenario(config);
+  ASSERT_TRUE(table.ok());
+  auto script = CompileScript(BattleScriptSource(), BattleSchema());
+  ASSERT_TRUE(script.ok());
+  const int64_t side = config.GridSide();
+  BattleMechanics mechanics(side, side, /*resurrect=*/true);
+  EngineConfig legacy_config;
+  legacy_config.eval_mode = EvaluatorMode::kIndexed;
+  legacy_config.seed = config.seed;
+  legacy_config.grid_width = side;
+  legacy_config.grid_height = side;
+  legacy_config.step_per_tick = D20::kWalkPerTick;
+  auto engine = Engine::Create(script.MoveValue(), table.MoveValue(),
+                               &mechanics, legacy_config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  auto facade = MakeBattleSim(config, EvaluatorMode::kIndexed);
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+
+  ASSERT_TRUE((*engine)->Run(10).ok());
+  ASSERT_TRUE(facade->sim->Run(10).ok());
+  EXPECT_TRUE((*engine)->table().Equals(facade->sim->table()))
+      << (*engine)->table().DiffString(facade->sim->table());
+
+  // The legacy phase_times view still reports the historical keys.
+  const PhaseTimes& times = (*engine)->phase_times();
+  EXPECT_EQ(10, times.Count("1:index-build"));
+  EXPECT_EQ(10, times.Count("2:decision"));
+  EXPECT_EQ(10, times.Count("4:apply"));
+}
+
+}  // namespace
+}  // namespace sgl
+#pragma GCC diagnostic pop

@@ -1,0 +1,576 @@
+// Serving-layer tests (src/serve/): the ISSUE-9 acceptance matrix.
+//
+//  * Lockstep: K sessions sharing one SessionManager pool must be
+//    bit-identical to the same simulations run solo, for every registered
+//    scenario x {naive, indexed, adaptive} x shards {1, 2} x pool size
+//    {1, 4} threads, with and without injected actions.
+//  * Injected-action replay: a live-injection run is reproduced bit for
+//    bit by replaying its recorded inlet log into a fresh session.
+//  * Admission control: session, row, and queue-depth limits reject with
+//    kResourceExhausted and count serve.rejected.
+//  * Scheduler fairness: round-robin with a tick budget never lets one
+//    session starve another over a 1k-tick run.
+//  * The consolidated SimulationConfig::Validate() vocabulary and the
+//    SimulationSnapshot byte codec ride along.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/simulation.h"
+#include "scenario/scenario.h"
+#include "serve/session_manager.h"
+#include "sgl/analyzer.h"
+
+namespace sgl {
+namespace {
+
+using serve::InjectedAction;
+using serve::InletRecord;
+using serve::SessionId;
+using serve::SessionManager;
+using serve::SessionManagerOptions;
+
+ScenarioParams SmallParams() {
+  ScenarioParams params;
+  params.units = 100;
+  params.density = 0.02;
+  params.seed = 23;
+  return params;
+}
+
+SimulationConfig ServeConfig(EvaluatorMode mode, int32_t shards,
+                             int32_t threads) {
+  SimulationConfig config;
+  config.eval_mode = mode;
+  config.shards = shards;
+  config.threads = threads;
+  return config;
+}
+
+/// The deterministic injection schedule both the managed sessions and the
+/// solo baseline receive: a handful of posx rewrites per tick. Stale keys
+/// (a unit died) drop identically on both sides, so the runs stay in
+/// lockstep by construction.
+std::vector<InjectedAction> InjectionsForTick(int64_t tick) {
+  std::vector<InjectedAction> actions;
+  for (int64_t k = 0; k < 3; ++k) {
+    InjectedAction action;
+    action.unit_key = (tick * 5 + k * 11) % 40;
+    action.attr = "posx";
+    action.op = InjectedAction::Op::kSet;
+    action.value = static_cast<double>((tick * 7 + k * 13) % 32);
+    actions.push_back(action);
+  }
+  return actions;
+}
+
+// --------------------------------------------------- lockstep bit-exactness
+
+class ServeScenarioTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ServeScenarioTest, SharedPoolSessionsMatchSoloRuns) {
+  const std::string& name = GetParam();
+  const ScenarioParams params = SmallParams();
+  constexpr int64_t kTicks = 8;
+  constexpr int32_t kSessions = 2;
+
+  for (EvaluatorMode mode : {EvaluatorMode::kNaive, EvaluatorMode::kIndexed,
+                             EvaluatorMode::kAdaptive}) {
+    for (int32_t shards : {1, 2}) {
+      for (int32_t threads : {1, 4}) {
+        for (bool inject : {false, true}) {
+          const SimulationConfig config = ServeConfig(mode, shards, threads);
+          const std::string label =
+              name + " mode=" + EvaluatorModeName(mode) +
+              " shards=" + std::to_string(shards) +
+              " threads=" + std::to_string(threads) +
+              " inject=" + std::to_string(inject);
+
+          // Solo baseline: its own pool, same resolved size.
+          auto solo = ScenarioRegistry::Global().BuildSimulation(name, params,
+                                                                config);
+          ASSERT_TRUE(solo.ok()) << label << ": " << solo.status().ToString();
+
+          SessionManagerOptions options;
+          options.threads = threads;
+          auto manager = SessionManager::Create(options);
+          ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+
+          std::vector<SessionId> ids;
+          for (int32_t s = 0; s < kSessions; ++s) {
+            SimulationBuilder builder;
+            ASSERT_TRUE(ScenarioRegistry::Global()
+                            .PrepareBuilder(name, params, config, &builder)
+                            .ok());
+            auto id = (*manager)->Open(builder);
+            ASSERT_TRUE(id.ok()) << label << ": " << id.status().ToString();
+            ids.push_back(*id);
+            EXPECT_EQ(threads, (*manager)->session(*id)->threads());
+          }
+
+          for (int64_t tick = 0; tick < kTicks; ++tick) {
+            if (inject) {
+              for (const InjectedAction& action : InjectionsForTick(tick)) {
+                (*solo)->inlet()->Push(action);
+                for (SessionId id : ids) {
+                  ASSERT_TRUE((*manager)->Inject(id, action).ok());
+                }
+              }
+            }
+            ASSERT_TRUE((*solo)->Tick().ok()) << label << " tick " << tick;
+            for (SessionId id : ids) {
+              ASSERT_TRUE((*manager)->ScheduleTicks(id, 1).ok());
+            }
+            auto executed = (*manager)->RunRound();
+            ASSERT_TRUE(executed.ok()) << label << ": "
+                                       << executed.status().ToString();
+            ASSERT_EQ(kSessions, *executed);
+            for (SessionId id : ids) {
+              const Simulation* session = (*manager)->session(id);
+              ASSERT_NE(session, nullptr);
+              ASSERT_TRUE(session->table().Equals((*solo)->table()))
+                  << label << " session " << id << " diverged at tick "
+                  << tick << ":\n"
+                  << session->table().DiffString((*solo)->table());
+            }
+          }
+
+          // Deterministic metrics: every co-scheduled session matches the
+          // solo run exactly, like the shard/thread matrices do.
+          const std::string solo_metrics =
+              (*solo)->MetricsJson(/*deterministic_only=*/true);
+          for (SessionId id : ids) {
+            EXPECT_EQ((*manager)->session(id)->MetricsJson(
+                          /*deterministic_only=*/true),
+                      solo_metrics)
+                << label << ": deterministic metrics diverged from solo";
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ServeScenarioTest,
+    ::testing::ValuesIn(ScenarioRegistry::Global().List()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// --------------------------------------------------------- action replay
+
+TEST(ActionInletTest, RecordedLogReplaysBitIdentically) {
+  const ScenarioParams params = SmallParams();
+  const SimulationConfig config =
+      ServeConfig(EvaluatorMode::kIndexed, 1, 1);
+
+  auto live = ScenarioRegistry::Global().BuildSimulation("battle", params,
+                                                         config);
+  ASSERT_TRUE(live.ok());
+  for (int64_t tick = 0; tick < 10; ++tick) {
+    if (tick % 2 == 0) {
+      for (const InjectedAction& action : InjectionsForTick(tick)) {
+        (*live)->inlet()->Push(action);
+      }
+    }
+    ASSERT_TRUE((*live)->Tick().ok());
+  }
+  const std::vector<InletRecord> log = (*live)->inlet()->Log();
+  ASSERT_FALSE(log.empty());
+  for (const InletRecord& record : log) {
+    EXPECT_GE(record.tick, 0);  // applied records are tick-stamped
+  }
+
+  auto replay = ScenarioRegistry::Global().BuildSimulation("battle", params,
+                                                           config);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_TRUE((*replay)->inlet()->LoadReplay(log).ok());
+  ASSERT_TRUE((*replay)->Run(10).ok());
+
+  EXPECT_TRUE((*replay)->table().Equals((*live)->table()))
+      << (*replay)->table().DiffString((*live)->table());
+  EXPECT_EQ((*replay)->inlet()->applied(), (*live)->inlet()->applied());
+  EXPECT_EQ((*replay)->inlet()->dropped(), (*live)->inlet()->dropped());
+}
+
+TEST(ActionInletTest, StaleKeysDropDeterministically) {
+  const SimulationConfig config =
+      ServeConfig(EvaluatorMode::kIndexed, 1, 1);
+  auto sim = ScenarioRegistry::Global().BuildSimulation(
+      "battle", SmallParams(), config);
+  ASSERT_TRUE(sim.ok());
+  InjectedAction bogus;
+  bogus.unit_key = 1 << 20;  // never a real unit
+  bogus.attr = "posx";
+  (*sim)->inlet()->Push(bogus);
+  InjectedAction bad_attr;
+  bad_attr.unit_key = 0;
+  bad_attr.attr = "no_such_attr";
+  (*sim)->inlet()->Push(bad_attr);
+  InjectedAction key_write;
+  key_write.unit_key = 0;
+  key_write.attr = "key";  // the key is never writable
+  (*sim)->inlet()->Push(key_write);
+  ASSERT_TRUE((*sim)->Tick().ok());
+  EXPECT_EQ(0, (*sim)->inlet()->applied());
+  EXPECT_EQ(3, (*sim)->inlet()->dropped());
+}
+
+TEST(ActionInletTest, LoadReplayValidatesOrderAndPinning) {
+  serve::ActionInlet inlet;
+  InletRecord unpinned;
+  unpinned.seq = 0;
+  EXPECT_FALSE(inlet.LoadReplay({unpinned}).ok());
+
+  InletRecord a;
+  a.seq = 1;
+  a.tick = 5;
+  InletRecord b;
+  b.seq = 0;
+  b.tick = 3;
+  EXPECT_FALSE(inlet.LoadReplay({a, b}).ok());  // ticks descend
+  EXPECT_TRUE(inlet.LoadReplay({b, a}).ok());
+}
+
+// ------------------------------------------------------ admission control
+
+TEST(SessionManagerTest, SessionLimitRejectsWithResourceExhausted) {
+  SessionManagerOptions options;
+  options.max_sessions = 1;
+  auto manager = SessionManager::Create(options);
+  ASSERT_TRUE(manager.ok());
+
+  SimulationBuilder first;
+  ASSERT_TRUE(ScenarioRegistry::Global()
+                  .PrepareBuilder("battle", SmallParams(),
+                                  ServeConfig(EvaluatorMode::kIndexed, 1, 1),
+                                  &first)
+                  .ok());
+  ASSERT_TRUE((*manager)->Open(first).ok());
+
+  SimulationBuilder second;
+  ASSERT_TRUE(ScenarioRegistry::Global()
+                  .PrepareBuilder("battle", SmallParams(),
+                                  ServeConfig(EvaluatorMode::kIndexed, 1, 1),
+                                  &second)
+                  .ok());
+  auto rejected = (*manager)->Open(second);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(StatusCode::kResourceExhausted, rejected.status().code());
+  EXPECT_NE((*manager)->MetricsJson().find("\"serve.rejected\":1"),
+            std::string::npos)
+      << (*manager)->MetricsJson();
+}
+
+TEST(SessionManagerTest, RowLimitRejectsWithResourceExhausted) {
+  SessionManagerOptions options;
+  options.max_total_rows = 150;  // one 100-unit world fits, two do not
+  auto manager = SessionManager::Create(options);
+  ASSERT_TRUE(manager.ok());
+
+  SimulationBuilder first;
+  ASSERT_TRUE(ScenarioRegistry::Global()
+                  .PrepareBuilder("battle", SmallParams(),
+                                  ServeConfig(EvaluatorMode::kIndexed, 1, 1),
+                                  &first)
+                  .ok());
+  ASSERT_TRUE((*manager)->Open(first).ok());
+  EXPECT_EQ(100, (*manager)->TotalRows());
+
+  SimulationBuilder second;
+  ASSERT_TRUE(ScenarioRegistry::Global()
+                  .PrepareBuilder("battle", SmallParams(),
+                                  ServeConfig(EvaluatorMode::kIndexed, 1, 1),
+                                  &second)
+                  .ok());
+  auto rejected = (*manager)->Open(second);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(StatusCode::kResourceExhausted, rejected.status().code());
+  EXPECT_EQ(1, (*manager)->NumSessions());
+}
+
+TEST(SessionManagerTest, QueueDepthBackpressureRejectsInject) {
+  SessionManagerOptions options;
+  options.max_queued_actions = 2;
+  auto manager = SessionManager::Create(options);
+  ASSERT_TRUE(manager.ok());
+
+  SimulationBuilder builder;
+  ASSERT_TRUE(ScenarioRegistry::Global()
+                  .PrepareBuilder("battle", SmallParams(),
+                                  ServeConfig(EvaluatorMode::kIndexed, 1, 1),
+                                  &builder)
+                  .ok());
+  auto id = (*manager)->Open(builder);
+  ASSERT_TRUE(id.ok());
+
+  InjectedAction action;
+  action.unit_key = 0;
+  action.attr = "posx";
+  EXPECT_TRUE((*manager)->Inject(*id, action).ok());
+  EXPECT_TRUE((*manager)->Inject(*id, action).ok());
+  auto rejected = (*manager)->Inject(*id, action);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(StatusCode::kResourceExhausted, rejected.status().code());
+
+  // Draining the queue (one tick) reopens the inlet.
+  ASSERT_TRUE((*manager)->ScheduleTicks(*id, 1).ok());
+  ASSERT_TRUE((*manager)->RunUntilIdle().ok());
+  EXPECT_TRUE((*manager)->Inject(*id, action).ok());
+}
+
+TEST(SessionManagerTest, UnknownSessionsAreNotFound) {
+  auto manager = SessionManager::Create(SessionManagerOptions{});
+  ASSERT_TRUE(manager.ok());
+  EXPECT_EQ(nullptr, (*manager)->session(7));
+  EXPECT_EQ(StatusCode::kNotFound,
+            (*manager)->ScheduleTicks(7, 1).code());
+  EXPECT_EQ(StatusCode::kNotFound,
+            (*manager)->Inject(7, InjectedAction{}).status().code());
+  EXPECT_EQ(StatusCode::kNotFound, (*manager)->Close(7).status().code());
+}
+
+TEST(SessionManagerTest, OptionsAreValidated) {
+  for (auto mutate : std::vector<void (*)(SessionManagerOptions&)>{
+           [](SessionManagerOptions& o) { o.threads = -1; },
+           [](SessionManagerOptions& o) { o.max_sessions = 0; },
+           [](SessionManagerOptions& o) { o.max_total_rows = 0; },
+           [](SessionManagerOptions& o) { o.tick_budget = 0; },
+           [](SessionManagerOptions& o) { o.max_queued_actions = 0; }}) {
+    SessionManagerOptions options;
+    mutate(options);
+    auto manager = SessionManager::Create(options);
+    EXPECT_FALSE(manager.ok());
+    EXPECT_EQ(StatusCode::kInvalidArgument, manager.status().code());
+  }
+}
+
+// --------------------------------------------------- scheduling fairness
+
+// A featherweight single-unit world so a 1k-tick fairness run stays fast.
+std::unique_ptr<SimulationBuilder> TinyWorldBuilder(uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddAttribute("posx", CombineType::kConst).ok());
+  EXPECT_TRUE(schema.AddAttribute("posy", CombineType::kConst).ok());
+  EXPECT_TRUE(schema.AddAttribute("movex", CombineType::kSum).ok());
+  EXPECT_TRUE(schema.AddAttribute("movey", CombineType::kSum).ok());
+  EnvironmentTable table(schema);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(table.AddRow({double(8 * i), 8, 0, 0}).ok());
+  }
+  auto script = CompileScript(R"(
+    action Drift(u, dx) {
+      update e where e.key = u.key set movex += dx;
+    }
+    function main(u) {
+      perform Drift(u, random(1) mod 3 - 1);
+    }
+  )",
+                              schema);
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  SimulationConfig config;
+  config.seed = seed;
+  config.grid_width = 64;
+  config.grid_height = 64;
+  auto builder = std::make_unique<SimulationBuilder>();
+  builder->SetTable(std::move(table))
+      .SetConfig(config)
+      .AddScript("drift", script.MoveValue());
+  return builder;
+}
+
+TEST(SessionManagerTest, RoundRobinNeverStarvesASession) {
+  SessionManagerOptions options;
+  options.tick_budget = 16;
+  options.max_sessions = 3;
+  auto manager = SessionManager::Create(options);
+  ASSERT_TRUE(manager.ok());
+
+  std::vector<SessionId> ids;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto builder = TinyWorldBuilder(seed);
+    auto id = (*manager)->Open(*builder);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  constexpr int64_t kPerSession = 400;  // 1200 ticks total
+  for (SessionId id : ids) {
+    ASSERT_TRUE((*manager)->ScheduleTicks(id, kPerSession).ok());
+  }
+
+  int64_t total = 0;
+  while (true) {
+    auto executed = (*manager)->RunRound();
+    ASSERT_TRUE(executed.ok());
+    if (*executed == 0) break;
+    total += *executed;
+    // Fairness invariant: after any round, no session is ever more than
+    // one budget ahead of any other.
+    int64_t lo = kPerSession, hi = 0;
+    for (SessionId id : ids) {
+      const int64_t ticks = (*manager)->session(id)->tick_count();
+      lo = std::min(lo, ticks);
+      hi = std::max(hi, ticks);
+    }
+    EXPECT_LE(hi - lo, options.tick_budget)
+        << "session spread exceeded the round budget";
+  }
+  EXPECT_EQ(3 * kPerSession, total);
+  for (SessionId id : ids) {
+    EXPECT_EQ(kPerSession, (*manager)->session(id)->tick_count());
+  }
+}
+
+TEST(SessionManagerTest, CloseDrainsPendingTicksGracefully) {
+  auto manager = SessionManager::Create(SessionManagerOptions{});
+  ASSERT_TRUE(manager.ok());
+  auto builder = TinyWorldBuilder(9);
+  auto id = (*manager)->Open(*builder);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE((*manager)->ScheduleTicks(*id, 37).ok());
+
+  auto sim = (*manager)->Close(*id);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  EXPECT_EQ(37, (*sim)->tick_count());  // scheduled work ran before release
+  EXPECT_EQ(0, (*manager)->NumSessions());
+  EXPECT_NE((*manager)->MetricsJson().find("\"serve.closed\":1"),
+            std::string::npos);
+}
+
+// ---------------------------------------------- config validation seam
+
+TEST(SimulationConfigTest, ValidateUsesOneErrorVocabulary) {
+  struct Case {
+    void (*mutate)(SimulationConfig&);
+  };
+  for (auto mutate : std::vector<void (*)(SimulationConfig&)>{
+           [](SimulationConfig& c) { c.threads = -2; },
+           [](SimulationConfig& c) { c.shards = 0; },
+           [](SimulationConfig& c) { c.shards = 65; },
+           [](SimulationConfig& c) { c.move_y_attr = ""; },
+           [](SimulationConfig& c) { c.grid_width = 0; },
+           [](SimulationConfig& c) { c.grid_height = -1; },
+           [](SimulationConfig& c) { c.step_per_tick = -1.0; },
+           [](SimulationConfig& c) { c.flight_recorder_ticks = -1; }}) {
+    SimulationConfig config;
+    mutate(config);
+    Status st = config.Validate();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(StatusCode::kInvalidArgument, st.code());
+    EXPECT_EQ(0u, st.message().find("SimulationConfig:"))
+        << "unexpected vocabulary: " << st.ToString();
+  }
+  EXPECT_TRUE(SimulationConfig{}.Validate().ok());
+  // Movement disabled: grid knobs are irrelevant and not validated.
+  SimulationConfig no_movement;
+  no_movement.move_x_attr.clear();
+  no_movement.grid_width = 0;
+  EXPECT_TRUE(no_movement.Validate().ok());
+}
+
+TEST(SimulationConfigTest, BuildRejectsWhatValidateRejects) {
+  auto builder = TinyWorldBuilder(1);
+  builder->config().shards = 77;
+  auto sim = builder->Build();
+  ASSERT_FALSE(sim.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, sim.status().code());
+  EXPECT_NE(sim.status().message().find("SimulationConfig:"),
+            std::string::npos);
+}
+
+// ------------------------------------------------- executor API seam
+
+TEST(ExecutorSeamTest, SharedExecutorMatchesPrivatePool) {
+  const ScenarioParams params = SmallParams();
+  SimulationConfig config = ServeConfig(EvaluatorMode::kIndexed, 1, 4);
+  auto own_pool = ScenarioRegistry::Global().BuildSimulation("battle", params,
+                                                             config);
+  ASSERT_TRUE(own_pool.ok());
+
+  auto shared = std::make_shared<exec::ThreadPool>(4);
+  SimulationBuilder builder;
+  config.threads = 1;  // the executor must win over config.threads
+  ASSERT_TRUE(ScenarioRegistry::Global()
+                  .PrepareBuilder("battle", params, config, &builder)
+                  .ok());
+  builder.Executor(shared);
+  auto sim = builder.Build();
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  EXPECT_EQ(4, (*sim)->threads());
+  EXPECT_EQ(shared.get(), (*sim)->executor().get());
+
+  ASSERT_TRUE((*own_pool)->Run(6).ok());
+  ASSERT_TRUE((*sim)->Run(6).ok());
+  EXPECT_TRUE((*sim)->table().Equals((*own_pool)->table()))
+      << (*sim)->table().DiffString((*own_pool)->table());
+}
+
+// ------------------------------------------------- snapshot byte codec
+
+TEST(SnapshotCodecTest, RoundTripsBitExactly) {
+  auto sim = ScenarioRegistry::Global().BuildSimulation(
+      "battle", SmallParams(), ServeConfig(EvaluatorMode::kIndexed, 1, 1));
+  ASSERT_TRUE(sim.ok());
+  ASSERT_TRUE((*sim)->Run(5).ok());
+
+  const SimulationSnapshot snapshot = (*sim)->Snapshot();
+  std::string bytes;
+  ASSERT_TRUE(snapshot.SerializeTo(&bytes).ok());
+  ASSERT_FALSE(bytes.empty());
+
+  auto parsed = SimulationSnapshot::Parse(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(5, parsed->tick_count);
+  EXPECT_TRUE(parsed->table.Equals(snapshot.table))
+      << parsed->table.DiffString(snapshot.table);
+
+  // The encoding is canonical: re-serializing the parse is byte-identical.
+  std::string bytes2;
+  ASSERT_TRUE(parsed->SerializeTo(&bytes2).ok());
+  EXPECT_EQ(bytes, bytes2);
+
+  // And a restored simulation replays deterministically from it.
+  auto twin = ScenarioRegistry::Global().BuildSimulation(
+      "battle", SmallParams(), ServeConfig(EvaluatorMode::kIndexed, 1, 1));
+  ASSERT_TRUE(twin.ok());
+  ASSERT_TRUE((*twin)->Restore(*parsed).ok());
+  ASSERT_TRUE((*sim)->Run(5).ok());
+  ASSERT_TRUE((*twin)->Run(5).ok());
+  EXPECT_TRUE((*twin)->table().Equals((*sim)->table()))
+      << (*twin)->table().DiffString((*sim)->table());
+}
+
+TEST(SnapshotCodecTest, RejectsCorruptBytes) {
+  auto sim = ScenarioRegistry::Global().BuildSimulation(
+      "battle", SmallParams(), ServeConfig(EvaluatorMode::kIndexed, 1, 1));
+  ASSERT_TRUE(sim.ok());
+  std::string bytes;
+  ASSERT_TRUE((*sim)->Snapshot().SerializeTo(&bytes).ok());
+
+  // Bad magic.
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            SimulationSnapshot::Parse(bad_magic).status().code());
+  // Unsupported version.
+  std::string bad_version = bytes;
+  bad_version[6] = 99;
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            SimulationSnapshot::Parse(bad_version).status().code());
+  // Truncation anywhere must error, never crash.
+  for (size_t cut : {size_t{3}, size_t{9}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    EXPECT_EQ(StatusCode::kInvalidArgument,
+              SimulationSnapshot::Parse(bytes.substr(0, cut)).status().code())
+        << "cut at " << cut;
+  }
+  // Trailing garbage.
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            SimulationSnapshot::Parse(bytes + "x").status().code());
+}
+
+}  // namespace
+}  // namespace sgl

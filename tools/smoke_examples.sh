@@ -19,11 +19,12 @@ declare -A example_args=(
   [skeleton_fear]=""
   [scenarios]="market 200 20"
   [trace]="$(mktemp -d)"
+  [serve]="battle 2 20"
 )
 
 failures=0
 for example in quickstart battle explain formation skeleton_fear scenarios \
-               trace; do
+               trace serve; do
   bin="$BUILD_DIR/$example"
   if [[ ! -x "$bin" ]]; then
     echo "FAIL: $example: binary not found at $bin" >&2
