@@ -14,6 +14,7 @@
 //   --scenarios a,b       (bench_suite) restrict to named scenarios
 //   --modes naive,indexed (bench_suite) evaluator modes
 //   --compiled on,off     (bench_suite) bytecode-VM sweep
+//   --storage off,on      (bench_suite) disk-backed world sweep
 //   --naive-max N         largest unit count the naive evaluator runs
 //   --quick               small preset for CI smoke runs
 //   --list                (bench_suite) list scenarios and exit
@@ -74,6 +75,7 @@ struct BenchArgs {
   std::vector<std::string> modes;
   std::vector<std::string> sharing;   // "on" / "off" sweep (bench_suite)
   std::vector<std::string> compiled;  // "on" / "off" sweep (bench_suite)
+  std::vector<std::string> storage;   // "off" / "on" sweep (bench_suite)
   int64_t ticks = 0;
   uint64_t seed = 0;
   bool seed_set = false;  // --seed 0 is a legitimate seed
@@ -179,6 +181,7 @@ inline void PrintBenchUsage(const char* bench, const char* extra) {
                "(naive, indexed, adaptive)\n"
                "  --sharing A,B,...   aggregate-sharing sweep (on, off)\n"
                "  --compiled A,B,...  bytecode-VM sweep (on, off)\n"
+               "  --storage A,B,...   disk-backed world sweep (off, on)\n"
                "  --naive-max N       naive-evaluator unit cap "
                "(env SGL_BENCH_NAIVE_MAX)\n"
                "  --quick             small CI smoke preset\n"
@@ -248,6 +251,14 @@ inline BenchArgs ParseBenchArgsOrExit(int argc, char** argv, const char* bench,
       for (const std::string& s : args.compiled) {
         if (s != "on" && s != "off") {
           std::fprintf(stderr, "--compiled: '%s' is not on/off\n", s.c_str());
+          std::exit(2);
+        }
+      }
+    } else if (is_flag(arg, "--storage")) {
+      args.storage = bench_internal::SplitList(value_of(&i, "--storage"));
+      for (const std::string& s : args.storage) {
+        if (s != "on" && s != "off") {
+          std::fprintf(stderr, "--storage: '%s' is not on/off\n", s.c_str());
           std::exit(2);
         }
       }

@@ -1,7 +1,7 @@
 // The unified benchmark suite: every registered scenario, swept across
 // {naive, indexed, adaptive} evaluators x worker-thread counts x shard
 // counts x unit scales x aggregate sharing {on, off} x compiled
-// evaluation {on, off}.
+// evaluation {on, off} x disk-backed storage {off, on}.
 //
 // Each (scenario, units) group elects the first completed cell as its
 // reference; every other cell's final environment table must be
@@ -19,7 +19,10 @@
 //   bench_suite --quick --json BENCH_scenarios.json   # the CI smoke run
 //   bench_suite --scenarios battle,ctf --units 1000,4000 --threads 1,2,8
 //   bench_suite --list
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -46,6 +49,27 @@ struct CellResult {
   std::string metrics_json;  // --metrics: deterministic snapshot
 };
 
+// Fresh world directory for a storage=on repetition. Each rep gets its
+// own: re-Building over a directory that already holds a committed
+// world deliberately refuses to tick (the engine demands an explicit
+// RestoreFrom), and the bench wants cold-start cost anyway.
+std::string MakeWorldDir() {
+  char tmpl[] = "/tmp/sgl_bench_world_XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  return std::string(tmpl);
+}
+
+void RemoveWorldDir(const std::string& dir) {
+  for (const char* file : {"pages.sgl", "wal.sgl", "MANIFEST.sgl",
+                           "MANIFEST.sgl.tmp", "inlet.sgl"}) {
+    std::remove((dir + "/" + file).c_str());
+  }
+  ::rmdir(dir.c_str());
+}
+
 // Runs one (scenario, params, mode, threads, sharing) cell `reps` times
 // and keeps the fastest repetition — identical seeds make every
 // repetition bit-identical, so repeating only filters scheduler noise
@@ -53,8 +77,8 @@ struct CellResult {
 // regression gate compares across runs.
 CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
                    EvaluatorMode mode, int32_t threads, int32_t shards,
-                   bool sharing, bool compiled, int64_t ticks, int32_t reps,
-                   bool want_metrics) {
+                   bool sharing, bool compiled, bool storage, int64_t ticks,
+                   int32_t reps, bool want_metrics) {
   CellResult best;
   for (int32_t rep = 0; rep < reps; ++rep) {
     SimulationConfig config;
@@ -63,6 +87,12 @@ CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
     config.shards = shards;
     config.sharing = sharing;
     config.compiled = compiled;
+    std::string world_dir;
+    if (storage) {
+      world_dir = MakeWorldDir();
+      config.storage.path = world_dir;
+      config.storage.page_size = 4096;
+    }
     auto sim = ScenarioRegistry::Global().BuildSimulation(scenario, params,
                                                           config);
     if (!sim.ok()) {
@@ -79,6 +109,9 @@ CellResult RunCell(const std::string& scenario, const ScenarioParams& params,
     }
     CellResult cell;
     cell.seconds = timer.Seconds();
+    // Unlink the world files now (the store's open descriptors survive
+    // the unlink); nothing below reads them back.
+    if (!world_dir.empty()) RemoveWorldDir(world_dir);
     if (rep > 0 && cell.seconds >= best.seconds) continue;
     cell.table = (*sim)->table().Clone();
     cell.rows = (*sim)->table().NumRows();
@@ -185,7 +218,7 @@ CellResult RunServeCell(const std::string& scenario,
 
 std::string CellJson(const std::string& scenario, const char* mode,
                      int32_t units, int32_t threads, int32_t shards,
-                     bool sharing, bool compiled, int64_t ticks,
+                     bool sharing, bool compiled, bool storage, int64_t ticks,
                      const CellResult& cell, int32_t sessions = 1) {
   // Per session-tick, so multi-tenant rows compare against solo rows.
   const double ns_per_tick =
@@ -196,6 +229,7 @@ std::string CellJson(const std::string& scenario, const char* mode,
      << ", \"shards\": " << shards << ", \"sessions\": " << sessions
      << ", \"sharing\": \"" << (sharing ? "on" : "off") << "\""
      << ", \"compiled\": \"" << (compiled ? "on" : "off") << "\""
+     << ", \"storage\": \"" << (storage ? "on" : "off") << "\""
      << ", \"ticks\": " << ticks << ", \"seconds\": " << cell.seconds
      << ", \"ns_per_tick\": " << static_cast<int64_t>(ns_per_tick)
      << ", \"rows\": " << cell.rows
@@ -277,6 +311,15 @@ int main(int argc, char** argv) {
   const std::vector<std::string> compiled_sweep =
       args.compiled.empty() ? std::vector<std::string>{"on", "off"}
                             : args.compiled;
+  // Disk-backed storage is swept both ways by default: the off rows are
+  // the classic in-memory engine (legacy baselines carry storage="off"
+  // implicitly), and the on rows keep a trajectory on what the page
+  // pool + WAL cost per tick. Every storage cell is bit-checked against
+  // the same in-memory group reference, so the durability contract
+  // rides on every benchmark run too.
+  const std::vector<std::string> storage_sweep =
+      args.storage.empty() ? std::vector<std::string>{"off", "on"}
+                           : args.storage;
   // Multi-tenant serving rows (SessionManager round-robin over a shared
   // pool). The solo sweep's rows carry sessions=1 implicitly; these add
   // a perf trajectory on co-scheduling overhead per session-tick.
@@ -300,9 +343,9 @@ int main(int argc, char** argv) {
     json.WriteLine(meta.str());
   }
 
-  std::printf("%-14s %-8s %7s %8s %7s %8s %9s %14s %9s\n", "scenario", "mode",
-              "units", "threads", "shards", "sharing", "compiled", "ns/tick",
-              "speedup");
+  std::printf("%-14s %-8s %7s %8s %7s %8s %9s %8s %14s %9s\n", "scenario",
+              "mode", "units", "threads", "shards", "sharing", "compiled",
+              "storage", "ns/tick", "speedup");
   for (const std::string& scenario : scenarios) {
     for (int32_t units : unit_counts) {
       ScenarioParams params;
@@ -323,37 +366,41 @@ int main(int argc, char** argv) {
           for (int32_t shards : shard_counts) {
             for (const std::string& sharing_name : sharing_sweep) {
               for (const std::string& compiled_name : compiled_sweep) {
-                const bool sharing = sharing_name == "on";
-                const bool compiled = compiled_name == "on";
-                CellResult cell =
-                    RunCell(scenario, params, mode, threads, shards, sharing,
-                            compiled, ticks, reps, args.metrics);
-                if (!have_reference) {
-                  have_reference = true;
-                  reference = cell.table.Clone();
-                  base_ns = cell.seconds / static_cast<double>(ticks) * 1e9;
-                } else if (!reference.Equals(cell.table)) {
-                  std::fprintf(
-                      stderr,
-                      "DETERMINISM VIOLATION: %s units=%d %s threads=%d "
-                      "shards=%d sharing=%s compiled=%s diverged from the "
-                      "group reference:\n%s\n",
-                      scenario.c_str(), units, mode_name.c_str(), threads,
+                for (const std::string& storage_name : storage_sweep) {
+                  const bool sharing = sharing_name == "on";
+                  const bool compiled = compiled_name == "on";
+                  const bool storage = storage_name == "on";
+                  CellResult cell =
+                      RunCell(scenario, params, mode, threads, shards, sharing,
+                              compiled, storage, ticks, reps, args.metrics);
+                  if (!have_reference) {
+                    have_reference = true;
+                    reference = cell.table.Clone();
+                    base_ns = cell.seconds / static_cast<double>(ticks) * 1e9;
+                  } else if (!reference.Equals(cell.table)) {
+                    std::fprintf(
+                        stderr,
+                        "DETERMINISM VIOLATION: %s units=%d %s threads=%d "
+                        "shards=%d sharing=%s compiled=%s storage=%s diverged "
+                        "from the group reference:\n%s\n",
+                        scenario.c_str(), units, mode_name.c_str(), threads,
+                        shards, sharing_name.c_str(), compiled_name.c_str(),
+                        storage_name.c_str(),
+                        reference.DiffString(cell.table).c_str());
+                    return 1;
+                  }
+                  const double ns =
+                      cell.seconds / static_cast<double>(ticks) * 1e9;
+                  std::printf(
+                      "%-14s %-8s %7d %8d %7d %8s %9s %8s %14.0f %8.2fx\n",
+                      scenario.c_str(), mode_name.c_str(), units, threads,
                       shards, sharing_name.c_str(), compiled_name.c_str(),
-                      reference.DiffString(cell.table).c_str());
-                  return 1;
+                      storage_name.c_str(), ns, ns > 0 ? base_ns / ns : 0.0);
+                  std::fflush(stdout);
+                  json.WriteLine(CellJson(scenario, mode_name.c_str(), units,
+                                          threads, shards, sharing, compiled,
+                                          storage, ticks, cell));
                 }
-                const double ns =
-                    cell.seconds / static_cast<double>(ticks) * 1e9;
-                std::printf("%-14s %-8s %7d %8d %7d %8s %9s %14.0f %8.2fx\n",
-                            scenario.c_str(), mode_name.c_str(), units,
-                            threads, shards, sharing_name.c_str(),
-                            compiled_name.c_str(), ns,
-                            ns > 0 ? base_ns / ns : 0.0);
-                std::fflush(stdout);
-                json.WriteLine(CellJson(scenario, mode_name.c_str(), units,
-                                        threads, shards, sharing, compiled,
-                                        ticks, cell));
               }
             }
           }
@@ -375,14 +422,15 @@ int main(int argc, char** argv) {
                                          ticks, reps, args.metrics);
           const double ns =
               cell.seconds / static_cast<double>(ticks * sessions) * 1e9;
-          std::printf("%-14s %-8s %7d %8d %7d %8s %9s %14.0f %9s\n",
+          std::printf("%-14s %-8s %7d %8d %7d %8s %9s %8s %14.0f %9s\n",
                       scenario.c_str(), "serve", units, threads, 1, "on",
-                      "on", ns,
+                      "on", "off", ns,
                       ("s=" + std::to_string(sessions)).c_str());
           std::fflush(stdout);
           json.WriteLine(CellJson(scenario, "indexed", units, threads,
                                   /*shards=*/1, /*sharing=*/true,
-                                  /*compiled=*/true, ticks, cell, sessions));
+                                  /*compiled=*/true, /*storage=*/false, ticks,
+                                  cell, sessions));
         }
       }
     }

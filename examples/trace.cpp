@@ -44,10 +44,10 @@ int main(int argc, char** argv) {
   config.eval_mode = EvaluatorMode::kAdaptive;
   config.threads = 4;
   config.shards = shards;
-  config.trace_path = out_dir + "/trace.json";
-  config.metrics_path = out_dir + "/metrics.jsonl";
-  config.flight_recorder_ticks = 16;
-  config.flight_recorder_path = out_dir + "/flight.json";
+  config.artifacts.trace_path = out_dir + "/trace.json";
+  config.artifacts.metrics_path = out_dir + "/metrics.jsonl";
+  config.artifacts.flight_recorder_ticks = 16;
+  config.artifacts.flight_recorder_path = out_dir + "/flight.json";
 
   auto& registry = ScenarioRegistry::Global();
   auto sim = registry.BuildSimulation("battle", params, config);
@@ -78,22 +78,22 @@ int main(int argc, char** argv) {
 
   // The destructor would write the trace too; writing it now lets us
   // report failures and still dump a healthy flight ring for the tour.
-  st = (*sim)->WriteTrace(config.trace_path);
+  st = (*sim)->WriteTrace(config.artifacts.trace_path);
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  st = (*sim)->DumpFlightRecorder(config.flight_recorder_path,
+  st = (*sim)->DumpFlightRecorder(config.artifacts.flight_recorder_path,
                                   "example dump (no failure)");
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
 
-  std::printf("wrote %s (%lld events dropped)\n", config.trace_path.c_str(),
+  std::printf("wrote %s (%lld events dropped)\n", config.artifacts.trace_path.c_str(),
               static_cast<long long>((*sim)->tracer()->dropped()));
-  std::printf("wrote %s\n", config.metrics_path.c_str());
-  std::printf("wrote %s (%d-tick ring)\n", config.flight_recorder_path.c_str(),
+  std::printf("wrote %s\n", config.artifacts.metrics_path.c_str());
+  std::printf("wrote %s (%d-tick ring)\n", config.artifacts.flight_recorder_path.c_str(),
               (*sim)->flight_recorder()->size());
   std::printf("\ndeterministic metrics snapshot:\n%s",
               (*sim)->MetricsJson(/*deterministic_only=*/true).c_str());

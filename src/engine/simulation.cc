@@ -10,6 +10,7 @@
 #include "algebra/plan.h"
 #include "opt/adaptive_provider.h"
 #include "shard/runtime.h"
+#include "storage/world_store.h"
 #include "util/timer.h"
 #include "vm/compiler.h"
 
@@ -60,10 +61,16 @@ Status SimulationConfig::Validate() const {
           "SimulationConfig: step_per_tick must be >= 0, got ", step_per_tick);
     }
   }
+  SGL_RETURN_NOT_OK(artifacts.Validate());
+  SGL_RETURN_NOT_OK(storage.Validate());
+  return Status::OK();
+}
+
+Status ArtifactConfig::Validate() const {
   if (flight_recorder_ticks < 0) {
     return Status::Invalid(
-        "SimulationConfig: flight_recorder_ticks must be >= 0 (0 = off), "
-        "got ",
+        "SimulationConfig: artifacts.flight_recorder_ticks must be >= 0 "
+        "(0 = off), got ",
         flight_recorder_ticks);
   }
   return Status::OK();
@@ -137,8 +144,8 @@ Simulation::~Simulation() {
   // Persist the trace where the config asked for it, even if the caller
   // never called WriteTrace explicitly (best-effort: a destructor cannot
   // surface the status).
-  if (tracer_ != nullptr && !config_.trace_path.empty()) {
-    (void)tracer_->WriteJson(config_.trace_path);
+  if (tracer_ != nullptr && !config_.artifacts.trace_path.empty()) {
+    (void)tracer_->WriteJson(config_.artifacts.trace_path);
   }
 }
 
@@ -199,7 +206,7 @@ Status Simulation::Tick() {
                              obs::JsonEscape(st.ToString()) + "\"}");
       }
       if (recorder_ != nullptr) {
-        (void)recorder_->Dump(config_.flight_recorder_path,
+        (void)recorder_->Dump(config_.artifacts.flight_recorder_path,
                               "tick " + std::to_string(tick_count_) +
                                   " failed in phase '" + phase->name() +
                                   "': " + st.ToString());
@@ -207,12 +214,19 @@ Status Simulation::Tick() {
       return st;
     }
   }
+  // Durable storage: harvest the tick's delta records into the WAL and
+  // sync the page cache (possibly auto-checkpointing) before the tick
+  // counter advances — a crash after this point recovers to the state
+  // the tick just produced, a crash before it to the previous tick.
+  if (store_ != nullptr) {
+    SGL_RETURN_NOT_OK(store_->CommitTick(table_, tick_count_));
+  }
   ticks_counter_->Add(1);
   tick_ns_hist_->Record(tick_timer.Nanos());
   if (recorder_ != nullptr) {
     recorder_->RecordTick(tick_count_, tick_timer.Nanos(), table_.NumRows());
   }
-  if (!config_.metrics_path.empty()) {
+  if (!config_.artifacts.metrics_path.empty()) {
     SGL_RETURN_NOT_OK(AppendMetricsLine());
   }
   ++tick_count_;
@@ -232,7 +246,7 @@ int64_t Simulation::memo_entries() const {
 Status Simulation::WriteTrace(const std::string& path) const {
   if (tracer_ == nullptr) {
     return Status::Invalid(
-        "tracing is off (set SimulationConfig::trace_path)");
+        "tracing is off (set SimulationConfig::artifacts.trace_path)");
   }
   return tracer_->WriteJson(path);
 }
@@ -242,17 +256,42 @@ Status Simulation::DumpFlightRecorder(const std::string& path,
   if (recorder_ == nullptr) {
     return Status::Invalid(
         "flight recorder is off "
-        "(set SimulationConfig::flight_recorder_ticks)");
+        "(set SimulationConfig::artifacts.flight_recorder_ticks)");
   }
   return recorder_->Dump(path, reason);
 }
 
+Status Simulation::DumpArtifacts(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::Invalid("DumpArtifacts: directory must not be empty");
+  }
+  SGL_RETURN_NOT_OK(storage::MakeDirs(dir));
+  if (tracer_ != nullptr) {
+    SGL_RETURN_NOT_OK(tracer_->WriteJson(dir + "/trace.json"));
+  }
+  const std::string metrics_file = dir + "/metrics.json";
+  std::ofstream out(metrics_file, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open ", metrics_file);
+  }
+  out << metrics_.ToJson() << "\n";
+  out.close();
+  if (!out.good()) {
+    return Status::Internal("failed writing ", metrics_file);
+  }
+  if (recorder_ != nullptr) {
+    SGL_RETURN_NOT_OK(
+        recorder_->Dump(dir + "/flight_record.json", "DumpArtifacts"));
+  }
+  return Status::OK();
+}
+
 Status Simulation::AppendMetricsLine() const {
-  std::ofstream out(config_.metrics_path,
+  std::ofstream out(config_.artifacts.metrics_path,
                     metrics_file_started_ ? std::ios::app : std::ios::trunc);
   if (!out.is_open()) {
     return Status::Internal("cannot open metrics output file: ",
-                            config_.metrics_path);
+                            config_.artifacts.metrics_path);
   }
   metrics_file_started_ = true;
   out << "{\"tick\":" << tick_count_ << ",\"metrics\":" << metrics_.ToJson()
@@ -260,7 +299,7 @@ Status Simulation::AppendMetricsLine() const {
   out.close();
   if (!out.good()) {
     return Status::Internal("failed writing metrics output file: ",
-                            config_.metrics_path);
+                            config_.artifacts.metrics_path);
   }
   return Status::OK();
 }
@@ -364,14 +403,17 @@ std::string Simulation::DescribePlan() const {
 
 namespace {
 
-// Snapshot wire format, version 1. Everything is explicit little-endian
+// Snapshot wire format, version 2. Everything is explicit little-endian
 // bytes (never memcpy of structs), so the encoding is identical on any
 // platform:
-//   "SGLSNP" u16:version u64:tick_count
+//   "SGLSNP" u16:version u64:tick_count u64:next_key
 //   u32:num_attrs { u8:combine u32:name_len name }...   (attr 0 = key)
 //   u32:num_rows { u64:key u64:bits(col 1) ... u64:bits(col k) }...
+// Version 1 (no next_key field) is still read; it derives next_key as
+// max(key) + 1, which can re-issue keys removed at the end of the key
+// space — version 2 exists to close that hole.
 constexpr char kSnapshotMagic[6] = {'S', 'G', 'L', 'S', 'N', 'P'};
-constexpr uint16_t kSnapshotVersion = 1;
+constexpr uint16_t kSnapshotVersion = 2;
 
 void AppendLE(std::string* out, uint64_t v, int bytes) {
   for (int i = 0; i < bytes; ++i) {
@@ -433,6 +475,7 @@ Status SimulationSnapshot::SerializeTo(std::string* out) const {
   out->append(kSnapshotMagic, sizeof(kSnapshotMagic));
   AppendLE(out, kSnapshotVersion, 2);
   AppendLE(out, static_cast<uint64_t>(tick_count), 8);
+  AppendLE(out, static_cast<uint64_t>(table.next_key()), 8);
   const Schema& schema = table.schema();
   AppendLE(out, static_cast<uint64_t>(schema.NumAttrs()), 4);
   for (AttrId a = 0; a < schema.NumAttrs(); ++a) {
@@ -462,15 +505,19 @@ Result<SimulationSnapshot> SimulationSnapshot::Parse(
   }
   uint64_t version = 0;
   SGL_RETURN_NOT_OK(reader.Read(&version, 2));
-  if (version != kSnapshotVersion) {
+  if (version != 1 && version != kSnapshotVersion) {
     return Status::Invalid("unsupported snapshot version ", version,
-                           " (this build reads version ", kSnapshotVersion,
+                           " (this build reads versions 1..", kSnapshotVersion,
                            ")");
   }
   SimulationSnapshot snapshot;
   uint64_t tick = 0;
   SGL_RETURN_NOT_OK(reader.Read(&tick, 8));
   snapshot.tick_count = static_cast<int64_t>(tick);
+  uint64_t next_key = 0;
+  if (version >= 2) {
+    SGL_RETURN_NOT_OK(reader.Read(&next_key, 8));
+  }
 
   uint64_t num_attrs = 0;
   SGL_RETURN_NOT_OK(reader.Read(&num_attrs, 4));
@@ -520,21 +567,34 @@ Result<SimulationSnapshot> SimulationSnapshot::Parse(
     return Status::Invalid("snapshot has ", reader.remaining(),
                            " trailing byte(s)");
   }
+  if (version >= 2) {
+    table.SetNextKey(static_cast<int64_t>(next_key));
+  }
   snapshot.table = std::move(table);
   return snapshot;
 }
 
-SimulationSnapshot Simulation::Snapshot() const {
+SimulationSnapshot Simulation::SnapshotNow() const {
   return SimulationSnapshot{table_.Clone(), tick_count_};
 }
 
+SimulationSnapshot Simulation::Snapshot() const { return SnapshotNow(); }
+
 Status Simulation::Restore(const SimulationSnapshot& snapshot) {
+  return RestoreSnapshot(snapshot);
+}
+
+Status Simulation::RestoreSnapshot(const SimulationSnapshot& snapshot) {
   if (!(snapshot.table.schema() == table_.schema())) {
     return Status::Invalid(
         "snapshot schema does not match the simulation's table schema");
   }
-  table_ = snapshot.table.Clone();
-  tick_count_ = snapshot.tick_count;
+  return InstallWorld(snapshot.table.Clone(), snapshot.tick_count);
+}
+
+Status Simulation::InstallWorld(EnvironmentTable table, int64_t tick) {
+  table_ = std::move(table);
+  tick_count_ = tick;
   if (config_.eval_mode == EvaluatorMode::kAdaptive || config_.shards > 1) {
     // The replaced table invalidates every delta-maintained structure —
     // adaptive index families and shard-worker local tables alike; a
@@ -544,7 +604,78 @@ Status Simulation::Restore(const SimulationSnapshot& snapshot) {
     table_.ClearChanges();
     table_.MarkStructuralChange();
   }
+  if (store_ != nullptr) {
+    // Clone() strips the listener, so every install must re-attach it,
+    // then commit the store to this timeline: checkpointing here
+    // truncates any WAL suffix beyond `tick` (time travel rewrites
+    // history from the restored point) and rewrites cached pages.
+    table_.SetDeltaListener(store_.get());
+    store_->MarkWorldInstalled();
+    SGL_RETURN_NOT_OK(store_->Checkpoint(table_, tick_count_));
+  }
   return Status::OK();
+}
+
+Status Simulation::Checkpoint(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::Invalid("Checkpoint: directory must not be empty");
+  }
+  SGL_RETURN_NOT_OK(storage::MakeDirs(dir));
+  if (store_ != nullptr && dir == config_.storage.path) {
+    SGL_RETURN_NOT_OK(store_->Checkpoint(table_, tick_count_));
+  } else {
+    // No store, or a foreign directory: write a self-contained snapshot
+    // file instead of pages + WAL.
+    std::string bytes;
+    SGL_RETURN_NOT_OK(SnapshotNow().SerializeTo(&bytes));
+    const std::string path = dir + "/snapshot.sgl";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::Internal("cannot open ", path);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out.good()) {
+      return Status::Internal("failed writing ", path);
+    }
+  }
+  return inlet_.SaveLog(dir + "/inlet.sgl");
+}
+
+Status Simulation::RestoreFrom(const std::string& dir, int64_t tick) {
+  if (dir.empty()) {
+    return Status::Invalid("RestoreFrom: directory must not be empty");
+  }
+  if (store_ != nullptr && dir == config_.storage.path) {
+    storage::RecoveredWorld world;
+    if (tick < 0) {
+      SGL_ASSIGN_OR_RETURN(world, store_->Recover());
+    } else {
+      SGL_ASSIGN_OR_RETURN(world, store_->Materialize(tick));
+    }
+    if (!(world.table.schema() == table_.schema())) {
+      return Status::Invalid(
+          "stored world schema does not match the simulation's table schema");
+    }
+    SGL_RETURN_NOT_OK(InstallWorld(std::move(world.table), world.tick));
+  } else {
+    const std::string path = dir + "/snapshot.sgl";
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      return Status::NotFound("no snapshot at ", path);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SGL_ASSIGN_OR_RETURN(SimulationSnapshot snapshot,
+                         SimulationSnapshot::Parse(buf.str()));
+    if (tick >= 0 && snapshot.tick_count != tick) {
+      return Status::Invalid("snapshot at ", path, " is at tick ",
+                             snapshot.tick_count, ", not the requested tick ",
+                             tick);
+    }
+    SGL_RETURN_NOT_OK(RestoreSnapshot(snapshot));
+  }
+  return inlet_.RestoreLog(dir + "/inlet.sgl", tick_count_);
 }
 
 // ------------------------------------------------------- SimulationBuilder
@@ -855,12 +986,26 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
                          shard::ShardRuntime::Create(sim.get()));
   }
 
+  // Durable storage attaches before the registry is sized so storage.*
+  // counters get their shard slots too. An existing world on disk is
+  // never clobbered at build: ticking stays blocked until the caller
+  // RestoreFrom()s it or Checkpoint()s over it.
+  if (config_.storage.enabled()) {
+    SGL_ASSIGN_OR_RETURN(
+        sim->store_,
+        storage::WorldStore::Open(config_.storage, &sim->metrics_));
+    if (!sim->store_->has_world()) {
+      SGL_RETURN_NOT_OK(sim->store_->Checkpoint(sim->table_, 0));
+    }
+    sim->table_.SetDeltaListener(sim->store_.get());
+  }
+
   // Size every sharded metric once, after all bindings: chunk ids of the
   // parallel phases are the shard ids (NumChunks never exceeds the
   // thread count), and shard-worker ids key their own slots.
   const int32_t metric_shards = std::max(sim->threads_, config_.shards);
   sim->metrics_.SetNumShards(metric_shards);
-  if (!config_.trace_path.empty()) {
+  if (!config_.artifacts.trace_path.empty()) {
     sim->tracer_ = std::make_unique<obs::Tracer>();
     sim->tracer_->SetNumShards(metric_shards);
     if (sim->sharing_ != nullptr) {
@@ -872,9 +1017,9 @@ Result<std::unique_ptr<Simulation>> SimulationBuilder::Build() {
       }
     }
   }
-  if (config_.flight_recorder_ticks > 0) {
+  if (config_.artifacts.flight_recorder_ticks > 0) {
     sim->recorder_ = std::make_unique<obs::FlightRecorder>(
-        &sim->metrics_, config_.flight_recorder_ticks);
+        &sim->metrics_, config_.artifacts.flight_recorder_ticks);
   }
 
   // --- mechanics ---------------------------------------------------------

@@ -24,9 +24,11 @@
 // cost model of src/opt/cost.h. All modes produce bit-identical
 // simulations.
 //
-// Snapshot()/Restore() checkpoint the environment table and tick counter;
-// because all per-tick randomness derives from (seed, tick), restoring a
-// snapshot and re-running replays the simulation deterministically.
+// Checkpoint(dir)/RestoreFrom(dir) are the one durability API: they
+// persist and rebuild the world (table + tick counter + inlet log), over
+// either the disk-backed storage engine (StorageConfig, src/storage/) or
+// a plain snapshot file. Because all per-tick randomness derives from
+// (seed, tick), a restored world re-runs deterministically.
 #ifndef SGL_ENGINE_SIMULATION_H_
 #define SGL_ENGINE_SIMULATION_H_
 
@@ -50,11 +52,16 @@
 #include "serve/action_inlet.h"
 #include "sgl/analyzer.h"
 #include "sgl/interpreter.h"
+#include "storage/config.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "vm/bytecode.h"
 
 namespace sgl {
+
+namespace storage {
+class WorldStore;
+}  // namespace storage
 
 /// Which aggregate/action evaluator the simulation runs. All modes are
 /// bit-exact with each other (the engine and scenario suites enforce it):
@@ -95,6 +102,33 @@ using ApplyEffectsHook = std::function<Status(
     const TickRandom& rnd)>;
 using EndTickHook =
     std::function<Status(EnvironmentTable* table, const TickRandom& rnd)>;
+
+/// Observability artifact outputs — every path the engine writes
+/// diagnostics to, in one block (was: loose trace_path / metrics_path /
+/// flight_recorder_* fields directly on SimulationConfig).
+struct ArtifactConfig {
+  /// When non-empty, record span/instant events (tick → phase →
+  /// per-chunk worker spans, plus adaptive-choice / memo-demotion /
+  /// VM-bail / error instants) and write them as Chrome trace-event
+  /// JSON — Perfetto-loadable — to this path when the simulation is
+  /// destroyed (or earlier via WriteTrace). Empty disables tracing
+  /// entirely: every emit site reduces to one branch on a null pointer.
+  std::string trace_path;
+
+  /// When non-empty, append one JSON-lines metrics snapshot
+  /// ({"tick":N,"metrics":{...}}) to this path after every tick.
+  std::string metrics_path;
+
+  /// Flight recorder: keep summaries (phase timings, row counts, metric
+  /// deltas) of the last N ticks and dump them as JSON to
+  /// `flight_recorder_path` when Tick() fails or a scenario invariant
+  /// trips. 0 disables.
+  int32_t flight_recorder_ticks = 0;
+  std::string flight_recorder_path = "flight_record.json";
+
+  /// Validation with SimulationConfig's message vocabulary.
+  Status Validate() const;
+};
 
 struct SimulationConfig {
   /// Evaluator mode (the paper's pluggable evaluators plus kAdaptive).
@@ -152,25 +186,18 @@ struct SimulationConfig {
   double step_per_tick = 3.0;  // the paper's _WALK_DIST_PER_TICK
   bool collisions = true;
 
-  /// Observability (src/obs/). `trace_path`: when non-empty, record
-  /// span/instant events (tick → phase → per-chunk worker spans, plus
-  /// adaptive-choice / memo-demotion / VM-bail / error instants) and
-  /// write them as Chrome trace-event JSON — Perfetto-loadable — to this
-  /// path when the simulation is destroyed (or earlier via WriteTrace).
-  /// Empty disables tracing entirely: every emit site reduces to one
-  /// branch on a null pointer.
-  std::string trace_path;
+  /// Observability artifact outputs (src/obs/): tracing, per-tick
+  /// metrics lines, the flight recorder.
+  ArtifactConfig artifacts;
 
-  /// When non-empty, append one JSON-lines metrics snapshot
-  /// ({"tick":N,"metrics":{...}}) to this path after every tick.
-  std::string metrics_path;
-
-  /// Flight recorder: keep summaries (phase timings, row counts, metric
-  /// deltas) of the last N ticks and dump them as JSON to
-  /// `flight_recorder_path` when Tick() fails or a scenario invariant
-  /// trips. 0 disables.
-  int32_t flight_recorder_ticks = 0;
-  std::string flight_recorder_path = "flight_record.json";
+  /// Disk-backed world (src/storage/): buffer-pool pages under the
+  /// environment table plus a write-ahead delta log, giving crash
+  /// recovery, O(delta) checkpoints, time travel, and out-of-core
+  /// tables. Disabled (empty path) by default — the in-memory engine
+  /// then runs with zero storage overhead. Storage-backed runs are
+  /// bit-exact with in-memory runs for every evaluator mode, thread
+  /// count, and shard count (tests/storage_test.cc enforces it).
+  StorageConfig storage;
 
   /// Validate every field against the engine's limits, with one error
   /// vocabulary (every message is an InvalidArgument starting with
@@ -334,10 +361,41 @@ class Simulation {
   /// The physical plan description alone (the Engine-era EXPLAIN).
   std::string DescribePlan() const;
 
-  /// Checkpoint the world. Restoring it rewinds the table and the tick
-  /// counter; re-running then replays deterministically (all randomness
-  /// derives from (config.seed, tick)).
+  // --- durability (the one checkpoint/restore API) -----------------------
+
+  /// Persist the world into directory `dir` (created if needed). With
+  /// disk-backed storage on and `dir` == config().storage.path, this
+  /// publishes a storage checkpoint (O(pages touched since the last
+  /// one)) and truncates the WAL; otherwise it writes a portable
+  /// snapshot file (snapshot.sgl). Either way the applied inlet log is
+  /// saved alongside (inlet.sgl), so a restored world replays injected
+  /// actions too.
+  Status Checkpoint(const std::string& dir);
+
+  /// Rebuild the world from directory `dir` and continue from there.
+  /// `tick` selects the state to materialize: -1 (default) the latest
+  /// durable state — for a storage directory, checkpoint + full WAL
+  /// replay (a torn trailing tick from a crash is dropped); a specific
+  /// tick re-materializes exactly that state (time travel; storage
+  /// directories cover [checkpoint_tick, latest], snapshot files only
+  /// their own tick). Restoring commits to the chosen timeline: with
+  /// storage on, a fresh checkpoint is published at the restored tick.
+  Status RestoreFrom(const std::string& dir, int64_t tick = -1);
+
+  /// Write every enabled observability artifact into `dir` (created if
+  /// needed): trace.json (when tracing is on), metrics.json (always),
+  /// flight_record.json (when the recorder is on).
+  Status DumpArtifacts(const std::string& dir);
+
+  /// The disk-backed world store, or null when config().storage is
+  /// disabled (src/storage/world_store.h).
+  storage::WorldStore* store() { return store_.get(); }
+  const storage::WorldStore* store() const { return store_.get(); }
+
+  [[deprecated("use Checkpoint(dir); in-memory snapshots remain available "
+               "via SimulationSnapshot for one more release")]]
   SimulationSnapshot Snapshot() const;
+  [[deprecated("use RestoreFrom(dir)")]]
   Status Restore(const SimulationSnapshot& snapshot);
 
   // --- accessors used by TickPhase implementations -----------------------
@@ -369,8 +427,16 @@ class Simulation {
   // Out of line: members hold unique_ptrs to types fwd-declared here.
   explicit Simulation(EnvironmentTable table);
 
-  /// Append one {"tick":N,"metrics":{...}} line to config_.metrics_path.
+  /// Append one {"tick":N,"metrics":{...}} line to artifacts.metrics_path.
   Status AppendMetricsLine() const;
+
+  /// The deprecated shims' bodies (and the engine's internal users).
+  SimulationSnapshot SnapshotNow() const;
+  Status RestoreSnapshot(const SimulationSnapshot& snapshot);
+
+  /// Install a rebuilt table + tick and re-sync every delta consumer
+  /// (change tracking, shard repartition, the storage listener).
+  Status InstallWorld(EnvironmentTable table, int64_t tick);
 
   std::string name_;
   SimulationConfig config_;
@@ -404,6 +470,8 @@ class Simulation {
   serve::ActionInlet inlet_;
   obs::Counter* inlet_applied_ = nullptr;
   obs::Counter* inlet_dropped_ = nullptr;
+  /// The disk-backed world store; null when config storage is disabled.
+  std::unique_ptr<storage::WorldStore> store_;
 };
 
 /// Fluent assembly of a Simulation. All setters return *this; Build()

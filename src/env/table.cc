@@ -32,6 +32,7 @@ Status EnvironmentTable::AddRowWithKey(int64_t key,
   for (size_t c = 0; c < cols_.size(); ++c) cols_[c].push_back(values[c]);
   key_to_row_[key] = row;
   next_key_ = std::max(next_key_, key + 1);
+  if (listener_ != nullptr) listener_->OnAddRow(key, row, values);
   return Status::OK();
 }
 
@@ -42,9 +43,9 @@ void EnvironmentTable::ResetEffects() {
   // effect-free tick a no-op even for max/min-tagged attributes.
   for (AttrId a : schema_.EffectAttrs()) {
     std::vector<double>& col = cols_[a - 1];
-    if (tracking_) {
+    if (watched_) {
       for (RowId r = 0; r < NumRows(); ++r) {
-        if (col[r] != 0.0) NoteDirty(r, a);
+        if (col[r] != 0.0) NoteWrite(r, a);
       }
     }
     std::fill(col.begin(), col.end(), 0.0);
@@ -54,6 +55,7 @@ void EnvironmentTable::ResetEffects() {
 void EnvironmentTable::EnableChangeTracking() {
   if (tracking_) return;
   tracking_ = true;
+  watched_ = true;
   // No change window exists yet; make the first consumer rebuild.
   changes_.structural = true;
 }
@@ -73,6 +75,11 @@ void EnvironmentTable::NoteDirty(RowId row, AttrId attr) {
   mask |= TableChanges::BitOf(attr);
 }
 
+void EnvironmentTable::NoteWrite(RowId row, AttrId attr) {
+  if (tracking_) NoteDirty(row, attr);
+  if (listener_ != nullptr) listener_->OnCellWrite(keys_[row], attr);
+}
+
 void EnvironmentTable::MarkRowDirty(RowId row, uint64_t mask) {
   if (!tracking_ || mask == 0) return;
   if (row >= static_cast<RowId>(changes_.masks.size())) {
@@ -86,9 +93,15 @@ void EnvironmentTable::MarkRowDirty(RowId row, uint64_t mask) {
 int32_t EnvironmentTable::RemoveIf(const std::function<bool(RowId)>& pred) {
   int32_t n = NumRows();
   RowId out = 0;
+  RowId first_removed = -1;
+  std::vector<int64_t> removed_keys;
   for (RowId in = 0; in < n; ++in) {
     if (pred(in)) {
       key_to_row_.erase(keys_[in]);
+      if (listener_ != nullptr) {
+        if (first_removed < 0) first_removed = in;
+        removed_keys.push_back(keys_[in]);
+      }
       continue;
     }
     if (out != in) {
@@ -101,6 +114,9 @@ int32_t EnvironmentTable::RemoveIf(const std::function<bool(RowId)>& pred) {
   keys_.resize(out);
   for (auto& col : cols_) col.resize(out);
   if (tracking_ && out != n) changes_.structural = true;
+  if (listener_ != nullptr && !removed_keys.empty()) {
+    listener_->OnRemoveRows(first_removed, removed_keys);
+  }
   return n - out;
 }
 

@@ -50,6 +50,29 @@ struct TableChanges {
   std::vector<uint64_t> masks;  // indexed by row; 0 = clean
 };
 
+/// Observer of individual table mutations, keyed by unit key — the
+/// storage layer's WAL record source (src/storage/world_store.h). Unlike
+/// TableChanges (row-indexed, coarsened to one mask per row), listener
+/// events carry unit keys and fire in mutation order, so structural ops
+/// replay exactly and cell deltas survive RemoveIf's row compaction.
+/// At most one listener per table; Clone() never copies it.
+class TableDeltaListener {
+ public:
+  virtual ~TableDeltaListener() = default;
+
+  /// A Set (or ResetEffects) changed the stored value of (key, attr).
+  virtual void OnCellWrite(int64_t key, AttrId attr) = 0;
+
+  /// A row was appended at `row` with `values` (attrs 1..k).
+  virtual void OnAddRow(int64_t key, RowId row,
+                        const std::vector<double>& values) = 0;
+
+  /// RemoveIf dropped `keys` (ascending pre-compaction row order);
+  /// `first_row` is the smallest removed row index before compaction.
+  virtual void OnRemoveRows(RowId first_row,
+                            const std::vector<int64_t>& keys) = 0;
+};
+
 /// Columnar multiset of unit tuples with unique keys.
 class EnvironmentTable {
  public:
@@ -82,10 +105,11 @@ class EnvironmentTable {
   }
 
   /// Write a non-key attribute. With change tracking enabled, a write that
-  /// actually changes the stored value marks (row, attr) dirty.
+  /// actually changes the stored value marks (row, attr) dirty; a delta
+  /// listener additionally observes it keyed by unit key.
   void Set(RowId row, AttrId attr, double value) {
     double& slot = cols_[attr - 1][row];
-    if (tracking_ && slot != value) NoteDirty(row, attr);
+    if (watched_ && slot != value) NoteWrite(row, attr);
     slot = value;
   }
 
@@ -103,8 +127,15 @@ class EnvironmentTable {
   /// preserves the relative order of survivors. Returns removed count.
   int32_t RemoveIf(const std::function<bool(RowId)>& pred);
 
-  /// Deep copy (used by the equivalence test harness).
-  EnvironmentTable Clone() const { return *this; }
+  /// Deep copy (used by the equivalence test harness). The copy never
+  /// inherits the delta listener: a listener observes exactly one live
+  /// table, and clones are scratch copies by construction.
+  EnvironmentTable Clone() const {
+    EnvironmentTable copy = *this;
+    copy.listener_ = nullptr;
+    copy.watched_ = copy.tracking_;
+    return copy;
+  }
 
   /// Exact equality of schema, keys and every attribute value.
   bool Equals(const EnvironmentTable& other) const;
@@ -142,8 +173,27 @@ class EnvironmentTable {
   /// would. No-op when tracking is disabled or `mask` is zero.
   void MarkRowDirty(RowId row, uint64_t mask);
 
+  // --- delta listener (the storage layer's WAL feed) ----------------------
+
+  /// Attach (or with nullptr detach) the table's single delta listener.
+  void SetDeltaListener(TableDeltaListener* listener) {
+    listener_ = listener;
+    watched_ = tracking_ || listener_ != nullptr;
+  }
+  TableDeltaListener* delta_listener() const { return listener_; }
+
+  /// The next auto-assigned key. Exposed so durable storage can carry it
+  /// through checkpoints: RemoveIf never lowers it, so rebuilding a table
+  /// from its rows alone would under-set it and desynchronize AddRow.
+  int64_t next_key() const { return next_key_; }
+  void SetNextKey(int64_t next_key) { next_key_ = next_key; }
+
  private:
   void NoteDirty(RowId row, AttrId attr);
+
+  /// Slow path of Set for a value-changing write: dirty-mark and/or
+  /// notify the listener, whichever of the two is active.
+  void NoteWrite(RowId row, AttrId attr);
 
   Schema schema_;
   std::vector<int64_t> keys_;
@@ -151,6 +201,8 @@ class EnvironmentTable {
   std::unordered_map<int64_t, RowId> key_to_row_;
   int64_t next_key_ = 0;
   bool tracking_ = false;
+  bool watched_ = false;  // tracking_ || listener_ — the Set hot-path gate
+  TableDeltaListener* listener_ = nullptr;
   TableChanges changes_;
 };
 

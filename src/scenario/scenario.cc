@@ -98,7 +98,7 @@ Status ScenarioRegistry::CheckInvariants(const std::string& name,
     // Best-effort: the invariant failure is the interesting error; a
     // dump failure must not mask it.
     const Status dump_st = sim.DumpFlightRecorder(
-        sim.config().flight_recorder_path,
+        sim.config().artifacts.flight_recorder_path,
         "invariant failure: " + st.ToString());
     (void)dump_st;
   }

@@ -12,10 +12,12 @@
 //
 // Determinism and replay: every applied action is recorded in the inlet
 // log together with the tick at whose start it was applied. The pair
-// (initial world, inlet log) fully determines the run — LoadReplay feeds
-// a recorded log back into a fresh simulation, where each record applies
+// (initial world, inlet log) fully determines the run — Replay feeds a
+// recorded log back into a fresh simulation, where each record applies
 // at exactly its recorded tick, reproducing the live run bit for bit
-// (tests/serve_test.cc enforces it).
+// (tests/serve_test.cc enforces it). Simulation::Checkpoint persists
+// the log next to the world (SaveLog) and RestoreFrom reloads it
+// (RestoreLog), so a restored run replays its still-pending actions.
 //
 // Application semantics are deliberately small: an action writes one
 // attribute of one unit, either overwriting (kSet) or adding (kAdd).
@@ -31,6 +33,7 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "env/table.h"
@@ -92,7 +95,23 @@ class ActionInlet {
   /// must be in ascending (tick, seq) order with no tick earlier than
   /// the simulation's next tick. Live Pushes may not be mixed into a
   /// replaying inlet until the loaded log has fully drained.
-  Status LoadReplay(std::vector<InletRecord> records);
+  Status Replay(std::vector<InletRecord> records);
+
+  [[deprecated("use Replay")]] Status LoadReplay(
+      std::vector<InletRecord> records) {
+    return Replay(std::move(records));
+  }
+
+  /// Persist the applied-action log to `path` (binary, little-endian,
+  /// checksummed). An empty log still writes a valid file.
+  Status SaveLog(const std::string& path) const;
+
+  /// Load a log written by SaveLog into a simulation restored to state
+  /// `tick`: records applied before `tick` become history (the log), and
+  /// records at or after it re-queue, pinned, to apply again as the
+  /// restored run re-executes those ticks. A missing file is OK (the
+  /// inlet just resets). The queue must be empty.
+  Status RestoreLog(const std::string& path, int64_t tick);
 
   /// Engine-side, called once at the start of tick `tick`: apply every
   /// queued unpinned action plus every replay record pinned to `tick`,
@@ -103,7 +122,7 @@ class ActionInlet {
                    InletDrainStats* stats);
 
   /// The applied-action log in application (sequence) order; feed it to
-  /// LoadReplay on a fresh simulation to reproduce this run.
+  /// Replay on a fresh simulation to reproduce this run.
   std::vector<InletRecord> Log() const;
 
   /// Total actions ever applied / dropped (thread-safe).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "exec/exchange.h"
+#include "storage/world_store.h"
 
 namespace sgl {
 namespace shard {
@@ -113,6 +114,8 @@ Result<std::unique_ptr<ShardRuntime>> ShardRuntime::Create(Simulation* sim) {
       metrics->GetCounter("shard.repartitions", exec_dep);
   runtime->refresh_rows_ =
       metrics->GetCounter("shard.refresh_rows", exec_dep);
+  runtime->drift_rebuilds_ =
+      metrics->GetCounter("shard.drift_rebuilds", exec_dep);
   runtime->exchange_ops_ =
       metrics->GetCounter("shard.exchange.ops", exec_dep);
   runtime->exchange_pending_ =
@@ -145,18 +148,41 @@ Status ShardRuntime::Refresh(TickContext* ctx) {
   EnvironmentTable& global = *ctx->table;
   const TableChanges& changes = global.changes();
 
-  bool full = !assigned_ || changes.structural;
+  const bool full = !assigned_ || changes.structural;
+  uint64_t drift_workers = 0;
   if (!full && !replicated_) {
     // Stripe drift: a dirty row whose position left its recorded stripe
-    // (or margin band) invalidates the assignment.
+    // (or margin band) gets its assignment patched in place, and only
+    // the workers whose copy set it touches (old and new owner and
+    // members) rebuild — the rest take the cheap per-row delta path.
+    // Clean rows cannot drift: the stripe functions depend on nothing
+    // but posx, and an unchanged posx maps to the same stripe.
     for (RowId g : changes.dirty_rows) {
       const double x = global.Get(g, posx_);
-      if (StripeOwner(x, world_width_, num_shards_) != assign_.owner[g] ||
-          StripeMembership(x, world_width_, num_shards_, margin_) !=
-              assign_.member[g]) {
-        full = true;
-        break;
+      const int32_t owner = StripeOwner(x, world_width_, num_shards_);
+      const uint64_t member =
+          StripeMembership(x, world_width_, num_shards_, margin_);
+      if (owner != assign_.owner[g] || member != assign_.member[g]) {
+        drift_workers |= assign_.member[g] | member |
+                         (1ull << assign_.owner[g]) | (1ull << owner);
+        assign_.owner[g] = owner;
+        assign_.member[g] = member;
       }
+    }
+  }
+
+  // With durable storage attached, ghost refresh reads row values back
+  // through the buffer pool instead of the live table: one pool sync up
+  // front (the mid-tick drain/reset writes), then page reads — the
+  // out-of-core read path, and a continuous cross-check that the pages
+  // mirror the table bit for bit.
+  std::vector<std::vector<double>> staged;
+  storage::WorldStore* store = sim_->store();
+  if (store != nullptr && !full) {
+    SGL_RETURN_NOT_OK(store->FlushPoolDeltas(global));
+    staged.resize(changes.dirty_rows.size());
+    for (size_t i = 0; i < changes.dirty_rows.size(); ++i) {
+      SGL_RETURN_NOT_OK(store->ReadRow(changes.dirty_rows[i], &staged[i]));
     }
   }
 
@@ -168,41 +194,44 @@ Status ShardRuntime::Refresh(TickContext* ctx) {
                                         num_shards_, margin_);
     assigned_ = true;
     repartitions_->Add(1);
-    SGL_RETURN_NOT_OK(ForEachWorker(
-        ctx->pool, &pstats, [&](ShardWorker* worker) -> Status {
-          obs::SpanScope span(ctx->tracer, "shard-build", 1 + worker->id(),
-                              worker->id());
-          if (ctx->tracer != nullptr) {
-            char args[64];
-            std::snprintf(args, sizeof(args), "{\"shard\":%d,\"full\":1}",
-                          worker->id());
-            span.set_args_json(args);
-          }
-          SGL_RETURN_NOT_OK(worker->Rebuild(global, assign_));
-          SGL_RETURN_NOT_OK(worker->BuildLocalIndexes(*ctx->rnd));
-          worker->ClearLocalChanges();
-          return Status::OK();
-        }));
   } else {
     refresh_rows_->Add(static_cast<int64_t>(changes.dirty_rows.size()));
-    SGL_RETURN_NOT_OK(ForEachWorker(
-        ctx->pool, &pstats, [&](ShardWorker* worker) -> Status {
-          obs::SpanScope span(ctx->tracer, "shard-build", 1 + worker->id(),
-                              worker->id());
-          if (ctx->tracer != nullptr) {
-            char args[64];
-            std::snprintf(args, sizeof(args), "{\"shard\":%d,\"full\":0}",
-                          worker->id());
-            span.set_args_json(args);
-          }
-          for (RowId g : changes.dirty_rows) {
-            worker->RefreshRow(global, g, changes.attr_mask(g));
-          }
-          SGL_RETURN_NOT_OK(worker->BuildLocalIndexes(*ctx->rnd));
-          worker->ClearLocalChanges();
-          return Status::OK();
-        }));
+    if (drift_workers != 0) {
+      int64_t rebuilds = 0;
+      for (int32_t w = 0; w < num_shards_; ++w) {
+        if ((drift_workers >> w) & 1) ++rebuilds;
+      }
+      drift_rebuilds_->Add(rebuilds);
+    }
   }
+  SGL_RETURN_NOT_OK(ForEachWorker(
+      ctx->pool, &pstats, [&](ShardWorker* worker) -> Status {
+        const bool rebuild =
+            full || ((drift_workers >> worker->id()) & 1) != 0;
+        obs::SpanScope span(ctx->tracer, "shard-build", 1 + worker->id(),
+                            worker->id());
+        if (ctx->tracer != nullptr) {
+          char args[64];
+          std::snprintf(args, sizeof(args), "{\"shard\":%d,\"full\":%d}",
+                        worker->id(), rebuild ? 1 : 0);
+          span.set_args_json(args);
+        }
+        if (rebuild) {
+          SGL_RETURN_NOT_OK(worker->Rebuild(global, assign_));
+        } else {
+          for (size_t i = 0; i < changes.dirty_rows.size(); ++i) {
+            const RowId g = changes.dirty_rows[i];
+            if (staged.empty()) {
+              worker->RefreshRow(global, g, changes.attr_mask(g));
+            } else {
+              worker->RefreshRowValues(g, changes.attr_mask(g), staged[i]);
+            }
+          }
+        }
+        SGL_RETURN_NOT_OK(worker->BuildLocalIndexes(*ctx->rnd));
+        worker->ClearLocalChanges();
+        return Status::OK();
+      }));
   // Every worker consumed this change window; open the next one (the
   // single-table IndexBuildPhase does the same after its builds).
   global.ClearChanges();

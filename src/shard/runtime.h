@@ -101,6 +101,7 @@ class ShardRuntime {
   // snapshot a shards=1 run is compared against).
   obs::Counter* repartitions_ = nullptr;
   obs::Counter* refresh_rows_ = nullptr;
+  obs::Counter* drift_rebuilds_ = nullptr;
   obs::Counter* exchange_ops_ = nullptr;
   obs::Counter* exchange_pending_ = nullptr;
   obs::Gauge* workers_gauge_ = nullptr;

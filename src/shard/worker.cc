@@ -152,6 +152,16 @@ void ShardWorker::RefreshRow(const EnvironmentTable& global, RowId global_row,
   local_.MarkRowDirty(l, mask);
 }
 
+void ShardWorker::RefreshRowValues(RowId global_row, uint64_t mask,
+                                   const std::vector<double>& values) {
+  const RowId l = global_to_local_[global_row];
+  if (l < 0) return;
+  for (size_t a = 0; a < values.size(); ++a) {
+    local_.Set(l, static_cast<AttrId>(a) + 1, values[a]);
+  }
+  local_.MarkRowDirty(l, mask);
+}
+
 Status ShardWorker::BuildLocalIndexes(const TickRandom& rnd) {
   for (auto& ws : sessions_) {
     if (ws->provider == nullptr) continue;

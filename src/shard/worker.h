@@ -70,6 +70,12 @@ class ShardWorker {
   void RefreshRow(const EnvironmentTable& global, RowId global_row,
                   uint64_t mask);
 
+  /// RefreshRow with the row's attribute values (attrs 1..k) supplied by
+  /// the caller — the durable-storage path, where ghost refresh reads
+  /// come back through the buffer pool rather than the live table.
+  void RefreshRowValues(RowId global_row, uint64_t mask,
+                        const std::vector<double>& values);
+
   /// Phase-1 work: rebuild (or delta-maintain, per the adaptive cost
   /// model) every session's index families over the local table.
   Status BuildLocalIndexes(const TickRandom& rnd);

@@ -1,0 +1,142 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace sgl {
+namespace storage {
+
+BufferPool::BufferPool(PageFile* file, int32_t page_size, int32_t pool_pages)
+    : file_(file), page_size_(page_size) {
+  frames_.resize(static_cast<size_t>(pool_pages));
+  for (Frame& f : frames_) {
+    f.bytes = std::make_unique<uint8_t[]>(static_cast<size_t>(page_size_));
+  }
+}
+
+void BufferPool::BindMetrics(obs::Counter* hits, obs::Counter* misses,
+                             obs::Counter* evictions) {
+  hits_ = hits;
+  misses_ = misses;
+  evictions_ = evictions;
+}
+
+void BufferPool::EnsurePage(PageId id) {
+  if (id >= static_cast<PageId>(committed_.size())) {
+    committed_.resize(static_cast<size_t>(id + 1), 0);
+    scratch_valid_.resize(static_cast<size_t>(id + 1), 0);
+  }
+}
+
+Result<int32_t> BufferPool::Evict() {
+  // Clock sweep: clear second-chance bits until an unpinned, unreferenced
+  // frame comes around. Two sweeps with every frame pinned means the
+  // caller holds more pins than the pool has frames — a discipline bug.
+  const int32_t n = static_cast<int32_t>(frames_.size());
+  for (int32_t step = 0; step < 2 * n; ++step) {
+    Frame& f = frames_[clock_hand_];
+    const int32_t index = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (f.pin_count > 0) continue;
+    if (f.ref) {
+      f.ref = false;
+      continue;
+    }
+    if (f.page >= 0) {
+      if (f.dirty) {
+        SGL_RETURN_NOT_OK(
+            file_->WriteSlot(f.page, ScratchSlot(f.page), f.bytes.get()));
+        scratch_valid_[f.page] = 1;
+        f.dirty = false;
+      }
+      page_to_frame_.erase(f.page);
+      if (evictions_ != nullptr) evictions_->Add(1);
+      f.page = -1;
+    }
+    return index;
+  }
+  return Status::Internal(
+      "storage: buffer pool exhausted (every frame pinned; pool_pages too "
+      "small for the pin pattern)");
+}
+
+Result<BufferPool::Pinned> BufferPool::Pin(PageId id, bool create) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EnsurePage(id);
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    Frame& f = frames_[it->second];
+    ++f.pin_count;
+    f.ref = true;
+    if (hits_ != nullptr) hits_->Add(1);
+    return Pinned{f.bytes.get() + kPageHeaderBytes, it->second};
+  }
+  if (misses_ != nullptr) misses_->Add(1);
+  SGL_ASSIGN_OR_RETURN(int32_t index, Evict());
+  Frame& f = frames_[index];
+  if (create) {
+    std::memset(f.bytes.get(), 0, static_cast<size_t>(page_size_));
+  } else {
+    SGL_RETURN_NOT_OK(file_->ReadSlot(id, NewestSlot(id), f.bytes.get(),
+                                      /*missing_ok=*/false));
+  }
+  f.page = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.ref = true;
+  page_to_frame_[id] = index;
+  return Pinned{f.bytes.get() + kPageHeaderBytes, index};
+}
+
+void BufferPool::Unpin(const Pinned& pinned, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame& f = frames_[pinned.frame];
+  if (dirty) f.dirty = true;
+  --f.pin_count;
+}
+
+Status BufferPool::FlushDirty(int64_t* written) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.page < 0 || !f.dirty) continue;
+    SGL_RETURN_NOT_OK(
+        file_->WriteSlot(f.page, ScratchSlot(f.page), f.bytes.get()));
+    scratch_valid_[f.page] = 1;
+    f.dirty = false;
+    if (written != nullptr) ++*written;
+  }
+  return Status::OK();
+}
+
+void BufferPool::PromoteScratch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t p = 0; p < scratch_valid_.size(); ++p) {
+    if (scratch_valid_[p]) {
+      committed_[p] ^= 1;
+      scratch_valid_[p] = 0;
+    }
+  }
+}
+
+void BufferPool::LoadCommittedBits(std::vector<uint8_t> bits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_ = std::move(bits);
+  scratch_valid_.assign(committed_.size(), 0);
+}
+
+Status BufferPool::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.pin_count > 0) {
+      return Status::Internal(
+          "storage: cannot invalidate the buffer pool with pages pinned");
+    }
+    f.page = -1;
+    f.dirty = false;
+    f.ref = false;
+  }
+  page_to_frame_.clear();
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace sgl

@@ -1,0 +1,68 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sgl {
+namespace storage {
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PageFile::Open(const std::string& path, int32_t page_size) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Status::Internal("storage: cannot open page file ", path, ": ",
+                            std::strerror(errno));
+  }
+  page_size_ = page_size;
+  path_ = path;
+  return Status::OK();
+}
+
+Status PageFile::ReadSlot(PageId page, int32_t slot, uint8_t* buf,
+                          bool missing_ok) {
+  ssize_t got = ::pread(fd_, buf, static_cast<size_t>(page_size_),
+                        SlotOffset(page, slot));
+  if (got < 0) {
+    return Status::Internal("storage: pread failed on ", path_, ": ",
+                            std::strerror(errno));
+  }
+  if (got == 0 && missing_ok) {
+    // Past EOF: a page that was never checkpointed. Serve zeros.
+    std::memset(buf, 0, static_cast<size_t>(page_size_));
+    SealPage(buf, page_size_, page);
+    return Status::OK();
+  }
+  if (got != page_size_ || !PageValid(buf, page_size_, page)) {
+    return Status::Invalid("storage: page ", page, " of ", path_,
+                           " failed its checksum (corrupt or torn write)");
+  }
+  return Status::OK();
+}
+
+Status PageFile::WriteSlot(PageId page, int32_t slot, uint8_t* buf) {
+  SealPage(buf, page_size_, page);
+  ssize_t put = ::pwrite(fd_, buf, static_cast<size_t>(page_size_),
+                         SlotOffset(page, slot));
+  if (put != page_size_) {
+    return Status::Internal("storage: pwrite failed on ", path_, ": ",
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("storage: fsync failed on ", path_, ": ",
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace sgl

@@ -1,0 +1,96 @@
+// Write-ahead log of per-tick world deltas (src/storage/).
+//
+// The WAL is an append-only file of framed records; together with the
+// page file's latest checkpoint it re-materializes any tick since that
+// checkpoint (crash recovery and time-travel are the same replay loop).
+// Layout, all little-endian:
+//
+//   header: "SGLWAL" u16:version u64:checkpoint_tick        (16 bytes)
+//   record: u32:body_len u8:type u64:fnv1a(body) body       (13 + len)
+//
+// One simulation tick t appends, in order: TickBegin(t); the tick's
+// structural ops exactly as they happened (AddRow with the assigned key
+// and initial values, RemoveRows with the removed keys); one CellDeltas
+// record holding the final value of every cell the tick dirtied (keyed
+// by unit key, so row compaction cannot skew replay); TickCommit(t)
+// carrying the table's next auto-key and row count. Replay applies the
+// records of each committed tick in order — a tick whose records stop
+// before TickCommit at the file's end is a torn tail (the crash
+// interrupted the append) and is dropped; a checksum failure anywhere is
+// corruption and rejects the whole log.
+//
+// Records are written with plain write() syscalls, so a process that
+// dies without flushing anything (the kill-recover tests _exit mid-run)
+// still leaves every appended record readable. fsync is reserved for
+// checkpoints; see StorageConfig.
+#ifndef SGL_STORAGE_WAL_H_
+#define SGL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sgl {
+namespace storage {
+
+enum class WalRecordType : uint8_t {
+  kTickBegin = 1,
+  kAddRow = 2,
+  kRemoveRows = 3,
+  kCellDeltas = 4,
+  kTickCommit = 5,
+};
+
+/// One parsed record: the type tag plus its raw body bytes (the world
+/// store decodes bodies with the same LE helpers that built them).
+struct WalRecord {
+  WalRecordType type;
+  std::string body;
+};
+
+/// Append `v`'s low `bytes` bytes little-endian (record-body builder).
+void WalAppendLE(std::string* out, uint64_t v, int bytes);
+
+class WalFile {
+ public:
+  WalFile() = default;
+  ~WalFile();
+
+  WalFile(const WalFile&) = delete;
+  WalFile& operator=(const WalFile&) = delete;
+
+  /// Open `path`, creating an empty log (header with checkpoint_tick 0)
+  /// when absent. An existing file must start with a valid header.
+  Status Open(const std::string& path);
+
+  int64_t checkpoint_tick() const { return checkpoint_tick_; }
+
+  /// Truncate to a fresh header stamped with `checkpoint_tick` — the
+  /// checkpoint just published covers everything the log held.
+  Status Reset(int64_t checkpoint_tick);
+
+  /// Frame and append one record. Returns bytes appended via `*bytes`.
+  Status Append(WalRecordType type, const std::string& body, int64_t* bytes);
+
+  Status Sync();
+
+  /// Re-read the file and parse every complete record. A torn tail (a
+  /// frame or header cut off by the file's end) stops the parse and sets
+  /// `*torn`; a checksum mismatch on a complete record is an
+  /// InvalidArgument (corruption, not a torn append).
+  Status ReadAll(std::vector<WalRecord>* out, bool* torn) const;
+
+ private:
+  Status WriteHeader(int64_t checkpoint_tick);
+
+  int fd_ = -1;
+  std::string path_;
+  int64_t checkpoint_tick_ = 0;
+};
+
+}  // namespace storage
+}  // namespace sgl
+
+#endif  // SGL_STORAGE_WAL_H_

@@ -1,0 +1,667 @@
+#include "storage/world_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "storage/page.h"
+
+namespace sgl {
+
+Status StorageConfig::Validate() const {
+  if (!enabled()) return Status::OK();
+  if (page_size < 64 || page_size > (1 << 22)) {
+    return Status::Invalid(
+        "SimulationConfig: storage.page_size must be in [64, 4194304], got ",
+        page_size);
+  }
+  if (pool_pages < 4) {
+    return Status::Invalid(
+        "SimulationConfig: storage.pool_pages must be >= 4, got ", pool_pages);
+  }
+  if (checkpoint_every < 0) {
+    return Status::Invalid(
+        "SimulationConfig: storage.checkpoint_every must be >= 0, got ",
+        checkpoint_every);
+  }
+  return Status::OK();
+}
+
+namespace storage {
+
+Status MakeDirs(const std::string& path) {
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t next = path.find('/', pos);
+    if (next == std::string::npos) next = path.size();
+    partial = path.substr(0, next);
+    pos = next + 1;
+    if (partial.empty()) continue;  // leading '/'
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("storage: cannot create directory ", partial,
+                              ": ", std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+constexpr char kManifestMagic[6] = {'S', 'G', 'L', 'M', 'A', 'N'};
+constexpr uint16_t kManifestVersion = 1;
+
+/// Bounds-checked little-endian cursor over a record body or manifest.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::string& bytes)
+      : ByteReader(reinterpret_cast<const uint8_t*>(bytes.data()),
+                   bytes.size()) {}
+
+  Status Read(uint64_t* out, int bytes) {
+    if (pos_ + static_cast<size_t>(bytes) > size_) {
+      return Status::Invalid("storage: record truncated at byte ", pos_);
+    }
+    *out = LoadLE(data_ + pos_, bytes);
+    pos_ += static_cast<size_t>(bytes);
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out, size_t len) {
+    if (pos_ + len > size_) {
+      return Status::Invalid("storage: record truncated at byte ", pos_);
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<WorldStore>> WorldStore::Open(
+    const StorageConfig& config, obs::MetricsRegistry* metrics) {
+  SGL_RETURN_NOT_OK(config.Validate());
+  if (!config.enabled()) {
+    return Status::Invalid("storage: WorldStore::Open needs a non-empty path");
+  }
+  SGL_RETURN_NOT_OK(MakeDirs(config.path));
+  std::unique_ptr<WorldStore> store(new WorldStore(config));
+  SGL_RETURN_NOT_OK(
+      store->file_.Open(config.path + "/pages.sgl", config.page_size));
+  SGL_RETURN_NOT_OK(store->wal_.Open(config.path + "/wal.sgl"));
+  store->pool_ = std::make_unique<BufferPool>(&store->file_, config.page_size,
+                                              config.pool_pages);
+  store->manifest_path_ = config.path + "/MANIFEST.sgl";
+  store->has_world_ = ::access(store->manifest_path_.c_str(), F_OK) == 0;
+  if (metrics != nullptr) {
+    // Exec-dependent like shard.*: pool traffic depends on eviction
+    // order and whether storage is even on, so the deterministic metric
+    // subset stays comparable between storage-backed and in-memory runs.
+    const uint32_t exec_dep = obs::kMetricExecDependent;
+    store->wal_bytes_ = metrics->GetCounter("storage.wal.bytes", exec_dep);
+    store->wal_records_ = metrics->GetCounter("storage.wal.records", exec_dep);
+    store->fsyncs_ = metrics->GetCounter("storage.fsyncs", exec_dep);
+    store->checkpoints_ = metrics->GetCounter("storage.checkpoints", exec_dep);
+    store->pool_hits_ = metrics->GetCounter("storage.pool.hits", exec_dep);
+    store->pool_misses_ = metrics->GetCounter("storage.pool.misses", exec_dep);
+    store->pool_evictions_ =
+        metrics->GetCounter("storage.pool.evictions", exec_dep);
+    store->pool_->BindMetrics(store->pool_hits_, store->pool_misses_,
+                              store->pool_evictions_);
+    metrics->GetGauge("storage.pool.pages", exec_dep)
+        ->Set(config.pool_pages);
+  }
+  return store;
+}
+
+void WorldStore::SetLayout(const Schema& schema) {
+  num_slots_ = schema.NumAttrs();
+  rows_per_page_ = (config_.page_size - kPageHeaderBytes) / 8;
+}
+
+void WorldStore::ExpandMask(uint64_t mask, std::vector<AttrId>* out) const {
+  out->clear();
+  for (AttrId a = 1; a < num_slots_; ++a) {
+    if ((mask >> (a < 63 ? a : 63)) & 1) out->push_back(a);
+  }
+}
+
+// --- TableDeltaListener ----------------------------------------------------
+
+void WorldStore::OnCellWrite(int64_t key, AttrId attr) {
+  const uint64_t bit = TableChanges::BitOf(attr);
+  wal_cells_[key] |= bit;
+  pool_cells_[key] |= bit;
+}
+
+void WorldStore::OnAddRow(int64_t key, RowId row,
+                          const std::vector<double>& values) {
+  StructOp op;
+  op.add = true;
+  op.key = key;
+  op.values = values;
+  wal_ops_.push_back(std::move(op));
+  // The structural rewrite re-pages every row from `row` up, so the new
+  // row's cells need no pool_cells_ entries.
+  if (pool_struct_min_ < 0 || row < pool_struct_min_) pool_struct_min_ = row;
+}
+
+void WorldStore::OnRemoveRows(RowId first_row,
+                              const std::vector<int64_t>& keys) {
+  StructOp op;
+  op.add = false;
+  op.keys = keys;
+  wal_ops_.push_back(std::move(op));
+  if (pool_struct_min_ < 0 || first_row < pool_struct_min_) {
+    pool_struct_min_ = first_row;
+  }
+}
+
+// --- page-cache maintenance ------------------------------------------------
+
+Status WorldStore::WriteCell(RowId row, int32_t slot, uint64_t bits) {
+  SGL_ASSIGN_OR_RETURN(auto pinned, pool_->Pin(PageOf(row, slot),
+                                               /*create=*/false));
+  StoreLE(pinned.payload + CellOffset(row), bits, 8);
+  pool_->Unpin(pinned, /*dirty=*/true);
+  return Status::OK();
+}
+
+Status WorldStore::RewriteRows(const EnvironmentTable& table, RowId from_row) {
+  const RowId n = table.NumRows();
+  const int64_t first_chunk = from_row / rows_per_page_;
+  const int64_t num_chunks = (n + rows_per_page_ - 1) / rows_per_page_;
+  for (int64_t chunk = first_chunk; chunk < num_chunks; ++chunk) {
+    const RowId begin = static_cast<RowId>(chunk * rows_per_page_);
+    const RowId end = std::min(n, begin + rows_per_page_);
+    for (int32_t slot = 0; slot < num_slots_; ++slot) {
+      // create=true: the whole payload is about to be overwritten, so a
+      // fresh zeroed frame beats a disk read even for existing pages.
+      SGL_ASSIGN_OR_RETURN(
+          auto pinned, pool_->Pin(chunk * num_slots_ + slot, /*create=*/true));
+      for (RowId r = begin; r < end; ++r) {
+        const uint64_t bits =
+            slot == 0 ? static_cast<uint64_t>(table.KeyAt(r))
+                      : PackDouble(table.Get(r, slot));
+        StoreLE(pinned.payload + CellOffset(r), bits, 8);
+      }
+      pool_->Unpin(pinned, /*dirty=*/true);
+    }
+  }
+  return Status::OK();
+}
+
+Status WorldStore::FlushPoolDeltas(const EnvironmentTable& table) {
+  if (pool_struct_min_ < 0 && pool_cells_.empty()) return Status::OK();
+  if (num_slots_ == 0) SetLayout(table.schema());
+  RowId rewritten_from = std::numeric_limits<RowId>::max();
+  if (pool_struct_min_ >= 0) {
+    rewritten_from = pool_struct_min_;
+    SGL_RETURN_NOT_OK(RewriteRows(table, pool_struct_min_));
+  }
+  std::vector<AttrId> attrs;
+  for (const auto& entry : pool_cells_) {
+    const RowId row = table.RowOf(entry.first);
+    // Removed keys and rewritten rows are already on their pages.
+    if (row < 0 || row >= rewritten_from) continue;
+    ExpandMask(entry.second, &attrs);
+    for (AttrId a : attrs) {
+      SGL_RETURN_NOT_OK(WriteCell(row, a, PackDouble(table.Get(row, a))));
+    }
+  }
+  pool_cells_.clear();
+  pool_struct_min_ = -1;
+  return Status::OK();
+}
+
+Status WorldStore::ReadRow(RowId row, std::vector<double>* values) {
+  values->resize(static_cast<size_t>(num_slots_ - 1));
+  for (int32_t slot = 1; slot < num_slots_; ++slot) {
+    SGL_ASSIGN_OR_RETURN(auto pinned, pool_->Pin(PageOf(row, slot),
+                                                 /*create=*/false));
+    (*values)[slot - 1] =
+        UnpackDouble(LoadLE(pinned.payload + CellOffset(row), 8));
+    pool_->Unpin(pinned, /*dirty=*/false);
+  }
+  return Status::OK();
+}
+
+// --- the per-tick WAL append ----------------------------------------------
+
+Status WorldStore::CommitTick(const EnvironmentTable& table, int64_t tick) {
+  if (!synced_) {
+    return Status::Internal(
+        "storage: the world at ", config_.path,
+        " holds a checkpoint this simulation has not restored; call "
+        "RestoreFrom to resume it or Checkpoint to overwrite it before "
+        "ticking");
+  }
+  if (num_slots_ == 0) SetLayout(table.schema());
+  if (config_.wal) {
+    int64_t bytes = 0;
+    int64_t records = 0;
+    std::string body;
+    WalAppendLE(&body, static_cast<uint64_t>(tick), 8);
+    SGL_RETURN_NOT_OK(wal_.Append(WalRecordType::kTickBegin, body, &bytes));
+    ++records;
+    for (const StructOp& op : wal_ops_) {
+      body.clear();
+      if (op.add) {
+        WalAppendLE(&body, static_cast<uint64_t>(op.key), 8);
+        WalAppendLE(&body, op.values.size(), 4);
+        for (double v : op.values) WalAppendLE(&body, PackDouble(v), 8);
+        SGL_RETURN_NOT_OK(wal_.Append(WalRecordType::kAddRow, body, &bytes));
+      } else {
+        WalAppendLE(&body, op.keys.size(), 4);
+        for (int64_t k : op.keys) {
+          WalAppendLE(&body, static_cast<uint64_t>(k), 8);
+        }
+        SGL_RETURN_NOT_OK(
+            wal_.Append(WalRecordType::kRemoveRows, body, &bytes));
+      }
+      ++records;
+    }
+    // One CellDeltas record: the final value of every surviving cell the
+    // tick dirtied, sorted by key (wal_cells_ is an ordered map).
+    std::string cells;
+    uint32_t count = 0;
+    std::vector<AttrId> attrs;
+    for (const auto& entry : wal_cells_) {
+      const RowId row = table.RowOf(entry.first);
+      if (row < 0) continue;  // written then removed within the tick
+      ExpandMask(entry.second, &attrs);
+      for (AttrId a : attrs) {
+        WalAppendLE(&cells, static_cast<uint64_t>(entry.first), 8);
+        WalAppendLE(&cells, static_cast<uint64_t>(a), 4);
+        WalAppendLE(&cells, PackDouble(table.Get(row, a)), 8);
+        ++count;
+      }
+    }
+    body.clear();
+    WalAppendLE(&body, count, 4);
+    body.append(cells);
+    SGL_RETURN_NOT_OK(wal_.Append(WalRecordType::kCellDeltas, body, &bytes));
+    ++records;
+    body.clear();
+    WalAppendLE(&body, static_cast<uint64_t>(tick), 8);
+    WalAppendLE(&body, static_cast<uint64_t>(table.next_key()), 8);
+    WalAppendLE(&body, static_cast<uint64_t>(table.NumRows()), 4);
+    SGL_RETURN_NOT_OK(wal_.Append(WalRecordType::kTickCommit, body, &bytes));
+    ++records;
+    if (wal_bytes_ != nullptr) wal_bytes_->Add(bytes);
+    if (wal_records_ != nullptr) wal_records_->Add(records);
+  }
+  wal_ops_.clear();
+  wal_cells_.clear();
+  SGL_RETURN_NOT_OK(FlushPoolDeltas(table));
+  if (config_.checkpoint_every > 0 &&
+      (tick + 1) % config_.checkpoint_every == 0) {
+    SGL_RETURN_NOT_OK(Checkpoint(table, tick + 1));
+  }
+  return Status::OK();
+}
+
+// --- checkpoint ------------------------------------------------------------
+
+Status WorldStore::Checkpoint(const EnvironmentTable& table, int64_t tick) {
+  if (num_slots_ == 0) SetLayout(table.schema());
+  if (!synced_) {
+    // First checkpoint into this directory (or an explicit overwrite of
+    // an unrestored world): drop stale accumulators, write a full image.
+    wal_ops_.clear();
+    wal_cells_.clear();
+    pool_cells_.clear();
+    pool_struct_min_ = 0;
+    synced_ = true;
+  }
+  SGL_RETURN_NOT_OK(FlushPoolDeltas(table));
+  SGL_RETURN_NOT_OK(pool_->FlushDirty(nullptr));
+  SGL_RETURN_NOT_OK(file_.Sync());
+  if (fsyncs_ != nullptr) fsyncs_->Add(1);
+  pool_->PromoteScratch();
+  SGL_RETURN_NOT_OK(WriteManifest(table, tick));
+  SGL_RETURN_NOT_OK(wal_.Reset(tick));
+  SGL_RETURN_NOT_OK(wal_.Sync());
+  if (fsyncs_ != nullptr) fsyncs_->Add(1);
+  if (checkpoints_ != nullptr) checkpoints_->Add(1);
+  has_world_ = true;
+  return Status::OK();
+}
+
+Status WorldStore::WriteManifest(const EnvironmentTable& table, int64_t tick) {
+  std::string out;
+  out.append(kManifestMagic, sizeof(kManifestMagic));
+  WalAppendLE(&out, kManifestVersion, 2);
+  WalAppendLE(&out, static_cast<uint64_t>(tick), 8);
+  WalAppendLE(&out, static_cast<uint64_t>(table.next_key()), 8);
+  WalAppendLE(&out, static_cast<uint64_t>(table.NumRows()), 4);
+  WalAppendLE(&out, static_cast<uint64_t>(config_.page_size), 4);
+  const Schema& schema = table.schema();
+  WalAppendLE(&out, static_cast<uint64_t>(schema.NumAttrs()), 4);
+  for (AttrId a = 0; a < schema.NumAttrs(); ++a) {
+    const Attribute& attr = schema.attr(a);
+    WalAppendLE(&out, static_cast<uint64_t>(attr.combine), 1);
+    WalAppendLE(&out, attr.name.size(), 4);
+    out.append(attr.name);
+  }
+  const std::vector<uint8_t>& committed = pool_->committed_bits();
+  WalAppendLE(&out, committed.size(), 4);
+  out.append(reinterpret_cast<const char*>(committed.data()),
+             committed.size());
+  WalAppendLE(&out,
+              Fnv1a(reinterpret_cast<const uint8_t*>(out.data()), out.size()),
+              8);
+
+  // Write-temp + fsync + rename: the manifest names either the previous
+  // checkpoint or this one, never a torn mixture.
+  const std::string tmp = manifest_path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("storage: cannot create ", tmp, ": ",
+                            std::strerror(errno));
+  }
+  const bool wrote =
+      ::write(fd, out.data(), out.size()) == static_cast<ssize_t>(out.size());
+  const bool synced = wrote && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    return Status::Internal("storage: cannot write manifest ", tmp, ": ",
+                            std::strerror(errno));
+  }
+  if (fsyncs_ != nullptr) fsyncs_->Add(1);
+  if (::rename(tmp.c_str(), manifest_path_.c_str()) != 0) {
+    return Status::Internal("storage: cannot publish manifest ",
+                            manifest_path_, ": ", std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<WorldStore::Manifest> WorldStore::ReadManifest() const {
+  std::ifstream in(manifest_path_, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("storage: no manifest at ", manifest_path_);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  if (bytes.size() < sizeof(kManifestMagic) + 8 ||
+      std::memcmp(bytes.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    return Status::Invalid("storage: ", manifest_path_,
+                           " is not a world manifest (bad magic)");
+  }
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  const uint64_t stored = LoadLE(data + bytes.size() - 8, 8);
+  if (Fnv1a(data, bytes.size() - 8) != stored) {
+    return Status::Invalid("storage: manifest ", manifest_path_,
+                           " failed its checksum (corrupt)");
+  }
+  ByteReader reader(data + sizeof(kManifestMagic),
+                    bytes.size() - sizeof(kManifestMagic) - 8);
+  uint64_t version = 0;
+  SGL_RETURN_NOT_OK(reader.Read(&version, 2));
+  if (version != kManifestVersion) {
+    return Status::Invalid("storage: manifest ", manifest_path_,
+                           " has unsupported version ", version);
+  }
+  Manifest m;
+  uint64_t v = 0;
+  SGL_RETURN_NOT_OK(reader.Read(&v, 8));
+  m.tick = static_cast<int64_t>(v);
+  SGL_RETURN_NOT_OK(reader.Read(&v, 8));
+  m.next_key = static_cast<int64_t>(v);
+  SGL_RETURN_NOT_OK(reader.Read(&v, 4));
+  m.num_rows = static_cast<int32_t>(v);
+  SGL_RETURN_NOT_OK(reader.Read(&v, 4));
+  if (static_cast<int32_t>(v) != config_.page_size) {
+    return Status::Invalid("storage: the world at ", config_.path,
+                           " was written with page_size ", v,
+                           " but storage.page_size is ", config_.page_size);
+  }
+  uint64_t num_attrs = 0;
+  SGL_RETURN_NOT_OK(reader.Read(&num_attrs, 4));
+  if (num_attrs < 1) {
+    return Status::Invalid("storage: manifest schema has no key attribute");
+  }
+  for (uint64_t a = 0; a < num_attrs; ++a) {
+    uint64_t combine = 0;
+    SGL_RETURN_NOT_OK(reader.Read(&combine, 1));
+    if (combine > static_cast<uint64_t>(CombineType::kSet)) {
+      return Status::Invalid("storage: manifest attribute ", a,
+                             " has unknown combine tag ", combine);
+    }
+    uint64_t name_len = 0;
+    SGL_RETURN_NOT_OK(reader.Read(&name_len, 4));
+    std::string name;
+    SGL_RETURN_NOT_OK(reader.ReadString(&name, name_len));
+    if (a == 0) {
+      if (name != m.schema.attr(kKeyAttrId).name ||
+          static_cast<CombineType>(combine) != CombineType::kConst) {
+        return Status::Invalid("storage: manifest attribute 0 is '", name,
+                               "', expected the const key attribute");
+      }
+      continue;
+    }
+    SGL_RETURN_NOT_OK(
+        m.schema.AddAttribute(name, static_cast<CombineType>(combine))
+            .status());
+  }
+  uint64_t num_pages = 0;
+  SGL_RETURN_NOT_OK(reader.Read(&num_pages, 4));
+  std::string bits;
+  SGL_RETURN_NOT_OK(reader.ReadString(&bits, num_pages));
+  m.committed.assign(bits.begin(), bits.end());
+  if (reader.remaining() != 0) {
+    return Status::Invalid("storage: manifest has ", reader.remaining(),
+                           " trailing byte(s)");
+  }
+  return m;
+}
+
+// --- recovery / time travel ------------------------------------------------
+
+Result<RecoveredWorld> WorldStore::Recover() { return Replay(-1); }
+
+Result<RecoveredWorld> WorldStore::Materialize(int64_t tick) {
+  if (tick < 0) {
+    return Status::Invalid("storage: cannot materialize negative tick ", tick);
+  }
+  return Replay(tick);
+}
+
+Result<RecoveredWorld> WorldStore::Replay(int64_t target) {
+  if (!has_world_) {
+    return Status::NotFound("storage: no checkpoint in ", config_.path);
+  }
+  SGL_ASSIGN_OR_RETURN(Manifest m, ReadManifest());
+  SetLayout(m.schema);
+  // Replay reads the durable image, not whatever the pool cached since,
+  // and leaves the cache describing the replayed state rather than the
+  // live table — so the store is unsynced until MarkWorldInstalled.
+  synced_ = false;
+  SGL_RETURN_NOT_OK(pool_->InvalidateAll());
+  pool_->LoadCommittedBits(m.committed);
+  if (target >= 0 && target < m.tick) {
+    return Status::Invalid("storage: tick ", target,
+                           " predates the checkpoint at tick ", m.tick,
+                           " (earlier states were overwritten)");
+  }
+
+  // Rebuild the checkpoint image by reading every column chunk through
+  // the pool (page checksums verify on fault).
+  EnvironmentTable table{m.schema};
+  std::vector<double> values(static_cast<size_t>(num_slots_ - 1));
+  for (RowId row = 0; row < m.num_rows; ++row) {
+    SGL_ASSIGN_OR_RETURN(auto key_page, pool_->Pin(PageOf(row, 0),
+                                                   /*create=*/false));
+    const int64_t key =
+        static_cast<int64_t>(LoadLE(key_page.payload + CellOffset(row), 8));
+    pool_->Unpin(key_page, /*dirty=*/false);
+    SGL_RETURN_NOT_OK(ReadRow(row, &values));
+    SGL_RETURN_NOT_OK(table.AddRowWithKey(key, values));
+  }
+  table.SetNextKey(m.next_key);
+  int64_t state = m.tick;
+
+  if (target != m.tick) {
+    if (wal_.checkpoint_tick() != m.tick) {
+      return Status::Invalid("storage: WAL covers ticks from ",
+                             wal_.checkpoint_tick(),
+                             " but the manifest checkpoint is at tick ",
+                             m.tick, " (mismatched files)");
+    }
+    std::vector<WalRecord> records;
+    bool torn = false;
+    SGL_RETURN_NOT_OK(wal_.ReadAll(&records, &torn));
+    size_t i = 0;
+    while (i < records.size() && (target < 0 || state < target)) {
+      if (records[i].type != WalRecordType::kTickBegin) {
+        return Status::Invalid(
+            "storage: WAL replay expected TickBegin, found record type ",
+            static_cast<int>(records[i].type));
+      }
+      ByteReader begin(records[i].body);
+      uint64_t t = 0;
+      SGL_RETURN_NOT_OK(begin.Read(&t, 8));
+      if (static_cast<int64_t>(t) != state) {
+        return Status::Invalid("storage: WAL tick ", t,
+                               " out of sequence (expected ", state, ")");
+      }
+      // A tick counts only when its TickCommit landed; records past the
+      // last commit are a torn tail (the crash interrupted the append).
+      size_t commit = i + 1;
+      while (commit < records.size() &&
+             records[commit].type != WalRecordType::kTickCommit) {
+        if (records[commit].type == WalRecordType::kTickBegin) {
+          return Status::Invalid("storage: WAL tick ", t,
+                                 " has no commit record (corrupt log)");
+        }
+        ++commit;
+      }
+      if (commit == records.size()) break;  // torn tail: drop the tick
+
+      for (size_t r = i + 1; r < commit; ++r) {
+        ByteReader body(records[r].body);
+        switch (records[r].type) {
+          case WalRecordType::kAddRow: {
+            uint64_t key = 0;
+            uint64_t n = 0;
+            SGL_RETURN_NOT_OK(body.Read(&key, 8));
+            SGL_RETURN_NOT_OK(body.Read(&n, 4));
+            std::vector<double> row_values(n);
+            for (uint64_t c = 0; c < n; ++c) {
+              uint64_t bits = 0;
+              SGL_RETURN_NOT_OK(body.Read(&bits, 8));
+              row_values[c] = UnpackDouble(bits);
+            }
+            SGL_RETURN_NOT_OK(table.AddRowWithKey(static_cast<int64_t>(key),
+                                                  row_values));
+            break;
+          }
+          case WalRecordType::kRemoveRows: {
+            uint64_t n = 0;
+            SGL_RETURN_NOT_OK(body.Read(&n, 4));
+            std::unordered_set<int64_t> removed;
+            for (uint64_t c = 0; c < n; ++c) {
+              uint64_t key = 0;
+              SGL_RETURN_NOT_OK(body.Read(&key, 8));
+              removed.insert(static_cast<int64_t>(key));
+            }
+            table.RemoveIf([&](RowId row) {
+              return removed.count(table.KeyAt(row)) > 0;
+            });
+            break;
+          }
+          case WalRecordType::kCellDeltas: {
+            uint64_t count = 0;
+            SGL_RETURN_NOT_OK(body.Read(&count, 4));
+            for (uint64_t c = 0; c < count; ++c) {
+              uint64_t key = 0;
+              uint64_t attr = 0;
+              uint64_t bits = 0;
+              SGL_RETURN_NOT_OK(body.Read(&key, 8));
+              SGL_RETURN_NOT_OK(body.Read(&attr, 4));
+              SGL_RETURN_NOT_OK(body.Read(&bits, 8));
+              const RowId row = table.RowOf(static_cast<int64_t>(key));
+              if (row < 0) {
+                return Status::Internal(
+                    "storage: WAL replay diverged (cell delta for unknown "
+                    "key ",
+                    key, " at tick ", t, ")");
+              }
+              table.Set(row, static_cast<AttrId>(attr), UnpackDouble(bits));
+            }
+            break;
+          }
+          default:
+            return Status::Invalid(
+                "storage: WAL tick ", t, " holds unexpected record type ",
+                static_cast<int>(records[r].type));
+        }
+      }
+
+      ByteReader end(records[commit].body);
+      uint64_t commit_tick = 0;
+      uint64_t next_key = 0;
+      uint64_t num_rows = 0;
+      SGL_RETURN_NOT_OK(end.Read(&commit_tick, 8));
+      SGL_RETURN_NOT_OK(end.Read(&next_key, 8));
+      SGL_RETURN_NOT_OK(end.Read(&num_rows, 4));
+      if (commit_tick != t) {
+        return Status::Invalid("storage: WAL commit for tick ", commit_tick,
+                               " closes tick ", t, " (corrupt log)");
+      }
+      if (static_cast<int32_t>(num_rows) != table.NumRows()) {
+        return Status::Internal("storage: WAL replay diverged at tick ", t,
+                               " (", table.NumRows(), " rows, log expects ",
+                               num_rows, ")");
+      }
+      table.SetNextKey(static_cast<int64_t>(next_key));
+      state = static_cast<int64_t>(t) + 1;
+      i = commit + 1;
+    }
+    if (target >= 0 && state != target) {
+      return Status::Invalid("storage: tick ", target,
+                             " is not in the log (the world covers ticks ",
+                             m.tick, "..", state, ")");
+    }
+  }
+
+  RecoveredWorld world;
+  world.table = std::move(table);
+  world.tick = state;
+  return world;
+}
+
+void WorldStore::MarkWorldInstalled() {
+  synced_ = true;
+  wal_ops_.clear();
+  wal_cells_.clear();
+  pool_cells_.clear();
+  // Cached pages hold checkpoint-state bytes; the WAL replay that built
+  // the installed table never touched them. Resync from row 0.
+  pool_struct_min_ = 0;
+}
+
+}  // namespace storage
+}  // namespace sgl

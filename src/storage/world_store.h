@@ -1,0 +1,192 @@
+// WorldStore — the durable world behind EnvironmentTable: buffer-pool
+// pages + write-ahead delta log + manifest, one directory per world.
+//
+// Files under StorageConfig::path:
+//   pages.sgl     the table's column chunks, two physical slots per
+//                 logical page (shadow paging; see page_file.h)
+//   wal.sgl       per-tick delta records since the last checkpoint
+//   MANIFEST.sgl  the durable root: checkpoint tick, schema, row count,
+//                 next auto-key, and the committed-slot bit per page —
+//                 published by atomic rename, so it either names the old
+//                 checkpoint or the new one, never a half state
+//
+// Page mapping: rows are split into chunks of rows_per_page; page id =
+// chunk * num_slots + slot, where slot 0 holds the keys column and slot
+// a holds attribute a. Cells are 8 bytes (raw IEEE-754 bits for attrs),
+// so every table value round-trips exactly.
+//
+// The store listens to the live table (TableDeltaListener) and keeps
+// two delta accumulators over the same events:
+//   - the WAL set, harvested once per tick by CommitTick into one
+//     CellDeltas record (final end-of-tick values, keyed by unit key)
+//     plus the tick's structural ops in occurrence order;
+//   - the pool set, drained by FlushPoolDeltas into the page cache.
+// They drain at different times because shard ghost refresh reads pages
+// mid-tick (after action drain + effect reset, before decisions), so
+// the pool must be current then, while WAL records must describe the
+// whole tick.
+//
+// Checkpoint = flush dirty frames to scratch slots, fsync, promote the
+// scratch slots, publish the manifest (write-temp + fsync + rename),
+// truncate the WAL. Cost is O(pages touched since the last checkpoint),
+// not O(table). Recover/Materialize = load the manifest's committed
+// image and replay committed WAL ticks; a torn trailing tick (crash
+// mid-append) is dropped, a checksum failure anywhere is corruption.
+#ifndef SGL_STORAGE_WORLD_STORE_H_
+#define SGL_STORAGE_WORLD_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/table.h"
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/config.h"
+#include "storage/page_file.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace sgl {
+namespace storage {
+
+/// mkdir -p: create every missing component of `path`.
+Status MakeDirs(const std::string& path);
+
+/// A world state rebuilt from disk: the table plus the tick it is at.
+struct RecoveredWorld {
+  EnvironmentTable table{Schema()};
+  int64_t tick = 0;
+};
+
+class WorldStore : public TableDeltaListener {
+ public:
+  /// Open (creating if needed) the world directory. `metrics` may be
+  /// null; otherwise storage.* counters are registered on it.
+  static Result<std::unique_ptr<WorldStore>> Open(
+      const StorageConfig& config, obs::MetricsRegistry* metrics);
+
+  ~WorldStore() override = default;
+
+  const StorageConfig& config() const { return config_; }
+
+  /// True when the directory held a manifest at Open — a recoverable
+  /// world exists and CommitTick refuses to run until the simulation
+  /// either restores from it or explicitly checkpoints over it.
+  bool has_world() const { return has_world_; }
+  bool synced() const { return synced_; }
+
+  /// Publish `table` at state `tick` as the new durable checkpoint and
+  /// truncate the WAL. On the first checkpoint into a directory (or
+  /// over an unrestored world) every page is written; afterwards only
+  /// pages touched since the previous checkpoint are.
+  Status Checkpoint(const EnvironmentTable& table, int64_t tick);
+
+  /// End-of-tick hook: append tick `tick`'s delta records to the WAL,
+  /// sync the page cache with the table, and auto-checkpoint when
+  /// checkpoint_every divides the new state tick.
+  Status CommitTick(const EnvironmentTable& table, int64_t tick);
+
+  /// Bring cached pages up to date with `table` (applies the pending
+  /// pool delta set). Called by CommitTick and, mid-tick, by the shard
+  /// runtime before ghost reads.
+  Status FlushPoolDeltas(const EnvironmentTable& table);
+
+  /// Read row `row`'s attribute values (attrs 1..k into values[0..k-1])
+  /// through the buffer pool. Thread-safe; the page cache must be
+  /// current (FlushPoolDeltas) for rows written this tick.
+  Status ReadRow(RowId row, std::vector<double>* values);
+
+  /// Rebuild the latest durable state: checkpoint image + full WAL
+  /// replay (dropping a torn trailing tick).
+  Result<RecoveredWorld> Recover();
+
+  /// Rebuild the exact state at `tick` (checkpoint_tick <= tick <=
+  /// latest committed tick) — time travel through the same replay path.
+  Result<RecoveredWorld> Materialize(int64_t tick);
+
+  /// The simulation installed a table that matches the durable world
+  /// (RestoreFrom) — ticking may proceed, and the next pool flush must
+  /// rewrite from row 0 because cached pages predate the install.
+  void MarkWorldInstalled();
+
+  // TableDeltaListener — fed by the live table; driver thread only.
+  void OnCellWrite(int64_t key, AttrId attr) override;
+  void OnAddRow(int64_t key, RowId row,
+                const std::vector<double>& values) override;
+  void OnRemoveRows(RowId first_row, const std::vector<int64_t>& keys) override;
+
+ private:
+  /// One structural table op, replayed in occurrence order.
+  struct StructOp {
+    bool add = false;
+    int64_t key = 0;              // add
+    std::vector<double> values;   // add
+    std::vector<int64_t> keys;    // remove
+  };
+
+  explicit WorldStore(StorageConfig config) : config_(std::move(config)) {}
+
+  void SetLayout(const Schema& schema);
+  PageId PageOf(RowId row, int32_t slot) const {
+    return static_cast<PageId>(row / rows_per_page_) * num_slots_ + slot;
+  }
+  int32_t CellOffset(RowId row) const { return (row % rows_per_page_) * 8; }
+
+  /// Append attr ids 1..k selected by a TableChanges-style bit mask
+  /// (bit min(a, 63); bit 63 is coarse and expands to all attrs >= 63).
+  void ExpandMask(uint64_t mask, std::vector<AttrId>* out) const;
+
+  /// Write one cell through the pool (page must already exist).
+  Status WriteCell(RowId row, int32_t slot, uint64_t bits);
+
+  /// Rewrite every page covering rows >= from_row from `table`.
+  Status RewriteRows(const EnvironmentTable& table, RowId from_row);
+
+  Status WriteManifest(const EnvironmentTable& table, int64_t tick);
+  struct Manifest {
+    int64_t tick = 0;
+    int64_t next_key = 0;
+    int32_t num_rows = 0;
+    Schema schema;
+    std::vector<uint8_t> committed;
+  };
+  Result<Manifest> ReadManifest() const;
+
+  /// Shared Recover/Materialize body; `target` < 0 means latest.
+  Result<RecoveredWorld> Replay(int64_t target);
+
+  StorageConfig config_;
+  std::string manifest_path_;
+  PageFile file_;
+  WalFile wal_;
+  std::unique_ptr<BufferPool> pool_;
+
+  int32_t num_slots_ = 0;      // schema.NumAttrs(); slot 0 = keys
+  int32_t rows_per_page_ = 0;  // (page_size - header) / 8
+  bool has_world_ = false;
+  bool synced_ = false;
+
+  // WAL accumulator (cleared each CommitTick).
+  std::map<int64_t, uint64_t> wal_cells_;  // key -> changed-attr mask
+  std::vector<StructOp> wal_ops_;
+
+  // Pool accumulator (cleared each FlushPoolDeltas).
+  std::map<int64_t, uint64_t> pool_cells_;
+  RowId pool_struct_min_ = -1;  // lowest structurally-affected row; -1 = none
+
+  obs::Counter* wal_bytes_ = nullptr;
+  obs::Counter* wal_records_ = nullptr;
+  obs::Counter* fsyncs_ = nullptr;
+  obs::Counter* checkpoints_ = nullptr;
+  obs::Counter* pool_hits_ = nullptr;
+  obs::Counter* pool_misses_ = nullptr;
+  obs::Counter* pool_evictions_ = nullptr;
+};
+
+}  // namespace storage
+}  // namespace sgl
+
+#endif  // SGL_STORAGE_WORLD_STORE_H_

@@ -341,10 +341,11 @@ TEST(AdaptiveExplainTest, SnapshotRestoreStaysBitExact) {
   auto sim = BuildOrDie("battle", params, EvaluatorMode::kAdaptive, 1);
   ASSERT_NE(sim, nullptr);
   ASSERT_TRUE(sim->Run(10).ok());
-  SimulationSnapshot snap = sim->Snapshot();
+  const std::string dir = ::testing::TempDir() + "/adaptive_ckpt";
+  ASSERT_TRUE(sim->Checkpoint(dir).ok());
   ASSERT_TRUE(sim->Run(15).ok());
   EnvironmentTable after = sim->table().Clone();
-  ASSERT_TRUE(sim->Restore(snap).ok());
+  ASSERT_TRUE(sim->RestoreFrom(dir).ok());
   ASSERT_TRUE(sim->Run(15).ok());
   EXPECT_TRUE(sim->table().Equals(after))
       << "replay after restore diverged:\n"

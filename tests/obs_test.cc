@@ -177,8 +177,8 @@ TEST(FlightRecorder, DumpOnForcedInvariantFailure) {
   params.units = 60;
   params.seed = 5;
   SimulationConfig config;
-  config.flight_recorder_ticks = 4;
-  config.flight_recorder_path = dump_path;
+  config.artifacts.flight_recorder_ticks = 4;
+  config.artifacts.flight_recorder_path = dump_path;
   auto sim =
       registry.BuildSimulation("battle_bad_invariant", params, config);
   ASSERT_TRUE(sim.ok());
@@ -234,7 +234,7 @@ TEST(Trace, SimulationEmitsTickPhaseChunkHierarchy) {
   params.seed = 11;
   SimulationConfig config;
   config.threads = 4;
-  config.trace_path = trace_path;
+  config.artifacts.trace_path = trace_path;
   auto sim =
       ScenarioRegistry::Global().BuildSimulation("battle", params, config);
   ASSERT_TRUE(sim.ok());
@@ -261,7 +261,7 @@ TEST(Metrics, SnapshotPerTickJsonLines) {
   params.units = 60;
   params.seed = 3;
   SimulationConfig config;
-  config.metrics_path = metrics_path;
+  config.artifacts.metrics_path = metrics_path;
   auto sim =
       ScenarioRegistry::Global().BuildSimulation("market", params, config);
   ASSERT_TRUE(sim.ok());
@@ -296,8 +296,8 @@ TEST(FlightRecorder, TickErrorDumpsAutomatically) {
   params.units = 60;
   params.seed = 5;
   SimulationConfig config;
-  config.flight_recorder_ticks = 8;
-  config.flight_recorder_path = dump_path;
+  config.artifacts.flight_recorder_ticks = 8;
+  config.artifacts.flight_recorder_path = dump_path;
 
   auto def = ScenarioRegistry::Global().Get("battle");
   ASSERT_TRUE(def.ok());

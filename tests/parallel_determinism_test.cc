@@ -243,15 +243,17 @@ TEST(ParallelBattle, BitExactAcrossThreadCounts) {
   }
 }
 
-// Snapshot/Restore replays identically under a multi-threaded pipeline.
+// Checkpoint/RestoreFrom replays identically under a multi-threaded
+// pipeline.
 TEST(ParallelBattle, SnapshotReplayIsDeterministicWithThreads) {
   auto sim = MakeStorm(EvaluatorMode::kIndexed, 99, 4);
   ASSERT_TRUE(sim.ok()) << sim.status().ToString();
   ASSERT_TRUE((*sim)->Run(20).ok());
-  SimulationSnapshot checkpoint = (*sim)->Snapshot();
+  const std::string dir = ::testing::TempDir() + "/parallel_ckpt";
+  ASSERT_TRUE((*sim)->Checkpoint(dir).ok());
   ASSERT_TRUE((*sim)->Run(15).ok());
   EnvironmentTable first = (*sim)->table().Clone();
-  ASSERT_TRUE((*sim)->Restore(checkpoint).ok());
+  ASSERT_TRUE((*sim)->RestoreFrom(dir).ok());
   ASSERT_TRUE((*sim)->Run(15).ok());
   EXPECT_TRUE((*sim)->table().Equals(first))
       << (*sim)->table().DiffString(first);

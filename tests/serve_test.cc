@@ -14,6 +14,8 @@
 //    SimulationSnapshot byte codec ride along.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +29,7 @@ namespace sgl {
 namespace {
 
 using serve::InjectedAction;
+using serve::InletDrainStats;
 using serve::InletRecord;
 using serve::SessionId;
 using serve::SessionManager;
@@ -187,7 +190,7 @@ TEST(ActionInletTest, RecordedLogReplaysBitIdentically) {
   auto replay = ScenarioRegistry::Global().BuildSimulation("battle", params,
                                                            config);
   ASSERT_TRUE(replay.ok());
-  ASSERT_TRUE((*replay)->inlet()->LoadReplay(log).ok());
+  ASSERT_TRUE((*replay)->inlet()->Replay(log).ok());
   ASSERT_TRUE((*replay)->Run(10).ok());
 
   EXPECT_TRUE((*replay)->table().Equals((*live)->table()))
@@ -219,11 +222,11 @@ TEST(ActionInletTest, StaleKeysDropDeterministically) {
   EXPECT_EQ(3, (*sim)->inlet()->dropped());
 }
 
-TEST(ActionInletTest, LoadReplayValidatesOrderAndPinning) {
+TEST(ActionInletTest, ReplayValidatesOrderAndPinning) {
   serve::ActionInlet inlet;
   InletRecord unpinned;
   unpinned.seq = 0;
-  EXPECT_FALSE(inlet.LoadReplay({unpinned}).ok());
+  EXPECT_FALSE(inlet.Replay({unpinned}).ok());
 
   InletRecord a;
   a.seq = 1;
@@ -231,8 +234,63 @@ TEST(ActionInletTest, LoadReplayValidatesOrderAndPinning) {
   InletRecord b;
   b.seq = 0;
   b.tick = 3;
-  EXPECT_FALSE(inlet.LoadReplay({a, b}).ok());  // ticks descend
-  EXPECT_TRUE(inlet.LoadReplay({b, a}).ok());
+  EXPECT_FALSE(inlet.Replay({a, b}).ok());  // ticks descend
+  EXPECT_TRUE(inlet.Replay({b, a}).ok());
+}
+
+TEST(ActionInletTest, SaveRestoreLogRoundTripsAndRequeues) {
+  serve::ActionInlet inlet;
+  Schema schema;
+  ASSERT_TRUE(schema.AddAttribute("hp", CombineType::kSet).ok());
+  EnvironmentTable table{schema};
+  ASSERT_TRUE(table.AddRow({10.0}).ok());
+  InjectedAction hit;
+  hit.unit_key = 0;
+  hit.attr = "hp";
+  hit.op = InjectedAction::Op::kAdd;
+  hit.value = -2.5;
+  inlet.Push(hit);
+  InletDrainStats stats;
+  ASSERT_TRUE(inlet.DrainInto(&table, /*tick=*/0, &stats).ok());
+  hit.value = -1.25;
+  inlet.Push(hit);
+  ASSERT_TRUE(inlet.DrainInto(&table, /*tick=*/3, &stats).ok());
+  ASSERT_EQ(2u, inlet.Log().size());
+
+  const std::string path = ::testing::TempDir() + "/inlet_log.sgl";
+  ASSERT_TRUE(inlet.SaveLog(path).ok());
+
+  // Restored to tick 2: the tick-0 record is history, the tick-3 record
+  // re-queues pinned, and fresh pushes get post-log sequence numbers.
+  serve::ActionInlet restored;
+  ASSERT_TRUE(restored.RestoreLog(path, /*tick=*/2).ok());
+  EXPECT_EQ(1, restored.QueuedCount());
+  ASSERT_EQ(1u, restored.Log().size());
+  EXPECT_EQ(0, restored.Log()[0].tick);
+  EXPECT_EQ(-2.5, restored.Log()[0].action.value);
+  InjectedAction fresh;
+  fresh.unit_key = 0;
+  fresh.attr = "hp";
+  EXPECT_EQ(2, restored.Push(fresh));
+
+  // A missing file restores to an empty inlet; corrupt bytes are refused.
+  serve::ActionInlet empty;
+  ASSERT_TRUE(
+      empty.RestoreLog(::testing::TempDir() + "/no_such_inlet.sgl", 0).ok());
+  EXPECT_EQ(0, empty.QueuedCount());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[bytes.size() / 2] ^= 0x40;
+    const std::string bad = ::testing::TempDir() + "/inlet_bad.sgl";
+    std::ofstream out(bad, std::ios::binary | std::ios::trunc);
+    out << bytes;
+    out.close();
+    serve::ActionInlet corrupt;
+    EXPECT_EQ(StatusCode::kInvalidArgument,
+              corrupt.RestoreLog(bad, 0).code());
+  }
 }
 
 // ------------------------------------------------------ admission control
@@ -454,7 +512,7 @@ TEST(SimulationConfigTest, ValidateUsesOneErrorVocabulary) {
            [](SimulationConfig& c) { c.grid_width = 0; },
            [](SimulationConfig& c) { c.grid_height = -1; },
            [](SimulationConfig& c) { c.step_per_tick = -1.0; },
-           [](SimulationConfig& c) { c.flight_recorder_ticks = -1; }}) {
+           [](SimulationConfig& c) { c.artifacts.flight_recorder_ticks = -1; }}) {
     SimulationConfig config;
     mutate(config);
     Status st = config.Validate();
@@ -516,7 +574,8 @@ TEST(SnapshotCodecTest, RoundTripsBitExactly) {
   ASSERT_TRUE(sim.ok());
   ASSERT_TRUE((*sim)->Run(5).ok());
 
-  const SimulationSnapshot snapshot = (*sim)->Snapshot();
+  const SimulationSnapshot snapshot{(*sim)->table().Clone(),
+                                    (*sim)->tick_count()};
   std::string bytes;
   ASSERT_TRUE(snapshot.SerializeTo(&bytes).ok());
   ASSERT_FALSE(bytes.empty());
@@ -532,11 +591,15 @@ TEST(SnapshotCodecTest, RoundTripsBitExactly) {
   ASSERT_TRUE(parsed->SerializeTo(&bytes2).ok());
   EXPECT_EQ(bytes, bytes2);
 
-  // And a restored simulation replays deterministically from it.
+  // And a restored simulation replays deterministically from the same
+  // checkpoint through the durability facade.
+  const std::string dir = ::testing::TempDir() + "/codec_ckpt";
+  ASSERT_TRUE((*sim)->Checkpoint(dir).ok());
   auto twin = ScenarioRegistry::Global().BuildSimulation(
       "battle", SmallParams(), ServeConfig(EvaluatorMode::kIndexed, 1, 1));
   ASSERT_TRUE(twin.ok());
-  ASSERT_TRUE((*twin)->Restore(*parsed).ok());
+  ASSERT_TRUE((*twin)->RestoreFrom(dir).ok());
+  EXPECT_EQ(5, (*twin)->tick_count());
   ASSERT_TRUE((*sim)->Run(5).ok());
   ASSERT_TRUE((*twin)->Run(5).ok());
   EXPECT_TRUE((*twin)->table().Equals((*sim)->table()))
@@ -548,7 +611,9 @@ TEST(SnapshotCodecTest, RejectsCorruptBytes) {
       "battle", SmallParams(), ServeConfig(EvaluatorMode::kIndexed, 1, 1));
   ASSERT_TRUE(sim.ok());
   std::string bytes;
-  ASSERT_TRUE((*sim)->Snapshot().SerializeTo(&bytes).ok());
+  const SimulationSnapshot snapshot{(*sim)->table().Clone(),
+                                    (*sim)->tick_count()};
+  ASSERT_TRUE(snapshot.SerializeTo(&bytes).ok());
 
   // Bad magic.
   std::string bad_magic = bytes;

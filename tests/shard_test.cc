@@ -406,13 +406,14 @@ TEST(ShardSnapshotTest, RestoreReplaysDeterministicallyUnderShards) {
   ASSERT_NE(sim, nullptr);
 
   ASSERT_TRUE(sim->Run(20).ok());
-  SimulationSnapshot snapshot = sim->Snapshot();
+  const std::string dir = ::testing::TempDir() + "/shard_ckpt";
+  ASSERT_TRUE(sim->Checkpoint(dir).ok());
 
   ASSERT_TRUE(sim->Run(15).ok());
   EnvironmentTable first_run = sim->table();
   const int64_t end_tick = sim->tick_count();
 
-  ASSERT_TRUE(sim->Restore(snapshot).ok());
+  ASSERT_TRUE(sim->RestoreFrom(dir).ok());
   EXPECT_EQ(sim->tick_count(), 20);
   ASSERT_TRUE(sim->Run(15).ok());
   EXPECT_EQ(sim->tick_count(), end_tick);

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -456,21 +458,22 @@ TEST(Simulation, SetPhaseOrderReordersPipeline) {
   ASSERT_TRUE((*sim)->Run(3).ok());
 }
 
-TEST(Simulation, SnapshotRestoreReplaysDeterministically) {
+TEST(Simulation, CheckpointRestoreReplaysDeterministically) {
   auto sim = MakeFarm(EvaluatorMode::kIndexed, 4242);
   ASSERT_TRUE(sim.ok()) << sim.status().ToString();
   ASSERT_TRUE((*sim)->Run(30).ok());
 
-  SimulationSnapshot checkpoint = (*sim)->Snapshot();
-  EXPECT_EQ(30, checkpoint.tick_count);
+  const std::string dir = ::testing::TempDir() + "/sim_ckpt";
+  ASSERT_TRUE((*sim)->Checkpoint(dir).ok());
+  const EnvironmentTable at_checkpoint = (*sim)->table().Clone();
 
   ASSERT_TRUE((*sim)->Run(20).ok());
   const EnvironmentTable first_run = (*sim)->table().Clone();
-  EXPECT_FALSE(first_run.Equals(checkpoint.table));  // the world moved on
+  EXPECT_FALSE(first_run.Equals(at_checkpoint));  // the world moved on
 
-  ASSERT_TRUE((*sim)->Restore(checkpoint).ok());
+  ASSERT_TRUE((*sim)->RestoreFrom(dir).ok());
   EXPECT_EQ(30, (*sim)->tick_count());
-  EXPECT_TRUE((*sim)->table().Equals(checkpoint.table));
+  EXPECT_TRUE((*sim)->table().Equals(at_checkpoint));
 
   ASSERT_TRUE((*sim)->Run(20).ok());
   EXPECT_EQ(50, (*sim)->tick_count());
@@ -481,12 +484,39 @@ TEST(Simulation, SnapshotRestoreReplaysDeterministically) {
 TEST(Simulation, RestoreRejectsForeignSchema) {
   auto sim = MakeFarm(EvaluatorMode::kIndexed, 23);
   ASSERT_TRUE(sim.ok());
+  // Plant a snapshot whose schema names a different world.
   Schema other;
   ASSERT_TRUE(other.AddAttribute("something", CombineType::kConst).ok());
   SimulationSnapshot bogus{EnvironmentTable(other), 0};
-  Status st = (*sim)->Restore(bogus);
+  const std::string dir = ::testing::TempDir() + "/foreign_ckpt";
+  ASSERT_TRUE((*sim)->Checkpoint(dir).ok());
+  std::string bytes;
+  ASSERT_TRUE(bogus.SerializeTo(&bytes).ok());
+  std::ofstream out(dir + "/snapshot.sgl", std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+  Status st = (*sim)->RestoreFrom(dir);
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(StatusCode::kInvalidArgument, st.code());
+
+  // And restoring a missing directory is NotFound, not a crash.
+  EXPECT_EQ(StatusCode::kNotFound,
+            (*sim)->RestoreFrom(::testing::TempDir() + "/no_such_ckpt").code());
+}
+
+TEST(Simulation, DeprecatedSnapshotShimsMatchTheFacade) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto sim = MakeFarm(EvaluatorMode::kIndexed, 77);
+  ASSERT_TRUE(sim.ok());
+  ASSERT_TRUE((*sim)->Run(5).ok());
+  SimulationSnapshot snap = (*sim)->Snapshot();
+  EXPECT_EQ(5, snap.tick_count);
+  ASSERT_TRUE((*sim)->Run(5).ok());
+  ASSERT_TRUE((*sim)->Restore(snap).ok());
+  EXPECT_EQ(5, (*sim)->tick_count());
+  EXPECT_TRUE((*sim)->table().Equals(snap.table));
+#pragma GCC diagnostic pop
 }
 
 TEST(Simulation, ExplainCoversAllScripts) {

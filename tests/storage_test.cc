@@ -1,0 +1,512 @@
+// Durable-world tests (src/storage/): the ISSUE-10 acceptance matrix.
+//
+//  * Bit-exactness: a storage-backed run is identical to the in-memory
+//    run — tables and deterministic metrics — for every registered
+//    scenario x {naive, indexed, adaptive} x shards {1, 2} x threads
+//    {1, 4}.
+//  * Crash recovery: a run hard-killed mid-tick-stream (fork + _exit, no
+//    destructors, no final checkpoint) reopens, replays the WAL, and
+//    continues bit-identically to a run that was never interrupted.
+//  * Corruption: a flipped page byte or a flipped WAL byte is refused
+//    with kInvalidArgument; a torn WAL tail (truncation) silently drops
+//    the partial tick and recovers to the last committed one.
+//  * Out-of-core: a pool capped far below the table size completes a
+//    100-tick scenario through eviction, still bit-exact.
+//  * Time travel: Materialize/RestoreFrom(dir, tick) rebuilds any
+//    logged tick; re-running from it reproduces the original future.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/simulation.h"
+#include "scenario/scenario.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "storage/wal.h"
+#include "storage/world_store.h"
+
+namespace sgl {
+namespace {
+
+using storage::BufferPool;
+using storage::PageFile;
+using storage::WalFile;
+using storage::WalRecord;
+using storage::WalRecordType;
+using storage::WorldStore;
+
+// Wire-format sizes from wal.h's layout comment: 16-byte file header,
+// 13-byte record frame (u32 len + u8 type + u64 checksum) before each
+// body. Used to aim corruption at known offsets.
+constexpr int64_t kWalHeader = 16;
+constexpr int64_t kWalFrame = 13;
+
+ScenarioParams SmallParams() {
+  ScenarioParams params;
+  params.units = 80;
+  params.density = 0.02;
+  params.seed = 37;
+  return params;
+}
+
+/// A fresh world directory under the test tmpdir: any files from a
+/// previous run of the same test are removed first, so Build() never
+/// sees a stale manifest it would refuse to tick over.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  for (const char* f :
+       {"pages.sgl", "wal.sgl", "MANIFEST.sgl", "MANIFEST.sgl.tmp",
+        "inlet.sgl", "snapshot.sgl", "trace.json", "metrics.json",
+        "flight_record.json"}) {
+    std::remove((dir + "/" + f).c_str());
+  }
+  ::rmdir(dir.c_str());
+  return dir;
+}
+
+SimulationConfig StorageConfigFor(const std::string& dir, EvaluatorMode mode,
+                                  int32_t shards, int32_t threads,
+                                  int64_t checkpoint_every = 0) {
+  SimulationConfig config;
+  config.eval_mode = mode;
+  config.shards = shards;
+  config.threads = threads;
+  config.storage.path = dir;
+  config.storage.page_size = 512;  // small pages: many of them, real churn
+  config.storage.pool_pages = 64;
+  config.storage.checkpoint_every = checkpoint_every;
+  return config;
+}
+
+std::unique_ptr<Simulation> BuildScenario(const std::string& name,
+                                          const SimulationConfig& config) {
+  auto sim =
+      ScenarioRegistry::Global().BuildSimulation(name, SmallParams(), config);
+  EXPECT_TRUE(sim.ok()) << sim.status().ToString();
+  return sim.ok() ? std::move(*sim) : nullptr;
+}
+
+// ------------------------------------------------------ page + pool units
+
+TEST(PageFileTest, RoundTripsAndRejectsCorruption) {
+  const std::string dir = FreshDir("pagefile_unit");
+  ASSERT_TRUE(storage::MakeDirs(dir).ok());
+  const int32_t page_size = 256;
+  PageFile file;
+  ASSERT_TRUE(file.Open(dir + "/pages.sgl", page_size).ok());
+
+  std::vector<uint8_t> page(page_size, 0);
+  for (int i = 0; i < 16; ++i) {
+    page[storage::kPageHeaderBytes + i] = static_cast<uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(file.WriteSlot(3, 0, page.data()).ok());
+
+  std::vector<uint8_t> back(page_size, 0xff);
+  ASSERT_TRUE(file.ReadSlot(3, 0, back.data(), false).ok());
+  EXPECT_EQ(0, std::memcmp(page.data() + storage::kPageHeaderBytes,
+                           back.data() + storage::kPageHeaderBytes, 16));
+
+  // A hole reads as zeroes only when the caller says missing is fine.
+  EXPECT_FALSE(file.ReadSlot(9, 0, back.data(), false).ok());
+  ASSERT_TRUE(file.ReadSlot(9, 0, back.data(), true).ok());
+
+  // Flip one payload byte on disk: the checksum must catch it.
+  {
+    std::fstream f(dir + "/pages.sgl",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(3 * 2 * page_size + storage::kPageHeaderBytes + 5);
+    char b = 0x55;
+    f.write(&b, 1);
+  }
+  Status st = file.ReadSlot(3, 0, back.data(), false);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, st.code());
+  EXPECT_NE(std::string::npos, st.ToString().find("checksum"));
+}
+
+TEST(BufferPoolTest, EvictsThroughTinyPoolAndReadsBack) {
+  const std::string dir = FreshDir("pool_unit");
+  ASSERT_TRUE(storage::MakeDirs(dir).ok());
+  const int32_t page_size = 128;
+  PageFile file;
+  ASSERT_TRUE(file.Open(dir + "/pages.sgl", page_size).ok());
+  BufferPool pool(&file, page_size, /*pool_pages=*/4);
+
+  const int kPages = 12;  // 3x the pool: eviction is mandatory
+  for (storage::PageId p = 0; p < kPages; ++p) {
+    auto pinned = pool.Pin(p, /*create=*/true);
+    ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+    pinned->payload[0] = static_cast<uint8_t>(0xa0 + p);
+    pool.Unpin(*pinned, /*dirty=*/true);
+  }
+  int64_t written = 0;
+  ASSERT_TRUE(pool.FlushDirty(&written).ok());
+  pool.PromoteScratch();
+
+  for (storage::PageId p = 0; p < kPages; ++p) {
+    auto pinned = pool.Pin(p, /*create=*/false);
+    ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+    EXPECT_EQ(static_cast<uint8_t>(0xa0 + p), pinned->payload[0])
+        << "page " << p;
+    pool.Unpin(*pinned, /*dirty=*/false);
+  }
+}
+
+TEST(WalFileTest, AppendsReadsAndDistinguishesTornFromCorrupt) {
+  const std::string dir = FreshDir("wal_unit");
+  ASSERT_TRUE(storage::MakeDirs(dir).ok());
+  const std::string path = dir + "/wal.sgl";
+  WalFile wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  EXPECT_EQ(0, wal.checkpoint_tick());
+
+  std::string body;
+  storage::WalAppendLE(&body, 42, 8);
+  ASSERT_TRUE(wal.Append(WalRecordType::kTickBegin, body, nullptr).ok());
+  ASSERT_TRUE(wal.Append(WalRecordType::kTickCommit, body, nullptr).ok());
+
+  std::vector<WalRecord> records;
+  bool torn = false;
+  ASSERT_TRUE(wal.ReadAll(&records, &torn).ok());
+  EXPECT_FALSE(torn);
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ(WalRecordType::kTickBegin, records[0].type);
+  EXPECT_EQ(body, records[0].body);
+
+  // Truncation mid-frame is a torn tail — tolerated, partial data gone.
+  struct stat sb;
+  ASSERT_EQ(0, ::stat(path.c_str(), &sb));
+  ASSERT_EQ(0, ::truncate(path.c_str(), sb.st_size - 3));
+  records.clear();
+  ASSERT_TRUE(wal.ReadAll(&records, &torn).ok());
+  EXPECT_TRUE(torn);
+  EXPECT_EQ(1u, records.size());
+
+  // A flipped byte inside a complete frame is corruption — refused.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(kWalHeader + kWalFrame + 2);
+    char b = 0x7f;
+    f.write(&b, 1);
+  }
+  records.clear();
+  Status st = wal.ReadAll(&records, &torn);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, st.code());
+  EXPECT_NE(std::string::npos, st.ToString().find("checksum"));
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(StorageConfigTest, ValidateRejectsBadValues) {
+  SimulationConfig config;
+  config.storage.path = "somewhere";
+  config.storage.page_size = 32;  // below the floor
+  EXPECT_EQ(StatusCode::kInvalidArgument, config.Validate().code());
+  config.storage.page_size = 8192;
+  config.storage.pool_pages = 2;
+  EXPECT_EQ(StatusCode::kInvalidArgument, config.Validate().code());
+  config.storage.pool_pages = 64;
+  config.storage.checkpoint_every = -1;
+  EXPECT_EQ(StatusCode::kInvalidArgument, config.Validate().code());
+  config.storage.checkpoint_every = 0;
+  EXPECT_TRUE(config.Validate().ok());
+
+  config.artifacts.flight_recorder_ticks = -3;
+  Status st = config.Validate();
+  EXPECT_EQ(StatusCode::kInvalidArgument, st.code());
+  EXPECT_NE(std::string::npos,
+            st.ToString().find("artifacts.flight_recorder_ticks"));
+}
+
+// ------------------------------------------------- bit-exactness matrix
+
+TEST(StorageBitExactTest, MatchesInMemoryAcrossTheMatrix) {
+  const int64_t kTicks = 25;
+  for (const std::string& scenario : ScenarioRegistry::Global().List()) {
+    for (EvaluatorMode mode : {EvaluatorMode::kNaive, EvaluatorMode::kIndexed,
+                               EvaluatorMode::kAdaptive}) {
+      for (int32_t shards : {1, 2}) {
+        for (int32_t threads : {1, 4}) {
+          SCOPED_TRACE(scenario + " mode=" +
+                       std::to_string(static_cast<int>(mode)) +
+                       " shards=" + std::to_string(shards) +
+                       " threads=" + std::to_string(threads));
+          SimulationConfig mem_config;
+          mem_config.eval_mode = mode;
+          mem_config.shards = shards;
+          mem_config.threads = threads;
+          auto mem = BuildScenario(scenario, mem_config);
+          ASSERT_NE(nullptr, mem);
+          ASSERT_TRUE(mem->Run(kTicks).ok());
+
+          const std::string dir = FreshDir("matrix_world");
+          auto durable = BuildScenario(
+              scenario, StorageConfigFor(dir, mode, shards, threads,
+                                         /*checkpoint_every=*/7));
+          ASSERT_NE(nullptr, durable);
+          ASSERT_TRUE(durable->Run(kTicks).ok());
+
+          EXPECT_TRUE(durable->table().Equals(mem->table()))
+              << durable->table().DiffString(mem->table());
+          EXPECT_EQ(durable->MetricsJson(/*deterministic_only=*/true),
+                    mem->MetricsJson(/*deterministic_only=*/true));
+
+          // And the durable world recovers to exactly the final state.
+          auto reopened = BuildScenario(
+              scenario, StorageConfigFor(dir, mode, shards, threads));
+          ASSERT_NE(nullptr, reopened);
+          ASSERT_TRUE(reopened->RestoreFrom(dir).ok());
+          EXPECT_EQ(kTicks, reopened->tick_count());
+          EXPECT_TRUE(reopened->table().Equals(mem->table()))
+              << reopened->table().DiffString(mem->table());
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- crash recovery
+
+TEST(StorageRecoveryTest, KillAndRecoverResumesBitExactly) {
+  const int64_t kKillAfter = 13;  // not a checkpoint boundary
+  const int64_t kTotal = 30;
+  for (EvaluatorMode mode : {EvaluatorMode::kNaive, EvaluatorMode::kIndexed,
+                             EvaluatorMode::kAdaptive}) {
+    for (int32_t shards : {1, 2}) {
+      SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(mode)) +
+                   " shards=" + std::to_string(shards));
+      const std::string dir = FreshDir("kill_world");
+
+      const pid_t pid = fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        // Child: tick past a checkpoint, then die without destructors —
+        // no flush, no final checkpoint, exactly like a crash.
+        auto victim = ScenarioRegistry::Global().BuildSimulation(
+            "battle", SmallParams(),
+            StorageConfigFor(dir, mode, shards, /*threads=*/1,
+                             /*checkpoint_every=*/5));
+        if (!victim.ok() || !(*victim)->Run(kKillAfter).ok()) _exit(7);
+        _exit(0);
+      }
+      int wstatus = 0;
+      ASSERT_EQ(pid, waitpid(pid, &wstatus, 0));
+      ASSERT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+
+      // Survivor: reopen, recover the latest durable tick, run on.
+      auto survivor = BuildScenario(
+          "battle", StorageConfigFor(dir, mode, shards, /*threads=*/1,
+                                     /*checkpoint_every=*/5));
+      ASSERT_NE(nullptr, survivor);
+      ASSERT_TRUE(survivor->RestoreFrom(dir).ok());
+      EXPECT_EQ(kKillAfter, survivor->tick_count());
+      ASSERT_TRUE(survivor->Run(kTotal - kKillAfter).ok());
+
+      SimulationConfig mem_config;
+      mem_config.eval_mode = mode;
+      mem_config.shards = shards;
+      auto uninterrupted = BuildScenario("battle", mem_config);
+      ASSERT_NE(nullptr, uninterrupted);
+      ASSERT_TRUE(uninterrupted->Run(kTotal).ok());
+      EXPECT_TRUE(survivor->table().Equals(uninterrupted->table()))
+          << survivor->table().DiffString(uninterrupted->table());
+    }
+  }
+}
+
+TEST(StorageRecoveryTest, BuildRefusesToTickOverAnUnrestoredWorld) {
+  const std::string dir = FreshDir("unrestored_world");
+  {
+    auto sim = BuildScenario(
+        "battle", StorageConfigFor(dir, EvaluatorMode::kIndexed, 1, 1));
+    ASSERT_NE(nullptr, sim);
+    ASSERT_TRUE(sim->Run(5).ok());
+    ASSERT_TRUE(sim->Checkpoint(dir).ok());
+  }
+  auto sim = BuildScenario(
+      "battle", StorageConfigFor(dir, EvaluatorMode::kIndexed, 1, 1));
+  ASSERT_NE(nullptr, sim);
+  Status st = sim->Tick();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(std::string::npos, st.ToString().find("RestoreFrom"));
+  // Explicitly checkpointing over it re-arms ticking from the new state.
+  ASSERT_TRUE(sim->Checkpoint(dir).ok());
+  EXPECT_TRUE(sim->Tick().ok());
+}
+
+TEST(StorageRecoveryTest, TornWalTailRecoversToLastCommittedTick) {
+  const std::string dir = FreshDir("torn_world");
+  {
+    auto sim = BuildScenario(
+        "battle", StorageConfigFor(dir, EvaluatorMode::kIndexed, 1, 1,
+                                   /*checkpoint_every=*/5));
+    ASSERT_NE(nullptr, sim);
+    ASSERT_TRUE(sim->Run(13).ok());
+  }
+  // Tear the tail: drop the last few bytes of the log mid-frame.
+  const std::string wal_path = dir + "/wal.sgl";
+  struct stat sb;
+  ASSERT_EQ(0, ::stat(wal_path.c_str(), &sb));
+  ASSERT_EQ(0, ::truncate(wal_path.c_str(), sb.st_size - 5));
+
+  auto store = WorldStore::Open(
+      StorageConfigFor(dir, EvaluatorMode::kIndexed, 1, 1).storage, nullptr);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto world = (*store)->Recover();
+  ASSERT_TRUE(world.ok()) << world.status().ToString();
+  EXPECT_EQ(12, world->tick);  // tick 13's record was the torn one
+
+  // A flipped byte inside the log body, by contrast, is corruption.
+  {
+    std::fstream f(wal_path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(kWalHeader + kWalFrame + 3);
+    char b = 0x3c;
+    f.write(&b, 1);
+  }
+  Status st = (*store)->Recover().status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, st.code());
+}
+
+TEST(StorageRecoveryTest, CorruptPageIsRefused) {
+  const std::string dir = FreshDir("corrupt_world");
+  {
+    auto sim = BuildScenario(
+        "battle", StorageConfigFor(dir, EvaluatorMode::kIndexed, 1, 1));
+    ASSERT_NE(nullptr, sim);
+    ASSERT_TRUE(sim->Run(8).ok());
+    ASSERT_TRUE(sim->Checkpoint(dir).ok());
+  }
+  // Flip a byte in every physical slot so the committed image is hit no
+  // matter which ping-pong side each page committed to.
+  const std::string pages_path = dir + "/pages.sgl";
+  struct stat sb;
+  ASSERT_EQ(0, ::stat(pages_path.c_str(), &sb));
+  {
+    std::fstream f(pages_path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    for (off_t off = storage::kPageHeaderBytes + 1; off < sb.st_size;
+         off += 512) {
+      f.seekg(off);
+      char b = 0;
+      f.read(&b, 1);
+      b = static_cast<char>(b ^ 0x41);
+      f.seekp(off);
+      f.write(&b, 1);
+    }
+  }
+  auto store = WorldStore::Open(
+      StorageConfigFor(dir, EvaluatorMode::kIndexed, 1, 1).storage, nullptr);
+  ASSERT_TRUE(store.ok());
+  Status st = (*store)->Recover().status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(StatusCode::kInvalidArgument, st.code());
+  EXPECT_NE(std::string::npos, st.ToString().find("checksum"));
+}
+
+// ---------------------------------------------------------- out of core
+
+TEST(StorageOutOfCoreTest, TinyPoolCompletes100Ticks) {
+  SimulationConfig mem_config;
+  mem_config.eval_mode = EvaluatorMode::kIndexed;
+  auto mem = BuildScenario("battle", mem_config);
+  ASSERT_NE(nullptr, mem);
+  ASSERT_TRUE(mem->Run(100).ok());
+
+  // 80 units at 128-byte pages is ~7 chunks x (1 + attrs) pages, far
+  // beyond 4 frames: every tick faults and evicts.
+  const std::string dir = FreshDir("outofcore_world");
+  SimulationConfig config =
+      StorageConfigFor(dir, EvaluatorMode::kIndexed, 1, 1,
+                       /*checkpoint_every=*/10);
+  config.storage.page_size = 128;
+  config.storage.pool_pages = 4;
+  auto durable = BuildScenario("battle", config);
+  ASSERT_NE(nullptr, durable);
+  ASSERT_TRUE(durable->Run(100).ok());
+  EXPECT_TRUE(durable->table().Equals(mem->table()))
+      << durable->table().DiffString(mem->table());
+
+  const std::string json = durable->MetricsJson();
+  EXPECT_NE(std::string::npos, json.find("storage.pool.evictions"));
+}
+
+// ----------------------------------------------------------- time travel
+
+TEST(StorageTimeTravelTest, MaterializeRebuildsAnyLoggedTick) {
+  const std::string dir = FreshDir("timetravel_world");
+  std::vector<EnvironmentTable> states;  // state after each tick 0..27
+  {
+    auto sim = BuildScenario(
+        "battle", StorageConfigFor(dir, EvaluatorMode::kIndexed, 1, 1,
+                                   /*checkpoint_every=*/10));
+    ASSERT_NE(nullptr, sim);
+    for (int64_t t = 0; t < 27; ++t) {
+      states.push_back(sim->table().Clone());
+      ASSERT_TRUE(sim->Tick().ok());
+    }
+    states.push_back(sim->table().Clone());
+  }
+
+  // Read-only queries: every tick from the last checkpoint (20) onward.
+  auto store = WorldStore::Open(
+      StorageConfigFor(dir, EvaluatorMode::kIndexed, 1, 1).storage, nullptr);
+  ASSERT_TRUE(store.ok());
+  for (int64_t t = 20; t <= 27; ++t) {
+    auto world = (*store)->Materialize(t);
+    ASSERT_TRUE(world.ok()) << "tick " << t << ": "
+                            << world.status().ToString();
+    EXPECT_EQ(t, world->tick);
+    EXPECT_TRUE(world->table.Equals(states[t]))
+        << "tick " << t << ": " << world->table.DiffString(states[t]);
+  }
+  // Before the checkpoint or past the log end: clean errors.
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            (*store)->Materialize(19).status().code());
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            (*store)->Materialize(28).status().code());
+  store->reset();  // release the directory before the live sim reopens it
+
+  // Rewind a live simulation to tick 23 and re-run: same future.
+  auto sim = BuildScenario(
+      "battle", StorageConfigFor(dir, EvaluatorMode::kIndexed, 1, 1));
+  ASSERT_NE(nullptr, sim);
+  ASSERT_TRUE(sim->RestoreFrom(dir, 23).ok());
+  EXPECT_EQ(23, sim->tick_count());
+  ASSERT_TRUE(sim->Run(4).ok());
+  EXPECT_TRUE(sim->table().Equals(states[27]))
+      << sim->table().DiffString(states[27]);
+}
+
+// -------------------------------------------------------- artifact dumps
+
+TEST(DumpArtifactsTest, WritesTheConfiguredBundle) {
+  const std::string dir = FreshDir("artifacts_bundle");
+  SimulationConfig config;
+  config.eval_mode = EvaluatorMode::kIndexed;
+  config.artifacts.trace_path = dir + "/live_trace.json";  // enables tracer
+  config.artifacts.flight_recorder_ticks = 8;
+  auto sim = BuildScenario("battle", config);
+  ASSERT_NE(nullptr, sim);
+  ASSERT_TRUE(sim->Run(5).ok());
+
+  ASSERT_TRUE(sim->DumpArtifacts(dir).ok());
+  for (const char* f : {"trace.json", "metrics.json", "flight_record.json"}) {
+    std::ifstream in(dir + "/" + f);
+    EXPECT_TRUE(in.is_open()) << f;
+  }
+}
+
+}  // namespace
+}  // namespace sgl

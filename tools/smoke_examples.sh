@@ -20,11 +20,12 @@ declare -A example_args=(
   [scenarios]="market 200 20"
   [trace]="$(mktemp -d)"
   [serve]="battle 2 20"
+  [timetravel]="$(mktemp -d)/world"
 )
 
 failures=0
 for example in quickstart battle explain formation skeleton_fear scenarios \
-               trace serve; do
+               trace serve timetravel; do
   bin="$BUILD_DIR/$example"
   if [[ ! -x "$bin" ]]; then
     echo "FAIL: $example: binary not found at $bin" >&2
